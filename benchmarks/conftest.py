@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one figure / experiment of the paper
+(see DESIGN.md's per-experiment index) and measures the runtime of the
+mechanised check with pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` shows the regenerated tables/series alongside the timings.
+"""
+
+from __future__ import annotations
+
+
+def report(title: str, rows) -> None:
+    """Print a small aligned table (the regenerated figure content)."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    if not rows:
+        return
+    widths = [max(len(row[col]) for row in rows) for col in range(len(rows[0]))]
+    print(f"\n--- {title} ---")
+    for row in rows:
+        print("  " + "  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))

@@ -1,0 +1,98 @@
+"""ABL-OPS: ``⊳`` versus ``⇒`` versus ``−▷`` as the A/G connective.
+
+Section 3 of the paper discusses three candidate forms for
+assumption/guarantee specifications and adopts ``⊳`` because it "leads to
+the simpler rules for composition".  This ablation makes that concrete:
+
+* with plain implication ``E ⇒ M`` as the connective, the circular safety
+  composition of Figure 1 is *unsound* -- a behavior exists satisfying
+  both implication-premises but not the conclusion (each side "predicts"
+  the other's failure);
+* with ``−▷`` (simultaneous violation allowed), the circular rule is
+  likewise refuted by a behavior where both outputs break in the same
+  step;
+* with ``⊳``, the composition holds (and the three connectives are
+  totally ordered in strength: ``⊳`` ⊂ ``−▷`` ⊂ ``⇒``).
+"""
+
+from repro.core import AsLongAs, Guarantees, brute_force_implication
+from repro.systems import circuit
+from repro.temporal import TAnd, TImplies
+
+from conftest import report
+
+
+def _premises(connective):
+    m0c = circuit.always_zero("c").formula()
+    m0d = circuit.always_zero("d").formula()
+    return [connective(m0d, m0c), connective(m0c, m0d)]
+
+
+def _goal():
+    return TAnd(circuit.always_zero("c").formula(),
+                circuit.always_zero("d").formula())
+
+
+def test_implication_connective_unsound(benchmark):
+    result = benchmark(lambda: brute_force_implication(
+        _premises(TImplies), _goal(), circuit.wire_universe(),
+        max_stem=1, max_loop=1))
+    assert not result.ok
+    report("ABL-OPS: E ⇒ M as the connective", [
+        ["verdict", "circular rule UNSOUND"],
+        ["counterexample states",
+         " -> ".join(f"c={s['c']},d={s['d']}"
+                     for s in result.counterexample.trace.states)],
+    ])
+
+
+def test_aslongas_connective_unsound(benchmark):
+    result = benchmark(lambda: brute_force_implication(
+        _premises(AsLongAs), _goal(), circuit.wire_universe(),
+        max_stem=1, max_loop=1))
+    assert not result.ok
+    # the counterexample must break both wires simultaneously
+    trace = result.counterexample.trace
+    broke = [s for s in trace.states if s["c"] == 1 and s["d"] == 1]
+    report("ABL-OPS: E −▷ M as the connective", [
+        ["verdict", "circular rule UNSOUND"],
+        ["simultaneous violation", bool(broke)],
+    ])
+
+
+def test_guarantees_connective_sound(benchmark):
+    result = benchmark(lambda: brute_force_implication(
+        _premises(Guarantees), _goal(), circuit.wire_universe(),
+        max_stem=2, max_loop=2))
+    assert result.ok
+    report("ABL-OPS: E ⊳ M as the connective", [
+        ["verdict", "circular rule SOUND"],
+        ["behaviors checked", result.stats["behaviors"]],
+    ])
+
+
+def test_strength_ordering(benchmark):
+    """⊳ implies −▷ implies ⇒, on every behavior of the universe."""
+    from repro.kernel import all_lassos
+    from repro.temporal import EvalContext
+
+    universe = circuit.wire_universe()
+    m0c = circuit.always_zero("c").formula()
+    m0d = circuit.always_zero("d").formula()
+    lassos = list(all_lassos(list(universe.states()), 1, 2))
+
+    def check_ordering():
+        for la in lassos:
+            ctx = EvalContext(la, universe)
+            g = ctx.eval(Guarantees(m0d, m0c), 0)
+            w = ctx.eval(AsLongAs(m0d, m0c), 0)
+            i = (not ctx.eval(m0d, 0)) or ctx.eval(m0c, 0)
+            assert (not g) or w
+            assert (not w) or i
+        return len(lassos)
+
+    count = benchmark.pedantic(check_ordering, rounds=1, iterations=1)
+    report("ABL-OPS: strength ordering ⊳ ⊆ −▷ ⊆ ⇒", [
+        ["behaviors checked", count],
+        ["violations", 0],
+    ])

@@ -1,0 +1,70 @@
+"""FIG1-S / FIG1-L: the introduction's two motivating examples (Figure 1).
+
+Regenerates:
+
+* FIG1-S -- the circular *safety* composition succeeds, both through the
+  Composition Theorem and by brute force over the full behavior universe;
+* FIG1-L -- the circular *liveness* composition fails, with the paper's
+  exact counterexample (both processes leave c and d unchanged).
+"""
+
+from repro.core import CompositionTheorem, brute_force_implication
+from repro.systems import circuit
+
+from conftest import report
+
+
+def test_fig1_safety_theorem(benchmark):
+    ag_c, ag_d = circuit.safety_agspecs()
+    goal = circuit.safety_goal()
+
+    cert = benchmark(lambda: CompositionTheorem([ag_c, ag_d], goal).verify())
+    assert cert.ok
+    report("FIG1-S: (M0_d ⊳ M0_c) ∧ (M0_c ⊳ M0_d) ⇒ M0_c ∧ M0_d", [
+        ["obligation", "verdict", "states"],
+        *[[ob.oid, "OK" if ob.ok else "FAIL",
+           ob.result.stats.get("states", "-") if ob.result else "-"]
+          for ob in cert.obligations],
+    ])
+
+
+def test_fig1_safety_brute_force(benchmark):
+    ag_c, ag_d = circuit.safety_agspecs()
+    goal = circuit.safety_goal()
+    universe = circuit.wire_universe()
+
+    result = benchmark(lambda: brute_force_implication(
+        [ag_c.formula(), ag_d.formula()], goal.formula(), universe,
+        max_stem=2, max_loop=2))
+    assert result.ok
+    report("FIG1-S cross-check (semantic, all behaviors)", [
+        ["behaviors examined", result.stats["behaviors"]],
+        ["verdict", "valid up to stem 2 / loop 2"],
+    ])
+
+
+def test_fig1_liveness_fails(benchmark):
+    premise1, premise2 = circuit.liveness_premises()
+    goal = circuit.liveness_goal_formula()
+    universe = circuit.wire_universe()
+
+    result = benchmark(lambda: brute_force_implication(
+        [premise1, premise2], goal, universe, max_stem=1, max_loop=1))
+    assert not result.ok
+    trace = result.counterexample.trace
+    assert all(s["c"] == 0 and s["d"] == 0 for s in trace.states)
+    report("FIG1-L: (M1_d ⊳ M1_c) ∧ (M1_c ⊳ M1_d) ⇏ M1_c ∧ M1_d", [
+        ["counterexample", "the all-stutter behavior (c = d = 0 forever)"],
+        ["behaviors tried before finding it", result.stats["behaviors"]],
+    ])
+
+
+def test_fig1_processes_implement_safety_specs(benchmark):
+    """The paper's Pi_c / Pi_d really implement their A/G specifications."""
+    ag_c, _ = circuit.safety_agspecs()
+    universe = circuit.wire_universe()
+
+    result = benchmark(lambda: brute_force_implication(
+        [circuit.pi_c().formula()], ag_c.formula(), universe,
+        max_stem=2, max_loop=2))
+    assert result.ok

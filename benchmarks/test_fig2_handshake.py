@@ -1,0 +1,42 @@
+"""FIG2: the two-phase handshake protocol trace (Figure 2).
+
+Regenerates the figure's table for the values 37, 4, 19 and validates the
+trace against the Send/Ack actions; benchmarks trace generation plus
+validation at increasing lengths.
+"""
+
+import pytest
+
+from repro.systems.handshake import (
+    check_protocol_trace,
+    protocol_trace,
+    render_figure2,
+)
+
+from conftest import report
+
+
+def test_fig2_table(benchmark):
+    table = benchmark(lambda: render_figure2("c", (37, 4, 19)))
+    print("\n--- FIG2: the two-phase handshake protocol ---")
+    print(table)
+    lines = table.splitlines()
+    assert lines[1].split()[1:] == ["0", "0", "1", "1", "0", "0"]
+    assert lines[2].split()[1:] == ["0", "1", "1", "0", "0", "1"]
+    assert lines[3].split()[1:] == ["-", "37", "37", "4", "4", "19"]
+
+
+@pytest.mark.parametrize("length", [10, 100, 1000])
+def test_fig2_trace_validation(benchmark, length):
+    values = [v % 2 for v in range(length)]
+
+    def generate_and_validate():
+        trace = protocol_trace("c", values, initial_val=0)
+        problems = check_protocol_trace(trace, "c")
+        assert problems == []
+        return trace
+
+    trace = benchmark(generate_and_validate)
+    report(f"FIG2 scaling: {length} values", [
+        ["states in trace", len(trace)],
+    ])

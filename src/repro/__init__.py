@@ -1,0 +1,102 @@
+"""repro: "Open Systems in TLA" (Abadi & Lamport, PODC 1994) in Python.
+
+A complete, executable reproduction of the paper:
+
+* :mod:`repro.kernel` -- TLA's semantic base: states, behaviors (as
+  lassos), state functions, actions, ``[A]_v``, ``ENABLED``;
+* :mod:`repro.temporal` -- temporal formulas with exact lasso semantics
+  and the finite-behavior (prefix) satisfaction the paper's safety
+  machinery rests on;
+* :mod:`repro.spec` -- canonical specifications ``∃x : Init ∧ □[N]_v ∧ L``
+  and components (section 2.2);
+* :mod:`repro.checker` -- an explicit-state model checker (invariants,
+  refinement mappings, fairness-aware liveness) that plays the role of the
+  paper's hand proofs on finite instances;
+* :mod:`repro.core` -- **the paper's contribution**: the operators ``C``,
+  ``⊳``, ``−▷``, ``+v``, ``⊥``; Propositions 1-4 as executable checks;
+  assumption/guarantee specifications; and the Composition Theorem as a
+  certificate-producing proof engine;
+* :mod:`repro.systems` -- the paper's example systems (Figure 1 circuit,
+  handshake channels, the queue and double queue of the appendix) plus a
+  mutual-exclusion arbiter;
+* :mod:`repro.parser` -- a mini-TLA text front end;
+* :mod:`repro.fmt` -- TLA-style pretty printing.
+
+Quick start (the paper's Figure 1, safety version)::
+
+    from repro.systems import circuit
+    from repro.core import compose
+
+    ag_c, ag_d = circuit.safety_agspecs()
+    cert = compose([ag_c, ag_d], circuit.safety_goal())
+    print(cert.render())        # a Figure-9-style proof certificate
+    assert cert.ok
+"""
+
+__version__ = "1.0.0"
+
+from .kernel import (  # noqa: F401
+    BIT,
+    BOOLEAN,
+    FiniteBehavior,
+    FiniteDomain,
+    Lasso,
+    State,
+    TupleDomain,
+    Universe,
+    Var,
+    interval,
+)
+from .spec import Component, Fairness, Spec, conjoin, strong_fairness, weak_fairness  # noqa: F401
+from .temporal import holds  # noqa: F401
+from .core import (  # noqa: F401
+    AGSpec,
+    Certificate,
+    CompositionTheorem,
+    DisjointSpec,
+    Guarantees,
+    brute_force_implication,
+    compose,
+)
+from .checker import (  # noqa: F401
+    CheckResult,
+    RefinementMapping,
+    check_invariant,
+    check_safety_refinement,
+    check_temporal_implication,
+    explore,
+)
+
+__all__ = [
+    "__version__",
+    "BIT",
+    "BOOLEAN",
+    "FiniteBehavior",
+    "FiniteDomain",
+    "Lasso",
+    "State",
+    "TupleDomain",
+    "Universe",
+    "Var",
+    "interval",
+    "Component",
+    "Fairness",
+    "Spec",
+    "conjoin",
+    "strong_fairness",
+    "weak_fairness",
+    "holds",
+    "AGSpec",
+    "Certificate",
+    "CompositionTheorem",
+    "DisjointSpec",
+    "Guarantees",
+    "brute_force_implication",
+    "compose",
+    "CheckResult",
+    "RefinementMapping",
+    "check_invariant",
+    "check_safety_refinement",
+    "check_temporal_implication",
+    "explore",
+]

@@ -1,0 +1,38 @@
+"""Explicit-state model checker for canonical TLA specifications.
+
+Plays the role of the paper's hand proofs (see DESIGN.md): each proof
+obligation of the Composition Theorem is discharged exhaustively over the
+reachable state space of a finite instance.
+"""
+
+from .explorer import StateSpaceExplosion, explore, initial_states
+from .graph import StateGraph
+from .invariants import check_deadlock_free, check_invariant
+from .liveness import (
+    ConclusionChecker,
+    PremiseConstraint,
+    check_temporal_implication,
+    fair_units,
+    premises_of_spec,
+)
+from .refinement import IDENTITY, RefinementMapping, check_safety_refinement
+from .results import CheckResult, Counterexample
+
+__all__ = [
+    "StateSpaceExplosion",
+    "explore",
+    "initial_states",
+    "StateGraph",
+    "check_deadlock_free",
+    "check_invariant",
+    "ConclusionChecker",
+    "PremiseConstraint",
+    "check_temporal_implication",
+    "fair_units",
+    "premises_of_spec",
+    "IDENTITY",
+    "RefinementMapping",
+    "check_safety_refinement",
+    "CheckResult",
+    "Counterexample",
+]

@@ -1,0 +1,76 @@
+"""Breadth-first explicit-state exploration of canonical specifications.
+
+:func:`initial_states` enumerates the states satisfying an initial
+predicate, reusing the action compiler (the predicate's variables are
+primed so equations become bindings); :func:`explore` builds the
+reachable :class:`~repro.checker.graph.StateGraph` of a
+:class:`~repro.spec.Spec` under its next-state action ``N`` (stuttering
+self-loops are added by the graph itself).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..kernel.action import successors
+from ..kernel.expr import Expr, prime_expr, to_expr
+from ..kernel.state import State, Universe
+from ..spec import Spec
+from .graph import StateGraph
+
+
+class StateSpaceExplosion(Exception):
+    """Exploration exceeded the configured state budget."""
+
+
+def initial_states(init: Expr, universe: Universe) -> Iterator[State]:
+    """All states of *universe* satisfying the state predicate *init*.
+
+    Implemented by priming the predicate and asking the action compiler for
+    the successors of a dummy state: equations ``x = c`` become bindings
+    ``x' = c``, so typical initial predicates enumerate without scanning the
+    whole universe.
+    """
+    init = to_expr(init)
+    if init.primed_vars():
+        raise ValueError(f"initial predicate contains primed variables: {init!r}")
+    primed = prime_expr(init)
+    dummy = State({name: next(iter(universe.domain(name).values()))
+                   for name in universe.variables})
+    yield from successors(primed, dummy, universe)
+
+
+def explore(
+    spec: Spec,
+    max_states: int = 200_000,
+) -> StateGraph:
+    """The reachable state graph of ``Init ∧ □[N]_v`` over the spec's universe.
+
+    Edges are ``N`` steps (stutter self-loops implicit on every node).
+    Variables outside ``v`` are treated like any other universe variable:
+    whatever ``N`` allows.  For a *complete system* -- the only thing the
+    Composition Theorem ever asks us to explore -- ``N`` constrains every
+    variable, so the graph is finite and tight.
+    """
+    graph = StateGraph(spec.universe)
+    frontier: List[int] = []
+    for state in initial_states(spec.init, spec.universe):
+        node, new = graph.add_state(state)
+        if new:
+            graph.init_nodes.append(node)
+            frontier.append(node)
+    while frontier:
+        if graph.state_count > max_states:
+            raise StateSpaceExplosion(
+                f"exploring {spec.name!r} exceeded {max_states} states"
+            )
+        next_frontier: List[int] = []
+        for src in frontier:
+            state = graph.states[src]
+            for succ_state in successors(spec.next_action, state, spec.universe):
+                dst, new = graph.add_state(succ_state, parent=src)
+                graph.add_edge(src, dst)
+                if new:
+                    next_frontier.append(dst)
+        frontier = next_frontier
+    return graph

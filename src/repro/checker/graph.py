@@ -1,0 +1,238 @@
+"""Reachable state graphs and SCC machinery for the model checker.
+
+A :class:`StateGraph` is the explicit reachable-state graph of a canonical
+specification: nodes are states, edges are ``[N]_v`` steps.  Stuttering
+self-loops are materialised on every node, because ``□[N]_v`` always allows
+a behavior to stay put -- liveness analysis must consider behaviors that
+end by stuttering forever (that is precisely what dooms the liveness
+version of the paper's Figure 1 example).
+
+The graph offers Tarjan SCC decomposition restricted to arbitrary
+node/edge predicates, and BFS path finding -- the two primitives the
+liveness checker's Streett-style fair-cycle search needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..kernel.state import State, Universe
+
+NodeFilter = Callable[[int], bool]
+EdgeFilter = Callable[[int, int], bool]
+
+
+def _accept_all_nodes(_node: int) -> bool:
+    return True
+
+
+def _accept_all_edges(_src: int, _dst: int) -> bool:
+    return True
+
+
+class StateGraph:
+    """Explicit state graph with indexed nodes.
+
+    ``succ[i]`` lists successor indices of node ``i`` (including ``i``
+    itself: the stutter edge).  ``parent`` records the BFS tree from the
+    initial states for counterexample reconstruction.
+    """
+
+    def __init__(self, universe: Universe):
+        self.universe = universe
+        self.states: List[State] = []
+        self.index: Dict[State, int] = {}
+        self.succ: List[List[int]] = []
+        self.init_nodes: List[int] = []
+        self.parent: List[Optional[int]] = []
+
+    # -- construction ------------------------------------------------------
+
+    def add_state(self, state: State, parent: Optional[int] = None) -> Tuple[int, bool]:
+        """Intern a state; returns (index, was_new)."""
+        node = self.index.get(state)
+        if node is not None:
+            return node, False
+        node = len(self.states)
+        self.index[state] = node
+        self.states.append(state)
+        self.succ.append([node])  # stutter self-loop
+        self.parent.append(parent)
+        return node, True
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if dst != src and dst not in self.succ[src]:
+            self.succ[src].append(dst)
+
+    # -- metrics -------------------------------------------------------------
+
+    @property
+    def state_count(self) -> int:
+        return len(self.states)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(outs) for outs in self.succ)
+
+    # -- traversal --------------------------------------------------------------
+
+    def path_to_root(self, node: int) -> List[int]:
+        """The BFS-tree path from an initial node to *node* (inclusive)."""
+        path = [node]
+        while self.parent[path[-1]] is not None:
+            path.append(self.parent[path[-1]])  # type: ignore[arg-type]
+        path.reverse()
+        return path
+
+    def bfs_path(
+        self,
+        sources: Iterable[int],
+        is_target: Callable[[int], bool],
+        node_ok: NodeFilter = _accept_all_nodes,
+        edge_ok: EdgeFilter = _accept_all_edges,
+    ) -> Optional[List[int]]:
+        """Shortest path from any source to any target within the filtered
+        subgraph; sources must satisfy ``node_ok`` themselves."""
+        frontier = [s for s in sources if node_ok(s)]
+        prev: Dict[int, Optional[int]] = {s: None for s in frontier}
+        for start in frontier:
+            if is_target(start):
+                return [start]
+        while frontier:
+            next_frontier: List[int] = []
+            for src in frontier:
+                for dst in self.succ[src]:
+                    if dst in prev or not node_ok(dst) or not edge_ok(src, dst):
+                        continue
+                    prev[dst] = src
+                    if is_target(dst):
+                        path = [dst]
+                        while prev[path[-1]] is not None:
+                            path.append(prev[path[-1]])  # type: ignore[arg-type]
+                        path.reverse()
+                        return path
+                    next_frontier.append(dst)
+            frontier = next_frontier
+        return None
+
+    # -- SCC decomposition ----------------------------------------------------------
+
+    def sccs(
+        self,
+        nodes: Optional[Iterable[int]] = None,
+        node_ok: NodeFilter = _accept_all_nodes,
+        edge_ok: EdgeFilter = _accept_all_edges,
+        include_trivial: bool = False,
+    ) -> List[List[int]]:
+        """Tarjan SCCs of the filtered subgraph (iterative, no recursion).
+
+        By default only *nontrivial* SCCs are returned: components with an
+        internal edge.  Because every node carries a stutter self-loop,
+        every singleton is nontrivial unless ``edge_ok`` rejects its
+        self-loop.
+        """
+        if nodes is None:
+            candidates = [n for n in range(len(self.states)) if node_ok(n)]
+        else:
+            candidates = [n for n in nodes if node_ok(n)]
+        allowed: Set[int] = set(candidates)
+
+        index_of: Dict[int, int] = {}
+        lowlink: Dict[int, int] = {}
+        on_stack: Set[int] = set()
+        stack: List[int] = []
+        result: List[List[int]] = []
+        counter = [0]
+
+        def neighbors(v: int) -> List[int]:
+            return [w for w in self.succ[v]
+                    if w in allowed and edge_ok(v, w)]
+
+        for root in candidates:
+            if root in index_of:
+                continue
+            work: List[Tuple[int, int]] = [(root, 0)]
+            while work:
+                v, child_idx = work.pop()
+                if child_idx == 0:
+                    index_of[v] = counter[0]
+                    lowlink[v] = counter[0]
+                    counter[0] += 1
+                    stack.append(v)
+                    on_stack.add(v)
+                recursed = False
+                nbrs = neighbors(v)
+                for i in range(child_idx, len(nbrs)):
+                    w = nbrs[i]
+                    if w not in index_of:
+                        work.append((v, i + 1))
+                        work.append((w, 0))
+                        recursed = True
+                        break
+                    if w in on_stack:
+                        lowlink[v] = min(lowlink[v], index_of[w])
+                if recursed:
+                    continue
+                if lowlink[v] == index_of[v]:
+                    component: List[int] = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        component.append(w)
+                        if w == v:
+                            break
+                    has_edge = any(
+                        dst in component and edge_ok(src, dst)
+                        for src in component
+                        for dst in self.succ[src]
+                    ) if len(component) == 1 else True
+                    if include_trivial or len(component) > 1 or has_edge:
+                        result.append(component)
+                if work:
+                    pv = work[-1][0]
+                    lowlink[pv] = min(lowlink[pv], lowlink[v])
+        return result
+
+    def covering_cycle(
+        self,
+        component: Sequence[int],
+        edge_ok: EdgeFilter = _accept_all_edges,
+        required_edges: Iterable[Tuple[int, int]] = (),
+    ) -> List[int]:
+        """A closed walk inside *component* visiting every node of the
+        component and every required edge.
+
+        The component must be strongly connected under ``edge_ok``.  The
+        walk is returned as a node list whose last node has an edge back to
+        the first (possibly the stutter self-loop).
+        """
+        comp_set = set(component)
+
+        def inside(n: int) -> bool:
+            return n in comp_set
+
+        start = component[0]
+        walk = [start]
+
+        def extend_to(target: int) -> None:
+            if walk[-1] == target:
+                return
+            path = self.bfs_path([walk[-1]], lambda n: n == target,
+                                 node_ok=inside, edge_ok=edge_ok)
+            if path is None:
+                raise ValueError(
+                    "component is not strongly connected under the edge filter"
+                )
+            walk.extend(path[1:])
+
+        for node in component[1:]:
+            extend_to(node)
+        for src, dst in required_edges:
+            extend_to(src)
+            walk.append(dst)
+        extend_to(start)
+        # the walk is start .. start; drop the final repetition: the cycle
+        # closes via the edge from walk[-1] (== some node with edge to start)
+        if len(walk) > 1 and walk[-1] == start:
+            walk.pop()
+        return walk

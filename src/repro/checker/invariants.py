@@ -1,0 +1,80 @@
+"""Invariant (safety) checking over reachable state graphs."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..kernel.behavior import FiniteBehavior
+from ..kernel.expr import Expr, to_expr
+from ..spec import Spec
+from .explorer import explore
+from .graph import StateGraph
+from .results import CheckResult, Counterexample
+
+
+def check_invariant(
+    spec_or_graph: Union[Spec, StateGraph],
+    invariant: Expr,
+    name: Optional[str] = None,
+    max_states: int = 200_000,
+) -> CheckResult:
+    """Does every reachable state of the spec satisfy the predicate?
+
+    Accepts a pre-explored :class:`StateGraph` to amortise exploration
+    across several invariants.
+    """
+    invariant = to_expr(invariant)
+    if isinstance(spec_or_graph, StateGraph):
+        graph = spec_or_graph
+        label = name or "invariant"
+    else:
+        graph = explore(spec_or_graph, max_states=max_states)
+        label = name or f"invariant of {spec_or_graph.name}"
+    stats = {"states": graph.state_count, "edges": graph.edge_count}
+    for node, state in enumerate(graph.states):
+        value = invariant.eval_state(state)
+        if not isinstance(value, bool):
+            raise TypeError(f"invariant {invariant!r} returned {value!r}")
+        if not value:
+            trace = FiniteBehavior([graph.states[i] for i in graph.path_to_root(node)])
+            return CheckResult(
+                label,
+                ok=False,
+                counterexample=Counterexample(
+                    trace, f"state violates invariant {invariant!r}"
+                ),
+                stats=stats,
+            )
+    return CheckResult(label, ok=True, stats=stats)
+
+
+def check_deadlock_free(
+    spec_or_graph: Union[Spec, StateGraph],
+    spec: Optional[Spec] = None,
+    name: Optional[str] = None,
+    max_states: int = 200_000,
+) -> CheckResult:
+    """Does every reachable state have a non-stuttering successor?
+
+    (Stuttering is always allowed by ``□[N]_v``, so "deadlock" here means
+    the *system* can make no progress step -- useful as a sanity check on
+    example systems, not a notion from the paper.)
+    """
+    if isinstance(spec_or_graph, StateGraph):
+        graph = spec_or_graph
+        label = name or "deadlock-freedom"
+    else:
+        spec = spec_or_graph
+        graph = explore(spec, max_states=max_states)
+        label = name or f"deadlock-freedom of {spec.name}"
+    stats = {"states": graph.state_count, "edges": graph.edge_count}
+    for node in range(graph.state_count):
+        if all(dst == node for dst in graph.succ[node]):
+            trace = FiniteBehavior([graph.states[i] for i in graph.path_to_root(node)])
+            return CheckResult(
+                label,
+                ok=False,
+                counterexample=Counterexample(trace, "state has no progress step"),
+                stats=stats,
+            )
+    return CheckResult(label, ok=True, stats=stats)

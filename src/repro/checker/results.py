@@ -1,0 +1,97 @@
+"""Check results and counterexample traces.
+
+Every checking routine returns a :class:`CheckResult`: a verdict, runtime
+statistics (states, edges, SCCs inspected -- the benchmark harness reports
+these), and on failure a :class:`Counterexample` carrying either a finite
+trace (safety violations) or a lasso (liveness violations), already
+validated against the exact lasso semantics where applicable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..kernel.behavior import FiniteBehavior, Lasso
+from ..kernel.state import State
+from ..kernel.values import format_value
+
+
+class Counterexample:
+    """A violating trace plus a human-readable explanation."""
+
+    __slots__ = ("trace", "reason")
+
+    def __init__(self, trace: Union[FiniteBehavior, Lasso], reason: str):
+        self.trace = trace
+        self.reason = reason
+
+    @property
+    def is_lasso(self) -> bool:
+        return isinstance(self.trace, Lasso)
+
+    def states(self) -> Sequence[State]:
+        return self.trace.states
+
+    def render(self, variables: Optional[Sequence[str]] = None) -> str:
+        """A column-per-state table in the style of the paper's Figure 2."""
+        states = list(self.trace.states)
+        if variables is None:
+            names: List[str] = sorted({name for state in states for name in state})
+        else:
+            names = list(variables)
+        header = ["state"] + [str(i) for i in range(len(states))]
+        if isinstance(self.trace, Lasso):
+            header[1 + self.trace.loop_start] += "*"  # loop entry
+        rows = [header]
+        for name in names:
+            rows.append([name] + [
+                format_value(state[name]) if name in state else "?" for state in states
+            ])
+        widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
+        lines = ["  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+                 for row in rows]
+        kind = "lasso (loop entry marked *)" if self.is_lasso else "finite trace"
+        return "\n".join([self.reason, f"counterexample ({kind}):"] + lines)
+
+    def __repr__(self) -> str:
+        return f"Counterexample({self.reason!r}, trace={self.trace!r})"
+
+
+class CheckResult:
+    """Verdict of a model-checking run."""
+
+    __slots__ = ("name", "ok", "counterexample", "stats", "notes")
+
+    def __init__(
+        self,
+        name: str,
+        ok: bool,
+        counterexample: Optional[Counterexample] = None,
+        stats: Optional[Dict[str, int]] = None,
+        notes: Sequence[str] = (),
+    ):
+        if ok and counterexample is not None:
+            raise ValueError("a passing result cannot carry a counterexample")
+        self.name = name
+        self.ok = ok
+        self.counterexample = counterexample
+        self.stats = dict(stats or {})
+        self.notes = list(notes)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def expect_ok(self) -> "CheckResult":
+        """Raise with a rendered counterexample if the check failed."""
+        if not self.ok:
+            detail = self.counterexample.render() if self.counterexample else "(no trace)"
+            raise AssertionError(f"check {self.name!r} failed:\n{detail}")
+        return self
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else "FAILED"
+        stat_text = ", ".join(f"{key}={value}" for key, value in sorted(self.stats.items()))
+        return f"[{verdict}] {self.name}" + (f" ({stat_text})" if stat_text else "")
+
+    def __repr__(self) -> str:
+        return f"CheckResult({self.name!r}, ok={self.ok}, stats={self.stats})"

@@ -1,0 +1,91 @@
+"""Random simulation of canonical specifications.
+
+Model checking proves; simulation *shows*.  :func:`random_walk` produces a
+random finite behavior of a spec (useful for demos, the CLI's ``trace``
+command, and quick sanity checks of new specifications), and
+:func:`simulate_check` runs a predicate along many walks -- a cheap
+smoke-test before paying for exhaustive exploration.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from ..kernel.action import successors
+from ..kernel.behavior import FiniteBehavior
+from ..kernel.expr import Expr, to_expr
+from ..spec import Spec
+from .explorer import initial_states
+from .results import CheckResult, Counterexample
+
+
+def random_walk(
+    spec: Spec,
+    steps: int = 20,
+    seed: Optional[int] = None,
+    allow_stutter: bool = False,
+) -> FiniteBehavior:
+    """A random behavior prefix of ``Init ∧ □[N]_v``.
+
+    Picks a random initial state and then random ``N``-successors.  When a
+    state has no successor (the system can only stutter), the walk ends
+    early unless ``allow_stutter`` lets it idle in place.
+    """
+    rng = random.Random(seed)
+    inits = list(initial_states(spec.init, spec.universe))
+    if not inits:
+        raise ValueError(f"spec {spec.name!r} has no initial states")
+    state = rng.choice(inits)
+    states = [state]
+    for _ in range(steps):
+        nexts = list(successors(spec.next_action, state, spec.universe))
+        if not nexts:
+            if allow_stutter:
+                states.append(state)
+                continue
+            break
+        state = rng.choice(nexts)
+        states.append(state)
+    return FiniteBehavior(states)
+
+
+def simulate_check(
+    spec: Spec,
+    invariant: object,
+    walks: int = 50,
+    steps: int = 30,
+    seed: Optional[int] = None,
+) -> CheckResult:
+    """Check a state predicate along random walks.
+
+    A failing result carries the violating prefix.  A passing result means
+    only "not refuted by simulation" -- use
+    :func:`repro.checker.check_invariant` for a proof.
+    """
+    rng = random.Random(seed)
+    invariant = to_expr(invariant)
+    visited = 0
+    for index in range(walks):
+        walk = random_walk(spec, steps=steps, seed=rng.randrange(2 ** 30))
+        for length, state in enumerate(walk, start=1):
+            visited += 1
+            value = invariant.eval_state(state)
+            if not isinstance(value, bool):
+                raise TypeError(f"invariant {invariant!r} returned {value!r}")
+            if not value:
+                return CheckResult(
+                    f"simulate {spec.name}",
+                    ok=False,
+                    counterexample=Counterexample(
+                        walk.prefix(length),
+                        f"random walk {index} violates {invariant!r}",
+                    ),
+                    stats={"walks": index + 1, "states_visited": visited},
+                )
+    return CheckResult(
+        f"simulate {spec.name}",
+        ok=True,
+        stats={"walks": walks, "states_visited": visited},
+        notes=["simulation only: not a proof"],
+    )

@@ -1,0 +1,77 @@
+"""Open systems in TLA: the paper's primary contribution.
+
+* :mod:`~repro.core.operators` -- the semantic operators ``C``, ``⊳``,
+  ``−▷``, ``+v``, ``⊥``;
+* :mod:`~repro.core.closure` -- syntactic closure computation;
+* :mod:`~repro.core.disjoint` -- the ``Disjoint`` interleaving condition;
+* :mod:`~repro.core.propositions` -- Propositions 1-4 as executable checks;
+* :mod:`~repro.core.agspec` -- assumption/guarantee specifications;
+* :mod:`~repro.core.composition` -- the Composition Theorem engine;
+* :mod:`~repro.core.semantic_check` -- brute-force behavior-universe checks.
+"""
+
+from .operators import AsLongAs, Closure, Guarantees, Orthogonal, Plus, guarantees
+from .closure import (
+    ClosureHypothesisError,
+    closure_formula,
+    closure_of_component,
+    closure_of_spec,
+    is_canonical_safety,
+)
+from .disjoint import DisjointSpec
+from .propositions import (
+    PropositionReport,
+    check_subaction,
+    proposition1,
+    proposition2,
+    proposition2_of_components,
+    proposition3,
+    proposition4,
+    validate_guarantee_identity,
+    validate_proposition1,
+    validate_proposition3,
+    validate_proposition4,
+)
+from .agspec import AGSpec
+from .certificate import Certificate, Obligation
+from .composition import CompositionTheorem, compose, refinement_corollary
+from .semantic_check import (
+    behavior_count,
+    brute_force_equivalence,
+    brute_force_implication,
+)
+
+__all__ = [
+    "AsLongAs",
+    "Closure",
+    "Guarantees",
+    "Orthogonal",
+    "Plus",
+    "guarantees",
+    "ClosureHypothesisError",
+    "closure_formula",
+    "closure_of_component",
+    "closure_of_spec",
+    "is_canonical_safety",
+    "DisjointSpec",
+    "PropositionReport",
+    "check_subaction",
+    "proposition1",
+    "proposition2",
+    "proposition2_of_components",
+    "proposition3",
+    "proposition4",
+    "validate_guarantee_identity",
+    "validate_proposition1",
+    "validate_proposition3",
+    "validate_proposition4",
+    "AGSpec",
+    "Certificate",
+    "Obligation",
+    "CompositionTheorem",
+    "compose",
+    "refinement_corollary",
+    "behavior_count",
+    "brute_force_equivalence",
+    "brute_force_implication",
+]

@@ -1,0 +1,102 @@
+"""Assumption/guarantee specifications ``E ⊳ M`` (paper, section 3).
+
+An :class:`AGSpec` packages an environment assumption ``E`` and a system
+guarantee ``M``:
+
+* the **assumption** is a safety property in canonical form -- a
+  :class:`~repro.spec.Spec` without fairness (or ``None``, meaning
+  ``TRUE``, which the Composition Theorem uses for the conditional-
+  implementation trick ``M_1 = G, E_1 = true``);
+* the **guarantee** is a :class:`~repro.spec.Component` (outputs,
+  internals, fairness -- the paper's ``QM``) or a bare ``Spec`` for
+  formula-shaped guarantees such as the interleaving condition ``G``.
+
+``formula()`` is the temporal formula ``E ⊳ M`` itself, directly
+evaluable on behaviors; the Composition Theorem engine consumes the
+structured form.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..spec import Component, Spec
+from ..temporal.formulas import StatePred, TemporalFormula
+from .operators import Guarantees
+
+
+class AGSpec:
+    """``E ⊳ M`` with the component structure retained."""
+
+    __slots__ = ("name", "assumption", "guarantee")
+
+    def __init__(
+        self,
+        name: str,
+        assumption: Optional[Spec],
+        guarantee: Union[Component, Spec],
+    ):
+        if assumption is not None and not isinstance(assumption, Spec):
+            raise TypeError(
+                f"assumption of {name!r} must be a canonical Spec or None "
+                f"(TRUE); got {assumption!r}.  The paper requires environment "
+                "assumptions to be safety properties in canonical form."
+            )
+        if assumption is not None and assumption.fairness:
+            raise TypeError(
+                f"assumption of {name!r} carries fairness conditions; "
+                "environment assumptions must be safety properties "
+                "(write environment fairness into the guarantee as "
+                "E_L => WF/SF, per section 3 of the paper)"
+            )
+        if not isinstance(guarantee, (Component, Spec)):
+            raise TypeError(
+                f"guarantee of {name!r} must be a Component or Spec, "
+                f"got {guarantee!r}"
+            )
+        self.name = name
+        self.assumption = assumption
+        self.guarantee = guarantee
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def guarantee_component(self) -> Optional[Component]:
+        return self.guarantee if isinstance(self.guarantee, Component) else None
+
+    @property
+    def guarantee_spec(self) -> Spec:
+        """The unhidden canonical spec of the guarantee."""
+        if isinstance(self.guarantee, Component):
+            return self.guarantee.spec
+        return self.guarantee
+
+    @property
+    def internals(self) -> tuple:
+        comp = self.guarantee_component
+        return comp.internals if comp is not None else ()
+
+    def assumption_formula(self) -> TemporalFormula:
+        if self.assumption is None:
+            return StatePred(True)
+        return self.assumption.formula()
+
+    def guarantee_formula(self) -> TemporalFormula:
+        """The guarantee with internals hidden (``∃x : IQM``)."""
+        if isinstance(self.guarantee, Component):
+            return self.guarantee.formula()
+        return self.guarantee.formula()
+
+    def formula(self) -> TemporalFormula:
+        """The assumption/guarantee specification ``E ⊳ M`` as a formula.
+
+        ``TRUE ⊳ G`` equals ``G`` (noted under the Composition Theorem in
+        the paper), so a missing assumption returns the bare guarantee.
+        """
+        if self.assumption is None:
+            return self.guarantee_formula()
+        return Guarantees(self.assumption_formula(), self.guarantee_formula())
+
+    def __repr__(self) -> str:
+        env = self.assumption.name if self.assumption is not None else "TRUE"
+        return f"AGSpec({self.name!r}: {env} ⊳ {self.guarantee_spec.name})"

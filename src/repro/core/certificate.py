@@ -1,0 +1,119 @@
+"""Proof obligations and certificates for the Composition Theorem engine.
+
+Discharging the theorem's hypotheses produces a :class:`Certificate`: a
+structured record of every obligation (which hypothesis, which proposition
+applications justified the reduction, which model-checking run discharged
+it, with what statistics).  ``Certificate.render()`` prints a report whose
+shape mirrors the paper's Figure 9 proof sketch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..checker.results import CheckResult
+from .propositions import PropositionReport
+
+
+class Obligation:
+    """One hypothesis instance of the Composition Theorem."""
+
+    __slots__ = ("oid", "description", "rules", "result", "skipped_reason")
+
+    def __init__(
+        self,
+        oid: str,
+        description: str,
+        rules: Sequence[PropositionReport] = (),
+        result: Optional[CheckResult] = None,
+        skipped_reason: Optional[str] = None,
+    ):
+        self.oid = oid
+        self.description = description
+        self.rules = list(rules)
+        self.result = result
+        self.skipped_reason = skipped_reason
+
+    @property
+    def ok(self) -> bool:
+        if self.skipped_reason is not None:
+            return True  # discharged trivially (e.g. assumption is TRUE)
+        if any(not rule.ok for rule in self.rules):
+            return False
+        return self.result is not None and self.result.ok
+
+    def render(self) -> str:
+        lines = [f"{self.oid}. {self.description}"]
+        if self.skipped_reason is not None:
+            lines.append(f"   discharged trivially: {self.skipped_reason}")
+        for rule in self.rules:
+            lines.extend("   " + text for text in rule.render().splitlines())
+        if self.result is not None:
+            lines.append(f"   {self.result.summary()}")
+            if not self.result.ok and self.result.counterexample is not None:
+                lines.extend(
+                    "   | " + text
+                    for text in self.result.counterexample.render().splitlines()
+                )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Obligation({self.oid!r}, ok={self.ok})"
+
+
+class Certificate:
+    """The full record of a Composition Theorem application."""
+
+    __slots__ = ("title", "conclusion", "obligations", "notes")
+
+    def __init__(self, title: str, conclusion: str):
+        self.title = title
+        self.conclusion = conclusion
+        self.obligations: List[Obligation] = []
+        self.notes: List[str] = []
+
+    def add(self, obligation: Obligation) -> Obligation:
+        self.obligations.append(obligation)
+        return obligation
+
+    @property
+    def ok(self) -> bool:
+        # an empty certificate proves nothing
+        return bool(self.obligations) and all(ob.ok for ob in self.obligations)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def expect_ok(self) -> "Certificate":
+        if not self.ok:
+            raise AssertionError(f"composition proof failed:\n{self.render()}")
+        return self
+
+    def failed_obligations(self) -> List[Obligation]:
+        return [ob for ob in self.obligations if not ob.ok]
+
+    def total_states_explored(self) -> int:
+        return sum(
+            ob.result.stats.get("states", 0)
+            for ob in self.obligations
+            if ob.result is not None
+        )
+
+    def render(self) -> str:
+        status = "PROVED" if self.ok else "NOT PROVED"
+        lines = [
+            f"=== Composition Theorem: {self.title} [{status}] ===",
+            f"conclusion: {self.conclusion}",
+        ]
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        for ob in self.obligations:
+            lines.append(ob.render())
+        if self.ok:
+            lines.append(
+                "Q.E.D.  (by the Composition Theorem, from the obligations above)"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Certificate({self.title!r}, ok={self.ok}, obligations={len(self.obligations)})"

@@ -1,0 +1,121 @@
+"""Syntactic closure computation (Propositions 1 and 2 of the paper).
+
+Proposition 1: if ``L`` is a conjunction of ``WF``/``SF`` formulas whose
+actions imply ``N``, then ``C(Init ∧ □[N]_v ∧ L) = Init ∧ □[N]_v``.
+Proposition 2 pushes closures under ``∃`` so that hypotheses about hidden
+variables reduce to hypotheses about visible ones.
+
+:func:`closure_of_spec` / :func:`closure_of_component` implement the
+syntactic computation, *checking* Proposition 1's hypothesis (each
+fairness action must imply the next-state action -- structurally, or
+semantically via :func:`repro.core.propositions.check_subaction`).
+
+:func:`closure_formula` computes the closure of a temporal formula in the
+canonical fragment by dropping fairness conjuncts; it is the formula-level
+twin of :func:`closure_of_spec`.  The semantic referee for all of this is
+:class:`repro.core.operators.Closure`, and the agreement of the two is
+property-tested (PROP1-4 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..spec import Component, Spec
+from ..temporal.formulas import (
+    ActionBox,
+    Always,
+    Hide,
+    SF,
+    StatePred,
+    TAnd,
+    TemporalFormula,
+    WF,
+    to_tf,
+)
+from .operators import Closure
+
+
+class ClosureHypothesisError(Exception):
+    """Proposition 1's hypothesis could not be established."""
+
+
+def closure_of_spec(spec: Spec, strict: bool = True) -> Spec:
+    """``C(spec)`` by Proposition 1: drop the fairness conjuncts.
+
+    With ``strict`` (default), the structural hypothesis -- every fairness
+    action is a disjunct of N -- is enforced; pass ``strict=False`` if the
+    hypothesis was established some other way (e.g. semantically via
+    :func:`repro.core.propositions.check_subaction`).
+    """
+    if strict:
+        problems = spec.validate_fairness_subactions()
+        if problems:
+            raise ClosureHypothesisError(
+                "Proposition 1 hypothesis not established:\n  " + "\n  ".join(problems)
+            )
+    return spec.without_fairness()
+
+
+def closure_of_component(component: Component, strict: bool = True) -> TemporalFormula:
+    """``C(∃x : spec)`` = ``∃x : C(spec)`` by Propositions 1 and 2."""
+    safety = closure_of_spec(component.spec, strict=strict)
+    inner = safety.safety_formula()
+    if not component.internals:
+        return inner
+    bindings = {x: component.universe.domain(x) for x in component.internals}
+    return Hide(bindings, inner)
+
+
+def closure_formula(formula: object, strict: bool = True) -> TemporalFormula:
+    """Closure of a temporal formula in the canonical fragment.
+
+    * safety nodes (``StatePred``, ``□[A]_v``, ``□P``) are their own
+      closure;
+    * ``WF``/``SF`` conjuncts are dropped (Proposition 1; with ``strict``
+      they may only appear as conjuncts, where dropping is justified);
+    * ``∃`` commutes with ``C`` (Proposition 2);
+    * anything else is wrapped in the semantic :class:`Closure` node.
+    """
+    tf = to_tf(formula)
+    if isinstance(tf, (StatePred, ActionBox)):
+        return tf
+    if isinstance(tf, Always) and isinstance(tf.body, StatePred):
+        return tf
+    if isinstance(tf, TAnd):
+        kept: List[TemporalFormula] = []
+        for part in tf.parts:
+            if isinstance(part, (WF, SF)):
+                continue  # Proposition 1
+            kept.append(closure_formula(part, strict=strict))
+        if not kept:
+            return StatePred(True)
+        return TAnd(*kept)
+    if isinstance(tf, Hide):
+        return Hide(tf.bindings, closure_formula(tf.body, strict=strict))
+    if isinstance(tf, (WF, SF)):
+        # a bare fairness property: its closure is TRUE (any finite behavior
+        # extends to a fair one)
+        return StatePred(True)
+    if isinstance(tf, Closure):
+        return tf
+    if strict:
+        raise ClosureHypothesisError(
+            f"no syntactic closure rule for {tf!r}; use the semantic "
+            "Closure node or rewrite the formula in canonical form"
+        )
+    return Closure(tf)
+
+
+def is_canonical_safety(formula: object) -> bool:
+    """Is the formula already a (possibly hidden) canonical safety formula?"""
+    tf = to_tf(formula)
+    if isinstance(tf, Hide):
+        return is_canonical_safety(tf.body)
+    if isinstance(tf, (StatePred, ActionBox)):
+        return True
+    if isinstance(tf, Always):
+        return isinstance(tf.body, StatePred)
+    if isinstance(tf, TAnd):
+        return all(is_canonical_safety(part) for part in tf.parts)
+    return False

@@ -1,0 +1,79 @@
+"""The ``Disjoint`` interleaving condition (paper, section 2.3).
+
+``Disjoint(v_1, ..., v_n)`` asserts that no two of the variable tuples
+``v_i`` change in the same step:
+
+    ``Disjoint(v_1, ..., v_n) ≜ ⋀_{i≠j} □[(v_i' = v_i) ∨ (v_j' = v_j)]_{<v_i, v_j>}``
+
+It is the formula ``G`` under which the paper proves conditional
+implementation of interleaving compositions (equation (4) and Figure 9).
+Besides the formula itself, :class:`DisjointSpec` keeps the tuple structure
+so that Proposition 4's hypothesis ``Disjoint(e, m)`` can be discharged
+*syntactically*: a step changing ``a ∈ e`` and ``b ∈ m`` simultaneously is
+already forbidden whenever some declared pair separates ``a`` from ``b``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from ..kernel.action import unchanged
+from ..kernel.expr import Or
+from ..kernel.state import Universe
+from ..spec import Spec, spec_of_formula
+from ..temporal.formulas import ActionBox, StatePred, TAnd, TemporalFormula
+
+
+class DisjointSpec:
+    """``Disjoint(v_1, ..., v_n)`` with its tuple structure retained."""
+
+    __slots__ = ("tuples",)
+
+    def __init__(self, tuples: Sequence[Sequence[str]]):
+        self.tuples: Tuple[Tuple[str, ...], ...] = tuple(tuple(t) for t in tuples)
+        if len(self.tuples) < 2:
+            raise ValueError("Disjoint needs at least two variable tuples")
+        seen = set()
+        for t in self.tuples:
+            if not t:
+                raise ValueError("Disjoint tuples must be nonempty")
+            overlap = seen & set(t)
+            if overlap:
+                raise ValueError(f"Disjoint tuples overlap on {sorted(overlap)}")
+            seen |= set(t)
+
+    def formula(self) -> TemporalFormula:
+        parts: List[TemporalFormula] = []
+        for i in range(len(self.tuples)):
+            for j in range(i + 1, len(self.tuples)):
+                vi, vj = self.tuples[i], self.tuples[j]
+                parts.append(
+                    ActionBox(Or(unchanged(vi), unchanged(vj)), vi + vj)
+                )
+        return TAnd(*parts)
+
+    def spec(self, universe: Universe, name: str = "Disjoint") -> Spec:
+        """The condition as a canonical Spec (Init = TRUE), so it can play
+        ``M_1 = G`` in the Composition Theorem."""
+        return spec_of_formula(self.formula(), universe, name=name)
+
+    def separates(self, var_a: str, var_b: str) -> bool:
+        """Is a simultaneous change of *var_a* and *var_b* forbidden?"""
+        idx_a = idx_b = None
+        for idx, t in enumerate(self.tuples):
+            if var_a in t:
+                idx_a = idx
+            if var_b in t:
+                idx_b = idx
+        return idx_a is not None and idx_b is not None and idx_a != idx_b
+
+    def separates_tuples(self, tuple_e: Iterable[str], tuple_m: Iterable[str]) -> bool:
+        """Does this condition imply ``Disjoint(e, m)``?  True iff every
+        pair (a ∈ e, b ∈ m) is separated."""
+        e_vars = list(tuple_e)
+        m_vars = list(tuple_m)
+        return all(self.separates(a, b) for a in e_vars for b in m_vars)
+
+    def __repr__(self) -> str:
+        inner = ", ".join("<" + ",".join(t) + ">" for t in self.tuples)
+        return f"Disjoint({inner})"

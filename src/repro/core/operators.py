@@ -1,0 +1,247 @@
+"""The paper's temporal operators: ``C``, ``⊳``, ``−▷``, ``+v``, ``⊥``.
+
+All five are defined semantically in the paper (sections 2.4, 3, 4) by
+quantifying over the prefixes of a behavior.  On a lasso, prefix
+satisfaction is *monotone*: once the first ``n`` states fail to be
+extendable to satisfy ``F``, so do all longer prefixes.  Each behavior
+therefore has a single **failure point** ``f(F, σ) ∈ {1, 2, ...} ∪ {∞}``
+(:func:`repro.temporal.prefix.failure_point`), and every operator reduces
+to arithmetic on failure points:
+
+=====================  ==========================================================
+operator               truth on σ, where fE = f(E, σ), fM = f(M, σ)
+=====================  ==========================================================
+``C(M)``  (closure)    ``fM = ∞``
+``E ⊳ M``              ``(E ⇒ M on σ)  ∧  (fM = ∞  ∨  fM > fE)``
+``E −▷ M``             ``(E ⇒ M on σ)  ∧  (fM = ∞  ∨  fM ≥ fE)``
+``E ⊥ M``              ``¬(fE = fM < ∞)``
+``E +v``               ``σ ⊨ E,  or  v freezes at some j with j < fE``
+=====================  ==========================================================
+
+These reductions are direct transcriptions of the paper's definitions:
+"E holds for the first n states" is ``n < fE`` (vacuously true at n = 0).
+The identity ``(E ⊳ M) = (E −▷ M) ∧ (E ⊥ M)`` claimed at the end of
+section 4.2 is immediate in this form -- and is property-tested in the
+test suite rather than taken on faith.
+
+``⊳`` is the paper's assumption/guarantee connective (typeset there as a
+triangle: if the environment satisfies E through time n, the system
+satisfies M through time n + 1).  ``−▷`` is the "while" operator (M holds
+at least as long as E) the paper contrasts it with.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..kernel.behavior import Lasso
+from ..temporal.formulas import TemporalFormula, to_tf
+from ..temporal.prefix import INFINITE, PrefixContext, failure_point
+
+
+def _prefix_ctx(ctx) -> PrefixContext:
+    return PrefixContext(universe=ctx.universe)
+
+
+def _failure(ctx, formula: TemporalFormula):
+    """Failure point of *formula* on the context's lasso, memoised.
+
+    The cache pins the formula object alongside the value: id()-keyed
+    caches must retain their keys or a recycled id would alias entries.
+    """
+    cache = getattr(ctx, "_failure_cache", None)
+    if cache is None:
+        cache = {}
+        ctx._failure_cache = cache
+    key = id(formula)
+    if key not in cache:
+        cache[key] = (formula, failure_point(formula, ctx.lasso, _prefix_ctx(ctx)))
+    return cache[key][1]
+
+
+class _Binary(TemporalFormula):
+    """Shared structure for the binary operators over (env, sys) pairs."""
+
+    __slots__ = ("env", "sys")
+
+    SYMBOL = "?"
+
+    def __init__(self, env: object, sys: object):
+        self.env = to_tf(env)
+        self.sys = to_tf(sys)
+
+    def subformulas(self) -> Tuple[TemporalFormula, ...]:
+        return (self.env, self.sys)
+
+    def rename(self, mapping) -> TemporalFormula:
+        return type(self)(self.env.rename(mapping), self.sys.rename(mapping))
+
+    def key(self) -> Tuple:
+        return (type(self).__name__, self.env.key(), self.sys.key())
+
+    def _check_pos(self, pos: int) -> None:
+        if pos != 0:
+            raise NotImplementedError(
+                f"{type(self).__name__} is evaluated at the start of a "
+                "behavior only (its definition quantifies over all prefixes)"
+            )
+
+    def __repr__(self) -> str:
+        return f"({self.env!r} {self.SYMBOL} {self.sys!r})"
+
+
+class Guarantees(_Binary):
+    """``E ⊳ M``: the paper's assumption/guarantee specification (section 3).
+
+    True of σ iff ``E ⇒ M`` is true of σ and, for every n ≥ 0, if E holds
+    for the first n states then M holds for the first n + 1 states.
+    """
+
+    __slots__ = ()
+    SYMBOL = "⊳"
+
+    def eval_at(self, ctx, pos: int) -> bool:
+        self._check_pos(pos)
+        f_sys = _failure(ctx, self.sys)
+        if f_sys is not INFINITE:
+            f_env = _failure(ctx, self.env)
+            if not (f_env is not INFINITE and f_sys > f_env):
+                return False
+        return (not ctx.eval(self.env, 0)) or ctx.eval(self.sys, 0)
+
+
+class AsLongAs(_Binary):
+    """``E −▷ M``: M holds at least as long as E does (section 3's
+    alternative connective, which reacts "instantaneously")."""
+
+    __slots__ = ()
+    SYMBOL = "−▷"
+
+    def eval_at(self, ctx, pos: int) -> bool:
+        self._check_pos(pos)
+        f_sys = _failure(ctx, self.sys)
+        if f_sys is not INFINITE:
+            f_env = _failure(ctx, self.env)
+            if not (f_env is not INFINITE and f_sys >= f_env):
+                return False
+        return (not ctx.eval(self.env, 0)) or ctx.eval(self.sys, 0)
+
+
+class Orthogonal(_Binary):
+    """``E ⊥ M``: no step makes both E and M false (section 4.2)."""
+
+    __slots__ = ()
+    SYMBOL = "⊥"
+
+    def eval_at(self, ctx, pos: int) -> bool:
+        self._check_pos(pos)
+        f_env = _failure(ctx, self.env)
+        if f_env is INFINITE:
+            return True
+        return _failure(ctx, self.sys) != f_env
+
+
+class Closure(TemporalFormula):
+    """``C(F)``: the strongest safety property implied by F (section 2.4).
+
+    σ ⊨ C(F) iff every prefix of σ satisfies F.  For canonical
+    specifications, Proposition 1 computes C syntactically -- see
+    :mod:`repro.core.closure`; this node is the semantic fallback (and the
+    referee for testing Proposition 1).
+    """
+
+    __slots__ = ("body",)
+
+    def __init__(self, body: object):
+        self.body = to_tf(body)
+
+    def eval_at(self, ctx, pos: int) -> bool:
+        if pos != 0:
+            raise NotImplementedError("C(F) is evaluated at position 0 only")
+        return _failure(ctx, self.body) is INFINITE
+
+    def finite_sat(self, fb, pctx) -> bool:
+        # ρ extends to satisfy C(F) iff ρ itself finitely satisfies F:
+        # prefix satisfaction is monotone, and the stuttering extension of a
+        # complying prefix keeps complying.
+        from ..temporal.prefix import prefix_sat
+
+        return prefix_sat(self.body, fb, pctx)
+
+    def subformulas(self) -> Tuple[TemporalFormula, ...]:
+        return (self.body,)
+
+    def rename(self, mapping) -> TemporalFormula:
+        return Closure(self.body.rename(mapping))
+
+    def key(self) -> Tuple:
+        return ("Closure", self.body.key())
+
+    def __repr__(self) -> str:
+        return f"C({self.body!r})"
+
+
+class Plus(TemporalFormula):
+    """``E +v``: if E ever becomes false, the state function v stops
+    changing (section 4.1).
+
+    σ ⊨ E+v iff σ ⊨ E, or there is an n such that E holds for the first n
+    states and v never changes from the (n+1)-st state on.
+    """
+
+    __slots__ = ("env", "sub")
+
+    def __init__(self, env: object, sub: Sequence[str]):
+        self.env = to_tf(env)
+        self.sub: Tuple[str, ...] = tuple(sub)
+        if not self.sub:
+            raise ValueError("Plus needs a nonempty variable tuple v")
+
+    def eval_at(self, ctx, pos: int) -> bool:
+        if pos != 0:
+            raise NotImplementedError("E+v is evaluated at position 0 only")
+        if ctx.eval(self.env, 0):
+            return True
+        freeze = _freeze_index(ctx.lasso, self.sub)
+        if freeze is None:
+            return False
+        f_env = _failure(ctx, self.env)
+        return f_env is INFINITE or freeze < f_env
+
+    def subformulas(self) -> Tuple[TemporalFormula, ...]:
+        return (self.env,)
+
+    def vars(self):
+        return super().vars() | frozenset(self.sub)
+
+    def rename(self, mapping) -> TemporalFormula:
+        return Plus(self.env.rename(mapping),
+                    tuple(mapping.get(name, name) for name in self.sub))
+
+    def key(self) -> Tuple:
+        return ("Plus", self.env.key(), self.sub)
+
+    def __repr__(self) -> str:
+        return f"({self.env!r})+{self.sub}"
+
+
+def _freeze_index(lasso: Lasso, sub: Tuple[str, ...]) -> Optional[int]:
+    """The smallest index from which *sub* never changes; None if the loop
+    keeps changing it."""
+
+    def values(pos: int) -> Tuple[object, ...]:
+        return lasso.states[pos].values_of(sub)
+
+    for p, succ in lasso.loop_steps():
+        if values(p) != values(succ):
+            return None
+    # the loop is frozen; walk the stem backwards while steps stay frozen
+    freeze = lasso.loop_start
+    while freeze > 0 and values(freeze - 1) == values(freeze):
+        freeze -= 1
+    return freeze
+
+
+def guarantees(env: object, sys: object) -> Guarantees:
+    """Build ``E ⊳ M`` -- convenience for the DSL."""
+    return Guarantees(env, sys)

@@ -1,0 +1,11 @@
+"""Rendering of expressions, formulas, and specifications.
+
+:func:`pretty` renders kernel expressions and temporal formulas in
+TLA-style concrete syntax (ASCII by default, Unicode with
+``unicode=True``); :func:`pretty_spec` renders a canonical specification
+the way the paper's Figure 6 lays one out.
+"""
+
+from .pretty import pretty, pretty_spec
+
+__all__ = ["pretty", "pretty_spec"]

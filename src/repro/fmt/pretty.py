@@ -1,0 +1,263 @@
+"""TLA-style pretty printing of expressions and temporal formulas.
+
+The printer is precedence-aware: parentheses appear only where the mini-TLA
+grammar needs them, so ``pretty`` output round-trips through
+:func:`repro.parser.parse_formula` for the shared fragment (tested).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..kernel.expr import (
+    And,
+    Arith,
+    Cmp,
+    Const,
+    Eq,
+    Equiv,
+    Exists,
+    Expr,
+    Fn,
+    Forall,
+    IfThenElse,
+    Implies,
+    InSet,
+    Not,
+    Or,
+    TupleExpr,
+    Var,
+)
+from ..kernel.values import format_value
+from ..spec import Spec
+from ..temporal.formulas import (
+    ActionBox,
+    ActionDiamond,
+    Always,
+    Eventually,
+    Hide,
+    LeadsTo,
+    SF,
+    StatePred,
+    TAnd,
+    TEquiv,
+    TImplies,
+    TNot,
+    TOr,
+    TemporalFormula,
+    WF,
+)
+
+# precedence levels, loosest binds last (mirrors the parser)
+_P_EQUIV = 1
+_P_IMPLIES = 2
+_P_LEADSTO = 3
+_P_OR = 4
+_P_AND = 5
+_P_CMP = 7
+_P_SUM = 9
+_P_TERM = 10
+_P_UNARY = 11
+_P_ATOM = 12
+
+
+class _Symbols:
+    def __init__(self, unicode: bool):
+        self.and_ = "∧" if unicode else "/\\"
+        self.or_ = "∨" if unicode else "\\/"
+        self.not_ = "¬" if unicode else "~"
+        self.implies = "⇒" if unicode else "=>"
+        self.equiv = "≡" if unicode else "<=>"
+        self.always = "□" if unicode else "[]"
+        self.eventually = "◇" if unicode else "<>"
+        self.leadsto = "⤳" if unicode else "~>"
+        self.exists = "∃" if unicode else "\\E"
+        self.forall = "∀" if unicode else "\\A"
+        self.in_ = "∈" if unicode else "\\in"
+        self.ne = "≠" if unicode else "#"
+
+
+def pretty(obj, unicode: bool = False) -> str:
+    """Render an Expr or TemporalFormula in TLA-style concrete syntax."""
+    sym = _Symbols(unicode)
+    if isinstance(obj, TemporalFormula):
+        return _tf(obj, sym, _P_EQUIV)
+    if isinstance(obj, Expr):
+        return _expr(obj, sym, _P_EQUIV)
+    raise TypeError(f"cannot pretty-print {obj!r}")
+
+
+def _paren(text: str, level: int, required: int) -> str:
+    return f"({text})" if level > required else text
+
+
+def _expr(node: Expr, sym: _Symbols, level: int) -> str:
+    if isinstance(node, Const):
+        return format_value(node.value)
+    if isinstance(node, Var):
+        return node.name + ("'" if node.primed else "")
+    if isinstance(node, And):
+        if not node.args:
+            return "TRUE"
+        inner = f" {sym.and_} ".join(_expr(a, sym, _P_AND + 1) for a in node.args)
+        return _paren(inner, level, _P_AND)
+    if isinstance(node, Or):
+        if not node.args:
+            return "FALSE"
+        inner = f" {sym.or_} ".join(_expr(a, sym, _P_OR + 1) for a in node.args)
+        return _paren(inner, level, _P_OR)
+    if isinstance(node, Not):
+        inner = node.arg
+        if isinstance(inner, Eq):  # a # b reads better than ~(a = b)
+            text = (f"{_expr(inner.args[0], sym, _P_CMP + 1)} {sym.ne} "
+                    f"{_expr(inner.args[1], sym, _P_CMP + 1)}")
+            return _paren(text, level, _P_CMP)
+        return _paren(f"{sym.not_}{_expr(inner, sym, _P_UNARY)}", level, _P_UNARY)
+    if isinstance(node, Implies):
+        text = (f"{_expr(node.args[0], sym, _P_IMPLIES + 1)} {sym.implies} "
+                f"{_expr(node.args[1], sym, _P_IMPLIES)}")
+        return _paren(text, level, _P_IMPLIES)
+    if isinstance(node, Equiv):
+        text = (f"{_expr(node.args[0], sym, _P_EQUIV + 1)} {sym.equiv} "
+                f"{_expr(node.args[1], sym, _P_EQUIV + 1)}")
+        return _paren(text, level, _P_EQUIV)
+    if isinstance(node, Eq):
+        text = (f"{_expr(node.args[0], sym, _P_CMP + 1)} = "
+                f"{_expr(node.args[1], sym, _P_CMP + 1)}")
+        return _paren(text, level, _P_CMP)
+    if isinstance(node, Cmp):
+        text = (f"{_expr(node.args[0], sym, _P_CMP + 1)} {node.op} "
+                f"{_expr(node.args[1], sym, _P_CMP + 1)}")
+        return _paren(text, level, _P_CMP)
+    if isinstance(node, Arith):
+        if node.op in ("+", "-"):
+            text = (f"{_expr(node.args[0], sym, _P_SUM)} {node.op} "
+                    f"{_expr(node.args[1], sym, _P_SUM + 1)}")
+            return _paren(text, level, _P_SUM)
+        text = (f"{_expr(node.args[0], sym, _P_TERM)} {node.op} "
+                f"{_expr(node.args[1], sym, _P_TERM + 1)}")
+        return _paren(text, level, _P_TERM)
+    if isinstance(node, TupleExpr):
+        return "<<" + ", ".join(_expr(a, sym, _P_EQUIV) for a in node.args) + ">>"
+    if isinstance(node, IfThenElse):
+        text = (f"IF {_expr(node.args[0], sym, _P_EQUIV)} "
+                f"THEN {_expr(node.args[1], sym, _P_EQUIV)} "
+                f"ELSE {_expr(node.args[2], sym, _P_EQUIV)}")
+        return _paren(text, level, _P_IMPLIES)
+    if isinstance(node, Fn):
+        name = "Cat" if node.fname == "Cat" else node.fname
+        if node.fname == "Cat":
+            text = (f"{_expr(node.args[0], sym, _P_SUM)} \\o "
+                    f"{_expr(node.args[1], sym, _P_SUM + 1)}")
+            return _paren(text, level, _P_SUM)
+        return f"{name}(" + ", ".join(_expr(a, sym, _P_EQUIV) for a in node.args) + ")"
+    if isinstance(node, InSet):
+        text = f"{_expr(node.args[0], sym, _P_CMP + 1)} {sym.in_} {node.domain!r}"
+        return _paren(text, level, _P_CMP)
+    if isinstance(node, (Exists, Forall)):
+        quant = sym.exists if isinstance(node, Exists) else sym.forall
+        text = (f"{quant} {node.var} {sym.in_} {_domain(node.domain)} : "
+                f"{_expr(node.body, sym, _P_EQUIV)}")
+        return _paren(text, level, _P_IMPLIES)
+    return repr(node)
+
+
+def _domain(domain) -> str:
+    from ..kernel.values import FiniteDomain, TupleDomain
+
+    if isinstance(domain, FiniteDomain):
+        values = list(domain.values())
+        if all(isinstance(v, int) and not isinstance(v, bool) for v in values) \
+                and values == list(range(values[0], values[-1] + 1)) and len(values) > 1:
+            return f"{values[0]}..{values[-1]}"
+        return "{" + ", ".join(format_value(v) for v in values) + "}"
+    if isinstance(domain, TupleDomain):
+        return f"Seq({_domain(domain.base)}, {domain.max_len})"
+    return repr(domain)
+
+
+def _sub(names) -> str:
+    if len(names) == 1:
+        return names[0]
+    return "<<" + ", ".join(names) + ">>"
+
+
+def _tf(node: TemporalFormula, sym: _Symbols, level: int) -> str:
+    if isinstance(node, StatePred):
+        return _expr(node.pred, sym, level)
+    if isinstance(node, ActionBox):
+        return f"{sym.always}[{_expr(node.action, sym, _P_EQUIV)}]_{_sub(node.sub)}"
+    if isinstance(node, ActionDiamond):
+        return f"{sym.eventually}<<{_expr(node.action, sym, _P_EQUIV)}>>_{_sub(node.sub)}"
+    if isinstance(node, Always):
+        return _paren(f"{sym.always}{_tf(node.body, sym, _P_UNARY)}", level, _P_UNARY)
+    if isinstance(node, Eventually):
+        return _paren(f"{sym.eventually}{_tf(node.body, sym, _P_UNARY)}", level, _P_UNARY)
+    if isinstance(node, LeadsTo):
+        text = (f"{_tf(node.lhs, sym, _P_LEADSTO + 1)} {sym.leadsto} "
+                f"{_tf(node.rhs, sym, _P_LEADSTO + 1)}")
+        return _paren(text, level, _P_LEADSTO)
+    if isinstance(node, SF):
+        return f"SF_{_sub(node.sub)}({_expr(node.action, sym, _P_EQUIV)})"
+    if isinstance(node, WF):
+        return f"WF_{_sub(node.sub)}({_expr(node.action, sym, _P_EQUIV)})"
+    if isinstance(node, TNot):
+        return _paren(f"{sym.not_}{_tf(node.body, sym, _P_UNARY)}", level, _P_UNARY)
+    if isinstance(node, TAnd):
+        if not node.parts:
+            return "TRUE"
+        inner = f" {sym.and_} ".join(_tf(p, sym, _P_AND + 1) for p in node.parts)
+        return _paren(inner, level, _P_AND)
+    if isinstance(node, TOr):
+        if not node.parts:
+            return "FALSE"
+        inner = f" {sym.or_} ".join(_tf(p, sym, _P_OR + 1) for p in node.parts)
+        return _paren(inner, level, _P_OR)
+    if isinstance(node, TImplies):
+        text = (f"{_tf(node.lhs, sym, _P_IMPLIES + 1)} {sym.implies} "
+                f"{_tf(node.rhs, sym, _P_IMPLIES)}")
+        return _paren(text, level, _P_IMPLIES)
+    if isinstance(node, TEquiv):
+        text = (f"{_tf(node.lhs, sym, _P_EQUIV + 1)} {sym.equiv} "
+                f"{_tf(node.rhs, sym, _P_EQUIV + 1)}")
+        return _paren(text, level, _P_EQUIV)
+    if isinstance(node, Hide):
+        bound = ", ".join(sorted(node.bindings))
+        text = f"{sym.exists} {bound} : {_tf(node.body, sym, _P_EQUIV)}"
+        return _paren(text, level, _P_IMPLIES)
+    # paper operators (core) and anything else: use their repr conventions
+    from ..core.operators import AsLongAs, Closure, Guarantees, Orthogonal, Plus
+
+    if isinstance(node, Closure):
+        return f"C({_tf(node.body, sym, _P_EQUIV)})"
+    if isinstance(node, Guarantees):
+        symbol = "⊳" if sym.and_ == "∧" else "-+>"
+        text = f"{_tf(node.env, sym, _P_IMPLIES + 1)} {symbol} {_tf(node.sys, sym, _P_IMPLIES + 1)}"
+        return _paren(text, level, _P_IMPLIES)
+    if isinstance(node, AsLongAs):
+        symbol = "−▷" if sym.and_ == "∧" else "-->"
+        text = f"{_tf(node.env, sym, _P_IMPLIES + 1)} {symbol} {_tf(node.sys, sym, _P_IMPLIES + 1)}"
+        return _paren(text, level, _P_IMPLIES)
+    if isinstance(node, Orthogonal):
+        symbol = "⊥" if sym.and_ == "∧" else "_|_"
+        text = f"{_tf(node.env, sym, _P_IMPLIES + 1)} {symbol} {_tf(node.sys, sym, _P_IMPLIES + 1)}"
+        return _paren(text, level, _P_IMPLIES)
+    if isinstance(node, Plus):
+        return f"({_tf(node.env, sym, _P_EQUIV)})+{_sub(node.sub)}"
+    return repr(node)
+
+
+def pretty_spec(spec: Spec, unicode: bool = False) -> str:
+    """Render a canonical Spec in the layout of the paper's Figure 6."""
+    sym = _Symbols(unicode)
+    lines = [
+        f"{spec.name} ==",
+        f"  {sym.and_} {_expr(spec.init, sym, _P_AND + 1)}",
+        f"  {sym.and_} {sym.always}[{_expr(spec.next_action, sym, _P_EQUIV)}]_{_sub(spec.sub)}",
+    ]
+    for fair in spec.fairness:
+        lines.append(
+            f"  {sym.and_} {fair.kind}_{_sub(fair.sub)}"
+            f"({_expr(fair.action, sym, _P_EQUIV)})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,328 @@
+"""Action toolkit: ``[A]_v``, ``<A>_v``, ``UNCHANGED``, ``ENABLED``, and a
+compiler from actions to an efficient successor-state generator.
+
+An action is a Boolean :class:`~repro.kernel.expr.Expr` over primed and
+unprimed variables.  Semantically it is a relation on state pairs; the model
+checker needs, for a given state ``s``, the set ``{t | A(s, t)}`` of
+successors.  Enumerating *all* states ``t`` of the universe and filtering is
+correct but exponential; almost all actions in practice are (disjunctions
+of) conjunctions containing equations ``x' = e`` with ``e`` prime-free,
+which *determine* the successor.  :func:`compile_action` normalises an
+action into :class:`Branch` objects -- bindings (determined primed
+variables) plus residual constraints -- and :func:`successors` enumerates
+only the genuinely undetermined primed variables.  This mirrors what the
+TLC model checker does for TLA+.
+
+The compilation is a pure optimisation: :func:`successors` falls back to
+domain enumeration for whatever a branch leaves undetermined, so every
+action in the value model is handled, just more or less quickly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .expr import (
+    And,
+    Const,
+    Env,
+    Eq,
+    EvalError,
+    Exists,
+    Expr,
+    Not,
+    Or,
+    TupleExpr,
+    Var,
+    to_expr,
+)
+from .state import State, Universe
+
+
+def unchanged(names: Iterable[str]) -> Expr:
+    """``UNCHANGED <<names>>``: each variable keeps its value over the step."""
+    names = tuple(names)
+    if not names:
+        return Const(True)
+    return And(*[Eq(Var(name, primed=True), Var(name)) for name in names])
+
+
+def changed(names: Iterable[str]) -> Expr:
+    """At least one of the variables changes over the step."""
+    return Not(unchanged(names))
+
+
+def square(action: object, sub: Iterable[str]) -> Expr:
+    """The paper's ``[A]_v``: an ``A`` step or a step leaving ``v`` unchanged."""
+    return Or(to_expr(action), unchanged(sub))
+
+
+def angle(action: object, sub: Iterable[str]) -> Expr:
+    """``<A>_v``: an ``A`` step that changes ``v``."""
+    return And(to_expr(action), changed(sub))
+
+
+class Branch:
+    """One disjunct of a compiled action.
+
+    * ``bindings`` maps primed-variable names to *prime-free* expressions
+      over the pre-state that determine their post-value.
+    * ``binding_checks`` are additional determinations of already-bound
+      variables (arising when conjuncts both pin ``x'``); they are checked
+      against the bound value *before* a candidate state is built, which
+      kills conflicting branches cheaply.
+    * ``constraints`` are residual Boolean expressions evaluated over the
+      full step once a candidate post-state is assembled.
+    """
+
+    __slots__ = ("bindings", "binding_checks", "constraints")
+
+    def __init__(
+        self,
+        bindings: Dict[str, Expr],
+        constraints: List[Expr],
+        binding_checks: Optional[List[Tuple[str, Expr]]] = None,
+    ):
+        self.bindings = bindings
+        self.constraints = constraints
+        self.binding_checks = binding_checks or []
+
+    def primed_in_constraints(self) -> FrozenSet[str]:
+        acc: FrozenSet[str] = frozenset()
+        for constraint in self.constraints:
+            acc |= constraint.primed_vars()
+        return acc
+
+    def __repr__(self) -> str:
+        return (f"Branch(bindings={sorted(self.bindings)}, "
+                f"checks={len(self.binding_checks)}, "
+                f"constraints={len(self.constraints)})")
+
+
+def _merge(lhs: Branch, rhs: Branch) -> Branch:
+    """Conjoin two branches; duplicate bindings become fail-fast checks."""
+    bindings = dict(lhs.bindings)
+    constraints = list(lhs.constraints) + list(rhs.constraints)
+    checks = list(lhs.binding_checks) + list(rhs.binding_checks)
+    for name, expr in rhs.bindings.items():
+        if name in bindings:
+            checks.append((name, expr))
+        else:
+            bindings[name] = expr
+    return Branch(bindings, constraints, checks)
+
+
+def _as_binding(lhs: Expr, rhs: Expr) -> Optional[Tuple[str, Expr]]:
+    """Recognise ``x' = e`` (either orientation) with prime-free ``e``."""
+    for a, b in ((lhs, rhs), (rhs, lhs)):
+        if isinstance(a, Var) and a.primed and not b.primed_vars():
+            return a.name, b
+    return None
+
+
+_MAX_BRANCHES = 4096
+
+
+_BRANCH_BUDGET = 128
+
+
+def _compile(expr: Expr) -> List[Branch]:
+    if isinstance(expr, And):
+        compiled = [(conjunct, _compile(conjunct)) for conjunct in expr.args]
+        # merge cheap conjuncts first; once the distributed product would
+        # exceed the budget, keep further conjuncts as opaque constraints
+        # checked per candidate (sound: a constraint is just an unmerged
+        # conjunct).  This is what keeps products with Disjoint conditions
+        # from exploding into thousands of branches.
+        compiled.sort(key=lambda pair: len(pair[1]))
+        branches = [Branch({}, [])]
+        for conjunct, sub in compiled:
+            if len(branches) > 1 and len(sub) > 1 and \
+                    len(branches) * len(sub) > _BRANCH_BUDGET:
+                branches = [
+                    Branch(b.bindings, b.constraints + [conjunct],
+                           list(b.binding_checks))
+                    for b in branches
+                ]
+                continue
+            branches = [_merge(b, s) for b in branches for s in sub]
+            if len(branches) > _MAX_BRANCHES:
+                return [Branch({}, [expr])]
+        return branches
+    if isinstance(expr, Or):
+        branches: List[Branch] = []
+        for disjunct in expr.args:
+            branches.extend(_compile(disjunct))
+        if len(branches) > _MAX_BRANCHES:
+            return [Branch({}, [expr])]
+        return branches
+    if isinstance(expr, Eq):
+        lhs, rhs = expr.args
+        binding = _as_binding(lhs, rhs)
+        if binding is not None:
+            name, value_expr = binding
+            return [Branch({name: value_expr}, [])]
+        # destructure <<a', b'>> = <<x, y>> elementwise
+        if (
+            isinstance(lhs, TupleExpr)
+            and isinstance(rhs, TupleExpr)
+            and len(lhs.args) == len(rhs.args)
+        ):
+            return _compile(And(*[Eq(a, b) for a, b in zip(lhs.args, rhs.args)]))
+        return [Branch({}, [expr])]
+    if isinstance(expr, Exists):
+        branches = []
+        for value in expr.domain.values():
+            instantiated = expr.body.substitute({expr.var: Const(value)})
+            branches.extend(_compile(instantiated))
+            if len(branches) > _MAX_BRANCHES:
+                return [Branch({}, [expr])]
+        return branches
+    if isinstance(expr, Const):
+        if expr.value is True:
+            return [Branch({}, [])]
+        if expr.value is False:
+            return []
+    return [Branch({}, [expr])]
+
+
+class CompiledAction:
+    """The compiled form of one action, cached by the explorer.
+
+    ``frame`` is the set of universe variables whose post-value the action
+    can constrain; any universe variable never mentioned primed in the
+    action is unconstrained and must be enumerated by the caller -- see
+    :func:`successors`.
+    """
+
+    __slots__ = ("action", "branches")
+
+    def __init__(self, action: Expr):
+        self.action = to_expr(action)
+        self.branches = _compile(self.action)
+
+
+_COMPILE_CACHE: Dict[int, CompiledAction] = {}
+
+
+def compile_action(action: Expr) -> CompiledAction:
+    """Compile (with an identity-keyed cache) an action expression."""
+    cached = _COMPILE_CACHE.get(id(action))
+    if cached is None or cached.action is not action:
+        cached = CompiledAction(action)
+        _COMPILE_CACHE[id(action)] = cached
+    return cached
+
+
+def _enumerate_post(
+    state: State,
+    universe: Universe,
+    branch: Branch,
+    relevant: Sequence[str],
+) -> Iterator[State]:
+    """Yield candidate post-states for one branch.
+
+    *relevant* lists the universe variables the post-state ranges over;
+    variables outside *relevant* keep their pre-state value (they are the
+    universe variables the caller has declared untouched).
+    """
+    env0 = Env(state)
+    determined: Dict[str, object] = {}
+    for name, expr in branch.bindings.items():
+        if name not in universe:
+            # binding for a variable outside the universe: nothing to
+            # determine (the variable does not exist in this model)
+            continue
+        try:
+            value = expr.eval(env0)
+        except EvalError:
+            return  # binding unevaluable in this state => branch disabled
+        if value not in universe.domain(name):
+            return  # post-value escapes the domain => no successor here
+        determined[name] = value
+
+    # fail fast: conflicting determinations kill the branch before any
+    # candidate state is built
+    for name, expr in branch.binding_checks:
+        if name not in determined:
+            continue
+        try:
+            if expr.eval(env0) != determined[name]:
+                return
+        except EvalError:
+            return
+
+    free = [name for name in relevant if name not in determined]
+
+    base: Dict[str, object] = dict(state)
+    base.update(determined)
+
+    def rec(index: int) -> Iterator[State]:
+        if index == len(free):
+            candidate = State._trusted(dict(base))
+            env = Env(state, candidate)
+            try:
+                if all(constraint.holds(env) for constraint in branch.constraints):
+                    yield candidate
+            except EvalError:
+                pass  # a type error on this candidate: not a step
+            return
+        name = free[index]
+        for value in universe.domain(name).values():
+            base[name] = value
+            yield from rec(index + 1)
+        base[name] = state[name]
+
+    yield from rec(0)
+
+
+def successors(
+    action: Expr,
+    state: State,
+    universe: Universe,
+    frame: Optional[Iterable[str]] = None,
+) -> Iterator[State]:
+    """Enumerate the post-states ``t`` with ``action(state, t)``.
+
+    *frame* is the set of variables allowed to differ from the pre-state;
+    it defaults to every variable of the universe.  Passing the
+    specification's subscript tuple ``v`` as the frame implements the
+    ``[A]_v`` convention that everything else is somebody else's business
+    (but note ``[A]_v`` itself should then be passed as the action if
+    stuttering steps are wanted).
+
+    Duplicate post-states (reachable through several branches) are emitted
+    once.
+    """
+    compiled = compile_action(action)
+    if frame is None:
+        relevant: Tuple[str, ...] = universe.variables
+    else:
+        relevant = tuple(name for name in universe.variables if name in set(frame))
+    seen = set()
+    for branch in compiled.branches:
+        # variables outside the frame must be unchanged: any binding or
+        # constraint violating that is filtered by the equality check below.
+        for candidate in _enumerate_post(state, universe, branch, relevant):
+            ok = True
+            for name in universe.variables:
+                if name not in relevant and candidate[name] != state[name]:
+                    ok = False
+                    break
+            if ok and candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def enabled(action: Expr, state: State, universe: Universe,
+            frame: Optional[Iterable[str]] = None) -> bool:
+    """The paper's ENABLED: does some state ``t`` make ``(state, t)`` an
+    *action* step?"""
+    for _ in successors(action, state, universe, frame):
+        return True
+    return False
+
+
+def holds_on_step(action: Expr, current: State, next_state: State) -> bool:
+    """Evaluate an action on an explicit step."""
+    return to_expr(action).holds(Env(current, next_state))

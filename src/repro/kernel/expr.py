@@ -1,0 +1,847 @@
+"""Expression AST: state functions, state predicates, and actions.
+
+Following section 2.1 of the paper:
+
+* a **state function** is an expression over (unprimed) variables; it
+  assigns a value to each state;
+* a **state predicate** is a Boolean-valued state function;
+* an **action** is a Boolean-valued expression over primed and unprimed
+  variables; it is true or false of a *pair* of states, the primed
+  variables referring to the second state.
+
+All three are uniformly represented by :class:`Expr` trees.  An expression
+containing no primed variables is a state function.  Expressions support:
+
+* evaluation against an :class:`Env` (a state, or a pair of states),
+* free/primed variable analysis,
+* capture-avoiding substitution of expressions for variables -- the
+  paper's ``F[e_1/v_1, ..., e_n/v_n]``, used to build the double-queue
+  specifications ``F[1]``, ``F[2]``, ``F[dbl]``,
+* priming (the paper's ``f'``: priming all variables of ``f``),
+* a structural :meth:`Expr.key` for hashing/equality in caches and tests.
+
+Python operator overloading provides a light DSL::
+
+    x, y = Var("x"), Var("y")
+    action = (x.prime() == x + 1) & (y.prime() == y)
+
+Note that ``==`` on expressions builds an :class:`Eq` node; identity-based
+hashing keeps expressions usable in sets.  Use :func:`structurally_equal`
+to compare expression trees.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .state import State
+from .values import Domain, check_value, domain_key, format_value, is_value
+
+
+class EvalError(Exception):
+    """Raised when an expression cannot be evaluated (type error, wrong arity,
+    primed variable outside an action context, unbound variable, ...)."""
+
+
+class Env:
+    """Evaluation environment: a state pair plus rigid local bindings.
+
+    For state functions ``next_state`` is ``None``; evaluating a primed
+    variable then raises :class:`EvalError`.  ``rigid`` holds values of
+    bound (quantifier) variables, which denote the *same* value in both
+    states of a step.
+    """
+
+    __slots__ = ("current", "next_state", "rigid")
+
+    def __init__(self, current: State, next_state: Optional[State] = None,
+                 rigid: Optional[Mapping[str, object]] = None):
+        self.current = current
+        self.next_state = next_state
+        self.rigid: Dict[str, object] = dict(rigid) if rigid else {}
+
+    def bind(self, name: str, value: object) -> "Env":
+        child = Env(self.current, self.next_state, self.rigid)
+        child.rigid[name] = value
+        return child
+
+    def lookup(self, name: str, primed: bool) -> object:
+        if not primed and name in self.rigid:
+            return self.rigid[name]
+        if primed and name in self.rigid:
+            # rigid variables are constant across the step
+            return self.rigid[name]
+        target = self.next_state if primed else self.current
+        if target is None:
+            raise EvalError(
+                f"primed variable {name}' evaluated outside an action context"
+            )
+        try:
+            return target[name]
+        except KeyError:
+            raise EvalError(
+                f"variable {name}{'′' if primed else ''} is unbound in state {target!r}"
+            ) from None
+
+
+def to_expr(value: object) -> "Expr":
+    """Coerce a Python value or Expr to an Expr."""
+    if isinstance(value, Expr):
+        return value
+    if is_value(value):
+        return Const(value)
+    raise TypeError(f"cannot convert {value!r} to an expression")
+
+
+class Expr:
+    """Base class for expression nodes.  Immutable."""
+
+    __slots__ = ("_free", "_primed")
+
+    def __init__(self) -> None:
+        self._free: Optional[FrozenSet[str]] = None
+        self._primed: Optional[FrozenSet[str]] = None
+
+    # -- evaluation -------------------------------------------------------
+
+    def eval(self, env: Env) -> object:
+        raise NotImplementedError
+
+    def eval_state(self, state: State) -> object:
+        """Evaluate as a state function over a single state."""
+        return self.eval(Env(state))
+
+    def eval_pair(self, current: State, next_state: State) -> object:
+        """Evaluate as an action over a step."""
+        return self.eval(Env(current, next_state))
+
+    def holds(self, env: Env) -> bool:
+        value = self.eval(env)
+        if not isinstance(value, bool):
+            raise EvalError(f"expected a Boolean, got {format_value(value)} from {self}")
+        return value
+
+    # -- analysis ----------------------------------------------------------
+
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+    def bound_names(self) -> FrozenSet[str]:
+        """Names bound *at this node* (nonempty only for quantifiers)."""
+        return frozenset()
+
+    def free_vars(self) -> FrozenSet[str]:
+        """Names of state variables occurring unprimed (free)."""
+        if self._free is None:
+            acc = frozenset()
+            for child in self.children():
+                acc |= child.free_vars()
+            self._free = acc - self.bound_names()
+        return self._free
+
+    def primed_vars(self) -> FrozenSet[str]:
+        """Names of state variables occurring primed."""
+        if self._primed is None:
+            acc = frozenset()
+            for child in self.children():
+                acc |= child.primed_vars()
+            self._primed = acc - self.bound_names()
+        return self._primed
+
+    def all_vars(self) -> FrozenSet[str]:
+        return self.free_vars() | self.primed_vars()
+
+    def is_state_function(self) -> bool:
+        return not self.primed_vars()
+
+    # -- transformation ----------------------------------------------------
+
+    def substitute(self, mapping: Mapping[str, "Expr"]) -> "Expr":
+        """Capture-avoiding substitution of expressions for state variables.
+
+        Primed occurrences ``v'`` are replaced by the primed substituted
+        expression (every variable of the replacement primed), matching the
+        paper's convention that priming distributes over state functions.
+        """
+        mapping = {name: to_expr(expr) for name, expr in mapping.items()}
+        return self._substitute(mapping)
+
+    def _substitute(self, mapping: Mapping[str, "Expr"]) -> "Expr":
+        return self._rebuild([child._substitute(mapping) for child in self.children()])
+
+    def prime(self) -> "Expr":
+        """The paper's ``f'``: this expression with all variables primed."""
+        return prime_expr(self)
+
+    def _rebuild(self, children: Sequence["Expr"]) -> "Expr":
+        raise NotImplementedError
+
+    # -- structural identity -------------------------------------------------
+
+    def key(self) -> Tuple:
+        """A hashable structural key; equal keys iff structurally equal."""
+        return (type(self).__name__,) + tuple(child.key() for child in self.children())
+
+    # -- DSL sugar -----------------------------------------------------------
+
+    def __and__(self, other: object) -> "Expr":
+        return And(self, to_expr(other))
+
+    def __rand__(self, other: object) -> "Expr":
+        return And(to_expr(other), self)
+
+    def __or__(self, other: object) -> "Expr":
+        return Or(self, to_expr(other))
+
+    def __ror__(self, other: object) -> "Expr":
+        return Or(to_expr(other), self)
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+    def implies(self, other: object) -> "Expr":
+        return Implies(self, to_expr(other))
+
+    def iff(self, other: object) -> "Expr":
+        return Equiv(self, to_expr(other))
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        return Eq(self, to_expr(other))
+
+    def __ne__(self, other: object):  # type: ignore[override]
+        return Not(Eq(self, to_expr(other)))
+
+    __hash__ = object.__hash__
+
+    def __lt__(self, other: object) -> "Expr":
+        return Cmp("<", self, to_expr(other))
+
+    def __le__(self, other: object) -> "Expr":
+        return Cmp("<=", self, to_expr(other))
+
+    def __gt__(self, other: object) -> "Expr":
+        return Cmp(">", self, to_expr(other))
+
+    def __ge__(self, other: object) -> "Expr":
+        return Cmp(">=", self, to_expr(other))
+
+    def __add__(self, other: object) -> "Expr":
+        return Arith("+", self, to_expr(other))
+
+    def __radd__(self, other: object) -> "Expr":
+        return Arith("+", to_expr(other), self)
+
+    def __sub__(self, other: object) -> "Expr":
+        return Arith("-", self, to_expr(other))
+
+    def __rsub__(self, other: object) -> "Expr":
+        return Arith("-", to_expr(other), self)
+
+    def __mul__(self, other: object) -> "Expr":
+        return Arith("*", self, to_expr(other))
+
+    def __rmul__(self, other: object) -> "Expr":
+        return Arith("*", to_expr(other), self)
+
+    def __mod__(self, other: object) -> "Expr":
+        return Arith("%", self, to_expr(other))
+
+
+class Const(Expr):
+    """A literal value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object):
+        super().__init__()
+        check_value(value, "constant")
+        self.value = value
+
+    def eval(self, env: Env) -> object:
+        return self.value
+
+    def _substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+        return self
+
+    def _rebuild(self, children: Sequence[Expr]) -> Expr:
+        return self
+
+    def key(self) -> Tuple:
+        return ("Const", self.value)
+
+    def __repr__(self) -> str:
+        return f"Const({format_value(self.value)})"
+
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+class Var(Expr):
+    """A state variable occurrence, possibly primed.
+
+    ``Var("x")`` is the value of ``x`` in the current state;
+    ``Var("x", primed=True)`` (or ``Var("x").prime()``) in the next state.
+    Dotted names such as ``"i.sig"`` are ordinary variable names.
+    """
+
+    __slots__ = ("name", "primed")
+
+    def __init__(self, name: str, primed: bool = False):
+        super().__init__()
+        if not isinstance(name, str) or not name:
+            raise TypeError(f"variable name must be a nonempty str, got {name!r}")
+        self.name = name
+        self.primed = primed
+
+    def eval(self, env: Env) -> object:
+        return env.lookup(self.name, self.primed)
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset() if self.primed else frozenset({self.name})
+
+    def primed_vars(self) -> FrozenSet[str]:
+        return frozenset({self.name}) if self.primed else frozenset()
+
+    def _substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+        if self.name not in mapping:
+            return self
+        replacement = mapping[self.name]
+        return prime_expr(replacement) if self.primed else replacement
+
+    def _rebuild(self, children: Sequence[Expr]) -> Expr:
+        return self
+
+    def prime(self) -> Expr:
+        if self.primed:
+            raise ValueError(f"variable {self.name} is already primed")
+        return Var(self.name, primed=True)
+
+    def key(self) -> Tuple:
+        return ("Var", self.name, self.primed)
+
+    def __repr__(self) -> str:
+        return f"Var({self.name}{'′' if self.primed else ''})"
+
+
+def prime_expr(expr: Expr) -> Expr:
+    """Prime all (free) state-variable occurrences of *expr*.
+
+    Rigid bound variables are untouched: they denote the same value in both
+    states.  Priming an expression that already contains primed variables is
+    an error (TLA has no double priming).
+    """
+    expr = to_expr(expr)
+
+    def walk(node: Expr, bound: FrozenSet[str]) -> Expr:
+        if isinstance(node, Var):
+            if node.name in bound:
+                return node
+            if node.primed:
+                raise ValueError(f"cannot prime {node.name}': double priming")
+            return Var(node.name, primed=True)
+        new_bound = bound | node.bound_names()
+        return node._rebuild([walk(child, new_bound) for child in node.children()])
+
+    return walk(expr, frozenset())
+
+
+class _Nary(Expr):
+    """Shared machinery for nodes with a fixed tuple of child expressions."""
+
+    __slots__ = ("args",)
+
+    def __init__(self, args: Sequence[Expr]):
+        super().__init__()
+        self.args: Tuple[Expr, ...] = tuple(to_expr(arg) for arg in args)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+
+class And(_Nary):
+    """Conjunction; flattens nested conjunctions for readability."""
+
+    __slots__ = ()
+
+    def __init__(self, *args: object):
+        flat: List[Expr] = []
+        for arg in args:
+            expr = to_expr(arg)
+            if isinstance(expr, And):
+                flat.extend(expr.args)
+            else:
+                flat.append(expr)
+        super().__init__(flat)
+
+    def eval(self, env: Env) -> object:
+        return all(arg.holds(env) for arg in self.args)
+
+    def _rebuild(self, children: Sequence[Expr]) -> Expr:
+        return And(*children)
+
+    def __repr__(self) -> str:
+        return "And(" + ", ".join(map(repr, self.args)) + ")"
+
+
+class Or(_Nary):
+    """Disjunction; flattens nested disjunctions."""
+
+    __slots__ = ()
+
+    def __init__(self, *args: object):
+        flat: List[Expr] = []
+        for arg in args:
+            expr = to_expr(arg)
+            if isinstance(expr, Or):
+                flat.extend(expr.args)
+            else:
+                flat.append(expr)
+        super().__init__(flat)
+
+    def eval(self, env: Env) -> object:
+        return any(arg.holds(env) for arg in self.args)
+
+    def _rebuild(self, children: Sequence[Expr]) -> Expr:
+        return Or(*children)
+
+    def __repr__(self) -> str:
+        return "Or(" + ", ".join(map(repr, self.args)) + ")"
+
+
+class Not(_Nary):
+    __slots__ = ()
+
+    def __init__(self, arg: object):
+        super().__init__([to_expr(arg)])
+
+    @property
+    def arg(self) -> Expr:
+        return self.args[0]
+
+    def eval(self, env: Env) -> object:
+        return not self.arg.holds(env)
+
+    def _rebuild(self, children: Sequence[Expr]) -> Expr:
+        return Not(children[0])
+
+    def __repr__(self) -> str:
+        return f"Not({self.arg!r})"
+
+
+class Implies(_Nary):
+    __slots__ = ()
+
+    def __init__(self, lhs: object, rhs: object):
+        super().__init__([to_expr(lhs), to_expr(rhs)])
+
+    def eval(self, env: Env) -> object:
+        return (not self.args[0].holds(env)) or self.args[1].holds(env)
+
+    def _rebuild(self, children: Sequence[Expr]) -> Expr:
+        return Implies(children[0], children[1])
+
+    def __repr__(self) -> str:
+        return f"Implies({self.args[0]!r}, {self.args[1]!r})"
+
+
+class Equiv(_Nary):
+    __slots__ = ()
+
+    def __init__(self, lhs: object, rhs: object):
+        super().__init__([to_expr(lhs), to_expr(rhs)])
+
+    def eval(self, env: Env) -> object:
+        return self.args[0].holds(env) == self.args[1].holds(env)
+
+    def _rebuild(self, children: Sequence[Expr]) -> Expr:
+        return Equiv(children[0], children[1])
+
+    def __repr__(self) -> str:
+        return f"Equiv({self.args[0]!r}, {self.args[1]!r})"
+
+
+class Eq(_Nary):
+    """Value equality (works on any values, like TLA's ``=``)."""
+
+    __slots__ = ()
+
+    def __init__(self, lhs: object, rhs: object):
+        super().__init__([to_expr(lhs), to_expr(rhs)])
+
+    def eval(self, env: Env) -> object:
+        return self.args[0].eval(env) == self.args[1].eval(env)
+
+    def _rebuild(self, children: Sequence[Expr]) -> Expr:
+        return Eq(children[0], children[1])
+
+    def __repr__(self) -> str:
+        return f"Eq({self.args[0]!r}, {self.args[1]!r})"
+
+
+_CMP_OPS: Dict[str, Callable[[int, int], bool]] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Cmp(_Nary):
+    """Integer comparison."""
+
+    __slots__ = ("op",)
+
+    def __init__(self, op: str, lhs: object, rhs: object):
+        if op not in _CMP_OPS:
+            raise ValueError(f"unknown comparison operator {op!r}")
+        super().__init__([to_expr(lhs), to_expr(rhs)])
+        self.op = op
+
+    def eval(self, env: Env) -> object:
+        lhs = self.args[0].eval(env)
+        rhs = self.args[1].eval(env)
+        if not isinstance(lhs, int) or not isinstance(rhs, int):
+            raise EvalError(
+                f"comparison {self.op} needs integers, got "
+                f"{format_value(lhs)} and {format_value(rhs)}"
+            )
+        return _CMP_OPS[self.op](lhs, rhs)
+
+    def _rebuild(self, children: Sequence[Expr]) -> Expr:
+        return Cmp(self.op, children[0], children[1])
+
+    def key(self) -> Tuple:
+        return ("Cmp", self.op, self.args[0].key(), self.args[1].key())
+
+    def __repr__(self) -> str:
+        return f"Cmp({self.op!r}, {self.args[0]!r}, {self.args[1]!r})"
+
+
+_ARITH_OPS: Dict[str, Callable[[int, int], int]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "%": lambda a, b: a % b,
+    "div": lambda a, b: a // b,
+}
+
+
+class Arith(_Nary):
+    """Integer arithmetic."""
+
+    __slots__ = ("op",)
+
+    def __init__(self, op: str, lhs: object, rhs: object):
+        if op not in _ARITH_OPS:
+            raise ValueError(f"unknown arithmetic operator {op!r}")
+        super().__init__([to_expr(lhs), to_expr(rhs)])
+        self.op = op
+
+    def eval(self, env: Env) -> object:
+        lhs = self.args[0].eval(env)
+        rhs = self.args[1].eval(env)
+        if not isinstance(lhs, int) or not isinstance(rhs, int):
+            raise EvalError(
+                f"arithmetic {self.op} needs integers, got "
+                f"{format_value(lhs)} and {format_value(rhs)}"
+            )
+        if self.op in ("%", "div") and rhs == 0:
+            raise EvalError(f"division by zero in {self!r}")
+        return _ARITH_OPS[self.op](lhs, rhs)
+
+    def _rebuild(self, children: Sequence[Expr]) -> Expr:
+        return Arith(self.op, children[0], children[1])
+
+    def key(self) -> Tuple:
+        return ("Arith", self.op, self.args[0].key(), self.args[1].key())
+
+    def __repr__(self) -> str:
+        return f"Arith({self.op!r}, {self.args[0]!r}, {self.args[1]!r})"
+
+
+class IfThenElse(_Nary):
+    __slots__ = ()
+
+    def __init__(self, cond: object, then: object, orelse: object):
+        super().__init__([to_expr(cond), to_expr(then), to_expr(orelse)])
+
+    def eval(self, env: Env) -> object:
+        if self.args[0].holds(env):
+            return self.args[1].eval(env)
+        return self.args[2].eval(env)
+
+    def _rebuild(self, children: Sequence[Expr]) -> Expr:
+        return IfThenElse(children[0], children[1], children[2])
+
+    def __repr__(self) -> str:
+        return f"IfThenElse({self.args[0]!r}, {self.args[1]!r}, {self.args[2]!r})"
+
+
+class TupleExpr(_Nary):
+    """Sequence/tuple construction: the paper's angle brackets ``<<...>>``."""
+
+    __slots__ = ()
+
+    def __init__(self, *args: object):
+        super().__init__([to_expr(arg) for arg in args])
+
+    def eval(self, env: Env) -> object:
+        return tuple(arg.eval(env) for arg in self.args)
+
+    def _rebuild(self, children: Sequence[Expr]) -> Expr:
+        return TupleExpr(*children)
+
+    def __repr__(self) -> str:
+        return "TupleExpr(" + ", ".join(map(repr, self.args)) + ")"
+
+
+class InSet(_Nary):
+    """Membership of a value in a finite :class:`Domain` (``e \\in D``)."""
+
+    __slots__ = ("domain",)
+
+    def __init__(self, elem: object, domain: Domain):
+        super().__init__([to_expr(elem)])
+        if not isinstance(domain, Domain):
+            raise TypeError(f"InSet needs a Domain, got {domain!r}")
+        self.domain = domain
+
+    def eval(self, env: Env) -> object:
+        return self.args[0].eval(env) in self.domain
+
+    def _rebuild(self, children: Sequence[Expr]) -> Expr:
+        return InSet(children[0], self.domain)
+
+    def key(self) -> Tuple:
+        return ("InSet", self.args[0].key(), domain_key(self.domain))
+
+    def __repr__(self) -> str:
+        return f"InSet({self.args[0]!r}, {self.domain!r})"
+
+
+# -- builtin sequence/integer functions --------------------------------------
+
+def _fn_len(args: Sequence[object]) -> object:
+    (seq,) = args
+    if not isinstance(seq, tuple):
+        raise EvalError(f"Len expects a sequence, got {format_value(seq)}")
+    return len(seq)
+
+
+def _fn_head(args: Sequence[object]) -> object:
+    (seq,) = args
+    if not isinstance(seq, tuple) or not seq:
+        raise EvalError(f"Head expects a nonempty sequence, got {format_value(seq)}")
+    return seq[0]
+
+
+def _fn_tail(args: Sequence[object]) -> object:
+    (seq,) = args
+    if not isinstance(seq, tuple) or not seq:
+        raise EvalError(f"Tail expects a nonempty sequence, got {format_value(seq)}")
+    return seq[1:]
+
+
+def _fn_append(args: Sequence[object]) -> object:
+    seq, elem = args
+    if not isinstance(seq, tuple):
+        raise EvalError(f"Append expects a sequence, got {format_value(seq)}")
+    return seq + (elem,)
+
+
+def _fn_cat(args: Sequence[object]) -> object:
+    lhs, rhs = args
+    if not isinstance(lhs, tuple) or not isinstance(rhs, tuple):
+        raise EvalError(
+            f"\\o expects sequences, got {format_value(lhs)} and {format_value(rhs)}"
+        )
+    return lhs + rhs
+
+
+def _fn_nth(args: Sequence[object]) -> object:
+    seq, index = args
+    if not isinstance(seq, tuple) or not isinstance(index, int):
+        raise EvalError(f"Nth expects (sequence, int), got {args!r}")
+    if not (1 <= index <= len(seq)):
+        raise EvalError(f"index {index} out of range for sequence of length {len(seq)}")
+    return seq[index - 1]  # TLA sequences are 1-based
+
+
+def _fn_min(args: Sequence[object]) -> object:
+    a, b = args
+    if not isinstance(a, int) or not isinstance(b, int):
+        raise EvalError(f"Min expects integers, got {args!r}")
+    return min(a, b)
+
+
+def _fn_max(args: Sequence[object]) -> object:
+    a, b = args
+    if not isinstance(a, int) or not isinstance(b, int):
+        raise EvalError(f"Max expects integers, got {args!r}")
+    return max(a, b)
+
+
+BUILTIN_FUNCTIONS: Dict[str, Tuple[int, Callable[[Sequence[object]], object]]] = {
+    "Len": (1, _fn_len),
+    "Head": (1, _fn_head),
+    "Tail": (1, _fn_tail),
+    "Append": (2, _fn_append),
+    "Cat": (2, _fn_cat),
+    "Nth": (2, _fn_nth),
+    "Min": (2, _fn_min),
+    "Max": (2, _fn_max),
+}
+
+
+class Fn(_Nary):
+    """Application of a builtin function (``Len``, ``Head``, ``Tail``, ...)."""
+
+    __slots__ = ("fname",)
+
+    def __init__(self, fname: str, *args: object):
+        if fname not in BUILTIN_FUNCTIONS:
+            raise ValueError(
+                f"unknown builtin function {fname!r} "
+                f"(known: {', '.join(sorted(BUILTIN_FUNCTIONS))})"
+            )
+        arity, _ = BUILTIN_FUNCTIONS[fname]
+        if len(args) != arity:
+            raise ValueError(f"{fname} expects {arity} argument(s), got {len(args)}")
+        super().__init__([to_expr(arg) for arg in args])
+        self.fname = fname
+
+    def eval(self, env: Env) -> object:
+        _, impl = BUILTIN_FUNCTIONS[self.fname]
+        return impl([arg.eval(env) for arg in self.args])
+
+    def _rebuild(self, children: Sequence[Expr]) -> Expr:
+        return Fn(self.fname, *children)
+
+    def key(self) -> Tuple:
+        return ("Fn", self.fname) + tuple(arg.key() for arg in self.args)
+
+    def __repr__(self) -> str:
+        return f"Fn({self.fname!r}, " + ", ".join(map(repr, self.args)) + ")"
+
+
+# Convenience constructors, so systems code reads like the paper.
+
+def Len(seq: object) -> Expr:
+    return Fn("Len", seq)
+
+
+def Head(seq: object) -> Expr:
+    return Fn("Head", seq)
+
+
+def Tail(seq: object) -> Expr:
+    return Fn("Tail", seq)
+
+
+def Append(seq: object, elem: object) -> Expr:
+    return Fn("Append", seq, elem)
+
+
+def Cat(lhs: object, rhs: object) -> Expr:
+    return Fn("Cat", lhs, rhs)
+
+
+def Nth(seq: object, index: object) -> Expr:
+    return Fn("Nth", seq, index)
+
+
+_FRESH_COUNTER = itertools.count()
+
+
+def _fresh_name(base: str, avoid: FrozenSet[str]) -> str:
+    candidate = f"{base}#{next(_FRESH_COUNTER)}"
+    while candidate in avoid:
+        candidate = f"{base}#{next(_FRESH_COUNTER)}"
+    return candidate
+
+
+class _Quant(Expr):
+    """Bounded rigid quantification over a finite domain.
+
+    The bound variable is *rigid*: it denotes one value, identical in the
+    current and next state of a step.  This is how the queue's environment
+    sends "an arbitrary number": ``Exists("v", Msg, Send(v, i))``.
+    """
+
+    __slots__ = ("var", "domain", "body")
+
+    def __init__(self, var: str, domain: Domain, body: object):
+        super().__init__()
+        if not isinstance(domain, Domain):
+            raise TypeError(f"quantifier domain must be a Domain, got {domain!r}")
+        self.var = var
+        self.domain = domain
+        self.body = to_expr(body)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.body,)
+
+    def bound_names(self) -> FrozenSet[str]:
+        return frozenset({self.var})
+
+    def _substitute(self, mapping: Mapping[str, Expr]) -> Expr:
+        # drop shadowed bindings; alpha-rename on capture
+        mapping = {name: expr for name, expr in mapping.items() if name != self.var}
+        if not mapping:
+            return self
+        captured = frozenset().union(
+            *(expr.free_vars() | expr.primed_vars() for expr in mapping.values())
+        )
+        var, body = self.var, self.body
+        if self.var in captured:
+            fresh = _fresh_name(self.var, captured | body.all_vars())
+            body = body._substitute({self.var: Var(fresh)})
+            var = fresh
+        return type(self)(var, self.domain, body._substitute(mapping))
+
+    def _rebuild(self, children: Sequence[Expr]) -> Expr:
+        return type(self)(self.var, self.domain, children[0])
+
+    def key(self) -> Tuple:
+        # alpha-insensitive keys would require de Bruijn indices; structural
+        # keys with the bound name are sufficient for caching purposes.
+        return (type(self).__name__, self.var, domain_key(self.domain),
+                self.body.key())
+
+
+class Exists(_Quant):
+    __slots__ = ()
+
+    def eval(self, env: Env) -> object:
+        return any(
+            self.body.holds(env.bind(self.var, value))
+            for value in self.domain.values()
+        )
+
+    def __repr__(self) -> str:
+        return f"Exists({self.var!r}, {self.domain!r}, {self.body!r})"
+
+
+class Forall(_Quant):
+    __slots__ = ()
+
+    def eval(self, env: Env) -> object:
+        return all(
+            self.body.holds(env.bind(self.var, value))
+            for value in self.domain.values()
+        )
+
+    def __repr__(self) -> str:
+        return f"Forall({self.var!r}, {self.domain!r}, {self.body!r})"
+
+
+def structurally_equal(lhs: Expr, rhs: Expr) -> bool:
+    """Structural equality of expression trees (``==`` builds Eq nodes)."""
+    return to_expr(lhs).key() == to_expr(rhs).key()
+
+
+def rename_vars(expr: Expr, renaming: Mapping[str, str]) -> Expr:
+    """Rename state variables; the common special case of substitution."""
+    return expr.substitute({old: Var(new) for old, new in renaming.items()})

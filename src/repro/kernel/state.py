@@ -1,0 +1,214 @@
+"""States and variable universes.
+
+A *state* is an assignment of values to variables (paper, section 2.1).
+Variable names are plain strings; dotted names such as ``"i.sig"`` are used
+for the channel fields of the queue example, exactly following the paper's
+notation.  States are immutable and hashable so they can serve as graph
+nodes in the explicit-state model checker.
+
+A :class:`Universe` declares *which* variables exist and the finite
+:class:`~repro.kernel.values.Domain` each ranges over.  Semantically a TLA
+state assigns a value to every variable of an infinite universe; for model
+checking we fix the finite footprint relevant to the specification at hand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from .values import Domain, check_value, format_value
+
+
+class State(Mapping[str, object]):
+    """An immutable assignment of values to variable names.
+
+    ``State({"x": 0, "y": (1, 2)})`` -- behaves as a read-only mapping.
+    Equality and hashing are structural, so states are usable as dict keys
+    and set members (graph nodes).
+    """
+
+    __slots__ = ("_map", "_items", "_hash")
+
+    def __init__(self, assignment: Mapping[str, object]):
+        for name, value in assignment.items():
+            if not isinstance(name, str):
+                raise TypeError(f"variable name must be str, got {name!r}")
+            check_value(value, f"value of variable {name!r}")
+        self._map: Dict[str, object] = dict(assignment)
+        self._items: Optional[Tuple[Tuple[str, object], ...]] = None
+        self._hash: Optional[int] = None
+
+    @classmethod
+    def _trusted(cls, mapping: Dict[str, object]) -> "State":
+        """Internal fast path: build from values already known to be valid
+        (domain members, values copied from existing states)."""
+        state = cls.__new__(cls)
+        state._map = mapping
+        state._items = None
+        state._hash = None
+        return state
+
+    def _item_tuple(self) -> Tuple[Tuple[str, object], ...]:
+        if self._items is None:
+            self._items = tuple(sorted(self._map.items()))
+        return self._items
+
+    # -- Mapping protocol ---------------------------------------------------
+
+    def __getitem__(self, name: str) -> object:
+        return self._map[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._map)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._map
+
+    # -- identity -----------------------------------------------------------
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._item_tuple())
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, State):
+            return self._map == other._map
+        return NotImplemented
+
+    # -- functional update --------------------------------------------------
+
+    def assign(self, **updates: object) -> "State":
+        """A copy of this state with keyword-named variables rebound.
+
+        Only usable for identifier-like variable names; use :meth:`update`
+        for dotted names such as ``"i.sig"``.
+        """
+        return self.update(updates)
+
+    def update(self, updates: Mapping[str, object]) -> "State":
+        """A copy of this state with the given variables rebound."""
+        merged: Dict[str, object] = dict(self._map)
+        merged.update(updates)
+        return State(merged)
+
+    def restrict(self, names: Iterable[str]) -> "State":
+        """The sub-state over the given variable names (projection)."""
+        wanted = set(names)
+        return State._trusted(
+            {key: value for key, value in self._map.items() if key in wanted}
+        )
+
+    def values_of(self, names: Iterable[str]) -> Tuple[object, ...]:
+        """The tuple of values of *names*, in the given order.
+
+        This is the semantic value of a variable tuple such as the paper's
+        ``v = <m, x>``.
+        """
+        return tuple(self[name] for name in names)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{key}={format_value(value)}" for key, value in self._item_tuple()
+        )
+        return f"State({inner})"
+
+
+class Universe:
+    """Declaration of the variables in play and their finite domains.
+
+    The model checker consults the universe when it must *enumerate*:
+    initial states, undetermined primed variables, and witnesses for hidden
+    variables.  Universes compose with :meth:`merge`, which is how the
+    Composition Theorem engine builds the universe of a product system.
+    """
+
+    __slots__ = ("_domains",)
+
+    def __init__(self, domains: Mapping[str, Domain]):
+        for name, domain in domains.items():
+            if not isinstance(name, str):
+                raise TypeError(f"variable name must be str, got {name!r}")
+            if not isinstance(domain, Domain):
+                raise TypeError(f"domain of {name!r} must be a Domain, got {domain!r}")
+        self._domains: Dict[str, Domain] = dict(domains)
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._domains))
+
+    def domain(self, name: str) -> Domain:
+        try:
+            return self._domains[name]
+        except KeyError:
+            raise KeyError(
+                f"variable {name!r} is not declared in this universe "
+                f"(declared: {', '.join(self.variables) or 'none'})"
+            ) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._domains
+
+    def declares(self, names: Iterable[str]) -> bool:
+        return all(name in self._domains for name in names)
+
+    def merge(self, other: "Universe") -> "Universe":
+        """The union of two universes.
+
+        A variable declared in both must have equal domains in both --
+        composing components that disagree about a shared interface
+        variable's domain is almost certainly a modelling bug, so we fail
+        loudly.
+        """
+        merged: Dict[str, Domain] = dict(self._domains)
+        for name, domain in other._domains.items():
+            if name in merged and merged[name] != domain:
+                # the shipped Domain kinds compare structurally; unknown
+                # subclasses fall back to identity, the conservative choice
+                if merged[name] is not domain:
+                    raise ValueError(
+                        f"universe merge conflict for variable {name!r}: "
+                        f"{merged[name]!r} vs {domain!r}"
+                    )
+            merged[name] = domain
+        return Universe(merged)
+
+    def restrict(self, names: Iterable[str]) -> "Universe":
+        wanted = set(names)
+        return Universe({n: d for n, d in self._domains.items() if n in wanted})
+
+    def states(self) -> Iterator[State]:
+        """Enumerate *all* states of the universe (the full product).
+
+        Exponential; used only by the brute-force semantic checker on tiny
+        instances (DESIGN.md, ABL-DIRECT) and in tests.
+        """
+        names = self.variables
+        if not names:
+            yield State({})
+            return
+
+        def rec(index: int, acc: Dict[str, object]) -> Iterator[State]:
+            if index == len(names):
+                yield State(acc)
+                return
+            name = names[index]
+            for value in self._domains[name].values():
+                acc[name] = value
+                yield from rec(index + 1, acc)
+            acc.pop(name, None)
+
+        yield from rec(0, {})
+
+    def state_count(self) -> int:
+        result = 1
+        for domain in self._domains.values():
+            result *= domain.size()
+        return result
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}: {domain!r}" for name, domain in sorted(self._domains.items()))
+        return f"Universe({{{inner}}})"

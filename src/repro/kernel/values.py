@@ -1,0 +1,239 @@
+"""Value model and finite domains for the TLA kernel.
+
+TLA is untyped: a state assigns an arbitrary value to every variable.  For
+explicit-state model checking we restrict attention to a small zoo of
+*hashable, immutable* Python values:
+
+* ``bool`` and ``int`` (bits in the handshake protocol are the ints 0/1),
+* ``str`` (useful for control states),
+* ``tuple`` (TLA sequences -- the queue contents ``q`` is a tuple),
+* ``frozenset`` (TLA finite sets, rarely needed but supported).
+
+A :class:`Domain` describes the finite set of values a variable may take.
+Domains are needed in exactly two places:
+
+* enumerating the successors of a state under an action whose primed
+  variables are not fully determined by equations, and
+* computing ``ENABLED`` predicates (and hence ``WF``/``SF`` fairness).
+
+Domains are deliberately tiny objects: an iterable of values plus a
+membership test.  :class:`TupleDomain` represents all sequences over a base
+domain up to a maximum length, which is how we bound the queue's internal
+buffer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Sequence, Tuple
+
+Value = object  # documentation alias: any hashable immutable value
+
+_ALLOWED_SCALARS = (bool, int, str)
+
+
+def is_value(obj: object) -> bool:
+    """Return True iff *obj* belongs to the kernel's value model."""
+    if isinstance(obj, _ALLOWED_SCALARS):
+        return True
+    if isinstance(obj, tuple):
+        return all(is_value(elem) for elem in obj)
+    if isinstance(obj, frozenset):
+        return all(is_value(elem) for elem in obj)
+    return False
+
+
+def check_value(obj: object, context: str = "value") -> object:
+    """Validate *obj* against the value model, returning it unchanged.
+
+    Raises ``TypeError`` with a helpful message otherwise; used at the
+    boundaries of the public API (state construction, constants).
+    """
+    if not is_value(obj):
+        raise TypeError(
+            f"{context} {obj!r} of type {type(obj).__name__} is not a TLA value "
+            "(allowed: bool, int, str, tuple, frozenset thereof)"
+        )
+    return obj
+
+
+def format_value(value: object) -> str:
+    """Render a value in TLA-ish concrete syntax (tuples as << ... >>)."""
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, tuple):
+        return "<<" + ", ".join(format_value(elem) for elem in value) + ">>"
+    if isinstance(value, frozenset):
+        return "{" + ", ".join(sorted(format_value(elem) for elem in value)) + "}"
+    if isinstance(value, str):
+        return f'"{value}"'
+    return repr(value)
+
+
+def domain_key(domain: "Domain") -> object:
+    """A hashable structural key for a domain (used by expression keys).
+
+    FiniteDomain keys by value set; composite domains key recursively;
+    unknown Domain subclasses fall back to identity.
+    """
+    if isinstance(domain, FiniteDomain):
+        return ("fd", tuple(domain.values()))
+    if isinstance(domain, TupleDomain):
+        return ("td", domain_key(domain.base), domain.max_len, domain.min_len)
+    if isinstance(domain, ProductDomain):
+        return ("pd", tuple(domain_key(c) for c in domain.components))
+    return ("id", id(domain))
+
+
+class Domain:
+    """A finite set of values a variable may range over.
+
+    Subclasses implement :meth:`values` (an iterator over all members) and
+    :meth:`__contains__`.  Domains should be small; the model checker
+    enumerates them when an action does not determine a primed variable.
+    """
+
+    def values(self) -> Iterator[object]:
+        raise NotImplementedError
+
+    def __contains__(self, value: object) -> bool:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[object]:
+        return self.values()
+
+    def size(self) -> int:
+        """Number of values; subclasses may override with a closed form."""
+        return sum(1 for _ in self.values())
+
+
+class FiniteDomain(Domain):
+    """An explicitly enumerated domain, e.g. ``FiniteDomain([0, 1])``."""
+
+    __slots__ = ("_values", "_value_set")
+
+    def __init__(self, values: Iterable[object]):
+        ordered = []
+        seen = set()
+        for value in values:
+            check_value(value, "domain element")
+            if value not in seen:
+                seen.add(value)
+                ordered.append(value)
+        if not ordered:
+            raise ValueError("a Domain must be nonempty")
+        self._values: Tuple[object, ...] = tuple(ordered)
+        self._value_set = frozenset(ordered)
+
+    def values(self) -> Iterator[object]:
+        return iter(self._values)
+
+    def __contains__(self, value: object) -> bool:
+        try:
+            return value in self._value_set
+        except TypeError:
+            return False
+
+    def size(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        return f"FiniteDomain({list(self._values)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FiniteDomain) and self._value_set == other._value_set
+
+    def __hash__(self) -> int:
+        return hash(self._value_set)
+
+
+def interval(low: int, high: int) -> FiniteDomain:
+    """The integer interval ``low..high`` (inclusive), as in TLA's ``low..high``."""
+    if high < low:
+        raise ValueError(f"empty interval {low}..{high}")
+    return FiniteDomain(range(low, high + 1))
+
+
+BIT = FiniteDomain([0, 1])
+BOOLEAN = FiniteDomain([False, True])
+
+
+class TupleDomain(Domain):
+    """All sequences over *base* with length in ``0..max_len``.
+
+    Used for the queue's buffer variable ``q``: values from the message
+    domain, at most ``N`` of them.  ``min_len`` supports fixed-length tuple
+    variables (e.g. a channel triple) when needed.
+    """
+
+    __slots__ = ("base", "max_len", "min_len")
+
+    def __init__(self, base: Domain, max_len: int, min_len: int = 0):
+        if max_len < min_len or min_len < 0:
+            raise ValueError(f"bad TupleDomain bounds min={min_len} max={max_len}")
+        self.base = base
+        self.max_len = max_len
+        self.min_len = min_len
+
+    def values(self) -> Iterator[object]:
+        for length in range(self.min_len, self.max_len + 1):
+            for combo in itertools.product(*([list(self.base.values())] * length)):
+                yield tuple(combo)
+
+    def __contains__(self, value: object) -> bool:
+        if not isinstance(value, tuple):
+            return False
+        if not (self.min_len <= len(value) <= self.max_len):
+            return False
+        return all(elem in self.base for elem in value)
+
+    def size(self) -> int:
+        base_size = self.base.size()
+        return sum(base_size ** length for length in range(self.min_len, self.max_len + 1))
+
+    def __repr__(self) -> str:
+        return f"TupleDomain({self.base!r}, max_len={self.max_len}, min_len={self.min_len})"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, TupleDomain)
+                and domain_key(self) == domain_key(other))
+
+    def __hash__(self) -> int:
+        return hash(domain_key(self))
+
+
+class ProductDomain(Domain):
+    """Cartesian product of component domains, yielding tuples."""
+
+    __slots__ = ("components",)
+
+    def __init__(self, components: Sequence[Domain]):
+        if not components:
+            raise ValueError("ProductDomain needs at least one component")
+        self.components = tuple(components)
+
+    def values(self) -> Iterator[object]:
+        pools = [list(comp.values()) for comp in self.components]
+        for combo in itertools.product(*pools):
+            yield tuple(combo)
+
+    def __contains__(self, value: object) -> bool:
+        if not isinstance(value, tuple) or len(value) != len(self.components):
+            return False
+        return all(elem in comp for elem, comp in zip(value, self.components))
+
+    def size(self) -> int:
+        result = 1
+        for comp in self.components:
+            result *= comp.size()
+        return result
+
+    def __repr__(self) -> str:
+        return f"ProductDomain({list(self.components)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ProductDomain)
+                and domain_key(self) == domain_key(other))
+
+    def __hash__(self) -> int:
+        return hash(domain_key(self))

@@ -1,0 +1,55 @@
+"""Mini-TLA front end: tokenizer, parser, elaborator, modules.
+
+>>> from repro.parser import load_module
+>>> mod = load_module('''
+... MODULE Counter
+... VARIABLE x \\\\in 0..2
+... Init == x = 0
+... Next == x' = (x + 1) % 3
+... Spec == Init /\\\\ [][Next]_<<x>> /\\\\ WF_<<x>>(Next)
+... ''')
+>>> spec = mod.spec("Spec")
+"""
+
+from .lexer import LexError, Token, tokenize
+from .parser import ParseError, Parser, parse_expression_text, parse_module_text
+from .elaborate import (
+    Context,
+    ElaborationError,
+    elaborate,
+    elaborate_domain,
+    elaborate_expr,
+    elaborate_formula,
+)
+from .module import TLAModule, load_module
+
+
+def parse_formula(text: str, ctx: Context = None):
+    """Parse and elaborate one formula from source text."""
+    return elaborate_formula(parse_expression_text(text), ctx)
+
+
+def parse_expr(text: str, ctx: Context = None):
+    """Parse and elaborate one expression (state function / action)."""
+    return elaborate_expr(parse_expression_text(text), ctx)
+
+
+__all__ = [
+    "LexError",
+    "Token",
+    "tokenize",
+    "ParseError",
+    "Parser",
+    "parse_expression_text",
+    "parse_module_text",
+    "Context",
+    "ElaborationError",
+    "elaborate",
+    "elaborate_domain",
+    "elaborate_expr",
+    "elaborate_formula",
+    "TLAModule",
+    "load_module",
+    "parse_formula",
+    "parse_expr",
+]

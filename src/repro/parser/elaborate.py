@@ -1,0 +1,282 @@
+"""Elaboration of surface syntax into kernel expressions, temporal
+formulas, and domains.
+
+The surface grammar is untyped; elaboration sorts each tree into one of
+three *levels*:
+
+* a :class:`~repro.kernel.values.Domain` (range, set literal, ``BOOLEAN``,
+  ``Seq``),
+* a kernel :class:`~repro.kernel.expr.Expr` (state function or action),
+* a :class:`~repro.temporal.formulas.TemporalFormula` (anything under
+  ``[]``, ``<>``, ``~>``, ``WF``/``SF``, or ``[][A]_v``).
+
+Boolean connectives are level-polymorphic: a conjunction of expressions is
+an ``And`` expression; as soon as one conjunct is temporal, the others are
+lifted with :func:`~repro.temporal.formulas.to_tf` and the result is a
+``TAnd``.  That mirrors how TLA's own syntax is read.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Union
+
+from ..kernel.expr import (
+    And,
+    Arith,
+    Cat,
+    Cmp,
+    Const,
+    Eq,
+    Exists,
+    Expr,
+    Fn,
+    Forall,
+    IfThenElse,
+    InSet,
+    Not,
+    Or,
+    TupleExpr,
+    Var,
+    prime_expr,
+    to_expr,
+)
+from ..kernel.action import unchanged
+from ..kernel.values import BOOLEAN, Domain, FiniteDomain, TupleDomain, interval
+from ..temporal.formulas import (
+    ActionBox,
+    ActionDiamond,
+    Always,
+    Eventually,
+    LeadsTo,
+    SF,
+    TAnd,
+    TEquiv,
+    TImplies,
+    TNot,
+    TOr,
+    TemporalFormula,
+    WF,
+    to_tf,
+)
+
+Level = Union[Domain, Expr, TemporalFormula]
+
+
+class ElaborationError(Exception):
+    pass
+
+
+class Context:
+    """Name resolution for elaboration.
+
+    ``constants`` map names to values; ``definitions`` map names to
+    elaborated results (filled in module order, so later definitions can
+    use earlier ones); unresolved names become state variables.
+    """
+
+    def __init__(
+        self,
+        constants: Optional[Mapping[str, object]] = None,
+        definitions: Optional[Mapping[str, Level]] = None,
+        domains: Optional[Mapping[str, Domain]] = None,
+    ):
+        self.constants: Dict[str, object] = dict(constants or {})
+        self.definitions: Dict[str, Level] = dict(definitions or {})
+        self.domains: Dict[str, Domain] = dict(domains or {})
+
+    def child_with(self, bound: str) -> "Context":
+        ctx = Context(self.constants, self.definitions, self.domains)
+        # a quantifier-bound name shadows constants and definitions
+        ctx.constants.pop(bound, None)
+        ctx.definitions.pop(bound, None)
+        return ctx
+
+
+def elaborate(node, ctx: Optional[Context] = None) -> Level:
+    """Elaborate a surface tree to a Domain, Expr, or TemporalFormula."""
+    if ctx is None:
+        ctx = Context()
+    return _elab(node, ctx)
+
+
+def elaborate_formula(node, ctx: Optional[Context] = None) -> TemporalFormula:
+    result = elaborate(node, ctx)
+    if isinstance(result, Domain):
+        raise ElaborationError(f"expected a formula, got the domain {result!r}")
+    return to_tf(result)
+
+
+def elaborate_expr(node, ctx: Optional[Context] = None) -> Expr:
+    result = elaborate(node, ctx)
+    if not isinstance(result, Expr):
+        raise ElaborationError(f"expected an expression, got {result!r}")
+    return result
+
+
+def elaborate_domain(node, ctx: Optional[Context] = None) -> Domain:
+    result = elaborate(node, ctx)
+    if isinstance(result, Domain):
+        return result
+    if isinstance(result, Const):
+        raise ElaborationError(
+            f"{result!r} is a value, not a domain; write a range a..b, "
+            "a set {v, ...}, BOOLEAN, or Seq(D, maxlen)"
+        )
+    raise ElaborationError(f"expected a domain, got {result!r}")
+
+
+def _require_expr(value: Level, what: str) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    raise ElaborationError(f"{what} must be an expression, got {value!r}")
+
+
+def _const_int(value: Level, what: str) -> int:
+    if isinstance(value, Const) and isinstance(value.value, int) \
+            and not isinstance(value.value, bool):
+        return value.value
+    raise ElaborationError(f"{what} must be a constant integer, got {value!r}")
+
+
+_BUILTIN_CALLS = {"Len", "Head", "Tail", "Append", "Nth", "Min", "Max"}
+
+_ARITH = {"+": "+", "-": "-", "*": "*", "%": "%"}
+_COMPARE = {"<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+def _elab(node, ctx: Context) -> Level:
+    kind = node[0]
+
+    if kind == "num":
+        return Const(node[1])
+    if kind == "str":
+        return Const(node[1])
+    if kind == "bool":
+        return Const(node[1])
+    if kind == "ident":
+        name = node[1]
+        if name in ctx.constants:
+            return Const(ctx.constants[name])
+        if name in ctx.definitions:
+            return ctx.definitions[name]
+        if name in ctx.domains:
+            return ctx.domains[name]
+        return Var(name)
+    if kind == "prime":
+        inner = _require_expr(_elab(node[1], ctx), "a primed operand")
+        return prime_expr(inner)
+
+    if kind == "binop":
+        op = node[1]
+        lhs = _elab(node[2], ctx)
+        rhs = _elab(node[3], ctx)
+        if op == "=":
+            return Eq(_require_expr(lhs, "="), _require_expr(rhs, "="))
+        if op == "#":
+            return Not(Eq(_require_expr(lhs, "#"), _require_expr(rhs, "#")))
+        if op in _COMPARE:
+            return Cmp(op, _require_expr(lhs, op), _require_expr(rhs, op))
+        if op in _ARITH:
+            return Arith(op, _require_expr(lhs, op), _require_expr(rhs, op))
+        if op == "\\o":
+            return Cat(_require_expr(lhs, "\\o"), _require_expr(rhs, "\\o"))
+        raise ElaborationError(f"unknown operator {op!r}")
+
+    if kind == "range":
+        low = _const_int(_elab(node[1], ctx), "range bound")
+        high = _const_int(_elab(node[2], ctx), "range bound")
+        return interval(low, high)
+    if kind == "set":
+        values = []
+        for elem in node[1]:
+            value = _elab(elem, ctx)
+            if not isinstance(value, Const):
+                raise ElaborationError(
+                    f"set-literal domains may contain only constants, got {value!r}"
+                )
+            values.append(value.value)
+        return FiniteDomain(values)
+    if kind == "boolean_domain":
+        return BOOLEAN
+    if kind == "seq_domain":
+        base = elaborate_domain(node[1], ctx)
+        maxlen = _const_int(_elab(node[2], ctx), "Seq maximum length")
+        return TupleDomain(base, maxlen)
+
+    if kind == "tuple":
+        return TupleExpr(*[_require_expr(_elab(e, ctx), "tuple element")
+                           for e in node[1]])
+    if kind == "ite":
+        cond = _require_expr(_elab(node[1], ctx), "IF condition")
+        then = _require_expr(_elab(node[2], ctx), "THEN branch")
+        orelse = _require_expr(_elab(node[3], ctx), "ELSE branch")
+        return IfThenElse(cond, then, orelse)
+    if kind == "call":
+        name, args = node[1], node[2]
+        if name in _BUILTIN_CALLS:
+            return Fn(name, *[_require_expr(_elab(a, ctx), f"{name} argument")
+                              for a in args])
+        if name in ctx.definitions and not args:
+            return ctx.definitions[name]
+        raise ElaborationError(
+            f"unknown operator {name!r} (builtins: {sorted(_BUILTIN_CALLS)}; "
+            "defined names are used without parentheses)"
+        )
+    if kind == "in":
+        elem = _require_expr(_elab(node[1], ctx), "\\in element")
+        domain = elaborate_domain(node[2], ctx)
+        return InSet(elem, domain)
+    if kind == "unchanged":
+        return unchanged(node[1])
+
+    if kind in ("exists", "forall"):
+        var, domain_node, body_node = node[1], node[2], node[3]
+        domain = elaborate_domain(domain_node, ctx)
+        body = _require_expr(_elab(body_node, ctx.child_with(var)),
+                             "quantifier body")
+        cls = Exists if kind == "exists" else Forall
+        return cls(var, domain, body)
+
+    # -- Boolean connectives: level-polymorphic ------------------------------
+    if kind == "not":
+        inner = _elab(node[1], ctx)
+        if isinstance(inner, TemporalFormula):
+            return TNot(inner)
+        return Not(_require_expr(inner, "~"))
+    if kind in ("and", "or"):
+        parts = [_elab(p, ctx) for p in node[1]]
+        if any(isinstance(p, TemporalFormula) for p in parts):
+            lifted = [to_tf(p) for p in parts]
+            return TAnd(*lifted) if kind == "and" else TOr(*lifted)
+        exprs = [_require_expr(p, kind) for p in parts]
+        return And(*exprs) if kind == "and" else Or(*exprs)
+    if kind in ("implies", "equiv"):
+        lhs = _elab(node[1], ctx)
+        rhs = _elab(node[2], ctx)
+        if isinstance(lhs, TemporalFormula) or isinstance(rhs, TemporalFormula):
+            cls = TImplies if kind == "implies" else TEquiv
+            return cls(to_tf(lhs), to_tf(rhs))
+        from ..kernel.expr import Equiv, Implies
+
+        cls2 = Implies if kind == "implies" else Equiv
+        return cls2(_require_expr(lhs, kind), _require_expr(rhs, kind))
+
+    # -- temporal operators ----------------------------------------------------
+    if kind == "always":
+        return Always(to_tf(_elab(node[1], ctx)))
+    if kind == "eventually":
+        return Eventually(to_tf(_elab(node[1], ctx)))
+    if kind == "leadsto":
+        return LeadsTo(to_tf(_elab(node[1], ctx)), to_tf(_elab(node[2], ctx)))
+    if kind == "actionbox":
+        action = _require_expr(_elab(node[1], ctx), "[][A]_v action")
+        return ActionBox(action, node[2])
+    if kind == "actiondiamond":
+        action = _require_expr(_elab(node[1], ctx), "<><<A>>_v action")
+        return ActionDiamond(action, node[2])
+    if kind == "wf":
+        return WF(node[1], _require_expr(_elab(node[2], ctx), "WF action"))
+    if kind == "sf":
+        return SF(node[1], _require_expr(_elab(node[2], ctx), "SF action"))
+
+    raise ElaborationError(f"unhandled surface node {node!r}")

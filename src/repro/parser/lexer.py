@@ -1,0 +1,164 @@
+"""Tokenizer for the mini-TLA surface syntax.
+
+The grammar (see :mod:`repro.parser.parser`) covers the fragment of TLA+
+notation the paper uses: Boolean and arithmetic operators, priming,
+``[]``/``<>``/``~>``, ``[][A]_v``, ``WF_v(A)``/``SF_v(A)``, bounded
+``\\E``/``\\A``, tuples ``<<...>>``, sequence operators, ``IF/THEN/ELSE``,
+and dotted variable names such as ``i.sig``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Optional
+
+
+class Token(NamedTuple):
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}:{self.column}"
+
+
+class LexError(Exception):
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+KEYWORDS = {
+    "MODULE", "CONSTANT", "CONSTANTS", "VARIABLE", "VARIABLES",
+    "TRUE", "FALSE", "IF", "THEN", "ELSE", "IN",
+    "UNCHANGED", "ENABLED", "BOOLEAN", "Seq",
+}
+
+# multi-character symbols, longest first
+SYMBOLS = [
+    "<=>", "~>", "==", "=>", "/\\", "\\/", "\\E", "\\A", "\\in", "\\o",
+    "<<", ">>", "<=", ">=", "..", "[]", "<>", "]_", "#", "'",
+    "(", ")", "[", "]", "{", "}", "<", ">", "=", "+", "-", "*", "%",
+    ",", ":", "~", "_", ".", "!",
+]
+
+
+def tokenize(text: str) -> List[Token]:
+    tokens: List[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(text)
+
+    def error(msg: str) -> LexError:
+        return LexError(msg, line, col)
+
+    while i < n:
+        ch = text[i]
+        # whitespace
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        # comments: \* to end of line, (* ... *) nestable
+        if text.startswith("\\*", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if text.startswith("(*", i):
+            depth = 1
+            j = i + 2
+            while j < n and depth:
+                if text.startswith("(*", j):
+                    depth += 1
+                    j += 2
+                elif text.startswith("*)", j):
+                    depth -= 1
+                    j += 2
+                else:
+                    if text[j] == "\n":
+                        line += 1
+                        col = 0
+                    j += 1
+            if depth:
+                raise error("unterminated comment")
+            col += j - i
+            i = j
+            continue
+        # horizontal rules (---- and ====) used as module delimiters
+        if ch in "-=" and text[i:i + 4] in ("----", "===="):
+            j = i
+            while j < n and text[j] == ch:
+                j += 1
+            col += j - i
+            i = j
+            continue
+        # numbers
+        if ch.isdigit():
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            tokens.append(Token("NUMBER", text[i:j], line, col))
+            col += j - i
+            i = j
+            continue
+        # strings
+        if ch == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                if text[j] == "\n":
+                    raise error("unterminated string")
+                j += 1
+            if j >= n:
+                raise error("unterminated string")
+            tokens.append(Token("STRING", text[i + 1:j], line, col))
+            col += j - i + 1
+            i = j + 1
+            continue
+        # identifiers (with dotted segments: i.sig)
+        if ch.isalpha():
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            # dotted continuation: name '.' name (no spaces)
+            while (
+                j + 1 < n and text[j] == "." and
+                (text[j + 1].isalpha() or text[j + 1] == "_")
+            ):
+                j += 1
+                while j < n and (text[j].isalnum() or text[j] == "_"):
+                    j += 1
+            word = text[i:j]
+            if word.startswith(("WF_", "SF_")):
+                # WF_v(A) / SF_<<x, y>>(A): the underscore glues onto the
+                # identifier; split the fairness keyword back out
+                tokens.append(Token("FAIRNESS", word[:2], line, col))
+                rest = word[3:]
+                if rest:
+                    tokens.append(Token("IDENT", rest, line, col + 3))
+                else:
+                    tokens.append(Token("_", "_", line, col + 2))
+            elif word in KEYWORDS:
+                tokens.append(Token(word, word, line, col))
+            else:
+                tokens.append(Token("IDENT", word, line, col))
+            col += j - i
+            i = j
+            continue
+        # symbols
+        for sym in SYMBOLS:
+            if text.startswith(sym, i):
+                tokens.append(Token(sym, sym, line, col))
+                col += len(sym)
+                i += len(sym)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+    tokens.append(Token("EOF", "", line, col))
+    return tokens

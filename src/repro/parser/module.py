@@ -1,0 +1,111 @@
+"""Mini-TLA modules: parse, elaborate, and connect to the checker.
+
+A module source looks like::
+
+    MODULE Counter
+    CONSTANT N = 3
+    VARIABLE x \\in 0..2
+
+    Init == x = 0
+    Next == x' = (x + 1) % N
+    Spec == Init /\\ [][Next]_<<x>> /\\ WF_<<x>>(Next)
+    AlwaysSmall == [](x < 3)
+
+:func:`load_module` returns a :class:`TLAModule`; ``module.spec("Spec")``
+pattern-matches the definition into a canonical
+:class:`~repro.spec.Spec` ready for :func:`repro.checker.explore`, and
+``module.formula("AlwaysSmall")`` gives a temporal formula for checking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..kernel.expr import Const, Expr
+from ..kernel.state import Universe
+from ..kernel.values import Domain
+from ..spec import Spec, spec_of_formula
+from ..temporal.formulas import TemporalFormula, to_tf
+from .elaborate import Context, ElaborationError, elaborate, elaborate_domain
+from .parser import parse_module_text
+
+
+class TLAModule:
+    """An elaborated mini-TLA module."""
+
+    def __init__(
+        self,
+        name: str,
+        constants: Dict[str, object],
+        variables: Dict[str, Domain],
+        definitions: Dict[str, object],
+    ):
+        self.name = name
+        self.constants = constants
+        self.variables = variables
+        self.definitions = definitions
+        self.universe = Universe(variables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.definitions
+
+    def get(self, name: str) -> object:
+        try:
+            return self.definitions[name]
+        except KeyError:
+            raise KeyError(
+                f"module {self.name!r} has no definition {name!r} "
+                f"(defined: {', '.join(sorted(self.definitions)) or 'none'})"
+            ) from None
+
+    def expr(self, name: str) -> Expr:
+        value = self.get(name)
+        if not isinstance(value, Expr):
+            raise TypeError(f"{name!r} is not an expression: {value!r}")
+        return value
+
+    def formula(self, name: str) -> TemporalFormula:
+        value = self.get(name)
+        if isinstance(value, Domain):
+            raise TypeError(f"{name!r} is a domain, not a formula")
+        return to_tf(value)
+
+    def spec(self, name: str = "Spec", label: Optional[str] = None) -> Spec:
+        """Normalise the named definition into a canonical Spec."""
+        return spec_of_formula(
+            self.formula(name), self.universe,
+            name=label or f"{self.name}!{name}",
+        )
+
+    def __repr__(self) -> str:
+        return (f"TLAModule({self.name!r}, variables={sorted(self.variables)}, "
+                f"definitions={sorted(self.definitions)})")
+
+
+def load_module(text: str) -> TLAModule:
+    """Parse and elaborate a mini-TLA module from source text."""
+    _, name, const_nodes, var_nodes, def_nodes = parse_module_text(text)
+
+    ctx = Context()
+    constants: Dict[str, object] = {}
+    for cname, cnode in const_nodes:
+        value = elaborate(cnode, ctx)
+        if not isinstance(value, Const):
+            raise ElaborationError(
+                f"constant {cname!r} must be a literal value, got {value!r}"
+            )
+        constants[cname] = value.value
+        ctx.constants[cname] = value.value
+
+    variables: Dict[str, Domain] = {}
+    for vname, dnode in var_nodes:
+        variables[vname] = elaborate_domain(dnode, ctx)
+        ctx.domains.setdefault(vname + "_domain", variables[vname])
+
+    definitions: Dict[str, object] = {}
+    for dname, dnode in def_nodes:
+        value = elaborate(dnode, ctx)
+        definitions[dname] = value
+        ctx.definitions[dname] = value
+
+    return TLAModule(name, constants, variables, definitions)

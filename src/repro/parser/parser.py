@@ -1,0 +1,355 @@
+"""Recursive-descent parser for the mini-TLA surface syntax.
+
+Produces a *surface AST* of plain tuples ``(kind, ...)``; the elaborator
+(:mod:`repro.parser.elaborate`) turns surface trees into kernel
+expressions, temporal formulas, and domains.
+
+Grammar sketch (precedence from loosest to tightest)::
+
+    equiv    :=  implies ( "<=>" implies )*
+    implies  :=  leadsto ( "=>" implies )?          (right associative)
+    leadsto  :=  disj ( "~>" disj )*
+    disj     :=  conj ( "\\/" conj )*
+    conj     :=  cmp  ( "/\\" cmp  )*
+    cmp      :=  range ( ("=" | "#" | "<" | "<=" | ">" | ">=" | "\\in") range )?
+    range    :=  sum ( ".." sum )?
+    sum      :=  term ( ("+" | "-" | "\\o") term )*
+    term     :=  unary ( ("*" | "%") unary )*
+    unary    :=  ("~" | "-" | "[]" | "<>") unary | postfix
+    postfix  :=  atom "'"*
+    atom     :=  NUMBER | STRING | TRUE | FALSE | IDENT | "(" expr ")"
+              |  "<<" expr, ... ">>"  |  "{" literal, ... "}"
+              |  IDENT "(" expr, ... ")"              (builtin/defined call)
+              |  "IF" expr "THEN" expr "ELSE" expr
+              |  "[" expr "]_" subscript              (within "[]" only)
+              |  "UNCHANGED" subscript
+              |  ("WF"|"SF") "_" subscript "(" expr ")"
+              |  ("\\E" | "\\A") IDENT "\\in" expr ":" expr
+              |  "Seq" "(" expr "," expr ")"          (domain expression)
+              |  "BOOLEAN"
+
+    subscript := IDENT | "<<" IDENT, ... ">>"
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .lexer import LexError, Token, tokenize
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, token: Token):
+        super().__init__(
+            f"{message} at line {token.line}, column {token.column} "
+            f"(found {token.kind} {token.text!r})"
+        )
+        self.token = token
+
+
+Surface = tuple  # (kind, ...) nodes
+
+
+class Parser:
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def accept(self, kind: str) -> Optional[Token]:
+        if self.peek().kind == kind:
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, context: str = "") -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            where = f" in {context}" if context else ""
+            raise ParseError(f"expected {kind!r}{where}", token)
+        return self.advance()
+
+    def at_end(self) -> bool:
+        return self.peek().kind == "EOF"
+
+    # -- expressions ------------------------------------------------------------
+
+    def parse_expression(self) -> Surface:
+        return self._equiv()
+
+    def _equiv(self) -> Surface:
+        node = self._implies()
+        while self.accept("<=>"):
+            node = ("equiv", node, self._implies())
+        return node
+
+    def _implies(self) -> Surface:
+        node = self._leadsto()
+        if self.accept("=>"):
+            return ("implies", node, self._implies())
+        return node
+
+    def _leadsto(self) -> Surface:
+        node = self._disj()
+        while self.accept("~>"):
+            node = ("leadsto", node, self._disj())
+        return node
+
+    def _disj(self) -> Surface:
+        parts = [self._conj()]
+        while self.accept("\\/"):
+            parts.append(self._conj())
+        return parts[0] if len(parts) == 1 else ("or", parts)
+
+    def _conj(self) -> Surface:
+        parts = [self._cmp()]
+        while self.accept("/\\"):
+            parts.append(self._cmp())
+        return parts[0] if len(parts) == 1 else ("and", parts)
+
+    _CMP_OPS = ("=", "#", "<", "<=", ">", ">=", "\\in")
+
+    def _cmp(self) -> Surface:
+        node = self._range()
+        kind = self.peek().kind
+        if kind in self._CMP_OPS:
+            self.advance()
+            rhs = self._range()
+            if kind == "\\in":
+                return ("in", node, rhs)
+            return ("binop", kind, node, rhs)
+        return node
+
+    def _range(self) -> Surface:
+        node = self._sum()
+        if self.accept(".."):
+            return ("range", node, self._sum())
+        return node
+
+    def _sum(self) -> Surface:
+        node = self._term()
+        while True:
+            if self.accept("+"):
+                node = ("binop", "+", node, self._term())
+            elif self.accept("-"):
+                node = ("binop", "-", node, self._term())
+            elif self.accept("\\o"):
+                node = ("binop", "\\o", node, self._term())
+            else:
+                return node
+
+    def _term(self) -> Surface:
+        node = self._unary()
+        while True:
+            if self.accept("*"):
+                node = ("binop", "*", node, self._unary())
+            elif self.accept("%"):
+                node = ("binop", "%", node, self._unary())
+            else:
+                return node
+
+    def _unary(self) -> Surface:
+        if self.accept("~"):
+            return ("not", self._unary())
+        if self.accept("-"):
+            return ("binop", "-", ("num", 0), self._unary())
+        if self.accept("[]"):
+            return self._after_always()
+        if self.accept("<>"):
+            return self._after_eventually()
+        return self._postfix()
+
+    def _after_always(self) -> Surface:
+        # [][A]_v  or  []F
+        if self.peek().kind == "[":
+            self.advance()
+            action = self.parse_expression()
+            self.expect("]_", "[][A]_v")
+            sub = self._subscript()
+            return ("actionbox", action, sub)
+        return ("always", self._unary())
+
+    def _after_eventually(self) -> Surface:
+        # <><<A>>_v  or  <>F  (backtrack to tell the two apart)
+        if self.peek().kind == "<<":
+            saved = self.pos
+            self.advance()
+            try:
+                action = self.parse_expression()
+                self.expect(">>", "<><<A>>_v")
+                self.expect("_", "<><<A>>_v")
+                sub = self._subscript()
+                return ("actiondiamond", action, sub)
+            except ParseError:
+                self.pos = saved
+        return ("eventually", self._unary())
+
+    def _postfix(self) -> Surface:
+        node = self._atom()
+        while self.accept("'"):
+            node = ("prime", node)
+        return node
+
+    def _subscript(self) -> Tuple[str, ...]:
+        if self.peek().kind == "IDENT":
+            return (self.advance().text,)
+        self.expect("<<", "subscript tuple")
+        names: List[str] = [self.expect("IDENT", "subscript tuple").text]
+        while self.accept(","):
+            names.append(self.expect("IDENT", "subscript tuple").text)
+        self.expect(">>", "subscript tuple")
+        return tuple(names)
+
+    def _atom(self) -> Surface:
+        token = self.peek()
+        if token.kind == "NUMBER":
+            self.advance()
+            return ("num", int(token.text))
+        if token.kind == "STRING":
+            self.advance()
+            return ("str", token.text)
+        if token.kind == "TRUE":
+            self.advance()
+            return ("bool", True)
+        if token.kind == "FALSE":
+            self.advance()
+            return ("bool", False)
+        if token.kind == "BOOLEAN":
+            self.advance()
+            return ("boolean_domain",)
+        if token.kind == "Seq":
+            self.advance()
+            self.expect("(", "Seq(D, maxlen)")
+            base = self.parse_expression()
+            self.expect(",", "Seq(D, maxlen)")
+            maxlen = self.parse_expression()
+            self.expect(")", "Seq(D, maxlen)")
+            return ("seq_domain", base, maxlen)
+        if token.kind == "IF":
+            self.advance()
+            cond = self.parse_expression()
+            self.expect("THEN", "IF expression")
+            then = self.parse_expression()
+            self.expect("ELSE", "IF expression")
+            orelse = self.parse_expression()
+            return ("ite", cond, then, orelse)
+        if token.kind == "UNCHANGED":
+            self.advance()
+            return ("unchanged", self._subscript())
+        if token.kind == "FAIRNESS":
+            self.advance()
+            sub: Tuple[str, ...]
+            if self.peek().kind == "IDENT":
+                sub = (self.advance().text,)
+            else:
+                self.expect("_", "WF_/SF_ subscript")
+                sub = self._subscript()
+            self.expect("(", "fairness action")
+            action = self.parse_expression()
+            self.expect(")", "fairness action")
+            return ("wf" if token.text == "WF" else "sf", sub, action)
+        if token.kind in ("\\E", "\\A"):
+            self.advance()
+            var = self.expect("IDENT", "bounded quantifier").text
+            self.expect("\\in", "bounded quantifier")
+            domain = self.parse_expression()
+            self.expect(":", "bounded quantifier")
+            body = self.parse_expression()
+            kind = "exists" if token.kind == "\\E" else "forall"
+            return (kind, var, domain, body)
+        if token.kind == "IDENT":
+            self.advance()
+            if self.peek().kind == "(":
+                self.advance()
+                args: List[Surface] = []
+                if self.peek().kind != ")":
+                    args.append(self.parse_expression())
+                    while self.accept(","):
+                        args.append(self.parse_expression())
+                self.expect(")", f"arguments of {token.text}")
+                return ("call", token.text, args)
+            return ("ident", token.text)
+        if token.kind == "(":
+            self.advance()
+            node = self.parse_expression()
+            self.expect(")", "parenthesised expression")
+            return node
+        if token.kind == "<<":
+            self.advance()
+            elems: List[Surface] = []
+            if self.peek().kind != ">>":
+                elems.append(self.parse_expression())
+                while self.accept(","):
+                    elems.append(self.parse_expression())
+            self.expect(">>", "tuple")
+            return ("tuple", elems)
+        if token.kind == "{":
+            self.advance()
+            elems = []
+            if self.peek().kind != "}":
+                elems.append(self.parse_expression())
+                while self.accept(","):
+                    elems.append(self.parse_expression())
+            self.expect("}", "set literal")
+            return ("set", elems)
+        raise ParseError("expected an expression", token)
+
+    # -- module structure ---------------------------------------------------------
+
+    def parse_module(self) -> Surface:
+        self.expect("MODULE", "module header")
+        name = self.expect("IDENT", "module name").text
+        constants: List[Tuple[str, Surface]] = []
+        variables: List[Tuple[str, Surface]] = []
+        definitions: List[Tuple[str, Surface]] = []
+        while not self.at_end():
+            token = self.peek()
+            if token.kind in ("CONSTANT", "CONSTANTS"):
+                self.advance()
+                while True:
+                    cname = self.expect("IDENT", "constant declaration").text
+                    self.expect("=", "constant declaration")
+                    constants.append((cname, self.parse_expression()))
+                    if not self.accept(","):
+                        break
+            elif token.kind in ("VARIABLE", "VARIABLES"):
+                self.advance()
+                while True:
+                    vname = self.expect("IDENT", "variable declaration").text
+                    if not (self.accept("\\in") or self.accept("IN")):
+                        raise ParseError(
+                            "variable declarations need a domain: "
+                            "VARIABLE x \\in 0..3", self.peek())
+                    variables.append((vname, self.parse_expression()))
+                    if not self.accept(","):
+                        break
+            elif token.kind == "IDENT" and self.peek(1).kind == "==":
+                dname = self.advance().text
+                self.advance()  # ==
+                definitions.append((dname, self.parse_expression()))
+            else:
+                raise ParseError("expected a declaration or definition", token)
+        return ("module", name, constants, variables, definitions)
+
+
+def parse_expression_text(text: str) -> Surface:
+    parser = Parser(text)
+    node = parser.parse_expression()
+    if not parser.at_end():
+        raise ParseError("trailing input after expression", parser.peek())
+    return node
+
+
+def parse_module_text(text: str) -> Surface:
+    parser = Parser(text)
+    return parser.parse_module()

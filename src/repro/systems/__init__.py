@@ -1,0 +1,14 @@
+"""Example systems from the paper (and one extra open system).
+
+* :mod:`~repro.systems.circuit` -- the two-process circuit of Figure 1 and
+  the introduction's two motivating examples (safety circularity works,
+  liveness circularity fails);
+* :mod:`~repro.systems.handshake` -- the two-phase handshake channel of
+  Figure 2;
+* :mod:`~repro.systems.queue` -- the N-element queue of the appendix:
+  complete system (Figure 6), open components, double queue (Figures 7-8),
+  and the ingredients of the Figure 9 composition proof;
+* :mod:`~repro.systems.arbiter` -- a mutual-exclusion arbiter with two
+  clients, a second end-to-end application of the Composition Theorem
+  exercising strong fairness.
+"""

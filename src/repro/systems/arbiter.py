@@ -1,0 +1,230 @@
+"""A mutual-exclusion arbiter with two clients, as open systems.
+
+This is not from the paper; it is a second end-to-end application of the
+Composition Theorem (DESIGN.md's extra substrate), chosen to exercise what
+the queue example does not:
+
+* a **three-way circular** assumption/guarantee argument (each client
+  assumes the arbiter behaves; the arbiter assumes both clients behave);
+* **strong fairness**: the two grant actions compete, so the arbiter's
+  liveness needs ``SF`` -- weak fairness provably does not suffice, and
+  the checker exhibits the starvation lasso.
+
+The protocol is a four-phase handshake per client ``j``:
+
+    raise ``req_j``  ->  arbiter raises ``grant_j``  ->
+    client lowers ``req_j``  ->  arbiter lowers ``grant_j``
+
+Interface:
+
+* client ``j`` owns ``req_j``; its assumption is that ``grant_j`` moves
+  only per protocol;
+* the arbiter owns ``grant_1, grant_2``; its assumption is that requests
+  move only per protocol;
+* composed goal: mutual exclusion ``□¬(grant_1 ∧ grant_2)``
+  unconditionally (assumption TRUE), via the Composition Theorem, plus
+  complete-system liveness ``req_j = 1 ~> grant_j = 1`` checked with the
+  fair model checker.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..kernel.action import unchanged
+from ..kernel.expr import And, Eq, Expr, Not, Or, Var
+from ..kernel.state import Universe
+from ..kernel.values import BIT
+from ..spec import Component, Spec, strong_fairness, weak_fairness
+from ..temporal.formulas import LeadsTo, StatePred
+from ..core.agspec import AGSpec
+
+
+def req(j: int) -> Var:
+    return Var(f"req{j}")
+
+
+def grant(j: int) -> Var:
+    return Var(f"grant{j}")
+
+
+def arbiter_universe() -> Universe:
+    return Universe({
+        "req1": BIT, "req2": BIT, "grant1": BIT, "grant2": BIT,
+    })
+
+
+# ---------------------------------------------------------------------------
+# client j
+# ---------------------------------------------------------------------------
+
+def client_raise(j: int) -> Expr:
+    """Request the resource: only when idle and not granted."""
+    return And(
+        Eq(req(j), 0), Eq(grant(j), 0),
+        Eq(req(j).prime(), 1),
+        Eq(grant(j).prime(), grant(j)),
+    )
+
+
+def client_lower(j: int) -> Expr:
+    """Release the resource: only while holding the grant."""
+    return And(
+        Eq(req(j), 1), Eq(grant(j), 1),
+        Eq(req(j).prime(), 0),
+        Eq(grant(j).prime(), grant(j)),
+    )
+
+
+def client_component(j: int) -> Component:
+    """Client ``j``: owns ``req_j``; obliged (WF) to eventually release."""
+    action = Or(client_raise(j), client_lower(j))
+    return Component(
+        f"Client{j}",
+        outputs=(f"req{j}",),
+        internals=(),
+        inputs=(f"grant{j}",),
+        init=Eq(req(j), 0),
+        next_action=action,
+        universe=Universe({f"req{j}": BIT, f"grant{j}": BIT}),
+        fairness=[weak_fairness((f"req{j}",), client_lower(j))],
+    )
+
+
+def grant_protocol_spec(j: int) -> Spec:
+    """Client ``j``'s environment assumption: ``grant_j`` rises only while
+    requested, falls only after the request is withdrawn (safety only)."""
+    rise = And(Eq(grant(j), 0), Eq(req(j), 1), Eq(grant(j).prime(), 1))
+    fall = And(Eq(grant(j), 1), Eq(req(j), 0), Eq(grant(j).prime(), 0))
+    return Spec(
+        f"GrantProtocol{j}",
+        Eq(grant(j), 0),
+        Or(rise, fall),
+        (f"grant{j}",),
+        Universe({f"req{j}": BIT, f"grant{j}": BIT}),
+    )
+
+
+# ---------------------------------------------------------------------------
+# the arbiter
+# ---------------------------------------------------------------------------
+
+def arbiter_grant(j: int) -> Expr:
+    """Grant client ``j``: only when requested and the resource is free."""
+    other = 3 - j
+    return And(
+        Eq(req(j), 1), Eq(grant(1), 0), Eq(grant(2), 0),
+        Eq(grant(j).prime(), 1),
+        Eq(grant(other).prime(), grant(other)),
+        Eq(req(1).prime(), req(1)), Eq(req(2).prime(), req(2)),
+    )
+
+
+def arbiter_revoke(j: int) -> Expr:
+    """Withdraw the grant once the client has released."""
+    other = 3 - j
+    return And(
+        Eq(grant(j), 1), Eq(req(j), 0),
+        Eq(grant(j).prime(), 0),
+        Eq(grant(other).prime(), grant(other)),
+        Eq(req(1).prime(), req(1)), Eq(req(2).prime(), req(2)),
+    )
+
+
+def arbiter_component(strong: bool = True) -> Component:
+    """The arbiter: owns both grants.
+
+    With ``strong`` (default), granting each client is strongly fair --
+    required for starvation freedom because the two grant actions disable
+    each other.  With ``strong=False`` the arbiter is only weakly fair and
+    client 1 can starve (see :func:`starvation_property` and the tests).
+    """
+    action = Or(arbiter_grant(1), arbiter_grant(2),
+                arbiter_revoke(1), arbiter_revoke(2))
+    fair_cls = strong_fairness if strong else weak_fairness
+    fairness = [
+        fair_cls(("grant1", "grant2"), arbiter_grant(1)),
+        fair_cls(("grant1", "grant2"), arbiter_grant(2)),
+        weak_fairness(("grant1", "grant2"), arbiter_revoke(1)),
+        weak_fairness(("grant1", "grant2"), arbiter_revoke(2)),
+    ]
+    return Component(
+        "Arbiter" if strong else "Arbiter(weak)",
+        outputs=("grant1", "grant2"),
+        internals=(),
+        inputs=("req1", "req2"),
+        init=And(Eq(grant(1), 0), Eq(grant(2), 0)),
+        next_action=action,
+        universe=arbiter_universe(),
+        fairness=fairness,
+    )
+
+
+def request_protocol_spec() -> Spec:
+    """The arbiter's environment assumption: both requests move only per
+    protocol (the conjunction of the clients' guarantees' safety parts)."""
+    action = Or(client_raise(1), client_lower(1),
+                client_raise(2), client_lower(2))
+    return Spec(
+        "RequestProtocol",
+        And(Eq(req(1), 0), Eq(req(2), 0)),
+        action,
+        ("req1", "req2"),
+        arbiter_universe(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# goal and theorem instance
+# ---------------------------------------------------------------------------
+
+def mutex_spec() -> Spec:
+    """The goal guarantee: never both grants at once, in canonical safety
+    form ``¬(g1 ∧ g2) ∧ □[¬(g1' ∧ g2')]_{g1,g2}``."""
+    safe_now = Not(And(Eq(grant(1), 1), Eq(grant(2), 1)))
+    safe_next = Not(And(Eq(grant(1).prime(), 1), Eq(grant(2).prime(), 1)))
+    return Spec(
+        "Mutex",
+        safe_now,
+        safe_next,
+        ("grant1", "grant2"),
+        Universe({"grant1": BIT, "grant2": BIT}),
+    )
+
+
+def ag_specs(strong: bool = True) -> Tuple[AGSpec, AGSpec, AGSpec]:
+    """The three devices' assumption/guarantee specifications."""
+    ag_arbiter = AGSpec(
+        "arbiter", assumption=request_protocol_spec(),
+        guarantee=arbiter_component(strong=strong),
+    )
+    ag_client1 = AGSpec(
+        "client1", assumption=grant_protocol_spec(1),
+        guarantee=client_component(1),
+    )
+    ag_client2 = AGSpec(
+        "client2", assumption=grant_protocol_spec(2),
+        guarantee=client_component(2),
+    )
+    return ag_arbiter, ag_client1, ag_client2
+
+
+def mutex_goal() -> AGSpec:
+    return AGSpec("mutex", assumption=None, guarantee=mutex_spec())
+
+
+def composed_system(strong: bool = True) -> Spec:
+    """The complete system: arbiter ∧ client1 ∧ client2."""
+    from ..spec import conjoin
+
+    return conjoin(
+        [arbiter_component(strong=strong).spec,
+         client_component(1).spec,
+         client_component(2).spec],
+        name=f"arbiter system ({'SF' if strong else 'WF'})",
+    ).with_extra_universe(arbiter_universe())
+
+
+def starvation_property(j: int) -> LeadsTo:
+    """``req_j = 1 ~> grant_j = 1``: client ``j`` is never starved."""
+    return LeadsTo(StatePred(Eq(req(j), 1)), StatePred(Eq(grant(j), 1)))

@@ -1,0 +1,173 @@
+"""The two-process circuit of the paper's Figure 1.
+
+Two processes are wired in a loop: process ``Πc`` drives wire ``c`` and
+reads wire ``d``; process ``Πd`` drives ``d`` and reads ``c``.
+
+The introduction's two examples:
+
+* **Example 1 (safety).**  ``M⁰_c`` asserts that ``c`` always equals 0,
+  ``M⁰_d`` that ``d`` always equals 0.  Process ``Πc`` (which starts with
+  ``c = 0`` and repeatedly sets ``c`` to the current value of ``d``)
+  guarantees ``M⁰_c`` assuming ``M⁰_d``, and symmetrically for ``Πd``.
+  The circular composition *works*: ``(M⁰_d ⊳ M⁰_c) ∧ (M⁰_c ⊳ M⁰_d)``
+  implies ``M⁰_c ∧ M⁰_d`` -- the first process to change its output would
+  violate its guarantee before its assumption had been violated.
+
+* **Example 2 (liveness).**  ``M¹_c`` asserts that ``c`` eventually equals
+  1 (similarly ``M¹_d``).  The analogous circular composition *fails*:
+  the behavior in which both processes leave ``c`` and ``d`` unchanged
+  satisfies both assumption/guarantee premises (violating ``M¹`` is a sin
+  of omission that never happens "at" any instant) but not the
+  conclusion.
+
+This module builds all the ingredients: the guarantee specifications
+``M⁰``/``M¹``, the process implementations ``Πc``/``Πd``, and the
+assumption/guarantee specifications, ready for the Composition Theorem
+engine (example 1) and the brute-force semantic checker (example 2's
+counterexample).
+
+A note on example 2's processes: with the liveness assumption literally
+``◇(d = 1)``, process ``Πc`` does *not* formally guarantee ``◇(c = 1)``
+-- the environment may raise ``d`` for a single instant that the process'
+weak fairness never obliges it to catch.  :func:`eventually_stays_one`
+provides the strengthened assumption ``◇□(d = 1)`` under which the
+process-level guarantee genuinely holds; the paper's point (the circular
+*rule* fails for liveness) is independent of this and is exercised with
+the literal ``◇`` forms.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..kernel.expr import And, Eq, Var
+from ..kernel.state import Universe
+from ..kernel.values import BIT
+from ..spec import Component, Spec, conjoin, weak_fairness
+from ..temporal.formulas import (
+    Always,
+    Eventually,
+    StatePred,
+    TemporalFormula,
+)
+from ..core.agspec import AGSpec
+
+
+def wire_universe() -> Universe:
+    """Both wires carry a bit."""
+    return Universe({"c": BIT, "d": BIT})
+
+
+# ---------------------------------------------------------------------------
+# the guarantee specifications
+# ---------------------------------------------------------------------------
+
+def always_zero(wire: str) -> Spec:
+    """``M⁰_wire``: the wire always equals 0, in canonical safety form
+    ``(wire = 0) ∧ □[wire' = 0]_wire``."""
+    var = Var(wire)
+    return Spec(
+        f"M0_{wire}",
+        Eq(var, 0),
+        Eq(var.prime(), 0),
+        (wire,),
+        Universe({wire: BIT}),
+    )
+
+
+def always_zero_component(wire: str) -> Component:
+    """``M⁰_wire`` as a component (output: the wire; no internals)."""
+    var = Var(wire)
+    return Component(
+        f"M0_{wire}",
+        outputs=(wire,),
+        internals=(),
+        inputs=(),
+        init=Eq(var, 0),
+        next_action=Eq(var.prime(), 0),
+        universe=Universe({wire: BIT}),
+    )
+
+
+def eventually_one(wire: str) -> TemporalFormula:
+    """``M¹_wire``: the wire eventually equals 1 (a liveness property)."""
+    return Eventually(StatePred(Eq(Var(wire), 1)))
+
+
+def eventually_stays_one(wire: str) -> TemporalFormula:
+    """``◇□(wire = 1)``: the strengthened liveness assumption under which
+    the copying process genuinely propagates the 1 (see module docstring)."""
+    return Eventually(Always(StatePred(Eq(Var(wire), 1))))
+
+
+# ---------------------------------------------------------------------------
+# the process implementations
+# ---------------------------------------------------------------------------
+
+def copy_process(out_wire: str, in_wire: str) -> Component:
+    """``Π_out``: starts with ``out = 0`` and repeatedly sets ``out`` to the
+    current value of ``in`` (leaving ``in`` unchanged: interleaving)."""
+    out_var, in_var = Var(out_wire), Var(in_wire)
+    step = And(Eq(out_var.prime(), in_var), Eq(in_var.prime(), in_var))
+    return Component(
+        f"Pi_{out_wire}",
+        outputs=(out_wire,),
+        internals=(),
+        inputs=(in_wire,),
+        init=Eq(out_var, 0),
+        next_action=step,
+        universe=wire_universe(),
+        fairness=[weak_fairness((out_wire,), step)],
+    )
+
+
+def pi_c() -> Component:
+    return copy_process("c", "d")
+
+
+def pi_d() -> Component:
+    return copy_process("d", "c")
+
+
+# ---------------------------------------------------------------------------
+# assumption/guarantee specifications and theorem instances
+# ---------------------------------------------------------------------------
+
+def safety_agspecs() -> Tuple[AGSpec, AGSpec]:
+    """Example 1's A/G specifications: ``M⁰_d ⊳ M⁰_c`` and ``M⁰_c ⊳ M⁰_d``."""
+    ag_c = AGSpec("c-device", assumption=always_zero("d"),
+                  guarantee=always_zero_component("c"))
+    ag_d = AGSpec("d-device", assumption=always_zero("c"),
+                  guarantee=always_zero_component("d"))
+    return ag_c, ag_d
+
+
+def safety_goal() -> AGSpec:
+    """Example 1's conclusion: ``M⁰_c ∧ M⁰_d`` unconditionally
+    (assumption TRUE)."""
+    both = conjoin([always_zero("c"), always_zero("d")], name="M0_c ∧ M0_d")
+    return AGSpec("both-zero", assumption=None, guarantee=both)
+
+
+def liveness_premises() -> Tuple[TemporalFormula, TemporalFormula]:
+    """Example 2's A/G premises ``M¹_d ⊳ M¹_c`` and ``M¹_c ⊳ M¹_d`` as
+    temporal formulas (for the brute-force semantic checker -- liveness
+    assumptions are exactly what the theorem's hypotheses exclude)."""
+    from ..core.operators import Guarantees
+
+    return (
+        Guarantees(eventually_one("d"), eventually_one("c")),
+        Guarantees(eventually_one("c"), eventually_one("d")),
+    )
+
+
+def liveness_goal_formula() -> TemporalFormula:
+    """Example 2's desired conclusion ``M¹_c ∧ M¹_d``."""
+    from ..temporal.formulas import TAnd
+
+    return TAnd(eventually_one("c"), eventually_one("d"))
+
+
+def composed_processes() -> Spec:
+    """The closed system ``Πc ∧ Πd`` (every wire driven by a process)."""
+    return conjoin([pi_c().spec, pi_d().spec], name="Pi_c ∧ Pi_d")

@@ -1,0 +1,448 @@
+"""The N-element queue of the paper's appendix (Figures 3-9).
+
+Everything is parameterised by the channel names, the buffer variable and
+the capacity, so the paper's substitutions are ordinary construction:
+
+* ``F[1] = F[z/o, q1/q]``  ->  ``Queue(size, msg, inp="i", out="z", qvar="q1")``
+* ``F[2] = F[z/i, q2/q]``  ->  ``Queue(size, msg, inp="z", out="o", qvar="q2")``
+* ``F[dbl] = F[(2N+1)/N]`` ->  ``Queue(2 * size + 1, msg, inp="i", out="o")``
+
+The module provides:
+
+* :class:`Queue` -- the queue component: ``Init_M``, ``Enq``, ``Deq``,
+  ``QM``, ``ICL``, and the component ``IQM`` / ``QM = ∃q : IQM``
+  (section A.3, equation (1));
+* :class:`QueueEnvironment` -- the environment component ``QE``
+  (section A.3, equation (2)): sends arbitrary messages on the input
+  channel, acknowledges on the output channel;
+* :func:`complete_queue` -- the complete-system specification ``ICQ`` of
+  Figure 6 (interleaved-disjunct form), and
+  :func:`complete_queue_conjunction` -- the same system as the conjunction
+  ``QE ∧ IQM`` (their reachable graphs coincide; tested);
+* :class:`DoubleQueue` -- the two-queues-in-series system of Figures 7-8,
+  with the interleaving condition ``G``, the refinement mapping
+  ``q ↦ q2 ∘ buffer(z) ∘ q1`` of section A.4, and the
+  assumption/guarantee specifications of section A.5 ready for the
+  Composition Theorem engine (Figure 9).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..kernel.action import unchanged
+from ..kernel.expr import (
+    And,
+    Append,
+    Cat,
+    Cmp,
+    Eq,
+    Exists,
+    Expr,
+    Fn,
+    Head,
+    Len,
+    Or,
+    Tail,
+    TupleExpr,
+    Var,
+)
+from ..kernel.state import Universe
+from ..kernel.values import Domain, FiniteDomain, TupleDomain
+from ..spec import Component, Fairness, Spec, conjoin, weak_fairness
+from ..temporal.formulas import Hide, TemporalFormula
+from ..core.agspec import AGSpec
+from ..core.disjoint import DisjointSpec
+from ..checker.refinement import RefinementMapping
+from .handshake import (
+    ack,
+    channel_universe,
+    channel_vars,
+    cinit,
+    in_flight_expr,
+    send,
+    snd_vars,
+    val,
+)
+
+DEFAULT_MSG = FiniteDomain([0, 1])
+
+
+class Queue:
+    """The queue process of Figure 4, specified as in Figure 6 / section A.3.
+
+    Output variables ``m = <inp.ack, out.snd>``, internal variable ``q``,
+    input variables ``e = <inp.snd, out.ack>``.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        msg: Domain = DEFAULT_MSG,
+        inp: str = "i",
+        out: str = "o",
+        qvar: str = "q",
+        name: Optional[str] = None,
+    ):
+        if size < 1:
+            raise ValueError("queue size must be >= 1")
+        self.size = size
+        self.msg = msg
+        self.inp = inp
+        self.out = out
+        self.qvar = qvar
+        self.name = name or f"QM({inp}->{out},N={size})"
+
+        q = Var(qvar)
+        self.init_m: Expr = And(cinit(out), Eq(q, TupleExpr()))
+        self.enq: Expr = And(
+            Cmp("<", Len(q), size),
+            ack(inp),
+            Eq(q.prime(), Append(q, val(inp))),
+            unchanged(channel_vars(out)),
+        )
+        self.deq: Expr = And(
+            Cmp(">", Len(q), 0),
+            send(Head(q), out),
+            Eq(q.prime(), Tail(q)),
+            unchanged(channel_vars(inp)),
+        )
+        self.qm: Expr = Or(self.enq, self.deq)
+
+        self.outputs: Tuple[str, ...] = (f"{inp}.ack",) + snd_vars(out)
+        self.inputs: Tuple[str, ...] = snd_vars(inp) + (f"{out}.ack",)
+        self.sub: Tuple[str, ...] = self.outputs + (qvar,)
+
+        self.universe = (
+            channel_universe(inp, msg)
+            .merge(channel_universe(out, msg))
+            .merge(Universe({qvar: TupleDomain(msg, size)}))
+        )
+        self.icl = weak_fairness(self.sub, self.qm)
+
+        self.component = Component(
+            self.name,
+            outputs=self.outputs,
+            internals=(qvar,),
+            inputs=self.inputs,
+            init=self.init_m,
+            next_action=self.qm,
+            universe=self.universe,
+            fairness=[self.icl],
+        )
+
+    @property
+    def spec(self) -> Spec:
+        """``IQM``: the unhidden canonical spec (equation (1), inner part)."""
+        return self.component.spec
+
+    def formula(self) -> TemporalFormula:
+        """``QM = ∃q : IQM`` (equation (1))."""
+        return self.component.formula()
+
+    def capacity_invariant(self) -> Expr:
+        return Cmp("<=", Len(Var(self.qvar)), self.size)
+
+    def __repr__(self) -> str:
+        return f"Queue({self.inp}->{self.out}, N={self.size}, q={self.qvar!r})"
+
+
+class QueueEnvironment:
+    """The environment component ``QE`` (section A.3, equation (2)):
+    sends arbitrary messages on *inp*, acknowledges values on *out*."""
+
+    def __init__(
+        self,
+        msg: Domain = DEFAULT_MSG,
+        inp: str = "i",
+        out: str = "o",
+        name: Optional[str] = None,
+    ):
+        self.msg = msg
+        self.inp = inp
+        self.out = out
+        self.name = name or f"QE({inp},{out})"
+
+        self.init_e: Expr = cinit(inp)
+        self.put: Expr = And(
+            Exists("v", msg, send(Var("v"), inp)),
+            unchanged(channel_vars(out)),
+        )
+        self.get: Expr = And(ack(out), unchanged(channel_vars(inp)))
+        self.qe: Expr = Or(self.get, self.put)
+
+        self.outputs: Tuple[str, ...] = snd_vars(inp) + (f"{out}.ack",)
+        self.inputs: Tuple[str, ...] = (f"{inp}.ack",) + snd_vars(out)
+        self.universe = channel_universe(inp, msg).merge(channel_universe(out, msg))
+
+        self.component = Component(
+            self.name,
+            outputs=self.outputs,
+            internals=(),
+            inputs=self.inputs,
+            init=self.init_e,
+            next_action=self.qe,
+            universe=self.universe,
+        )
+
+    @property
+    def spec(self) -> Spec:
+        return self.component.spec
+
+    def formula(self) -> TemporalFormula:
+        return self.component.formula()
+
+    def __repr__(self) -> str:
+        return f"QueueEnvironment({self.inp}, {self.out})"
+
+
+def complete_queue(
+    size: int,
+    msg: Domain = DEFAULT_MSG,
+    inp: str = "i",
+    out: str = "o",
+    qvar: str = "q",
+) -> Spec:
+    """``ICQ`` exactly as in Figure 6: initial condition ``Init_E ∧ Init_M``,
+    next-state ``(QE ∧ q' = q) ∨ QM``, subscript ``<i, o, q>``, fairness
+    ``WF_<i,o,q>(QM)``."""
+    queue = Queue(size, msg, inp, out, qvar)
+    env = QueueEnvironment(msg, inp, out)
+    q = Var(qvar)
+    sub = channel_vars(inp) + channel_vars(out) + (qvar,)
+    return Spec(
+        f"ICQ({inp}->{out},N={size})",
+        And(env.init_e, queue.init_m),
+        Or(And(env.qe, Eq(q.prime(), q)), queue.qm),
+        sub,
+        queue.universe,
+        [weak_fairness(sub, queue.qm)],
+    )
+
+
+def cq_formula(size: int, msg: Domain = DEFAULT_MSG, inp: str = "i",
+               out: str = "o", qvar: str = "q") -> TemporalFormula:
+    """``CQ = ∃q : ICQ`` (Figure 6, bottom)."""
+    spec = complete_queue(size, msg, inp, out, qvar)
+    return Hide({qvar: TupleDomain(msg, size)}, spec.formula())
+
+
+def complete_queue_conjunction(
+    size: int,
+    msg: Domain = DEFAULT_MSG,
+    inp: str = "i",
+    out: str = "o",
+    qvar: str = "q",
+) -> Spec:
+    """The same complete system as ``QE ∧ IQM`` -- composition is
+    conjunction (section 2.2); equivalent to :func:`complete_queue`."""
+    queue = Queue(size, msg, inp, out, qvar)
+    env = QueueEnvironment(msg, inp, out)
+    return conjoin([env.spec, queue.spec], name=f"QE ∧ IQM({inp}->{out},N={size})")
+
+
+class DoubleQueue:
+    """Two queues in series (Figure 7) and everything section A.4-A.5 needs.
+
+    ``q1``: queue from channel ``i`` to internal channel ``z``;
+    ``q2``: queue from ``z`` to ``o``; the composite implements a
+    ``(2N+1)``-element queue from ``i`` to ``o`` (the extra slot is the
+    value in flight on ``z``).
+    """
+
+    def __init__(self, size: int, msg: Domain = DEFAULT_MSG):
+        self.size = size
+        self.msg = msg
+
+        self.q1 = Queue(size, msg, inp="i", out="z", qvar="q1")   # F[1]
+        self.q2 = Queue(size, msg, inp="z", out="o", qvar="q2")   # F[2]
+        self.env = QueueEnvironment(msg, inp="i", out="o")        # QE[dbl] env
+        self.env1 = QueueEnvironment(msg, inp="i", out="z",
+                                     name="QE[1]")                # QE[1]
+        self.env2 = QueueEnvironment(msg, inp="z", out="o",
+                                     name="QE[2]")                # QE[2]
+        self.big = Queue(2 * size + 1, msg, inp="i", out="o",
+                         qvar="q", name=f"QM[dbl](N={2 * size + 1})")
+
+        # G: outputs of distinct components never change simultaneously
+        self.disjoint = DisjointSpec([
+            snd_vars("i") + ("o.ack",),   # environment outputs
+            snd_vars("z") + ("i.ack",),   # first queue's outputs
+            snd_vars("o") + ("z.ack",),   # second queue's outputs
+        ])
+
+        # the refinement mapping of section A.4: q = q2 ∘ buffer(z) ∘ q1
+        self.mapping = RefinementMapping({
+            "q": Cat(Cat(Var("q2"), in_flight_expr("z")), Var("q1")),
+        })
+
+        self.universe = (
+            self.q1.universe.merge(self.q2.universe).merge(self.env.universe)
+        )
+
+    # -- complete systems (Figure 8) ----------------------------------------
+
+    def cdq_spec(self) -> Spec:
+        """``ICDQ`` exactly as in Figure 8 (interleaved-disjunct form)."""
+        sub = (
+            channel_vars("i") + channel_vars("z") + channel_vars("o")
+            + ("q1", "q2")
+        )
+        env_step = And(self.env.qe, unchanged(("q1", "q2") + channel_vars("z")))
+        q1_step = And(self.q1.qm, unchanged(("q2",) + channel_vars("o")))
+        q2_step = And(self.q2.qm, unchanged(("q1",) + channel_vars("i")))
+        return Spec(
+            f"ICDQ(N={self.size})",
+            And(self.env.init_e, self.q1.init_m, self.q2.init_m),
+            Or(env_step, q1_step, q2_step),
+            sub,
+            self.universe,
+            [
+                weak_fairness(self.q1.sub, self.q1.qm),
+                weak_fairness(self.q2.sub, self.q2.qm),
+            ],
+        )
+
+    def cdq_conjunction(self) -> Spec:
+        """The same complete system as ``QE ∧ IQM[1] ∧ IQM[2]``."""
+        return conjoin(
+            [self.env.spec, self.q1.spec, self.q2.spec],
+            name=f"QE ∧ IQM[1] ∧ IQM[2](N={self.size})",
+        )
+
+    def icq_dbl(self) -> Spec:
+        """``ICQ[dbl]``: the complete (2N+1)-queue (target of section A.4)."""
+        return complete_queue(2 * self.size + 1, self.msg)
+
+    # -- assumption/guarantee specifications (section A.5) ----------------------
+
+    def ag_q1(self) -> AGSpec:
+        """``QE[1] ⊳ QM[1]``."""
+        return AGSpec("QE[1] ⊳ QM[1]", assumption=self.env1.spec,
+                      guarantee=self.q1.component)
+
+    def ag_q2(self) -> AGSpec:
+        """``QE[2] ⊳ QM[2]``."""
+        return AGSpec("QE[2] ⊳ QM[2]", assumption=self.env2.spec,
+                      guarantee=self.q2.component)
+
+    def ag_goal(self) -> AGSpec:
+        """``QE[dbl] ⊳ QM[dbl]``."""
+        return AGSpec("QE[dbl] ⊳ QM[dbl]", assumption=self.env.spec,
+                      guarantee=self.big.component)
+
+    def composition_theorem(self, max_states: int = 200_000):
+        """The Figure 9 proof, as a :class:`CompositionTheorem` instance:
+
+        ``G ∧ (QE[1] ⊳ QM[1]) ∧ (QE[2] ⊳ QM[2]) ⇒ (QE[dbl] ⊳ QM[dbl])``
+        """
+        from ..core.composition import CompositionTheorem
+
+        return CompositionTheorem(
+            [self.ag_q1(), self.ag_q2()],
+            self.ag_goal(),
+            disjoint=self.disjoint,
+            mapping=self.mapping,
+            name=f"double queue (N={self.size})",
+            max_states=max_states,
+        )
+
+    def __repr__(self) -> str:
+        return f"DoubleQueue(N={self.size})"
+
+
+class QueueChain:
+    """k queues in series: the generalisation of Figures 7-9.
+
+    Queue ``j`` (1-based) runs from channel ``chan(j-1)`` to ``chan(j)``,
+    where ``chan(0) = "i"``, ``chan(k) = "o"``, and the internal channels
+    are ``z1 .. z(k-1)``.  The composite implements a queue of capacity
+    ``k*N + (k-1)`` (each buffer plus each in-flight slot), which the
+    Composition Theorem proves from the component A/G specifications plus
+    the (k+1)-way Disjoint condition -- the paper's construction, iterated
+    beyond the double queue it works out by hand.
+
+    ``QueueChain(2, N)`` coincides with :class:`DoubleQueue` (tested).
+    """
+
+    def __init__(self, count: int, size: int, msg: Domain = DEFAULT_MSG):
+        if count < 2:
+            raise ValueError("a chain needs at least 2 queues")
+        self.count = count
+        self.size = size
+        self.msg = msg
+
+        self.channels: List[str] = (
+            ["i"] + [f"z{j}" for j in range(1, count)] + ["o"]
+        )
+        self.queues: List[Queue] = [
+            Queue(size, msg, inp=self.channels[j], out=self.channels[j + 1],
+                  qvar=f"q{j + 1}")
+            for j in range(count)
+        ]
+        self.env = QueueEnvironment(msg, inp="i", out="o")
+        self.envs: List[QueueEnvironment] = [
+            QueueEnvironment(msg, inp=self.channels[j],
+                             out=self.channels[j + 1],
+                             name=f"QE[{j + 1}]")
+            for j in range(count)
+        ]
+        self.capacity = count * size + (count - 1)
+        self.big = Queue(self.capacity, msg, inp="i", out="o", qvar="q",
+                         name=f"QM[chain{count}](N={self.capacity})")
+
+        # ownership: the environment owns i.snd and o.ack; queue j owns
+        # chan(j).snd and chan(j-1).ack
+        tuples = [snd_vars("i") + ("o.ack",)]
+        for j in range(1, count + 1):
+            tuples.append(
+                snd_vars(self.channels[j]) + (f"{self.channels[j - 1]}.ack",)
+            )
+        self.disjoint = DisjointSpec(tuples)
+
+        mapping_expr: Expr = Var("q1")
+        for j in range(1, count):
+            mapping_expr = Cat(Cat(Var(f"q{j + 1}"),
+                                   in_flight_expr(self.channels[j])),
+                               mapping_expr)
+        self.mapping = RefinementMapping({"q": mapping_expr})
+
+        universe = self.env.universe
+        for queue in self.queues:
+            universe = universe.merge(queue.universe)
+        self.universe = universe
+
+    def ag_specs(self) -> List[AGSpec]:
+        return [
+            AGSpec(f"QE[{j + 1}] ⊳ QM[{j + 1}]",
+                   assumption=self.envs[j].spec,
+                   guarantee=self.queues[j].component)
+            for j in range(self.count)
+        ]
+
+    def ag_goal(self) -> AGSpec:
+        return AGSpec("QE ⊳ QM[chain]", assumption=self.env.spec,
+                      guarantee=self.big.component)
+
+    def composition_theorem(self, max_states: int = 500_000):
+        """``G ∧ ⋀_j (QE[j] ⊳ QM[j]) ⇒ (QE ⊳ QM[chain])``."""
+        from ..core.composition import CompositionTheorem
+
+        return CompositionTheorem(
+            self.ag_specs(),
+            self.ag_goal(),
+            disjoint=self.disjoint,
+            mapping=self.mapping,
+            name=f"queue chain (k={self.count}, N={self.size})",
+            max_states=max_states,
+        )
+
+    def complete_spec(self) -> Spec:
+        """The closed composite system (all components conjoined with G)."""
+        specs = [self.env.spec] + [queue.spec for queue in self.queues]
+        g_vars = [v for t in self.disjoint.tuples for v in t]
+        specs.append(self.disjoint.spec(self.universe.restrict(g_vars)))
+        return conjoin(specs, name=f"chain{self.count}(N={self.size})")
+
+    def __repr__(self) -> str:
+        return f"QueueChain(k={self.count}, N={self.size})"

@@ -1,0 +1,69 @@
+"""Temporal logic layer: formula AST, lasso semantics, finite satisfaction.
+
+The paper-specific operators (``⊳``, ``−▷``, ``+v``, ``⊥``, closure ``C``)
+build on this layer and live in :mod:`repro.core`.
+"""
+
+from .formulas import (
+    ActionBox,
+    ActionDiamond,
+    Always,
+    Eventually,
+    Hide,
+    Invariant,
+    LeadsTo,
+    SF,
+    StatePred,
+    TAnd,
+    TEquiv,
+    TImplies,
+    TNot,
+    TOr,
+    TemporalFormula,
+    WF,
+    to_tf,
+)
+from .semantics import (
+    EvalContext,
+    WitnessSearchExhausted,
+    check_implication_on,
+    holds,
+)
+from .prefix import (
+    INFINITE,
+    NotSafetyCheckable,
+    PrefixContext,
+    failure_point,
+    holds_for_first,
+    prefix_sat,
+)
+
+__all__ = [
+    "ActionBox",
+    "ActionDiamond",
+    "Always",
+    "Eventually",
+    "Hide",
+    "Invariant",
+    "LeadsTo",
+    "SF",
+    "StatePred",
+    "TAnd",
+    "TEquiv",
+    "TImplies",
+    "TNot",
+    "TOr",
+    "TemporalFormula",
+    "WF",
+    "to_tf",
+    "EvalContext",
+    "WitnessSearchExhausted",
+    "check_implication_on",
+    "holds",
+    "INFINITE",
+    "NotSafetyCheckable",
+    "PrefixContext",
+    "failure_point",
+    "holds_for_first",
+    "prefix_sat",
+]

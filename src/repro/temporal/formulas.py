@@ -1,0 +1,528 @@
+"""Temporal formula AST.
+
+TLA formulas are built from state predicates and actions with ``'``, ``□``
+and ``∃`` (paper, section 2.1).  The nodes here cover the fragment the
+paper uses:
+
+* :class:`StatePred` -- a state predicate as a temporal formula (truth at
+  the first state of the behavior);
+* :class:`ActionBox` -- ``□[A]_v``, the workhorse of canonical
+  specifications;
+* :class:`Always`, :class:`Eventually`, :class:`LeadsTo` -- ``□``, ``◇``,
+  ``~>`` over temporal formulas;
+* :class:`ActionDiamond` -- ``◇<A>_v`` (used in liveness conclusions);
+* :class:`WF`, :class:`SF` -- weak/strong fairness on an action;
+* :class:`Hide` -- ``∃x : F``, hiding of internal variables with declared
+  finite domains (witness search happens in the semantics module);
+* Boolean connectives :class:`TNot`, :class:`TAnd`, :class:`TOr`,
+  :class:`TImplies`, :class:`TEquiv`.
+
+The paper-specific operators (``⊳``, ``−▷``, ``+v``, ``⊥``, ``C``) live in
+:mod:`repro.core.operators`; they plug into the same evaluation protocol.
+
+Every node implements:
+
+* ``eval_at(ctx, pos)`` -- truth at canonical position *pos* of the lasso
+  carried by *ctx* (see :mod:`repro.temporal.semantics`);
+* ``rename(mapping)`` -- simultaneous variable renaming, the paper's
+  ``F[z/o, q1/q]`` used to instantiate the double queue;
+* ``vars()`` -- free state variables (hidden variables excluded).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, Mapping, Optional, Sequence, Tuple
+
+from ..kernel.expr import Const, Expr, Var, to_expr
+from ..kernel.action import angle, holds_on_step, square, enabled as action_enabled
+from ..kernel.values import Domain
+
+
+class TemporalFormula:
+    """Base class for temporal formulas.  Immutable."""
+
+    __slots__ = ()
+
+    # -- semantics ---------------------------------------------------------
+
+    def eval_at(self, ctx: "EvalContext", pos: int) -> bool:  # noqa: F821
+        raise NotImplementedError
+
+    # -- structure -----------------------------------------------------------
+
+    def subformulas(self) -> Tuple["TemporalFormula", ...]:
+        return ()
+
+    def exprs(self) -> Tuple[Expr, ...]:
+        return ()
+
+    def hidden_names(self) -> FrozenSet[str]:
+        """Names bound at this node (nonempty only for Hide)."""
+        return frozenset()
+
+    def vars(self) -> FrozenSet[str]:
+        """Free state variables of the formula."""
+        acc: FrozenSet[str] = frozenset()
+        for expr in self.exprs():
+            acc |= expr.free_vars() | expr.primed_vars()
+        for sub in self.subformulas():
+            acc |= sub.vars()
+        return acc - self.hidden_names()
+
+    def rename(self, mapping: Mapping[str, str]) -> "TemporalFormula":
+        """Simultaneous renaming of state variables, including subscripts.
+
+        Hidden variables are renamed too when the mapping mentions them --
+        this matches the paper's substitution convention for building
+        ``F[1] = F[z/o, q1/q]`` where ``q`` is internal.
+        """
+        raise NotImplementedError
+
+    def key(self) -> Tuple:
+        raise NotImplementedError
+
+    # -- sugar ---------------------------------------------------------------
+
+    def __and__(self, other: "TemporalFormula") -> "TemporalFormula":
+        return TAnd(self, to_tf(other))
+
+    def __rand__(self, other: object) -> "TemporalFormula":
+        return TAnd(to_tf(other), self)
+
+    def __or__(self, other: "TemporalFormula") -> "TemporalFormula":
+        return TOr(self, to_tf(other))
+
+    def __invert__(self) -> "TemporalFormula":
+        return TNot(self)
+
+    def implies(self, other: object) -> "TemporalFormula":
+        return TImplies(self, to_tf(other))
+
+
+def to_tf(obj: object) -> TemporalFormula:
+    """Coerce an Expr (state predicate), bool, or TemporalFormula to a TF."""
+    if isinstance(obj, TemporalFormula):
+        return obj
+    if isinstance(obj, bool):
+        return StatePred(Const(obj))
+    if isinstance(obj, Expr):
+        if obj.primed_vars():
+            raise TypeError(
+                f"action expression {obj!r} is not a temporal formula; "
+                "wrap it in ActionBox/ActionDiamond/WF/SF"
+            )
+        return StatePred(obj)
+    raise TypeError(f"cannot convert {obj!r} to a temporal formula")
+
+
+def _rename_expr(expr: Expr, mapping: Mapping[str, str]) -> Expr:
+    return expr.substitute({old: Var(new) for old, new in mapping.items()})
+
+
+def _rename_sub(sub: Tuple[str, ...], mapping: Mapping[str, str]) -> Tuple[str, ...]:
+    return tuple(mapping.get(name, name) for name in sub)
+
+
+class StatePred(TemporalFormula):
+    """A state predicate, true of a behavior iff true at its first state."""
+
+    __slots__ = ("pred",)
+
+    def __init__(self, pred: object):
+        self.pred = to_expr(pred)
+        if self.pred.primed_vars():
+            raise TypeError(f"state predicate may not contain primes: {self.pred!r}")
+
+    def eval_at(self, ctx, pos: int) -> bool:
+        value = self.pred.eval_state(ctx.lasso.states[pos])
+        if not isinstance(value, bool):
+            raise TypeError(f"state predicate {self.pred!r} returned {value!r}")
+        return value
+
+    def exprs(self) -> Tuple[Expr, ...]:
+        return (self.pred,)
+
+    def rename(self, mapping: Mapping[str, str]) -> TemporalFormula:
+        return StatePred(_rename_expr(self.pred, mapping))
+
+    def key(self) -> Tuple:
+        return ("StatePred", self.pred.key())
+
+    def __repr__(self) -> str:
+        return f"StatePred({self.pred!r})"
+
+
+class ActionBox(TemporalFormula):
+    """``□[A]_v``: every step is an A step or leaves ``v`` unchanged."""
+
+    __slots__ = ("action", "sub", "_square")
+
+    def __init__(self, action: object, sub: Sequence[str]):
+        self.action = to_expr(action)
+        self.sub: Tuple[str, ...] = tuple(sub)
+        if not self.sub:
+            raise ValueError("ActionBox needs a nonempty subscript tuple v")
+        self._square = square(self.action, self.sub)
+
+    def eval_at(self, ctx, pos: int) -> bool:
+        lasso = ctx.lasso
+        for p, succ in lasso.steps_from(pos):
+            if not holds_on_step(self._square, lasso.states[p], lasso.states[succ]):
+                return False
+        return True
+
+    def exprs(self) -> Tuple[Expr, ...]:
+        return (self.action,)
+
+    def vars(self) -> FrozenSet[str]:
+        return super().vars() | frozenset(self.sub)
+
+    def rename(self, mapping: Mapping[str, str]) -> TemporalFormula:
+        return ActionBox(_rename_expr(self.action, mapping), _rename_sub(self.sub, mapping))
+
+    def key(self) -> Tuple:
+        return ("ActionBox", self.action.key(), self.sub)
+
+    def __repr__(self) -> str:
+        return f"ActionBox({self.action!r}, sub={self.sub})"
+
+
+class ActionDiamond(TemporalFormula):
+    """``◇<A>_v``: some step is an A step that changes ``v``."""
+
+    __slots__ = ("action", "sub", "_angle")
+
+    def __init__(self, action: object, sub: Sequence[str]):
+        self.action = to_expr(action)
+        self.sub = tuple(sub)
+        if not self.sub:
+            raise ValueError("ActionDiamond needs a nonempty subscript tuple v")
+        self._angle = angle(self.action, self.sub)
+
+    def eval_at(self, ctx, pos: int) -> bool:
+        lasso = ctx.lasso
+        for p, succ in lasso.steps_from(pos):
+            if holds_on_step(self._angle, lasso.states[p], lasso.states[succ]):
+                return True
+        return False
+
+    def exprs(self) -> Tuple[Expr, ...]:
+        return (self.action,)
+
+    def vars(self) -> FrozenSet[str]:
+        return super().vars() | frozenset(self.sub)
+
+    def rename(self, mapping: Mapping[str, str]) -> TemporalFormula:
+        return ActionDiamond(_rename_expr(self.action, mapping), _rename_sub(self.sub, mapping))
+
+    def key(self) -> Tuple:
+        return ("ActionDiamond", self.action.key(), self.sub)
+
+    def __repr__(self) -> str:
+        return f"ActionDiamond({self.action!r}, sub={self.sub})"
+
+
+class Always(TemporalFormula):
+    """``□F``."""
+
+    __slots__ = ("body",)
+
+    def __init__(self, body: object):
+        self.body = to_tf(body)
+
+    def eval_at(self, ctx, pos: int) -> bool:
+        return all(ctx.eval(self.body, p) for p in ctx.lasso.suffix_positions(pos))
+
+    def subformulas(self) -> Tuple[TemporalFormula, ...]:
+        return (self.body,)
+
+    def rename(self, mapping: Mapping[str, str]) -> TemporalFormula:
+        return Always(self.body.rename(mapping))
+
+    def key(self) -> Tuple:
+        return ("Always", self.body.key())
+
+    def __repr__(self) -> str:
+        return f"Always({self.body!r})"
+
+
+class Eventually(TemporalFormula):
+    """``◇F``."""
+
+    __slots__ = ("body",)
+
+    def __init__(self, body: object):
+        self.body = to_tf(body)
+
+    def eval_at(self, ctx, pos: int) -> bool:
+        return any(ctx.eval(self.body, p) for p in ctx.lasso.suffix_positions(pos))
+
+    def subformulas(self) -> Tuple[TemporalFormula, ...]:
+        return (self.body,)
+
+    def rename(self, mapping: Mapping[str, str]) -> TemporalFormula:
+        return Eventually(self.body.rename(mapping))
+
+    def key(self) -> Tuple:
+        return ("Eventually", self.body.key())
+
+    def __repr__(self) -> str:
+        return f"Eventually({self.body!r})"
+
+
+class LeadsTo(TemporalFormula):
+    """``F ~> G``, i.e. ``□(F ⇒ ◇G)``."""
+
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs: object, rhs: object):
+        self.lhs = to_tf(lhs)
+        self.rhs = to_tf(rhs)
+
+    def eval_at(self, ctx, pos: int) -> bool:
+        lasso = ctx.lasso
+        for p in lasso.suffix_positions(pos):
+            if ctx.eval(self.lhs, p) and not any(
+                ctx.eval(self.rhs, q) for q in lasso.suffix_positions(p)
+            ):
+                return False
+        return True
+
+    def subformulas(self) -> Tuple[TemporalFormula, ...]:
+        return (self.lhs, self.rhs)
+
+    def rename(self, mapping: Mapping[str, str]) -> TemporalFormula:
+        return LeadsTo(self.lhs.rename(mapping), self.rhs.rename(mapping))
+
+    def key(self) -> Tuple:
+        return ("LeadsTo", self.lhs.key(), self.rhs.key())
+
+    def __repr__(self) -> str:
+        return f"LeadsTo({self.lhs!r}, {self.rhs!r})"
+
+
+class WF(TemporalFormula):
+    """``WF_v(A)``: infinitely many ``<A>_v`` steps, or infinitely many
+    states where ``<A>_v`` is not enabled (paper, section 2.1).
+
+    Fairness only depends on the loop of a lasso, so the value is the same
+    at every position.  Computing ``ENABLED <A>_v`` requires the evaluation
+    context's universe.
+    """
+
+    __slots__ = ("sub", "action", "_angle")
+
+    def __init__(self, sub: Sequence[str], action: object):
+        self.sub = tuple(sub)
+        self.action = to_expr(action)
+        if not self.sub:
+            raise ValueError("WF needs a nonempty subscript tuple v")
+        self._angle = angle(self.action, self.sub)
+
+    def _loop_has_step(self, ctx) -> bool:
+        lasso = ctx.lasso
+        return any(
+            holds_on_step(self._angle, lasso.states[p], lasso.states[succ])
+            for p, succ in lasso.loop_steps()
+        )
+
+    def _loop_enabled_flags(self, ctx) -> Iterator[bool]:
+        lasso = ctx.lasso
+        for p in lasso.loop_positions():
+            yield ctx.enabled(self._angle, lasso.states[p])
+
+    def eval_at(self, ctx, pos: int) -> bool:
+        if self._loop_has_step(ctx):
+            return True
+        return any(not flag for flag in self._loop_enabled_flags(ctx))
+
+    def exprs(self) -> Tuple[Expr, ...]:
+        return (self.action,)
+
+    def vars(self) -> FrozenSet[str]:
+        return super().vars() | frozenset(self.sub)
+
+    def rename(self, mapping: Mapping[str, str]) -> TemporalFormula:
+        return type(self)(_rename_sub(self.sub, mapping), _rename_expr(self.action, mapping))
+
+    def key(self) -> Tuple:
+        return (type(self).__name__, self.sub, self.action.key())
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(sub={self.sub}, {self.action!r})"
+
+
+class SF(WF):
+    """``SF_v(A)``: infinitely many ``<A>_v`` steps, or only finitely many
+    states where ``<A>_v`` is enabled."""
+
+    __slots__ = ()
+
+    def eval_at(self, ctx, pos: int) -> bool:
+        if self._loop_has_step(ctx):
+            return True
+        return not any(self._loop_enabled_flags(ctx))
+
+
+class TNot(TemporalFormula):
+    __slots__ = ("body",)
+
+    def __init__(self, body: object):
+        self.body = to_tf(body)
+
+    def eval_at(self, ctx, pos: int) -> bool:
+        return not ctx.eval(self.body, pos)
+
+    def subformulas(self) -> Tuple[TemporalFormula, ...]:
+        return (self.body,)
+
+    def rename(self, mapping: Mapping[str, str]) -> TemporalFormula:
+        return TNot(self.body.rename(mapping))
+
+    def key(self) -> Tuple:
+        return ("TNot", self.body.key())
+
+    def __repr__(self) -> str:
+        return f"TNot({self.body!r})"
+
+
+class _TNary(TemporalFormula):
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts: object):
+        flat = []
+        for part in parts:
+            tf = to_tf(part)
+            if isinstance(tf, type(self)):
+                flat.extend(tf.parts)
+            else:
+                flat.append(tf)
+        self.parts: Tuple[TemporalFormula, ...] = tuple(flat)
+
+    def subformulas(self) -> Tuple[TemporalFormula, ...]:
+        return self.parts
+
+    def rename(self, mapping: Mapping[str, str]) -> TemporalFormula:
+        return type(self)(*[part.rename(mapping) for part in self.parts])
+
+    def key(self) -> Tuple:
+        return (type(self).__name__,) + tuple(part.key() for part in self.parts)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(" + ", ".join(map(repr, self.parts)) + ")"
+
+
+class TAnd(_TNary):
+    __slots__ = ()
+
+    def eval_at(self, ctx, pos: int) -> bool:
+        return all(ctx.eval(part, pos) for part in self.parts)
+
+
+class TOr(_TNary):
+    __slots__ = ()
+
+    def eval_at(self, ctx, pos: int) -> bool:
+        return any(ctx.eval(part, pos) for part in self.parts)
+
+
+class TImplies(TemporalFormula):
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs: object, rhs: object):
+        self.lhs = to_tf(lhs)
+        self.rhs = to_tf(rhs)
+
+    def eval_at(self, ctx, pos: int) -> bool:
+        return (not ctx.eval(self.lhs, pos)) or ctx.eval(self.rhs, pos)
+
+    def subformulas(self) -> Tuple[TemporalFormula, ...]:
+        return (self.lhs, self.rhs)
+
+    def rename(self, mapping: Mapping[str, str]) -> TemporalFormula:
+        return TImplies(self.lhs.rename(mapping), self.rhs.rename(mapping))
+
+    def key(self) -> Tuple:
+        return ("TImplies", self.lhs.key(), self.rhs.key())
+
+    def __repr__(self) -> str:
+        return f"TImplies({self.lhs!r}, {self.rhs!r})"
+
+
+class TEquiv(TemporalFormula):
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs: object, rhs: object):
+        self.lhs = to_tf(lhs)
+        self.rhs = to_tf(rhs)
+
+    def eval_at(self, ctx, pos: int) -> bool:
+        return ctx.eval(self.lhs, pos) == ctx.eval(self.rhs, pos)
+
+    def subformulas(self) -> Tuple[TemporalFormula, ...]:
+        return (self.lhs, self.rhs)
+
+    def rename(self, mapping: Mapping[str, str]) -> TemporalFormula:
+        return TEquiv(self.lhs.rename(mapping), self.rhs.rename(mapping))
+
+    def key(self) -> Tuple:
+        return ("TEquiv", self.lhs.key(), self.rhs.key())
+
+    def __repr__(self) -> str:
+        return f"TEquiv({self.lhs!r}, {self.rhs!r})"
+
+
+class Hide(TemporalFormula):
+    """``∃ x1, ..., xk : F`` -- existential quantification over flexible
+    (state) variables: "F with x hidden" (paper, section 2.1).
+
+    Each hidden variable carries a finite :class:`Domain` so the semantics
+    module can search for a witness sequence of values.  Evaluation is only
+    supported at position 0 (top level); the uses in the paper are all at
+    top level, and suffix-evaluation of ``∃`` would require re-anchoring
+    the witness search.
+    """
+
+    __slots__ = ("bindings", "body")
+
+    def __init__(self, bindings: Mapping[str, Domain], body: object):
+        if not bindings:
+            raise ValueError("Hide needs at least one hidden variable")
+        self.bindings: Dict[str, Domain] = dict(bindings)
+        self.body = to_tf(body)
+
+    def eval_at(self, ctx, pos: int) -> bool:
+        if pos != 0:
+            raise NotImplementedError(
+                "Hide (∃) evaluation is only supported at position 0; "
+                "rotate the lasso if you need a suffix"
+            )
+        return ctx.search_witness(self)
+
+    def subformulas(self) -> Tuple[TemporalFormula, ...]:
+        return (self.body,)
+
+    def hidden_names(self) -> FrozenSet[str]:
+        return frozenset(self.bindings)
+
+    def rename(self, mapping: Mapping[str, str]) -> TemporalFormula:
+        new_bindings = {mapping.get(name, name): dom for name, dom in self.bindings.items()}
+        if len(new_bindings) != len(self.bindings):
+            raise ValueError(f"renaming {mapping!r} collapses hidden variables")
+        return Hide(new_bindings, self.body.rename(mapping))
+
+    def key(self) -> Tuple:
+        from ..kernel.values import domain_key
+
+        return ("Hide",
+                tuple((name, domain_key(dom))
+                      for name, dom in sorted(self.bindings.items())),
+                self.body.key())
+
+    def __repr__(self) -> str:
+        return f"Hide({sorted(self.bindings)}, {self.body!r})"
+
+
+def Invariant(pred: object) -> Always:
+    """``□P`` for a state predicate P -- convenience constructor."""
+    return Always(StatePred(to_expr(pred)))

@@ -1,0 +1,218 @@
+"""Finite-behavior satisfaction and failure points (paper, section 2.4).
+
+For a formula ``F`` and a finite behavior ``ρ``, the paper defines "ρ
+satisfies F" as: *ρ can be extended to an infinite behavior satisfying F*.
+This notion underpins everything in the paper's safety machinery -- the
+closure ``C``, and the operators ``⊳``, ``−▷``, ``+v``, ``⊥`` all
+quantify over prefixes of a behavior.
+
+:func:`prefix_sat` computes finite satisfaction *exactly* for the fragment
+the paper's canonical specifications live in:
+
+* state predicates (and their negations): determined by the first state;
+* ``□[A]_v`` and ``□P``: every step/state so far must comply -- the
+  infinite stuttering extension then witnesses extendability;
+* conjunction: exact for the above, plus fairness conjuncts -- any finite
+  behavior extends to one satisfying ``WF``/``SF`` (take an ``<A>_v`` step
+  whenever enabled), which is the machine-closure fact behind the paper's
+  Proposition 1;
+* disjunction: always exact (an extension satisfying ``F ∨ G`` satisfies
+  one of them);
+* ``∃`` (Hide): bounded witness search over the prefix;
+* eventualities (``◇``, ``~>``, ``◇<A>_v``) and fairness at top level:
+  finitely satisfiable (returns True) -- exact whenever the eventuality's
+  target is achievable in the unconstrained universe, which holds for
+  every specification in this repository (documented approximation
+  otherwise).
+
+Formulas outside the fragment raise :class:`NotSafetyCheckable` rather
+than silently guessing.
+
+:func:`failure_point` lifts this to lassos: the first ``n`` at which the
+``n``-state prefix of the (infinite) behavior stops being extendable to
+satisfy ``F``.  For the step-local fragment above, any failure manifests
+within one extra trip around the loop, so the scan is finite and complete.
+The paper's operators then reduce to arithmetic on failure points -- see
+:mod:`repro.core.operators`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Optional, Union
+
+from ..kernel.behavior import FiniteBehavior, Lasso
+from ..kernel.expr import EvalError
+from ..kernel.action import holds_on_step
+from ..kernel.state import Universe
+from .formulas import (
+    ActionBox,
+    ActionDiamond,
+    Always,
+    Eventually,
+    Hide,
+    LeadsTo,
+    SF,
+    StatePred,
+    TAnd,
+    TemporalFormula,
+    TImplies,
+    TNot,
+    TOr,
+    WF,
+    to_tf,
+)
+
+
+class NotSafetyCheckable(Exception):
+    """The formula lies outside the fragment for which finite satisfaction
+    is implemented."""
+
+
+class PrefixContext:
+    """Options threaded through a prefix-satisfaction computation."""
+
+    __slots__ = ("universe", "max_witness_candidates")
+
+    def __init__(self, universe: Optional[Universe] = None,
+                 max_witness_candidates: int = 500_000):
+        self.universe = universe
+        self.max_witness_candidates = max_witness_candidates
+
+
+def prefix_sat(
+    formula: object,
+    behavior: FiniteBehavior,
+    ctx: Optional[PrefixContext] = None,
+) -> bool:
+    """Does *behavior* extend to an infinite behavior satisfying *formula*?"""
+    if ctx is None:
+        ctx = PrefixContext()
+    return _sat(to_tf(formula), behavior, ctx)
+
+
+def _sat(tf: TemporalFormula, fb: FiniteBehavior, ctx: PrefixContext) -> bool:
+    custom = getattr(tf, "finite_sat", None)
+    if custom is not None:
+        return custom(fb, ctx)
+
+    if isinstance(tf, StatePred):
+        return _state_pred(tf, fb)
+    if isinstance(tf, TNot):
+        inner = tf.body
+        if isinstance(inner, StatePred):
+            return not _state_pred(inner, fb)
+        raise NotSafetyCheckable(
+            f"negation is only finite-checkable on state predicates, got {inner!r}"
+        )
+    if isinstance(tf, ActionBox):
+        try:
+            return all(
+                holds_on_step(tf._square, fb[i], fb[i + 1]) for i in range(len(fb) - 1)
+            )
+        except EvalError as exc:
+            raise NotSafetyCheckable(f"cannot evaluate {tf!r} on the prefix: {exc}")
+    if isinstance(tf, Always):
+        body = tf.body
+        if isinstance(body, StatePred):
+            return all(_pred_at(body, fb, i) for i in range(len(fb)))
+        if isinstance(body, (ActionBox, Always, TAnd)):
+            return _sat(_flatten_always(body), fb, ctx)
+        raise NotSafetyCheckable(f"Always over {body!r} is not finite-checkable")
+    if isinstance(tf, TAnd):
+        return all(_sat(part, fb, ctx) for part in tf.parts)
+    if isinstance(tf, TOr):
+        return any(_sat(part, fb, ctx) for part in tf.parts)
+    if isinstance(tf, TImplies):
+        if isinstance(tf.lhs, StatePred):
+            return (not _state_pred(tf.lhs, fb)) or _sat(tf.rhs, fb, ctx)
+        raise NotSafetyCheckable(
+            f"implication is finite-checkable only with a state-predicate "
+            f"hypothesis, got {tf.lhs!r}"
+        )
+    if isinstance(tf, (WF, SF, Eventually, LeadsTo, ActionDiamond)):
+        # Eventualities and fairness are satisfiable from any finite prefix
+        # by a suitable (unconstrained) extension; see the module docstring.
+        return True
+    if isinstance(tf, Hide):
+        return _hide_sat(tf, fb, ctx)
+    raise NotSafetyCheckable(f"no finite-satisfaction rule for {tf!r}")
+
+
+def _flatten_always(body: TemporalFormula) -> TemporalFormula:
+    """``□`` is idempotent and distributes over ∧ within our fragment."""
+    if isinstance(body, Always):
+        return _flatten_always(body.body)
+    if isinstance(body, TAnd):
+        return TAnd(*[Always(part) if isinstance(part, StatePred) else part
+                      for part in body.parts])
+    return body
+
+
+def _state_pred(tf: StatePred, fb: FiniteBehavior) -> bool:
+    return _pred_at(tf, fb, 0)
+
+
+def _pred_at(tf: StatePred, fb: FiniteBehavior, index: int) -> bool:
+    value = tf.pred.eval_state(fb[index])
+    if not isinstance(value, bool):
+        raise NotSafetyCheckable(f"{tf.pred!r} is not Boolean-valued")
+    return value
+
+
+def _hide_sat(tf: Hide, fb: FiniteBehavior, ctx: PrefixContext) -> bool:
+    """∃x : F on a finite behavior: some hidden-value sequence over the
+    prefix makes the body finitely satisfiable."""
+    names = sorted(tf.bindings)
+    domains = [list(tf.bindings[name].values()) for name in names]
+    per_position = list(itertools.product(*domains))
+    total = len(per_position) ** len(fb)
+    if total > ctx.max_witness_candidates:
+        raise NotSafetyCheckable(
+            f"hidden-witness search over the prefix needs {total} candidates "
+            f"(> {ctx.max_witness_candidates})"
+        )
+    for assignment in itertools.product(per_position, repeat=len(fb)):
+        states = [
+            fb[i].update(dict(zip(names, assignment[i]))) for i in range(len(fb))
+        ]
+        if _sat(tf.body, FiniteBehavior(states), ctx):
+            return True
+    return False
+
+
+INFINITE = math.inf
+
+
+def failure_point(
+    formula: object,
+    lasso: Lasso,
+    ctx: Optional[PrefixContext] = None,
+) -> Union[int, float]:
+    """The smallest ``n >= 1`` such that the first ``n`` states of the
+    behavior do *not* satisfy *formula* (finitely); ``INFINITE`` if every
+    prefix satisfies it.
+
+    The scan covers one extra trip around the loop beyond the canonical
+    states; for the step-local safety fragment every possible failure
+    appears in that window, so ``INFINITE`` is definitive.
+    """
+    tf = to_tf(formula)
+    if ctx is None:
+        ctx = PrefixContext()
+    horizon = lasso.length + lasso.loop_length + 1
+    for n in range(1, horizon + 1):
+        if not prefix_sat(tf, lasso.prefix(n), ctx):
+            return n
+    return INFINITE
+
+
+def holds_for_first(formula: object, lasso: Lasso, n: int,
+                    ctx: Optional[PrefixContext] = None) -> bool:
+    """The paper's "F holds for the first n states of σ" (vacuous at n=0)."""
+    if n == 0:
+        return True
+    if ctx is None:
+        ctx = PrefixContext()
+    return prefix_sat(formula, lasso.prefix(n), ctx)

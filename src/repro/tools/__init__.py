@@ -1,0 +1,5 @@
+"""Command-line tooling (``python -m repro ...``)."""
+
+from .cli import main
+
+__all__ = ["main"]

@@ -1,0 +1,164 @@
+"""Command-line interface: model-check mini-TLA modules from the shell.
+
+::
+
+    python -m repro check Counter.tla --spec Spec --invariant Small \\
+                                      --property Progress
+    python -m repro explore Counter.tla --spec Spec
+    python -m repro trace Counter.tla --spec Spec --steps 12 --seed 7
+    python -m repro pretty Counter.tla Next
+
+``check`` exits nonzero when any check fails, printing rendered
+counterexamples -- suitable for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from ..checker import (
+    check_invariant,
+    check_temporal_implication,
+    explore,
+)
+from ..checker.results import CheckResult
+from ..checker.simulate import random_walk
+from ..fmt import pretty, pretty_spec
+from ..kernel.values import format_value
+from ..parser import TLAModule, load_module
+
+
+def _load(path: str) -> TLAModule:
+    with open(path) as handle:
+        return load_module(handle.read())
+
+
+def _report(result: CheckResult, out) -> bool:
+    print(result.summary(), file=out)
+    if not result.ok and result.counterexample is not None:
+        print(result.counterexample.render(), file=out)
+    return result.ok
+
+
+def cmd_check(args: argparse.Namespace, out) -> int:
+    module = _load(args.module)
+    spec = module.spec(args.spec)
+    graph = explore(spec, max_states=args.max_states)
+    print(f"{module.name}!{args.spec}: {graph.state_count} states, "
+          f"{graph.edge_count} edges", file=out)
+    ok = True
+    for name in args.invariant or ():
+        result = check_invariant(graph, module.expr(name), name=name)
+        ok = _report(result, out) and ok
+    for name in args.property or ():
+        from ..checker.liveness import premises_of_spec
+
+        result = check_temporal_implication(
+            graph, module.formula(name),
+            premises=premises_of_spec(spec), name=name)
+        ok = _report(result, out) and ok
+    if not (args.invariant or args.property):
+        print("(no --invariant/--property given: exploration only)", file=out)
+    return 0 if ok else 1
+
+
+def cmd_explore(args: argparse.Namespace, out) -> int:
+    module = _load(args.module)
+    spec = module.spec(args.spec)
+    graph = explore(spec, max_states=args.max_states)
+    print(f"{module.name}!{args.spec}:", file=out)
+    print(f"  states: {graph.state_count}", file=out)
+    print(f"  edges:  {graph.edge_count}", file=out)
+    print(f"  initial states: {len(graph.init_nodes)}", file=out)
+    shown = min(args.show, graph.state_count)
+    if shown:
+        print(f"  first {shown} state(s):", file=out)
+        for node in range(shown):
+            print(f"    {graph.states[node]!r}", file=out)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace, out) -> int:
+    module = _load(args.module)
+    spec = module.spec(args.spec)
+    walk = random_walk(spec, steps=args.steps, seed=args.seed)
+    names = spec.universe.variables
+    header = ["step"] + [str(i) for i in range(len(walk))]
+    rows = [header]
+    for name in names:
+        rows.append([name] + [format_value(state[name]) for state in walk])
+    widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
+    for row in rows:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)),
+              file=out)
+    return 0
+
+
+def cmd_pretty(args: argparse.Namespace, out) -> int:
+    module = _load(args.module)
+    names = [args.definition] if args.definition else sorted(module.definitions)
+    for name in names:
+        value = module.get(name)
+        from ..kernel.values import Domain
+
+        if isinstance(value, Domain):
+            print(f"{name} == {value!r}", file=out)
+        else:
+            print(f"{name} == {pretty(value, unicode=args.unicode)}", file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Open Systems in TLA: model-check mini-TLA modules.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="explore and check a module")
+    check.add_argument("module", help="path to a mini-TLA module file")
+    check.add_argument("--spec", default="Spec", help="spec definition name")
+    check.add_argument("--invariant", action="append",
+                       help="state-predicate definition to check (repeatable)")
+    check.add_argument("--property", action="append",
+                       help="temporal definition to check (repeatable)")
+    check.add_argument("--max-states", type=int, default=200_000)
+    check.set_defaults(func=cmd_check)
+
+    exp = sub.add_parser("explore", help="explore the state space")
+    exp.add_argument("module")
+    exp.add_argument("--spec", default="Spec")
+    exp.add_argument("--max-states", type=int, default=200_000)
+    exp.add_argument("--show", type=int, default=5,
+                     help="how many states to print")
+    exp.set_defaults(func=cmd_explore)
+
+    trace = sub.add_parser("trace", help="print a random behavior prefix")
+    trace.add_argument("module")
+    trace.add_argument("--spec", default="Spec")
+    trace.add_argument("--steps", type=int, default=12)
+    trace.add_argument("--seed", type=int, default=None)
+    trace.set_defaults(func=cmd_trace)
+
+    pp = sub.add_parser("pretty", help="pretty-print definitions")
+    pp.add_argument("module")
+    pp.add_argument("definition", nargs="?", default=None)
+    pp.add_argument("--unicode", action="store_true")
+    pp.set_defaults(func=cmd_pretty)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args, out)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    except Exception as exc:  # surface parse/elaboration errors readably
+        print(f"error: {type(exc).__name__}: {exc}", file=out)
+        return 2

@@ -1,0 +1,59 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import pytest
+
+from repro.kernel import (
+    And,
+    Arith,
+    Const,
+    Eq,
+    Lasso,
+    State,
+    Universe,
+    Var,
+    interval,
+)
+from repro.spec import Spec, weak_fairness
+
+
+def st(**values) -> State:
+    """Shorthand state constructor: ``st(x=1, y=2)``."""
+    return State(values)
+
+
+def lasso(states: Sequence[Dict[str, object]], loop_start: int = 0) -> Lasso:
+    """Build a lasso from dicts: ``lasso([{"x":0},{"x":1}], 1)``."""
+    return Lasso([State(d) for d in states], loop_start)
+
+
+def bits(var: str, values: Sequence[int], loop_start: int = 0) -> Lasso:
+    """One-variable lasso: ``bits("x", [0,1,1], 1)``."""
+    return lasso([{var: v} for v in values], loop_start)
+
+
+@pytest.fixture
+def xy_universe() -> Universe:
+    return Universe({"x": interval(0, 2), "y": interval(0, 2)})
+
+
+@pytest.fixture
+def x_universe() -> Universe:
+    return Universe({"x": interval(0, 2)})
+
+
+def counter_spec(modulus: int = 3, fair: bool = True) -> Spec:
+    """``x`` counts 0..modulus-1 cyclically; the workhorse toy spec."""
+    x = Var("x")
+    universe = Universe({"x": interval(0, modulus - 1)})
+    step = Eq(x.prime(), Arith("%", x + 1, Const(modulus)))
+    fairness = [weak_fairness(("x",), step)] if fair else []
+    return Spec(f"counter{modulus}", Eq(x, 0), step, ("x",), universe, fairness)
+
+
+@pytest.fixture
+def counter() -> Spec:
+    return counter_spec()

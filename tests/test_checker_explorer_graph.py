@@ -1,0 +1,146 @@
+"""Unit tests for state-space exploration and the graph machinery."""
+
+import pytest
+
+from repro.checker import StateGraph, StateSpaceExplosion, explore, initial_states
+from repro.checker.graph import StateGraph as Graph
+from repro.kernel import And, BIT, Eq, Exists, Not, Or, State, Universe, Var, interval
+from repro.spec import Spec
+
+from tests.conftest import counter_spec, st
+
+x, y = Var("x"), Var("y")
+
+
+class TestInitialStates:
+    def test_fully_determined(self):
+        universe = Universe({"x": interval(0, 5)})
+        assert list(initial_states(Eq(x, 3), universe)) == [st(x=3)]
+
+    def test_partially_determined(self):
+        universe = Universe({"x": BIT, "y": BIT})
+        states = set(initial_states(Eq(x, 0), universe))
+        assert states == {st(x=0, y=0), st(x=0, y=1)}
+
+    def test_constraint_form(self):
+        universe = Universe({"x": interval(0, 3)})
+        states = set(initial_states(x < 2, universe))
+        assert states == {st(x=0), st(x=1)}
+
+    def test_disjunctive_init(self):
+        universe = Universe({"x": interval(0, 3)})
+        states = set(initial_states(Or(Eq(x, 0), Eq(x, 3)), universe))
+        assert states == {st(x=0), st(x=3)}
+
+    def test_exists_init(self):
+        universe = Universe({"x": interval(0, 3)})
+        init = Exists("v", interval(1, 2), Eq(x, Var("v")))
+        assert set(initial_states(init, universe)) == {st(x=1), st(x=2)}
+
+    def test_primed_init_rejected(self):
+        with pytest.raises(ValueError):
+            list(initial_states(Eq(x.prime(), 0), Universe({"x": BIT})))
+
+    def test_unsatisfiable(self):
+        universe = Universe({"x": BIT})
+        assert list(initial_states(And(Eq(x, 0), Eq(x, 1)), universe)) == []
+
+
+class TestExplore:
+    def test_counter(self):
+        graph = explore(counter_spec())
+        assert graph.state_count == 3
+        assert graph.init_nodes == [0]
+        # stutter self-loop on every node
+        for node in range(graph.state_count):
+            assert node in graph.succ[node]
+
+    def test_unreachable_states_absent(self):
+        universe = Universe({"x": interval(0, 9)})
+        spec = Spec("stuck", Eq(x, 0), And(Eq(x, 0), Eq(x.prime(), 1)),
+                    ("x",), universe)
+        graph = explore(spec)
+        assert graph.state_count == 2
+
+    def test_explosion_guard(self):
+        spec = counter_spec(modulus=3)
+        with pytest.raises(StateSpaceExplosion):
+            explore(spec, max_states=1)
+
+    def test_parent_paths(self):
+        graph = explore(counter_spec())
+        target = graph.index[st(x=2)]
+        path = graph.path_to_root(target)
+        assert [graph.states[i]["x"] for i in path] == [0, 1, 2]
+
+
+class TestStateGraph:
+    def build_diamond(self):
+        """0 -> {1, 2} -> 3 -> 0 (plus stutter loops)."""
+        graph = Graph(Universe({"x": interval(0, 3)}))
+        nodes = [graph.add_state(st(x=i))[0] for i in range(4)]
+        for src, dst in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)]:
+            graph.add_edge(nodes[src], nodes[dst])
+        graph.init_nodes = [0]
+        return graph
+
+    def test_bfs_path(self):
+        graph = self.build_diamond()
+        path = graph.bfs_path([0], lambda n: n == 3)
+        assert path is not None and path[0] == 0 and path[-1] == 3
+        assert len(path) == 3
+
+    def test_bfs_respects_filters(self):
+        graph = self.build_diamond()
+        path = graph.bfs_path([0], lambda n: n == 3, node_ok=lambda n: n != 1)
+        assert path == [0, 2, 3]
+        none = graph.bfs_path([0], lambda n: n == 3,
+                              node_ok=lambda n: n not in (1, 2))
+        assert none is None
+
+    def test_bfs_source_is_target(self):
+        graph = self.build_diamond()
+        assert graph.bfs_path([2], lambda n: n == 2) == [2]
+
+    def test_sccs_whole_graph(self):
+        graph = self.build_diamond()
+        sccs = graph.sccs()
+        assert sorted(len(c) for c in sccs) == [4]
+
+    def test_sccs_with_edge_filter(self):
+        graph = self.build_diamond()
+        # cutting 3 -> 0 leaves only stutter-loop singletons
+        sccs = graph.sccs(edge_ok=lambda s, d: (s, d) != (3, 0))
+        assert sorted(len(c) for c in sccs) == [1, 1, 1, 1]
+
+    def test_sccs_no_stutter_no_component(self):
+        graph = self.build_diamond()
+        sccs = graph.sccs(
+            edge_ok=lambda s, d: s != d and (s, d) != (3, 0))
+        assert sccs == []
+
+    def test_covering_cycle_visits_everything(self):
+        graph = self.build_diamond()
+        cycle = graph.covering_cycle([0, 1, 2, 3])
+        assert set(cycle) == {0, 1, 2, 3}
+        # consecutive nodes connected, and wrap edge exists
+        extended = cycle + [cycle[0]]
+        for a, b in zip(extended, extended[1:]):
+            assert b in graph.succ[a]
+
+    def test_covering_cycle_with_required_edges(self):
+        graph = self.build_diamond()
+        cycle = graph.covering_cycle([0, 1, 2, 3],
+                                     required_edges=[(0, 2), (0, 1)])
+        pairs = set(zip(cycle, cycle[1:] + [cycle[0]]))
+        assert (0, 2) in pairs and (0, 1) in pairs
+
+    def test_covering_cycle_singleton_stutter(self):
+        graph = self.build_diamond()
+        assert graph.covering_cycle([1], edge_ok=lambda s, d: s == d) == [1]
+
+    def test_add_state_idempotent(self):
+        graph = Graph(Universe({"x": BIT}))
+        n1, new1 = graph.add_state(st(x=0))
+        n2, new2 = graph.add_state(st(x=0))
+        assert n1 == n2 and new1 and not new2

@@ -1,0 +1,217 @@
+"""Unit tests for the Composition Theorem engine and the brute-force
+semantic checker."""
+
+import pytest
+
+from repro.core import (
+    AGSpec,
+    Certificate,
+    CompositionTheorem,
+    DisjointSpec,
+    Obligation,
+    brute_force_equivalence,
+    brute_force_implication,
+    behavior_count,
+    compose,
+    refinement_corollary,
+)
+from repro.checker import RefinementMapping
+from repro.kernel import And, BIT, Eq, Or, Universe, Var, interval
+from repro.spec import Component, Spec, conjoin, weak_fairness
+from repro.systems import circuit
+from repro.temporal import Eventually, StatePred, holds
+
+from tests.conftest import lasso
+
+c, d = Var("c"), Var("d")
+
+
+class TestCertificateModel:
+    def test_obligation_trivial_skip(self):
+        ob = Obligation("1", "desc", skipped_reason="E is TRUE")
+        assert ob.ok
+        assert "trivially" in ob.render()
+
+    def test_obligation_requires_result(self):
+        assert not Obligation("1", "desc").ok
+
+    def test_certificate_aggregates(self):
+        cert = Certificate("t", "conclusion")
+        cert.add(Obligation("1", "a", skipped_reason="x"))
+        assert cert.ok and bool(cert)
+        cert.add(Obligation("2", "b"))
+        assert not cert.ok
+        assert cert.failed_obligations()[0].oid == "2"
+
+    def test_expect_ok_raises(self):
+        cert = Certificate("t", "conclusion")
+        cert.add(Obligation("2", "b"))
+        with pytest.raises(AssertionError):
+            cert.expect_ok()
+
+    def test_render_mentions_status(self):
+        cert = Certificate("t", "conclusion")
+        assert "NOT PROVED" in cert.render()
+        cert.add(Obligation("1", "a", skipped_reason="x"))
+        assert "PROVED" in cert.render()
+        assert "Q.E.D." in cert.render()
+
+
+class TestEngineOnCircuit:
+    def test_figure1_safety_proved(self):
+        ag_c, ag_d = circuit.safety_agspecs()
+        cert = compose([ag_c, ag_d], circuit.safety_goal())
+        assert cert.ok
+        oids = [ob.oid for ob in cert.obligations]
+        assert oids == ["0", "1[1]", "1[2]", "2a", "2b"]
+
+    def test_agrees_with_brute_force(self):
+        ag_c, ag_d = circuit.safety_agspecs()
+        goal = circuit.safety_goal()
+        thm = CompositionTheorem([ag_c, ag_d], goal)
+        assert thm.verify().ok
+        result = brute_force_implication(
+            [ag_c.formula(), ag_d.formula()], goal.formula(),
+            circuit.wire_universe())
+        assert result.ok
+
+    def test_conclusion_formula(self):
+        ag_c, ag_d = circuit.safety_agspecs()
+        thm = CompositionTheorem([ag_c, ag_d], circuit.safety_goal())
+        formula = thm.conclusion_formula()
+        # the implication holds on a well-behaved behavior and on one where
+        # a premise fails
+        ok = lasso([{"c": 0, "d": 0}], 0)
+        assert holds(formula, ok, circuit.wire_universe())
+
+    def test_broken_component_detected(self):
+        """A device that violates its guarantee while its assumption holds
+        must make hypothesis 2 fail."""
+        bad_guarantee = Component(
+            "bad-c", outputs=("c",), internals=(), inputs=(),
+            init=Eq(c, 0), next_action=Eq(c.prime(), 1 - c),  # flips c!
+            universe=Universe({"c": BIT}))
+        ag_c = AGSpec("c-device", circuit.always_zero("d"), bad_guarantee)
+        ag_d = AGSpec("d-device", circuit.always_zero("c"),
+                      circuit.always_zero_component("d"))
+        cert = compose([ag_c, ag_d], circuit.safety_goal())
+        assert not cert.ok
+
+    def test_missing_assumption_detected(self):
+        """If the goal promises more than the devices guarantee, 2a/2b fail."""
+        ag_c, ag_d = circuit.safety_agspecs()
+        # goal: c = d = 0 AND c' = 0 stays -- but also demands d = 1?!
+        impossible = Spec("absurd", And(Eq(c, 0), Eq(d, 1)),
+                          And(Eq(c.prime(), 0), Eq(d.prime(), 1)),
+                          ("c", "d"), circuit.wire_universe())
+        cert = compose([ag_c, ag_d], AGSpec("absurd", None, impossible))
+        assert not cert.ok
+
+    def test_no_components_rejected(self):
+        with pytest.raises(ValueError):
+            CompositionTheorem([], circuit.safety_goal())
+
+    def test_stats_accumulated(self):
+        ag_c, ag_d = circuit.safety_agspecs()
+        cert = compose([ag_c, ag_d], circuit.safety_goal())
+        assert cert.total_states_explored() >= 1
+
+
+class TestDisjointHandling:
+    def test_g_becomes_first_part(self):
+        ag_c, ag_d = circuit.safety_agspecs()
+        disjoint = DisjointSpec([("c",), ("d",)])
+        thm = CompositionTheorem([ag_c, ag_d], circuit.safety_goal(),
+                                 disjoint=disjoint)
+        assert thm.all_parts[0].name == "G"
+        assert thm.all_parts[0].assumption is None
+        assert thm.verify().ok
+
+    def test_plus_sub_default_excludes_internals(self):
+        from repro.systems.queue import DoubleQueue
+
+        dq = DoubleQueue(1)
+        thm = dq.composition_theorem()
+        sub = thm.plus_sub()
+        assert "q" not in sub and "q1" not in sub and "q2" not in sub
+        assert "i.sig" in sub and "z.ack" in sub
+
+    def test_orthogonality_needs_disjoint(self):
+        """With a nontrivial goal assumption and no Disjoint condition,
+        hypothesis 2a is not dischargeable."""
+        ag_c, ag_d = circuit.safety_agspecs()
+        goal = AGSpec("cond", circuit.always_zero("d"),
+                      circuit.always_zero_component("c"))
+        cert = compose([ag_c, ag_d], goal)
+        h2a = [ob for ob in cert.obligations if ob.oid == "2a"][0]
+        assert any(not rule.ok and "Disjoint" in " ".join(rule.details)
+                   for rule in h2a.rules)
+
+
+class TestRefinementCorollary:
+    def test_refine_counter(self):
+        """x counting mod 6 refines parity counting mod 2 under a fixed
+        (trivial but shared) environment assumption."""
+        x = Var("x")
+        y = Var("y")
+        env = Spec("env", Eq(Var("w"), 0), Eq(Var("w").prime(), 0), ("w",),
+                   Universe({"w": BIT}))
+        from repro.kernel import Arith, Const
+
+        impl_step = Eq(x.prime(), Arith("%", x + 1, Const(6)))
+        impl = Component("impl", outputs=("x",), internals=(), inputs=(),
+                         init=Eq(x, 0), next_action=impl_step,
+                         universe=Universe({"x": interval(0, 5)}),
+                         fairness=[weak_fairness(("x",), impl_step)])
+        target_step = Eq(y.prime(), Arith("%", y + 1, Const(2)))
+        target = Component("target", outputs=("y",), internals=("y",)[:0],
+                           inputs=(),
+                           init=Eq(y, 0), next_action=target_step,
+                           universe=Universe({"y": BIT}),
+                           fairness=[weak_fairness(("y",), target_step)])
+        mapping = RefinementMapping({"y": Arith("%", x, Const(2))})
+        disjoint = DisjointSpec([("w",), ("x", "y")])
+        cert = refinement_corollary(
+            env, AGSpec("impl", env, impl), AGSpec("goal", env, target),
+            mapping=mapping, disjoint=disjoint)
+        assert cert.ok
+
+    def test_assumption_mismatch_rejected(self):
+        env1 = circuit.always_zero("c")
+        env2 = circuit.always_zero("c")
+        impl = AGSpec("i", env1, circuit.always_zero_component("d"))
+        goal = AGSpec("g", env2, circuit.always_zero_component("d"))
+        with pytest.raises(ValueError, match="same assumption"):
+            refinement_corollary(env1, impl, goal)
+
+
+class TestBruteForce:
+    def test_equivalence_checker(self):
+        u = circuit.wire_universe()
+        f1 = StatePred(Eq(c, 0))
+        result = brute_force_equivalence(f1, f1, u, max_stem=1, max_loop=1)
+        assert result.ok
+        f2 = StatePred(Eq(c, 1))
+        result = brute_force_equivalence(f1, f2, u, max_stem=0, max_loop=1)
+        assert not result.ok
+
+    def test_behavior_count_closed_form(self):
+        u = Universe({"c": BIT})
+        counted = behavior_count(u, max_stem=1, max_loop=2)
+        result = brute_force_implication([], StatePred(True), u,
+                                         max_stem=1, max_loop=2)
+        assert result.stats["behaviors"] == counted
+
+    def test_max_behaviors_cutoff(self):
+        u = circuit.wire_universe()
+        result = brute_force_implication(
+            [], StatePred(True), u, max_stem=2, max_loop=2, max_behaviors=10)
+        assert result.ok
+        assert result.notes
+
+    def test_finds_minimal_counterexample_first(self):
+        u = Universe({"c": BIT})
+        result = brute_force_implication(
+            [], Eventually(StatePred(Eq(c, 1))), u, max_stem=1, max_loop=1)
+        assert not result.ok
+        assert result.counterexample.trace.length == 1

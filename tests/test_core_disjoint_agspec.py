@@ -1,0 +1,114 @@
+"""Unit tests for DisjointSpec and AGSpec."""
+
+import pytest
+
+from repro.core import AGSpec, DisjointSpec, Guarantees
+from repro.kernel import BIT, Eq, Universe, Var
+from repro.spec import Component, Spec, weak_fairness
+from repro.temporal import Hide, StatePred, holds
+
+from tests.conftest import lasso
+
+a, b, c = Var("a"), Var("b"), Var("c")
+U3 = Universe({"a": BIT, "b": BIT, "c": BIT})
+
+
+class TestDisjointSpec:
+    def test_formula_semantics(self):
+        disjoint = DisjointSpec([("a",), ("b",)])
+        ok = lasso([{"a": 0, "b": 0}, {"a": 1, "b": 0}, {"a": 1, "b": 1}], 2)
+        assert holds(disjoint.formula(), ok, U3.restrict(["a", "b"]))
+        bad = lasso([{"a": 0, "b": 0}, {"a": 1, "b": 1}], 1)
+        assert not holds(disjoint.formula(), bad, U3.restrict(["a", "b"]))
+
+    def test_three_way_pairs(self):
+        disjoint = DisjointSpec([("a",), ("b",), ("c",)])
+        formula = disjoint.formula()
+        assert len(formula.parts) == 3  # one box per unordered pair
+
+    def test_tuple_variables_move_together(self):
+        disjoint = DisjointSpec([("a", "b"), ("c",)])
+        ok = lasso([{"a": 0, "b": 0, "c": 0}, {"a": 1, "b": 1, "c": 0}], 1)
+        assert holds(disjoint.formula(), ok, U3)
+
+    def test_separates(self):
+        disjoint = DisjointSpec([("a", "b"), ("c",)])
+        assert disjoint.separates("a", "c")
+        assert not disjoint.separates("a", "b")   # same tuple
+        assert not disjoint.separates("a", "zz")  # undeclared
+
+    def test_separates_tuples(self):
+        disjoint = DisjointSpec([("a",), ("b",), ("c",)])
+        assert disjoint.separates_tuples(("a",), ("b", "c"))
+        assert not disjoint.separates_tuples(("a", "zz"), ("b",))
+
+    def test_spec_conversion(self):
+        disjoint = DisjointSpec([("a",), ("b",)])
+        spec = disjoint.spec(U3.restrict(["a", "b"]))
+        assert set(spec.sub) == {"a", "b"}
+        assert not spec.fairness
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least two"):
+            DisjointSpec([("a",)])
+        with pytest.raises(ValueError, match="overlap"):
+            DisjointSpec([("a",), ("a", "b")])
+        with pytest.raises(ValueError, match="nonempty"):
+            DisjointSpec([(), ("a",)])
+
+
+def simple_component(name="M"):
+    return Component(
+        name, outputs=("a",), internals=("h",), inputs=("b",),
+        init=Eq(a, 0) & Eq(Var("h"), 0),
+        next_action=Eq(a.prime(), b) & Eq(Var("h").prime(), a) & Eq(b.prime(), b),
+        universe=Universe({"a": BIT, "b": BIT, "h": BIT}),
+        fairness=[weak_fairness(("a", "h"),
+                  Eq(a.prime(), b) & Eq(Var("h").prime(), a) & Eq(b.prime(), b))],
+    )
+
+
+def simple_assumption():
+    return Spec("E", Eq(b, 0), Eq(b.prime(), 0), ("b",), Universe({"b": BIT}))
+
+
+class TestAGSpec:
+    def test_formula_is_guarantees(self):
+        ag = AGSpec("ag", simple_assumption(), simple_component())
+        formula = ag.formula()
+        assert isinstance(formula, Guarantees)
+        assert isinstance(formula.sys, Hide)
+
+    def test_true_assumption_collapses(self):
+        ag = AGSpec("ag", None, simple_component())
+        assert not isinstance(ag.formula(), Guarantees)
+        assert isinstance(ag.assumption_formula(), StatePred)
+
+    def test_guarantee_views(self):
+        comp = simple_component()
+        ag = AGSpec("ag", None, comp)
+        assert ag.guarantee_component is comp
+        assert ag.guarantee_spec is comp.spec
+        assert ag.internals == ("h",)
+
+    def test_spec_guarantee(self):
+        spec = simple_assumption()
+        ag = AGSpec("ag", None, spec)
+        assert ag.guarantee_component is None
+        assert ag.guarantee_spec is spec
+        assert ag.internals == ()
+
+    def test_fair_assumption_rejected(self):
+        fair_env = Spec("E", Eq(b, 0), Eq(b.prime(), 0), ("b",),
+                        Universe({"b": BIT}),
+                        [weak_fairness(("b",), Eq(b.prime(), 0))])
+        with pytest.raises(TypeError, match="fairness"):
+            AGSpec("bad", fair_env, simple_component())
+
+    def test_formula_assumption_rejected(self):
+        with pytest.raises(TypeError, match="canonical Spec"):
+            AGSpec("bad", StatePred(Eq(b, 0)), simple_component())
+
+    def test_bad_guarantee_rejected(self):
+        with pytest.raises(TypeError):
+            AGSpec("bad", None, StatePred(Eq(a, 0)))

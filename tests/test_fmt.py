@@ -1,0 +1,162 @@
+"""Unit tests for pretty printing, including parser round-trips."""
+
+import pytest
+
+from repro.fmt import pretty, pretty_spec
+from repro.kernel import (
+    And,
+    Cat,
+    Const,
+    Eq,
+    Exists,
+    IfThenElse,
+    Len,
+    Not,
+    Or,
+    TupleExpr,
+    Var,
+    interval,
+    structurally_equal,
+)
+from repro.parser import parse_expr, parse_formula
+from repro.temporal import (
+    ActionBox,
+    ActionDiamond,
+    Always,
+    Eventually,
+    Hide,
+    LeadsTo,
+    SF,
+    StatePred,
+    TAnd,
+    WF,
+)
+
+from tests.conftest import counter_spec
+
+x, y = Var("x"), Var("y")
+
+
+class TestExprPretty:
+    def test_atoms(self):
+        assert pretty(Const(7)) == "7"
+        assert pretty(Const(True)) == "TRUE"
+        assert pretty(Const((1, 2))) == "<<1, 2>>"
+        assert pretty(x) == "x"
+        assert pretty(x.prime()) == "x'"
+
+    def test_operators(self):
+        assert pretty(Eq(x, Const(0))) == "x = 0"
+        assert pretty(Not(Eq(x, Const(0)))) == "x # 0"
+        assert pretty(x + 1) == "x + 1"
+        assert pretty((x + 1) * 2) == "(x + 1) * 2"
+        assert pretty(x < 2) == "x < 2"
+
+    def test_connectives(self):
+        expr = And(Eq(x, Const(0)), Or(Eq(y, Const(1)), Eq(y, Const(2))))
+        assert pretty(expr) == "x = 0 /\\ (y = 1 \\/ y = 2)"
+
+    def test_unicode_mode(self):
+        expr = And(Eq(x, Const(0)), Eq(y, Const(1)))
+        assert "∧" in pretty(expr, unicode=True)
+
+    def test_tuple_and_functions(self):
+        assert pretty(TupleExpr(x, y)) == "<<x, y>>"
+        assert pretty(Len(x)) == "Len(x)"
+        assert pretty(Cat(x, y)) == "x \\o y"
+
+    def test_ite(self):
+        assert pretty(IfThenElse(x > 0, x, y)) == "IF x > 0 THEN x ELSE y"
+
+    def test_quantifier(self):
+        expr = Exists("v", interval(0, 3), Eq(x, Var("v")))
+        assert pretty(expr) == "\\E v \\in 0..3 : x = v"
+
+
+class TestFormulaPretty:
+    def test_action_box(self):
+        formula = ActionBox(Eq(x.prime(), x + 1), ("x",))
+        assert pretty(formula) == "[][x' = x + 1]_x"
+
+    def test_action_box_tuple_sub(self):
+        formula = ActionBox(Eq(x.prime(), x), ("x", "y"))
+        assert pretty(formula) == "[][x' = x]_<<x, y>>"
+
+    def test_temporal_operators(self):
+        assert pretty(Always(StatePred(Eq(x, Const(0))))) == "[](x = 0)"
+        assert pretty(Eventually(StatePred(Eq(x, Const(0))))) == "<>(x = 0)"
+        assert pretty(LeadsTo(StatePred(Eq(x, Const(0))),
+                              StatePred(Eq(x, Const(1))))) == "x = 0 ~> x = 1"
+
+    def test_fairness(self):
+        assert pretty(WF(("x",), Eq(x.prime(), x + 1))) == "WF_x(x' = x + 1)"
+        assert pretty(SF(("x", "y"), Eq(x.prime(), x))) == "SF_<<x, y>>(x' = x)"
+
+    def test_hide(self):
+        formula = Hide({"h": interval(0, 1)}, StatePred(Eq(Var("h"), 0)))
+        assert pretty(formula) == "\\E h : h = 0"
+
+    def test_paper_operators(self):
+        from repro.core import Closure, Guarantees, Orthogonal, Plus
+
+        e_formula = StatePred(Eq(x, Const(0)))
+        m_formula = StatePred(Eq(y, Const(0)))
+        assert pretty(Closure(e_formula)) == "C(x = 0)"
+        assert "-+>" in pretty(Guarantees(e_formula, m_formula))
+        assert "⊳" in pretty(Guarantees(e_formula, m_formula), unicode=True)
+        assert "_|_" in pretty(Orthogonal(e_formula, m_formula))
+        assert pretty(Plus(e_formula, ("x",))).endswith("+x")
+
+    def test_pretty_spec_layout(self):
+        text = pretty_spec(counter_spec())
+        lines = text.splitlines()
+        assert lines[0].endswith("==")
+        assert lines[1].lstrip().startswith("/\\")
+        assert "WF_x" in lines[3]
+
+    def test_unknown_object_rejected(self):
+        with pytest.raises(TypeError):
+            pretty(42)
+
+
+class TestRoundTrip:
+    """pretty() output re-parses to a structurally equal tree."""
+
+    EXPRESSIONS = [
+        "x = 0",
+        "x # 0",
+        "x + 1 * 2",
+        "(x + 1) * 2",
+        "x = 0 /\\ (y = 1 \\/ y = 2)",
+        "x < 2 => y = 1",
+        "<<x, y>> = <<0, 1>>",
+        "Append(q, x) = q",
+        "Len(q) < 3",
+        "IF x > 0 THEN x ELSE y",
+        "x' = x + 1",
+        "\\E v \\in 0..3 : x = v",
+        "q \\o <<1>> = q",
+    ]
+
+    @pytest.mark.parametrize("text", EXPRESSIONS)
+    def test_expr_round_trip(self, text):
+        expr = parse_expr(text)
+        assert structurally_equal(parse_expr(pretty(expr)), expr)
+
+    FORMULAS = [
+        "[](x = 0)",
+        "<>(x = 1)",
+        "[][x' = x + 1]_<<x, y>>",
+        "<><<x' = x + 1>>_x",
+        "WF_x(x' = x + 1)",
+        "SF_<<x, y>>(x' = x)",
+        "x = 0 /\\ [][x' = x]_x /\\ WF_x(x' = x)",
+        "(x = 0) ~> (x = 1)",
+        "[](x = 0) => <>(y = 1)",
+    ]
+
+    @pytest.mark.parametrize("text", FORMULAS)
+    def test_formula_round_trip(self, text):
+        formula = parse_formula(text)
+        reparsed = parse_formula(pretty(formula))
+        assert reparsed.key() == formula.key()

@@ -1,0 +1,177 @@
+"""Unit tests for the action toolkit and the successor compiler."""
+
+import pytest
+
+from repro.kernel import (
+    And,
+    BIT,
+    Const,
+    Eq,
+    Exists,
+    Not,
+    Or,
+    State,
+    TupleExpr,
+    Universe,
+    Var,
+    angle,
+    changed,
+    compile_action,
+    enabled,
+    holds_on_step,
+    interval,
+    square,
+    successors,
+    unchanged,
+)
+
+from tests.conftest import st
+
+x, y = Var("x"), Var("y")
+xp, yp = Var("x", primed=True), Var("y", primed=True)
+
+
+def succ_set(action, state, universe, frame=None):
+    return set(successors(action, state, universe, frame))
+
+
+@pytest.fixture
+def uni():
+    return Universe({"x": interval(0, 2), "y": interval(0, 2)})
+
+
+class TestHelpers:
+    def test_unchanged(self):
+        action = unchanged(["x", "y"])
+        assert holds_on_step(action, st(x=1, y=2), st(x=1, y=2))
+        assert not holds_on_step(action, st(x=1, y=2), st(x=1, y=3))
+
+    def test_unchanged_empty(self):
+        assert holds_on_step(unchanged([]), st(x=0), st(x=5))
+
+    def test_changed(self):
+        assert holds_on_step(changed(["x"]), st(x=0), st(x=1))
+        assert not holds_on_step(changed(["x"]), st(x=0), st(x=0))
+
+    def test_square_allows_stutter(self):
+        action = square(Eq(xp, x + 1), ["x"])
+        assert holds_on_step(action, st(x=0), st(x=1))
+        assert holds_on_step(action, st(x=0), st(x=0))
+        assert not holds_on_step(action, st(x=0), st(x=2))
+
+    def test_angle_requires_change(self):
+        action = angle(Eq(xp, x), ["x"])
+        assert not holds_on_step(action, st(x=0), st(x=0))
+
+
+class TestCompile:
+    def test_binding_recognised(self):
+        compiled = compile_action(Eq(xp, x + 1))
+        assert len(compiled.branches) == 1
+        assert set(compiled.branches[0].bindings) == {"x"}
+
+    def test_binding_reversed_orientation(self):
+        compiled = compile_action(Eq(x + 1, xp))
+        assert set(compiled.branches[0].bindings) == {"x"}
+
+    def test_primed_rhs_not_binding(self):
+        compiled = compile_action(Eq(xp, yp))
+        assert not compiled.branches[0].bindings
+
+    def test_disjunction_branches(self):
+        compiled = compile_action(Or(Eq(xp, 0), Eq(xp, 1)))
+        assert len(compiled.branches) == 2
+
+    def test_tuple_destructuring(self):
+        compiled = compile_action(Eq(TupleExpr(xp, yp), TupleExpr(y, x)))
+        assert set(compiled.branches[0].bindings) == {"x", "y"}
+
+    def test_exists_expansion(self):
+        compiled = compile_action(Exists("v", interval(0, 2), Eq(xp, Var("v"))))
+        assert len(compiled.branches) == 3
+
+    def test_false_compiles_to_nothing(self):
+        assert compile_action(Const(False)).branches == []
+
+    def test_true_compiles_to_one_empty_branch(self):
+        branches = compile_action(Const(True)).branches
+        assert len(branches) == 1
+        assert not branches[0].bindings and not branches[0].constraints
+
+    def test_conflicting_bindings_become_checks(self):
+        compiled = compile_action(And(Eq(xp, 0), Eq(xp, 1)))
+        branch = compiled.branches[0]
+        assert branch.binding_checks
+
+    def test_cache_by_identity(self):
+        action = Eq(xp, x)
+        assert compile_action(action) is compile_action(action)
+
+
+class TestSuccessors:
+    def test_deterministic_action(self, uni):
+        action = And(Eq(xp, x + 1), Eq(yp, y))
+        assert succ_set(action, st(x=0, y=0), uni) == {st(x=1, y=0)}
+
+    def test_out_of_domain_post_state(self, uni):
+        action = And(Eq(xp, x + 1), Eq(yp, y))
+        assert succ_set(action, st(x=2, y=0), uni) == set()
+
+    def test_unconstrained_var_enumerates(self, uni):
+        action = Eq(xp, 0)
+        result = succ_set(action, st(x=1, y=1), uni)
+        assert result == {st(x=0, y=0), st(x=0, y=1), st(x=0, y=2)}
+
+    def test_frame_pins_variables(self, uni):
+        action = Eq(xp, 0)
+        assert succ_set(action, st(x=1, y=1), uni, frame=["x"]) == {st(x=0, y=1)}
+
+    def test_frame_conflicting_binding_filtered(self, uni):
+        # the action wants to change y, but y is outside the frame
+        action = And(Eq(xp, 0), Eq(yp, 2))
+        assert succ_set(action, st(x=1, y=1), uni, frame=["x"]) == set()
+
+    def test_residual_constraint(self, uni):
+        action = And(Eq(xp, x), Not(Eq(yp, y)))
+        result = succ_set(action, st(x=0, y=0), uni)
+        assert result == {st(x=0, y=1), st(x=0, y=2)}
+
+    def test_disjunction_dedups(self, uni):
+        action = Or(And(Eq(xp, 1), Eq(yp, y)), And(Eq(xp, 1), Eq(yp, y)))
+        assert len(list(successors(action, st(x=0, y=0), uni))) == 1
+
+    def test_conflicting_conjunction_empty(self, uni):
+        action = And(Eq(xp, 0), Eq(xp, 1), Eq(yp, y))
+        assert succ_set(action, st(x=2, y=0), uni) == set()
+
+    def test_eval_error_disables_branch(self, uni):
+        from repro.kernel import Head
+
+        action = And(Eq(xp, Head(TupleExpr())), Eq(yp, y))
+        assert succ_set(action, st(x=0, y=0), uni) == set()
+
+    def test_guard_blocks(self, uni):
+        action = And(Eq(x, 0), Eq(xp, 1), Eq(yp, y))
+        assert succ_set(action, st(x=1, y=0), uni) == set()
+        assert succ_set(action, st(x=0, y=0), uni) == {st(x=1, y=0)}
+
+    def test_exists_successors(self, uni):
+        action = And(Exists("v", interval(0, 2), Eq(xp, Var("v"))), Eq(yp, y))
+        assert len(succ_set(action, st(x=0, y=0), uni)) == 3
+
+
+class TestEnabled:
+    def test_enabled_basic(self, uni):
+        action = And(Eq(x, 0), Eq(xp, 1), Eq(yp, y))
+        assert enabled(action, st(x=0, y=0), uni)
+        assert not enabled(action, st(x=1, y=0), uni)
+
+    def test_enabled_angle_of_stutter(self, uni):
+        # <x' = x>_x can never change x, hence never enabled
+        action = angle(Eq(xp, x), ["x"])
+        assert not enabled(And(action, Eq(yp, y)), st(x=0, y=0), uni)
+
+    def test_enabled_depends_on_domain(self):
+        small = Universe({"x": interval(0, 0)})
+        action = Eq(xp, x + 1)
+        assert not enabled(action, State({"x": 0}), small)

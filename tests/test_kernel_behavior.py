@@ -1,0 +1,161 @@
+"""Unit tests for finite behaviors and lassos."""
+
+import pytest
+
+from repro.kernel import FiniteBehavior, Lasso, State, all_lassos, lasso_from_stem_and_loop
+
+from tests.conftest import bits, st
+
+
+class TestFiniteBehavior:
+    def test_basic(self):
+        fb = FiniteBehavior([st(x=0), st(x=1)])
+        assert len(fb) == 2
+        assert fb[1] == st(x=1)
+        assert list(fb) == [st(x=0), st(x=1)]
+
+    def test_nonempty_required(self):
+        with pytest.raises(ValueError):
+            FiniteBehavior([])
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            FiniteBehavior([{"x": 0}])
+
+    def test_prefix(self):
+        fb = FiniteBehavior([st(x=0), st(x=1), st(x=2)])
+        assert fb.prefix(2) == FiniteBehavior([st(x=0), st(x=1)])
+        with pytest.raises(ValueError):
+            fb.prefix(0)
+        with pytest.raises(ValueError):
+            fb.prefix(4)
+
+    def test_extend(self):
+        fb = FiniteBehavior([st(x=0)]).extend(st(x=1))
+        assert len(fb) == 2
+
+    def test_steps(self):
+        fb = FiniteBehavior([st(x=0), st(x=1), st(x=2)])
+        assert list(fb.steps()) == [(st(x=0), st(x=1)), (st(x=1), st(x=2))]
+
+    def test_stutter_forever(self):
+        la = FiniteBehavior([st(x=0), st(x=1)]).stutter_forever()
+        assert la.loop_start == 1
+        assert la.state(100) == st(x=1)
+
+    def test_equality_and_hash(self):
+        a = FiniteBehavior([st(x=0)])
+        b = FiniteBehavior([st(x=0)])
+        assert a == b and hash(a) == hash(b)
+
+
+class TestLassoGeometry:
+    def test_position_folding(self):
+        la = bits("x", [0, 1, 2], loop_start=1)  # 0 (1 2)^w
+        assert [la.position(i) for i in range(7)] == [0, 1, 2, 1, 2, 1, 2]
+
+    def test_state_at_infinite_index(self):
+        # behavior: 0 (1 2)^w -> index 5 is 1, index 6 is 2
+        la = bits("x", [0, 1, 2], loop_start=1)
+        assert la.state(5)["x"] == 1
+        assert la.state(6)["x"] == 2
+
+    def test_successor_position_wraps(self):
+        la = bits("x", [0, 1, 2], loop_start=1)
+        assert la.successor_position(0) == 1
+        assert la.successor_position(2) == 1
+
+    def test_self_loop(self):
+        la = bits("x", [7], loop_start=0)
+        assert la.successor_position(0) == 0
+        assert la.loop_length == 1
+
+    def test_loop_start_validation(self):
+        with pytest.raises(ValueError):
+            Lasso([st(x=0)], loop_start=1)
+        with pytest.raises(ValueError):
+            Lasso([], loop_start=0)
+
+    def test_suffix_positions_from_stem(self):
+        la = bits("x", [0, 1, 2, 3], loop_start=2)
+        assert sorted(la.suffix_positions(0)) == [0, 1, 2, 3]
+        assert sorted(la.suffix_positions(1)) == [1, 2, 3]
+
+    def test_suffix_positions_inside_loop(self):
+        la = bits("x", [0, 1, 2, 3], loop_start=2)
+        # from position 3 the whole loop still recurs
+        assert sorted(la.suffix_positions(3)) == [2, 3]
+
+    def test_steps_from_dedup(self):
+        la = bits("x", [0, 1], loop_start=1)
+        steps = list(la.steps_from(0))
+        assert (0, 1) in steps and (1, 1) in steps
+        assert len(steps) == len(set(steps))
+
+    def test_loop_steps(self):
+        la = bits("x", [0, 1, 2], loop_start=1)
+        assert set(la.loop_steps()) == {(1, 2), (2, 1)}
+
+
+class TestLassoDerived:
+    def test_prefix_walks_loop(self):
+        la = bits("x", [0, 1], loop_start=1)
+        fb = la.prefix(4)
+        assert [s["x"] for s in fb] == [0, 1, 1, 1]
+
+    def test_unroll_denotes_same_behavior(self):
+        la = bits("x", [0, 1, 2], loop_start=1)
+        unrolled = la.unroll(3)
+        assert unrolled.loop_start == 1
+        for i in range(12):
+            assert unrolled.state(i) == la.state(i)
+
+    def test_unroll_validation(self):
+        with pytest.raises(ValueError):
+            bits("x", [0]).unroll(0)
+
+    def test_rotate_loop_to(self):
+        la = bits("x", [0, 1, 2], loop_start=1)  # 0 (1 2)^w
+        rotated = la.rotate_loop_to(2)           # 0 1 (2 1)^w
+        for i in range(10):
+            assert rotated.state(i) == la.state(i)
+        assert rotated.loop_start == 2
+
+    def test_rotate_backward_rejected(self):
+        with pytest.raises(ValueError):
+            bits("x", [0, 1, 2], loop_start=2).rotate_loop_to(1)
+
+    def test_map_states(self):
+        la = bits("x", [0, 1], loop_start=0)
+        doubled = la.map_states(lambda s: State({"x": s["x"] * 2}))
+        assert doubled.state(1)["x"] == 2
+
+    def test_project(self):
+        la = Lasso([st(x=0, y=5), st(x=1, y=5)], 0)
+        assert la.project(["y"]).state(0) == st(y=5)
+
+    def test_equality(self):
+        assert bits("x", [0, 1], 1) == bits("x", [0, 1], 1)
+        assert bits("x", [0, 1], 1) != bits("x", [0, 1], 0)
+
+
+class TestConstruction:
+    def test_from_stem_and_loop(self):
+        la = lasso_from_stem_and_loop([st(x=0)], [st(x=1), st(x=2)])
+        assert la.loop_start == 1
+        assert la.loop_length == 2
+
+    def test_empty_loop_rejected(self):
+        with pytest.raises(ValueError):
+            lasso_from_stem_and_loop([st(x=0)], [])
+
+    def test_all_lassos_counts(self):
+        states = [st(x=0), st(x=1)]
+        # stems of length 0..1, loops of length 1..2:
+        # 2^1 + 2^2 + 2^2 + 2^3 = 2 + 4 + 4 + 8 = 18
+        assert len(list(all_lassos(states, max_stem=1, max_loop=2))) == 18
+
+    def test_all_lassos_distinct(self):
+        states = [st(x=0), st(x=1)]
+        result = list(all_lassos(states, 1, 1))
+        assert len(result) == len(set(result))

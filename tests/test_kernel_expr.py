@@ -1,0 +1,307 @@
+"""Unit tests for the expression AST: evaluation, analysis, substitution."""
+
+import pytest
+
+from repro.kernel import (
+    And,
+    Append,
+    Arith,
+    Cat,
+    Cmp,
+    Const,
+    Env,
+    Eq,
+    Equiv,
+    EvalError,
+    Exists,
+    FALSE,
+    Fn,
+    Forall,
+    Head,
+    IfThenElse,
+    Implies,
+    InSet,
+    Len,
+    Not,
+    Nth,
+    Or,
+    Tail,
+    TRUE,
+    TupleExpr,
+    Var,
+    interval,
+    prime_expr,
+    rename_vars,
+    structurally_equal,
+    to_expr,
+)
+
+from tests.conftest import st
+
+x, y = Var("x"), Var("y")
+
+
+def ev(expr, **values):
+    return to_expr(expr).eval_state(st(**values))
+
+
+def ev2(expr, pre, post):
+    return to_expr(expr).eval_pair(st(**pre), st(**post))
+
+
+class TestConstAndVar:
+    def test_const(self):
+        assert ev(Const(7)) == 7
+        assert ev(TRUE) is True and ev(FALSE) is False
+
+    def test_const_validates(self):
+        with pytest.raises(TypeError):
+            Const([1])
+
+    def test_var_lookup(self):
+        assert ev(x, x=3) == 3
+
+    def test_unbound_var(self):
+        with pytest.raises(EvalError, match="unbound"):
+            ev(x, y=1)
+
+    def test_primed_var_in_action(self):
+        assert ev2(Var("x", primed=True), {"x": 1}, {"x": 9}) == 9
+
+    def test_primed_var_outside_action(self):
+        with pytest.raises(EvalError, match="outside an action"):
+            Var("x", primed=True).eval_state(st(x=1))
+
+    def test_var_name_validation(self):
+        with pytest.raises(TypeError):
+            Var("")
+
+    def test_double_prime_rejected(self):
+        with pytest.raises(ValueError):
+            Var("x", primed=True).prime()
+
+
+class TestBooleans:
+    def test_and_or_not(self):
+        assert ev(And(TRUE, TRUE)) is True
+        assert ev(And(TRUE, FALSE)) is False
+        assert ev(Or(FALSE, TRUE)) is True
+        assert ev(Or(FALSE, FALSE)) is False
+        assert ev(Not(FALSE)) is True
+
+    def test_empty_and_is_true(self):
+        assert ev(And()) is True
+
+    def test_empty_or_is_false(self):
+        assert ev(Or()) is False
+
+    def test_flattening(self):
+        conj = And(And(x == 1, y == 2), x == 1)
+        assert len(conj.args) == 3
+
+    def test_implies(self):
+        assert ev(Implies(FALSE, FALSE)) is True
+        assert ev(Implies(TRUE, FALSE)) is False
+
+    def test_equiv(self):
+        assert ev(Equiv(TRUE, TRUE)) is True
+        assert ev(Equiv(TRUE, FALSE)) is False
+
+    def test_non_boolean_operand(self):
+        with pytest.raises(EvalError):
+            ev(And(Const(3)), x=0)
+
+    def test_operator_overloads(self):
+        assert ev((x == 1) & (y == 2), x=1, y=2) is True
+        assert ev((x == 1) | (y == 2), x=0, y=2) is True
+        assert ev(~(x == 1), x=0) is True
+        assert ev((x == 1).implies(y == 2), x=0, y=0) is True
+        assert ev((x == 1).iff(y == 1), x=1, y=1) is True
+
+
+class TestComparisonArithmetic:
+    def test_eq_any_values(self):
+        assert ev(Eq(TupleExpr(x), TupleExpr(Const(1))), x=1) is True
+        assert ev(x == "a", x="a") is True
+
+    def test_ne(self):
+        assert ev(x != 1, x=2) is True
+
+    def test_comparisons(self):
+        assert ev(x < 2, x=1) is True
+        assert ev(x <= 1, x=1) is True
+        assert ev(x > 0, x=1) is True
+        assert ev(x >= 2, x=1) is False
+
+    def test_comparison_type_error(self):
+        with pytest.raises(EvalError):
+            ev(x < 2, x="a")
+
+    def test_arithmetic(self):
+        assert ev(x + 1, x=2) == 3
+        assert ev(x - 1, x=2) == 1
+        assert ev(x * 3, x=2) == 6
+        assert ev(x % 2, x=5) == 1
+        assert ev(Arith("div", x, Const(2)), x=5) == 2
+
+    def test_radd_rsub(self):
+        assert ev(1 + x, x=2) == 3
+        assert ev(5 - x, x=2) == 3
+        assert ev(2 * x, x=3) == 6
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvalError, match="zero"):
+            ev(x % 0, x=1)
+
+    def test_arith_type_error(self):
+        with pytest.raises(EvalError):
+            ev(x + 1, x=(1,))
+
+    def test_unknown_ops_rejected(self):
+        with pytest.raises(ValueError):
+            Cmp("!=", x, y)
+        with pytest.raises(ValueError):
+            Arith("**", x, y)
+
+
+class TestStructures:
+    def test_tuple_expr(self):
+        assert ev(TupleExpr(x, Const(2)), x=1) == (1, 2)
+
+    def test_if_then_else(self):
+        expr = IfThenElse(x > 0, x - 1, Const(0))
+        assert ev(expr, x=5) == 4
+        assert ev(expr, x=0) == 0
+
+    def test_sequence_functions(self):
+        assert ev(Len(x), x=(1, 2, 3)) == 3
+        assert ev(Head(x), x=(1, 2)) == 1
+        assert ev(Tail(x), x=(1, 2)) == (2,)
+        assert ev(Append(x, Const(9)), x=(1,)) == (1, 9)
+        assert ev(Cat(x, y), x=(1,), y=(2,)) == (1, 2)
+
+    def test_nth_one_based(self):
+        assert ev(Nth(x, Const(1)), x=(7, 8)) == 7
+        with pytest.raises(EvalError):
+            ev(Nth(x, Const(0)), x=(7,))
+
+    def test_head_of_empty(self):
+        with pytest.raises(EvalError):
+            ev(Head(x), x=())
+
+    def test_fn_arity_checked(self):
+        with pytest.raises(ValueError):
+            Fn("Len", x, y)
+
+    def test_unknown_fn(self):
+        with pytest.raises(ValueError, match="unknown builtin"):
+            Fn("Reverse", x)
+
+    def test_in_set(self):
+        assert ev(InSet(x, interval(0, 3)), x=2) is True
+        assert ev(InSet(x, interval(0, 3)), x=9) is False
+
+
+class TestQuantifiers:
+    def test_exists(self):
+        assert ev(Exists("v", interval(0, 3), Var("v") == x), x=2) is True
+        assert ev(Exists("v", interval(0, 3), Var("v") == x), x=9) is False
+
+    def test_forall(self):
+        assert ev(Forall("v", interval(0, 2), Var("v") <= x), x=2) is True
+        assert ev(Forall("v", interval(0, 2), Var("v") <= x), x=1) is False
+
+    def test_bound_var_shadows_state(self):
+        assert ev(Exists("x", interval(5, 5), Var("x") == 5), x=0) is True
+
+    def test_rigid_across_step(self):
+        action = Exists("v", interval(0, 3),
+                        And(Var("v") == x, Var("x", primed=True) == Var("v")))
+        assert ev2(action, {"x": 2}, {"x": 2}) is True
+        assert ev2(action, {"x": 2}, {"x": 3}) is False
+
+    def test_domain_type_checked(self):
+        with pytest.raises(TypeError):
+            Exists("v", [0, 1], TRUE)
+
+
+class TestAnalysis:
+    def test_free_vars(self):
+        expr = And(x == 1, Var("y", primed=True) == 2)
+        assert expr.free_vars() == {"x"}
+        assert expr.primed_vars() == {"y"}
+        assert expr.all_vars() == {"x", "y"}
+
+    def test_bound_vars_excluded(self):
+        expr = Exists("v", interval(0, 1), Var("v") == x)
+        assert expr.free_vars() == {"x"}
+
+    def test_is_state_function(self):
+        assert (x + y).is_state_function()
+        assert not (Var("x", primed=True) == 1).is_state_function()
+
+
+class TestSubstitution:
+    def test_simple(self):
+        expr = (x + y).substitute({"x": Const(5)})
+        assert expr.eval_state(st(y=1)) == 6
+
+    def test_primed_occurrence(self):
+        action = Eq(Var("x", primed=True), x)
+        renamed = action.substitute({"x": Var("z")})
+        assert renamed.primed_vars() == {"z"}
+        assert renamed.free_vars() == {"z"}
+
+    def test_substitute_expr_into_primed(self):
+        action = Eq(Var("x", primed=True), Const(0))
+        subst = action.substitute({"x": y + 1})
+        # x' becomes (y + 1)' = y' + 1
+        assert subst.primed_vars() == {"y"}
+
+    def test_capture_avoidance(self):
+        # \E v: v = x, substitute x -> v: bound v must be renamed
+        expr = Exists("v", interval(0, 1), Var("v") == x)
+        subst = expr.substitute({"x": Var("v")})
+        assert subst.eval_state(st(v=0)) is True
+        assert subst.eval_state(st(v=1)) is True  # inner still ranges over 0..1
+
+    def test_shadowed_binding_untouched(self):
+        expr = Exists("x", interval(0, 1), Var("x") == 0)
+        assert structurally_equal(expr.substitute({"x": Const(9)}), expr)
+
+    def test_rename_vars(self):
+        expr = rename_vars(x + y, {"x": "a", "y": "b"})
+        assert expr.eval_state(st(a=1, b=2)) == 3
+
+
+class TestPriming:
+    def test_prime_expr(self):
+        primed = prime_expr(x + y)
+        assert primed.primed_vars() == {"x", "y"}
+        assert primed.free_vars() == set()
+
+    def test_prime_skips_bound(self):
+        expr = Exists("v", interval(0, 1), Var("v") == x)
+        primed = prime_expr(expr)
+        assert primed.primed_vars() == {"x"}
+
+    def test_prime_already_primed_rejected(self):
+        with pytest.raises(ValueError):
+            prime_expr(Eq(Var("x", primed=True), Const(0)))
+
+
+class TestStructuralIdentity:
+    def test_equal_trees(self):
+        assert structurally_equal(x + 1, Var("x") + 1)
+
+    def test_different_trees(self):
+        assert not structurally_equal(x + 1, x + 2)
+        assert not structurally_equal(x < 1, Cmp("<=", x, Const(1)))
+
+    def test_keys_hashable(self):
+        assert isinstance(hash((x + y).key()), int)
+
+    def test_to_expr_coercion(self):
+        assert structurally_equal(to_expr(5), Const(5))
+        with pytest.raises(TypeError):
+            to_expr(object())

@@ -1,0 +1,125 @@
+"""Unit tests for states and universes."""
+
+import pytest
+
+from repro.kernel import BIT, FiniteDomain, State, Universe, interval
+
+from tests.conftest import st
+
+
+class TestState:
+    def test_mapping_protocol(self):
+        state = st(x=1, y=(2, 3))
+        assert state["x"] == 1
+        assert state["y"] == (2, 3)
+        assert len(state) == 2
+        assert set(state) == {"x", "y"}
+        assert "x" in state and "z" not in state
+
+    def test_missing_key(self):
+        with pytest.raises(KeyError):
+            st(x=1)["nope"]
+
+    def test_equality_structural(self):
+        assert st(x=1, y=2) == st(y=2, x=1)
+        assert st(x=1) != st(x=2)
+        assert st(x=1) != st(x=1, y=0)
+
+    def test_hashable(self):
+        assert hash(st(x=1, y=2)) == hash(st(y=2, x=1))
+        assert len({st(x=1), st(x=1), st(x=2)}) == 2
+
+    def test_usable_as_dict_key(self):
+        graph = {st(x=0): "a"}
+        assert graph[st(x=0)] == "a"
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(TypeError):
+            State({"x": [1, 2]})
+
+    def test_rejects_bad_names(self):
+        with pytest.raises(TypeError):
+            State({1: 0})
+
+    def test_update_is_functional(self):
+        base = st(x=1, y=2)
+        updated = base.update({"x": 9})
+        assert updated == st(x=9, y=2)
+        assert base == st(x=1, y=2)
+
+    def test_assign_kwargs(self):
+        assert st(x=1).assign(x=5) == st(x=5)
+
+    def test_update_dotted_names(self):
+        state = State({"i.sig": 0}).update({"i.sig": 1})
+        assert state["i.sig"] == 1
+
+    def test_restrict(self):
+        assert st(x=1, y=2, z=3).restrict(["x", "z"]) == st(x=1, z=3)
+
+    def test_restrict_missing_name_ignored(self):
+        assert st(x=1).restrict(["x", "ghost"]) == st(x=1)
+
+    def test_values_of_ordered(self):
+        assert st(a=1, b=2, c=3).values_of(("c", "a")) == (3, 1)
+
+    def test_repr_formats_values(self):
+        assert "x=<<1>>" in repr(st(x=(1,)))
+
+    def test_eq_non_state(self):
+        assert (st(x=1) == 42) is False
+
+
+class TestUniverse:
+    def test_variables_sorted(self):
+        universe = Universe({"b": BIT, "a": BIT})
+        assert universe.variables == ("a", "b")
+
+    def test_domain_lookup(self):
+        universe = Universe({"x": interval(0, 5)})
+        assert 5 in universe.domain("x")
+
+    def test_domain_missing_is_helpful(self):
+        with pytest.raises(KeyError, match="declared: x"):
+            Universe({"x": BIT}).domain("y")
+
+    def test_contains_and_declares(self):
+        universe = Universe({"x": BIT, "y": BIT})
+        assert "x" in universe
+        assert universe.declares(["x", "y"])
+        assert not universe.declares(["x", "z"])
+
+    def test_merge_disjoint(self):
+        merged = Universe({"x": BIT}).merge(Universe({"y": BIT}))
+        assert merged.variables == ("x", "y")
+
+    def test_merge_agreeing(self):
+        merged = Universe({"x": BIT}).merge(Universe({"x": FiniteDomain([0, 1])}))
+        assert merged.variables == ("x",)
+
+    def test_merge_conflict_raises(self):
+        with pytest.raises(ValueError, match="conflict"):
+            Universe({"x": FiniteDomain([0, 1])}).merge(
+                Universe({"x": FiniteDomain([0, 1, 2])})
+            )
+
+    def test_restrict(self):
+        universe = Universe({"x": BIT, "y": BIT}).restrict(["y"])
+        assert universe.variables == ("y",)
+
+    def test_states_enumeration(self):
+        universe = Universe({"x": BIT, "y": interval(0, 2)})
+        states = list(universe.states())
+        assert len(states) == 6
+        assert State({"x": 1, "y": 2}) in states
+        assert len(set(states)) == 6
+
+    def test_states_empty_universe(self):
+        assert list(Universe({}).states()) == [State({})]
+
+    def test_state_count(self):
+        assert Universe({"x": BIT, "y": interval(0, 2)}).state_count() == 6
+
+    def test_rejects_non_domain(self):
+        with pytest.raises(TypeError):
+            Universe({"x": [0, 1]})

@@ -1,0 +1,183 @@
+"""Unit tests for the value model and finite domains."""
+
+import pytest
+
+from repro.kernel.values import (
+    BIT,
+    BOOLEAN,
+    Domain,
+    FiniteDomain,
+    ProductDomain,
+    TupleDomain,
+    check_value,
+    format_value,
+    interval,
+    is_value,
+)
+
+
+class TestIsValue:
+    def test_scalars(self):
+        assert is_value(0)
+        assert is_value(True)
+        assert is_value("hello")
+        assert is_value(-17)
+
+    def test_tuples(self):
+        assert is_value(())
+        assert is_value((1, 2, 3))
+        assert is_value((1, ("a", True)))
+
+    def test_frozensets(self):
+        assert is_value(frozenset({1, 2}))
+        assert is_value(frozenset())
+
+    def test_rejects_mutables(self):
+        assert not is_value([1, 2])
+        assert not is_value({"a": 1})
+        assert not is_value({1, 2})
+
+    def test_rejects_none_and_floats(self):
+        assert not is_value(None)
+        assert not is_value(1.5)
+
+    def test_rejects_nested_bad(self):
+        assert not is_value((1, [2]))
+
+
+class TestCheckValue:
+    def test_passes_through(self):
+        assert check_value(42) == 42
+        assert check_value((1, 2)) == (1, 2)
+
+    def test_raises_with_context(self):
+        with pytest.raises(TypeError, match="my thing"):
+            check_value([1], "my thing")
+
+
+class TestFormatValue:
+    def test_booleans(self):
+        assert format_value(True) == "TRUE"
+        assert format_value(False) == "FALSE"
+
+    def test_sequences(self):
+        assert format_value(()) == "<<>>"
+        assert format_value((1, 2)) == "<<1, 2>>"
+
+    def test_nested(self):
+        assert format_value(((1,),)) == "<<<<1>>>>"
+
+    def test_strings_quoted(self):
+        assert format_value("hi") == '"hi"'
+
+    def test_ints(self):
+        assert format_value(7) == "7"
+
+
+class TestFiniteDomain:
+    def test_membership(self):
+        domain = FiniteDomain([0, 1, 2])
+        assert 1 in domain
+        assert 3 not in domain
+        assert "x" not in domain
+
+    def test_unhashable_not_member(self):
+        assert [1] not in FiniteDomain([0, 1])
+
+    def test_dedup_preserves_order(self):
+        domain = FiniteDomain([2, 1, 2, 0, 1])
+        assert list(domain.values()) == [2, 1, 0]
+
+    def test_size(self):
+        assert FiniteDomain([0, 1, 2]).size() == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FiniteDomain([])
+
+    def test_invalid_element_rejected(self):
+        with pytest.raises(TypeError):
+            FiniteDomain([[1]])
+
+    def test_equality_and_hash(self):
+        assert FiniteDomain([0, 1]) == FiniteDomain([1, 0])
+        assert hash(FiniteDomain([0, 1])) == hash(FiniteDomain([1, 0]))
+        assert FiniteDomain([0, 1]) != FiniteDomain([0, 1, 2])
+
+    def test_iter(self):
+        assert sorted(FiniteDomain([2, 0, 1])) == [0, 1, 2]
+
+
+class TestInterval:
+    def test_inclusive(self):
+        assert list(interval(1, 3).values()) == [1, 2, 3]
+
+    def test_singleton(self):
+        assert list(interval(5, 5).values()) == [5]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            interval(3, 2)
+
+    def test_bit_and_boolean(self):
+        assert list(BIT.values()) == [0, 1]
+        assert list(BOOLEAN.values()) == [False, True]
+
+
+class TestTupleDomain:
+    def test_values_by_length(self):
+        domain = TupleDomain(BIT, max_len=2)
+        values = list(domain.values())
+        assert () in values
+        assert (0,) in values and (1,) in values
+        assert (0, 1) in values and (1, 1) in values
+        assert len(values) == 1 + 2 + 4
+
+    def test_membership(self):
+        domain = TupleDomain(BIT, max_len=2)
+        assert (0, 1) in domain
+        assert (0, 1, 0) not in domain  # too long
+        assert (2,) not in domain       # bad element
+        assert 0 not in domain          # not a tuple
+
+    def test_min_len(self):
+        domain = TupleDomain(BIT, max_len=2, min_len=1)
+        assert () not in domain
+        assert (0,) in domain
+        assert domain.size() == 2 + 4
+
+    def test_size_closed_form(self):
+        domain = TupleDomain(interval(0, 2), max_len=3)
+        assert domain.size() == 1 + 3 + 9 + 27
+        assert domain.size() == len(list(domain.values()))
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            TupleDomain(BIT, max_len=1, min_len=2)
+
+
+class TestProductDomain:
+    def test_values(self):
+        domain = ProductDomain([BIT, interval(0, 1)])
+        assert sorted(domain.values()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_membership(self):
+        domain = ProductDomain([BIT, BIT])
+        assert (0, 1) in domain
+        assert (0,) not in domain
+        assert (0, 2) not in domain
+
+    def test_size(self):
+        assert ProductDomain([BIT, BIT, BIT]).size() == 8
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ProductDomain([])
+
+
+class TestDomainBase:
+    def test_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Domain().values()
+        with pytest.raises(NotImplementedError):
+            0 in Domain()

@@ -1,0 +1,329 @@
+"""Unit tests for the mini-TLA front end: lexer, parser, elaborator, modules."""
+
+import pytest
+
+from repro.kernel import (
+    And,
+    Arith,
+    Const,
+    Eq,
+    EvalError,
+    Exists,
+    State,
+    TupleDomain,
+    Var,
+    interval,
+    structurally_equal,
+)
+from repro.parser import (
+    Context,
+    ElaborationError,
+    LexError,
+    ParseError,
+    elaborate_domain,
+    load_module,
+    parse_expr,
+    parse_expression_text,
+    parse_formula,
+    tokenize,
+)
+from repro.temporal import (
+    ActionBox,
+    ActionDiamond,
+    Always,
+    Eventually,
+    Hide,
+    LeadsTo,
+    SF,
+    StatePred,
+    TAnd,
+    TImplies,
+    TOr,
+    WF,
+)
+
+
+class TestLexer:
+    def kinds(self, text):
+        return [t.kind for t in tokenize(text)[:-1]]
+
+    def test_symbols(self):
+        assert self.kinds("/\\ \\/ => <=> ~>") == ["/\\", "\\/", "=>", "<=>", "~>"]
+
+    def test_box_diamond(self):
+        assert self.kinds("[] <> [ ]_") == ["[]", "<>", "[", "]_"]
+
+    def test_numbers_strings(self):
+        tokens = tokenize('42 "hi"')
+        assert tokens[0].kind == "NUMBER" and tokens[0].text == "42"
+        assert tokens[1].kind == "STRING" and tokens[1].text == "hi"
+
+    def test_dotted_identifiers(self):
+        tokens = tokenize("i.sig c.ack")
+        assert [t.text for t in tokens[:-1]] == ["i.sig", "c.ack"]
+
+    def test_range_vs_dot(self):
+        assert self.kinds("0..2") == ["NUMBER", "..", "NUMBER"]
+
+    def test_fairness_with_ident_subscript(self):
+        tokens = tokenize("WF_x(A)")
+        assert tokens[0].kind == "FAIRNESS" and tokens[0].text == "WF"
+        assert tokens[1].kind == "IDENT" and tokens[1].text == "x"
+
+    def test_fairness_with_tuple_subscript(self):
+        tokens = tokenize("SF_<<x, y>>(A)")
+        assert tokens[0].kind == "FAIRNESS" and tokens[0].text == "SF"
+        assert tokens[1].kind == "_"
+        assert tokens[2].kind == "<<"
+
+    def test_comments_stripped(self):
+        assert self.kinds("x \\* comment\n y") == ["IDENT", "IDENT"]
+        assert self.kinds("x (* multi\nline (* nested *) *) y") == \
+            ["IDENT", "IDENT"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("(* oops")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_module_rules_skipped(self):
+        assert self.kinds("---- MODULE M ----") == ["MODULE", "IDENT"]
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("x @ y")
+
+    def test_line_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+
+class TestExpressionParsing:
+    def test_precedence_and_or(self):
+        formula = parse_expr("x = 0 \\/ x = 1 /\\ y = 2")
+        # /\ binds tighter than \/
+        from repro.kernel import Or
+
+        assert isinstance(formula, Or)
+
+    def test_implies_right_assoc(self):
+        node = parse_expression_text("a = 1 => b = 1 => c = 1")
+        assert node[0] == "implies"
+        assert node[2][0] == "implies"
+
+    def test_arith_precedence(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.eval_state(State({})) == 7
+
+    def test_parentheses(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.eval_state(State({})) == 9
+
+    def test_unary_minus(self):
+        assert parse_expr("0 - 2").eval_state(State({})) == -2
+        assert parse_expr("-2").eval_state(State({})) == -2
+
+    def test_prime_postfix(self):
+        expr = parse_expr("x' = x + 1")
+        assert expr.primed_vars() == {"x"}
+
+    def test_tuple_and_builtins(self):
+        expr = parse_expr("Append(<<1, 2>>, 3)")
+        assert expr.eval_state(State({})) == (1, 2, 3)
+        assert parse_expr("Len(<<1>>) = 1").eval_state(State({})) is True
+        assert parse_expr("<<1>> \\o <<2>>").eval_state(State({})) == (1, 2)
+
+    def test_hash_is_disequality(self):
+        expr = parse_expr("x # 1")
+        assert expr.eval_state(State({"x": 2})) is True
+
+    def test_if_then_else(self):
+        expr = parse_expr("IF x > 0 THEN 1 ELSE 0")
+        assert expr.eval_state(State({"x": 5})) == 1
+
+    def test_unchanged(self):
+        expr = parse_expr("UNCHANGED <<x, y>>")
+        assert expr.primed_vars() == {"x", "y"}
+
+    def test_bounded_exists(self):
+        expr = parse_expr("\\E v \\in 0..3 : x = v")
+        assert isinstance(expr, Exists)
+        assert expr.eval_state(State({"x": 2})) is True
+
+    def test_in_domain(self):
+        expr = parse_expr("x \\in {0, 2}")
+        assert expr.eval_state(State({"x": 2})) is True
+        assert expr.eval_state(State({"x": 1})) is False
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression_text("x = 1 )")
+
+    def test_missing_operand(self):
+        with pytest.raises(ParseError):
+            parse_expression_text("x = ")
+
+
+class TestTemporalParsing:
+    def test_always_box_action(self):
+        formula = parse_formula("[][x' = x + 1]_<<x>>")
+        assert isinstance(formula, ActionBox)
+        assert formula.sub == ("x",)
+
+    def test_always_of_predicate(self):
+        formula = parse_formula("[](x = 0)")
+        assert isinstance(formula, Always)
+
+    def test_eventually(self):
+        assert isinstance(parse_formula("<>(x = 1)"), Eventually)
+
+    def test_diamond_action(self):
+        formula = parse_formula("<><<x' = x + 1>>_x")
+        assert isinstance(formula, ActionDiamond)
+
+    def test_eventually_tuple_not_action(self):
+        # <۫> followed by a tuple that is not an action subscript
+        formula = parse_formula("<>(<<x>> = <<1>>)")
+        assert isinstance(formula, Eventually)
+
+    def test_leadsto(self):
+        formula = parse_formula("(x = 1) ~> (x = 2)")
+        assert isinstance(formula, LeadsTo)
+
+    def test_fairness(self):
+        wf = parse_formula("WF_<<x, y>>(x' = x)")
+        assert isinstance(wf, WF) and wf.sub == ("x", "y")
+        sf = parse_formula("SF_x(x' = x)")
+        assert isinstance(sf, SF) and sf.sub == ("x",)
+
+    def test_spec_shape(self):
+        formula = parse_formula(
+            "x = 0 /\\ [][x' = x]_x /\\ WF_x(x' = x)")
+        assert isinstance(formula, TAnd)
+        assert [type(p).__name__ for p in formula.parts] == \
+            ["StatePred", "ActionBox", "WF"]
+
+    def test_mixed_levels_lifted(self):
+        formula = parse_formula("x = 0 \\/ <>(x = 1)")
+        assert isinstance(formula, TOr)
+
+    def test_temporal_implication(self):
+        formula = parse_formula("[](x = 0) => <>(y = 1)")
+        assert isinstance(formula, TImplies)
+
+
+class TestDomains:
+    def test_range_domain(self):
+        domain = elaborate_domain(parse_expression_text("0..3"))
+        assert list(domain.values()) == [0, 1, 2, 3]
+
+    def test_set_domain(self):
+        domain = elaborate_domain(parse_expression_text("{1, 3}"))
+        assert sorted(domain.values()) == [1, 3]
+
+    def test_seq_domain(self):
+        domain = elaborate_domain(parse_expression_text("Seq({0,1}, 2)"))
+        assert isinstance(domain, TupleDomain)
+        assert domain.max_len == 2
+
+    def test_boolean_domain(self):
+        domain = elaborate_domain(parse_expression_text("BOOLEAN"))
+        assert sorted(domain.values()) == [False, True]
+
+    def test_non_domain_rejected(self):
+        with pytest.raises(ElaborationError):
+            elaborate_domain(parse_expression_text("x + 1"))
+
+    def test_set_of_non_constants_rejected(self):
+        with pytest.raises(ElaborationError):
+            elaborate_domain(parse_expression_text("{x, 1}"))
+
+
+class TestContextResolution:
+    def test_constants_inlined(self):
+        ctx = Context(constants={"N": 3})
+        expr = parse_expr("x < N")
+        # constants resolve at elaboration, so re-parse with context
+        from repro.parser import parse_expression_text as pt
+        from repro.parser import elaborate_expr
+
+        expr = elaborate_expr(pt("x < N"), ctx)
+        assert expr.eval_state(State({"x": 2})) is True
+
+    def test_definitions_expand(self):
+        from repro.parser import elaborate_expr, parse_expression_text as pt
+
+        ctx = Context()
+        ctx.definitions["Init"] = elaborate_expr(pt("x = 0"), ctx)
+        expr = elaborate_expr(pt("Init /\\ y = 1"), ctx)
+        assert expr.eval_state(State({"x": 0, "y": 1})) is True
+
+    def test_quantifier_shadows_constant(self):
+        from repro.parser import elaborate_expr, parse_expression_text as pt
+
+        ctx = Context(constants={"v": 9})
+        expr = elaborate_expr(pt("\\E v \\in 0..1 : x = v"), ctx)
+        assert expr.eval_state(State({"x": 1})) is True
+
+    def test_unknown_call_rejected(self):
+        with pytest.raises(ElaborationError, match="unknown operator"):
+            parse_expr("Frobnicate(x)")
+
+
+class TestModules:
+    SOURCE = """
+    MODULE Counter
+    CONSTANT N = 3
+    VARIABLE x \\in 0..2
+    Init == x = 0
+    Next == x' = (x + 1) % N
+    Spec == Init /\\ [][Next]_<<x>> /\\ WF_<<x>>(Next)
+    Small == [](x < 3)
+    """
+
+    def test_load(self):
+        module = load_module(self.SOURCE)
+        assert module.name == "Counter"
+        assert module.constants == {"N": 3}
+        assert "x" in module.universe
+
+    def test_spec_extraction(self):
+        module = load_module(self.SOURCE)
+        spec = module.spec("Spec")
+        assert spec.sub == ("x",)
+        assert len(spec.fairness) == 1
+
+    def test_definition_access(self):
+        module = load_module(self.SOURCE)
+        assert structurally_equal(module.expr("Init"), Eq(Var("x"), Const(0)))
+        assert isinstance(module.formula("Small"), Always)
+        with pytest.raises(KeyError, match="no definition"):
+            module.get("Missing")
+        with pytest.raises(TypeError):
+            module.expr("Small")
+
+    def test_model_checkable(self):
+        from repro.checker import check_temporal_implication, explore
+
+        module = load_module(self.SOURCE)
+        spec = module.spec("Spec")
+        assert explore(spec).state_count == 3
+        result = check_temporal_implication(
+            spec, parse_formula("<>(x = 2)"))
+        assert result.ok
+
+    def test_variable_needs_domain(self):
+        with pytest.raises(ParseError, match="domain"):
+            load_module("MODULE M\nVARIABLE x\nInit == x = 0")
+
+    def test_constant_must_be_literal(self):
+        with pytest.raises(ElaborationError):
+            load_module("MODULE M\nCONSTANT N = x + 1\nVARIABLE x \\in 0..1")
+
+    def test_multiple_variable_declarations(self):
+        module = load_module(
+            "MODULE M\nVARIABLES a \\in BOOLEAN, b \\in 0..1\nInit == b = 0")
+        assert set(module.universe.variables) == {"a", "b"}

@@ -1,0 +1,235 @@
+"""Property-based tests (hypothesis) for the core invariants of the library.
+
+These machine-generate behaviors and formulas and check the semantic laws
+the paper's machinery rests on:
+
+* prefix satisfaction is monotone (downward closed in prefix length);
+* ``failure_point`` is consistent with per-prefix satisfaction;
+* ``C(F)`` is a safety property and ``F ⇒ C(F)``; closure is idempotent;
+* Proposition 1 semantically: ``C(Init ∧ □[N]_v ∧ WF/SF) = Init ∧ □[N]_v``;
+* the section 4.2 identity ``(E ⊳ M) = (E −▷ M) ∧ (E ⊥ M)``;
+* ``E ⊳ M`` implies ``E −▷ M`` implies ``E ⇒ M``;
+* orthogonality is symmetric; ``Disjoint`` is order-insensitive;
+* the action compiler agrees with brute-force successor filtering;
+* renaming round-trips; pretty-printing round-trips through the parser.
+"""
+
+from hypothesis import given, settings, strategies as hs
+
+from repro.core import AsLongAs, Closure, Guarantees, Orthogonal, Plus
+from repro.kernel import (
+    And,
+    BIT,
+    Const,
+    Eq,
+    Lasso,
+    Not,
+    Or,
+    State,
+    Universe,
+    Var,
+    holds_on_step,
+    successors,
+)
+from repro.temporal import (
+    ActionBox,
+    EvalContext,
+    INFINITE,
+    StatePred,
+    TAnd,
+    failure_point,
+    holds,
+    prefix_sat,
+)
+
+U2 = Universe({"e": BIT, "m": BIT})
+e, m = Var("e"), Var("m")
+
+E = TAnd(StatePred(Eq(e, 0)), ActionBox(Eq(e.prime(), 0), ("e",)))
+M = TAnd(StatePred(Eq(m, 0)), ActionBox(Eq(m.prime(), 0), ("m",)))
+
+ALL_STATES = list(U2.states())
+
+
+@hs.composite
+def lassos(draw, max_stem=3, max_loop=3):
+    stem_len = draw(hs.integers(min_value=0, max_value=max_stem))
+    loop_len = draw(hs.integers(min_value=1, max_value=max_loop))
+    picks = draw(hs.lists(hs.sampled_from(ALL_STATES),
+                          min_size=stem_len + loop_len,
+                          max_size=stem_len + loop_len))
+    return Lasso(picks, loop_start=stem_len)
+
+
+FORMULAS = [E, M, TAnd(E, M), StatePred(Eq(e, m)),
+            ActionBox(Or(Eq(e.prime(), m), Eq(m.prime(), e)), ("e", "m"))]
+
+
+class TestPrefixLaws:
+    @given(lassos(), hs.sampled_from(FORMULAS))
+    @settings(max_examples=150, deadline=None)
+    def test_prefix_sat_monotone(self, la, formula):
+        results = [prefix_sat(formula, la.prefix(n))
+                   for n in range(1, la.length + la.loop_length + 1)]
+        # once False, stays False
+        for earlier, later in zip(results, results[1:]):
+            assert earlier or not later
+
+    @given(lassos(), hs.sampled_from(FORMULAS))
+    @settings(max_examples=150, deadline=None)
+    def test_failure_point_consistent(self, la, formula):
+        point = failure_point(formula, la)
+        horizon = la.length + la.loop_length
+        for n in range(1, horizon + 1):
+            expected = (n < point) if point is not INFINITE else True
+            assert prefix_sat(formula, la.prefix(n)) == expected
+
+
+class TestClosureLaws:
+    @given(lassos(), hs.sampled_from(FORMULAS))
+    @settings(max_examples=150, deadline=None)
+    def test_f_implies_closure(self, la, formula):
+        if holds(formula, la, U2):
+            assert holds(Closure(formula), la, U2)
+
+    @given(lassos(), hs.sampled_from(FORMULAS))
+    @settings(max_examples=100, deadline=None)
+    def test_closure_idempotent(self, la, formula):
+        once = holds(Closure(formula), la, U2)
+        twice = holds(Closure(Closure(formula)), la, U2)
+        assert once == twice
+
+    @given(lassos(), hs.sampled_from(FORMULAS))
+    @settings(max_examples=100, deadline=None)
+    def test_closure_is_safety(self, la, formula):
+        """σ ⊨ C(F) iff every prefix of σ satisfies C(F) -- safety means
+        failure point INFINITE exactly when the formula holds."""
+        assert holds(Closure(formula), la, U2) == \
+            (failure_point(formula, la) is INFINITE)
+
+    @given(lassos())
+    @settings(max_examples=100, deadline=None)
+    def test_proposition1_semantic(self, la):
+        """C(safety ∧ WF) = safety, behavior by behavior."""
+        from repro.spec import Spec, weak_fairness
+
+        spec = Spec("e0", Eq(e, 0), Eq(e.prime(), 0), ("e",),
+                    Universe({"e": BIT}),
+                    [weak_fairness(("e",), Eq(e.prime(), 0))])
+        lhs = holds(Closure(spec.formula()), la, U2)
+        rhs = holds(spec.safety_formula(), la, U2)
+        assert lhs == rhs
+
+
+class TestOperatorLaws:
+    @given(lassos())
+    @settings(max_examples=200, deadline=None)
+    def test_guarantee_identity(self, la):
+        """(E ⊳ M) = (E −▷ M) ∧ (E ⊥ M)  -- section 4.2."""
+        ctx = EvalContext(la, U2)
+        lhs = ctx.eval(Guarantees(E, M), 0)
+        rhs = ctx.eval(AsLongAs(E, M), 0) and ctx.eval(Orthogonal(E, M), 0)
+        assert lhs == rhs
+
+    @given(lassos())
+    @settings(max_examples=200, deadline=None)
+    def test_strength_ordering(self, la):
+        """E ⊳ M  ⇒  E −▷ M  ⇒  (E ⇒ M): the paper's comparison of the
+        three connectives (section 3)."""
+        ctx = EvalContext(la, U2)
+        if ctx.eval(Guarantees(E, M), 0):
+            assert ctx.eval(AsLongAs(E, M), 0)
+        if ctx.eval(AsLongAs(E, M), 0):
+            assert (not ctx.eval(E, 0)) or ctx.eval(M, 0)
+
+    @given(lassos())
+    @settings(max_examples=150, deadline=None)
+    def test_orthogonality_symmetric(self, la):
+        ctx = EvalContext(la, U2)
+        assert ctx.eval(Orthogonal(E, M), 0) == ctx.eval(Orthogonal(M, E), 0)
+
+    @given(lassos())
+    @settings(max_examples=150, deadline=None)
+    def test_plus_weaker_than_env(self, la):
+        """E implies E+v."""
+        ctx = EvalContext(la, U2)
+        if ctx.eval(E, 0):
+            assert ctx.eval(Plus(E, ("e", "m")), 0)
+
+    @given(lassos())
+    @settings(max_examples=150, deadline=None)
+    def test_guarantee_with_true_env(self, la):
+        """TRUE ⊳ M = M (used for the G trick in the theorem)."""
+        ctx = EvalContext(la, U2)
+        assert ctx.eval(Guarantees(StatePred(Const(True)), M), 0) == \
+            ctx.eval(M, 0)
+
+
+ACTIONS = [
+    Eq(e.prime(), m) & Eq(m.prime(), m),
+    Or(Eq(e.prime(), 0) & Eq(m.prime(), m), Eq(m.prime(), 1 - m) & Eq(e.prime(), e)),
+    And(Eq(e, 0), Eq(e.prime(), 1), Eq(m.prime(), m)),
+    Not(Eq(e.prime(), e)) & Eq(m.prime(), m),
+    Eq(e.prime(), e),
+]
+
+
+class TestCompilerSoundness:
+    @given(hs.sampled_from(ALL_STATES), hs.sampled_from(ACTIONS))
+    @settings(max_examples=200, deadline=None)
+    def test_successors_match_bruteforce(self, state, action):
+        """The compiled successor generator agrees with filtering every
+        state of the universe through the action relation."""
+        compiled = set(successors(action, state, U2))
+        brute = {t for t in ALL_STATES if holds_on_step(action, state, t)}
+        assert compiled == brute
+
+
+class TestRenameLaws:
+    @given(lassos(), hs.sampled_from(FORMULAS))
+    @settings(max_examples=100, deadline=None)
+    def test_rename_round_trip(self, la, formula):
+        renamed = formula.rename({"e": "a", "m": "b"})
+        back = renamed.rename({"a": "e", "b": "m"})
+        assert back.key() == formula.key()
+
+    @given(lassos(), hs.sampled_from(FORMULAS))
+    @settings(max_examples=100, deadline=None)
+    def test_rename_preserves_semantics(self, la, formula):
+        renamed = formula.rename({"e": "a", "m": "b"})
+        mapped = la.map_states(lambda s: State({"a": s["e"], "b": s["m"]}))
+        ua = Universe({"a": BIT, "b": BIT})
+        assert holds(formula, la, U2) == holds(renamed, mapped, ua)
+
+
+class TestPrettyParserRoundTrip:
+    @given(hs.sampled_from(FORMULAS))
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip(self, formula):
+        from repro.fmt import pretty
+        from repro.parser import parse_formula
+
+        assert parse_formula(pretty(formula)).key() == formula.key()
+
+
+class TestStateLaws:
+    values = hs.one_of(hs.integers(min_value=-3, max_value=3),
+                       hs.booleans(),
+                       hs.tuples(hs.integers(min_value=0, max_value=1)))
+
+    @given(hs.dictionaries(hs.sampled_from(["a", "b", "c"]), values,
+                           min_size=1))
+    @settings(max_examples=100, deadline=None)
+    def test_update_restrict(self, mapping):
+        state = State(mapping)
+        assert state.restrict(mapping) == state
+        bumped = state.update({"a": 0})
+        assert bumped["a"] == 0
+        for key in mapping:
+            if key != "a":
+                assert bumped[key] == state[key]
+
+    @given(hs.dictionaries(hs.sampled_from(["a", "b"]), values, min_size=1))
+    @settings(max_examples=100, deadline=None)
+    def test_hash_consistency(self, mapping):
+        assert hash(State(mapping)) == hash(State(dict(mapping)))

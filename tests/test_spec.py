@@ -1,0 +1,252 @@
+"""Unit tests for canonical specifications and components (section 2.2)."""
+
+import pytest
+
+from repro.kernel import And, Const, Eq, Or, Universe, Var, interval, BIT
+from repro.spec import (
+    Component,
+    Fairness,
+    Spec,
+    conjoin,
+    spec_of_formula,
+    strong_fairness,
+    weak_fairness,
+)
+from repro.temporal import (
+    ActionBox,
+    Always,
+    Eventually,
+    Hide,
+    SF,
+    StatePred,
+    TAnd,
+    WF,
+    holds,
+)
+
+from tests.conftest import bits, counter_spec, lasso
+
+x, y = Var("x"), Var("y")
+U = Universe({"x": interval(0, 2)})
+
+
+class TestFairness:
+    def test_kinds(self):
+        assert weak_fairness(("x",), Eq(x.prime(), x)).kind == "WF"
+        assert strong_fairness(("x",), Eq(x.prime(), x)).kind == "SF"
+        with pytest.raises(ValueError):
+            Fairness("GF", ("x",), Eq(x.prime(), x))
+
+    def test_formula(self):
+        assert isinstance(weak_fairness(("x",), Eq(x.prime(), x)).formula(), WF)
+        assert isinstance(strong_fairness(("x",), Eq(x.prime(), x)).formula(), SF)
+
+    def test_rename(self):
+        fair = weak_fairness(("x",), Eq(x.prime(), x + 1)).rename({"x": "y"})
+        assert fair.sub == ("y",)
+        assert fair.action.primed_vars() == {"y"}
+
+
+class TestSpec:
+    def test_formula_structure(self):
+        spec = counter_spec()
+        formula = spec.formula()
+        assert isinstance(formula, TAnd)
+        kinds = [type(p).__name__ for p in formula.parts]
+        assert kinds == ["StatePred", "ActionBox", "WF"]
+
+    def test_safety_formula_drops_fairness(self):
+        spec = counter_spec()
+        kinds = [type(p).__name__ for p in spec.safety_formula().parts]
+        assert kinds == ["StatePred", "ActionBox"]
+
+    def test_liveness_formula(self):
+        assert counter_spec(fair=False).liveness_formula() is None
+        assert counter_spec().liveness_formula() is not None
+
+    def test_undeclared_variable_rejected(self):
+        with pytest.raises(ValueError, match="undeclared"):
+            Spec("bad", Eq(x, 0), Eq(y.prime(), 0), ("x",), U)
+
+    def test_primed_init_rejected(self):
+        with pytest.raises(ValueError, match="primed"):
+            Spec("bad", Eq(x.prime(), 0), Eq(x.prime(), 0), ("x",), U)
+
+    def test_empty_subscript_rejected(self):
+        with pytest.raises(ValueError):
+            Spec("bad", Eq(x, 0), Eq(x.prime(), 0), (), U)
+
+    def test_rename(self):
+        renamed = counter_spec().rename({"x": "y"})
+        assert renamed.sub == ("y",)
+        assert "y" in renamed.universe
+        assert "x" not in renamed.universe
+        uy = Universe({"y": interval(0, 2)})
+        assert holds(renamed.formula(), bits("y", [0, 1, 2], 0), uy)
+
+    def test_rename_non_injective_rejected(self):
+        spec = Spec("s", And(Eq(x, 0), Eq(y, 0)),
+                    And(Eq(x.prime(), x), Eq(y.prime(), y)), ("x", "y"),
+                    Universe({"x": BIT, "y": BIT}))
+        with pytest.raises(ValueError, match="injective"):
+            spec.rename({"x": "z", "y": "z"})
+
+    def test_without_fairness(self):
+        spec = counter_spec().without_fairness()
+        assert not spec.fairness
+
+    def test_validate_fairness_subactions_ok(self):
+        assert counter_spec().validate_fairness_subactions() == []
+
+    def test_validate_fairness_subactions_disjunct(self):
+        a = And(Eq(x, 0), Eq(x.prime(), 1))
+        b = And(Eq(x, 1), Eq(x.prime(), 0))
+        spec = Spec("s", Eq(x, 0), Or(a, b), ("x",), U,
+                    [weak_fairness(("x",), a)])
+        assert spec.validate_fairness_subactions() == []
+
+    def test_validate_fairness_subactions_bad(self):
+        alien = Eq(x.prime(), 2)
+        spec = Spec("s", Eq(x, 0), Eq(x.prime(), x), ("x",), U,
+                    [weak_fairness(("x",), alien)])
+        assert spec.validate_fairness_subactions()
+
+
+class TestConjoin:
+    def test_single(self):
+        spec = counter_spec()
+        assert conjoin([spec]) is spec
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            conjoin([])
+
+    def test_product_semantics(self):
+        """x counts mod 2, y counts mod 2, interleaved or simultaneous --
+        conjunction of □[Nx]_x and □[Ny]_y."""
+        ux = Universe({"x": BIT})
+        uy = Universe({"y": BIT})
+        sx = Spec("sx", Eq(x, 0), Eq(x.prime(), 1 - x), ("x",), ux)
+        sy = Spec("sy", Eq(y, 0), Eq(y.prime(), 1 - y), ("y",), uy)
+        both = conjoin([sx, sy])
+        assert set(both.sub) == {"x", "y"}
+        assert set(both.universe.variables) == {"x", "y"}
+
+        good = lasso([{"x": 0, "y": 0}, {"x": 1, "y": 0}, {"x": 1, "y": 1}], 2)
+        assert holds(both.formula(), good, both.universe)
+        # simultaneous change also allowed by plain conjunction
+        sim = lasso([{"x": 0, "y": 0}, {"x": 1, "y": 1}], 1)
+        assert holds(both.formula(), sim, both.universe)
+        # but y jumping while x's box is violated is not
+        bad = lasso([{"x": 0, "y": 1}], 0)
+        assert not holds(both.formula(), bad, both.universe)
+
+    def test_fairness_concatenated(self):
+        s1 = counter_spec()
+        s2 = counter_spec().rename({"x": "y"})
+        assert len(conjoin([s1, s2]).fairness) == 2
+
+
+class TestComponent:
+    def make(self):
+        return Component(
+            "comp",
+            outputs=("x",),
+            internals=("h",),
+            inputs=("y",),
+            init=And(Eq(x, 0), Eq(Var("h"), 0)),
+            next_action=And(Eq(x.prime(), y), Eq(Var("h").prime(), x),
+                            Eq(y.prime(), y)),
+            universe=Universe({"x": BIT, "y": BIT, "h": BIT}),
+        )
+
+    def test_sub_is_outputs_then_internals(self):
+        assert self.make().sub == ("x", "h")
+
+    def test_role_overlap_rejected(self):
+        with pytest.raises(ValueError, match="several interface roles"):
+            Component("bad", outputs=("x",), internals=(), inputs=("x",),
+                      init=Eq(x, 0), next_action=Eq(x.prime(), x),
+                      universe=Universe({"x": BIT}))
+
+    def test_formula_hides_internals(self):
+        formula = self.make().formula()
+        assert isinstance(formula, Hide)
+        assert set(formula.bindings) == {"h"}
+
+    def test_formula_without_internals_unhidden(self):
+        comp = Component("c", outputs=("x",), internals=(), inputs=(),
+                         init=Eq(x, 0), next_action=Eq(x.prime(), x),
+                         universe=Universe({"x": BIT}))
+        assert not isinstance(comp.formula(), Hide)
+
+    def test_safety_formula_hides(self):
+        formula = self.make().safety_formula()
+        assert isinstance(formula, Hide)
+        kinds = [type(p).__name__ for p in formula.body.parts]
+        assert "WF" not in kinds
+
+    def test_validate_interleaving_clean(self):
+        assert self.make().validate_interleaving() == []
+
+    def test_validate_interleaving_allows_inputs_in_init(self):
+        # the paper's Init_E = CInit(i) mentions the receiver's i.ack
+        comp = Component("c", outputs=("x",), internals=(), inputs=("y",),
+                         init=Eq(y, 0), next_action=Eq(x.prime(), x),
+                         universe=Universe({"x": BIT, "y": BIT}))
+        assert comp.validate_interleaving() == []
+
+    def test_validate_interleaving_flags_undeclared_init(self):
+        comp = Component("c", outputs=("x",), internals=(), inputs=(),
+                         init=Eq(Var("ghost"), 0), next_action=Eq(x.prime(), x),
+                         universe=Universe({"x": BIT, "ghost": BIT}))
+        problems = comp.validate_interleaving()
+        assert any("Init" in p for p in problems)
+
+    def test_rename(self):
+        renamed = self.make().rename({"x": "a", "h": "hh"})
+        assert renamed.outputs == ("a",)
+        assert renamed.internals == ("hh",)
+        assert renamed.inputs == ("y",)
+
+    def test_visible_vars(self):
+        assert self.make().visible_vars() == ("x", "y")
+
+
+class TestSpecOfFormula:
+    def test_round_trip(self):
+        spec = counter_spec()
+        rebuilt = spec_of_formula(spec.formula(), spec.universe)
+        assert rebuilt.sub == spec.sub
+        assert len(rebuilt.fairness) == 1
+        la = bits("x", [0, 1, 2], 0)
+        assert holds(rebuilt.formula(), la, spec.universe)
+
+    def test_always_pred_becomes_init_and_box(self):
+        formula = TAnd(Always(StatePred(Eq(x, 0))),
+                       ActionBox(Eq(x.prime(), x), ("x",)))
+        spec = spec_of_formula(formula, U)
+        assert not holds(spec.formula(), bits("x", [1], 0), U)
+        assert holds(spec.formula(), bits("x", [0], 0), U)
+
+    def test_constant_always(self):
+        formula = TAnd(Always(StatePred(Const(True))),
+                       ActionBox(Eq(x.prime(), x), ("x",)))
+        spec = spec_of_formula(formula, U)
+        assert holds(spec.formula(), bits("x", [1], 0), U)
+
+    def test_no_box_rejected(self):
+        with pytest.raises(TypeError):
+            spec_of_formula(StatePred(Eq(x, 0)), U)
+
+    def test_hide_rejected(self):
+        formula = Hide({"h": interval(0, 1)},
+                       ActionBox(Eq(x.prime(), x), ("x",)))
+        with pytest.raises(TypeError, match="Proposition 2"):
+            spec_of_formula(formula, U)
+
+    def test_liveness_other_than_fairness_rejected(self):
+        formula = TAnd(ActionBox(Eq(x.prime(), x), ("x",)),
+                       Eventually(StatePred(Eq(x, 0))))
+        with pytest.raises(TypeError):
+            spec_of_formula(formula, U)

@@ -1,0 +1,218 @@
+"""Unit tests for temporal formula semantics on lassos."""
+
+import pytest
+
+from repro.kernel import And, Eq, Not, Universe, Var, interval
+from repro.temporal import (
+    ActionBox,
+    ActionDiamond,
+    Always,
+    Eventually,
+    Hide,
+    Invariant,
+    LeadsTo,
+    SF,
+    StatePred,
+    TAnd,
+    TEquiv,
+    TImplies,
+    TNot,
+    TOr,
+    WF,
+    holds,
+    to_tf,
+)
+
+from tests.conftest import bits, lasso
+
+x = Var("x")
+U = Universe({"x": interval(0, 3)})
+
+
+def is_(v):
+    return StatePred(Eq(x, v))
+
+
+class TestStatePred:
+    def test_first_state_only(self):
+        assert holds(is_(0), bits("x", [0, 1], 1), U)
+        assert not holds(is_(1), bits("x", [0, 1], 1), U)
+
+    def test_rejects_primes(self):
+        with pytest.raises(TypeError):
+            StatePred(Eq(Var("x", primed=True), 0))
+
+    def test_rejects_non_boolean(self):
+        with pytest.raises(TypeError):
+            holds(StatePred(x + 1), bits("x", [0]), U)
+
+    def test_to_tf_coercions(self):
+        assert holds(to_tf(True), bits("x", [0]), U)
+        assert holds(to_tf(Eq(x, 0)), bits("x", [0]), U)
+        with pytest.raises(TypeError):
+            to_tf(Eq(Var("x", primed=True), 0))
+        with pytest.raises(TypeError):
+            to_tf("x = 0")
+
+
+class TestAlwaysEventually:
+    def test_always_on_loop(self):
+        assert holds(Always(is_(1)), bits("x", [1, 1], 1), U)
+        assert not holds(Always(is_(1)), bits("x", [1, 2], 1), U)
+
+    def test_always_checks_stem_and_loop(self):
+        assert not holds(Always(is_(1)), bits("x", [0, 1], 1), U)
+
+    def test_eventually_in_stem(self):
+        assert holds(Eventually(is_(0)), bits("x", [0, 1], 1), U)
+
+    def test_eventually_in_loop(self):
+        assert holds(Eventually(is_(1)), bits("x", [0, 1], 1), U)
+
+    def test_eventually_never(self):
+        assert not holds(Eventually(is_(3)), bits("x", [0, 1], 1), U)
+
+    def test_always_eventually(self):
+        la = bits("x", [0, 1, 2], 1)
+        assert holds(Always(Eventually(is_(2))), la, U)
+        assert not holds(Always(Eventually(is_(0))), la, U)  # 0 only in stem
+
+    def test_eventually_always(self):
+        la = bits("x", [0, 1, 1], 2)
+        assert holds(Eventually(Always(is_(1))), la, U)
+        assert not holds(Always(is_(1)), la, U)
+
+    def test_invariant_helper(self):
+        assert holds(Invariant(x < 2), bits("x", [0, 1], 1), U)
+
+
+class TestLeadsTo:
+    def test_triggered_and_satisfied(self):
+        la = bits("x", [0, 1, 2], 1)
+        assert holds(LeadsTo(is_(1), is_(2)), la, U)
+
+    def test_trigger_in_loop_must_keep_answering(self):
+        la = bits("x", [1, 2], 1)  # 1 (2)^w
+        assert holds(LeadsTo(is_(1), is_(2)), la, U)
+
+    def test_violated(self):
+        la = bits("x", [1, 0], 1)
+        assert not holds(LeadsTo(is_(1), is_(2)), la, U)
+
+    def test_vacuous(self):
+        assert holds(LeadsTo(is_(3), is_(0)), bits("x", [0], 0), U)
+
+    def test_immediate_satisfaction(self):
+        # P ~> Q is satisfied when Q holds at the P state itself
+        la = bits("x", [1, 0], 1)
+        assert holds(LeadsTo(is_(1), is_(1)), la, U)
+
+
+class TestActionFormulas:
+    def test_action_box(self):
+        incr = Eq(Var("x", primed=True), x + 1)
+        assert holds(ActionBox(incr, ("x",)), bits("x", [0, 1, 2, 2], 3), U)
+        assert not holds(ActionBox(incr, ("x",)), bits("x", [0, 2], 1), U)
+
+    def test_action_box_allows_stutter(self):
+        incr = Eq(Var("x", primed=True), x + 1)
+        assert holds(ActionBox(incr, ("x",)), bits("x", [0], 0), U)
+
+    def test_action_box_checks_wrap_step(self):
+        incr = Eq(Var("x", primed=True), x + 1)
+        # loop 1 -> 2 -> 1: the wrap step 2 -> 1 is not an increment
+        assert not holds(ActionBox(incr, ("x",)), bits("x", [1, 2], 0), U)
+
+    def test_action_diamond(self):
+        incr = Eq(Var("x", primed=True), x + 1)
+        assert holds(ActionDiamond(incr, ("x",)), bits("x", [0, 1, 1], 2), U)
+        assert not holds(ActionDiamond(incr, ("x",)), bits("x", [0], 0), U)
+
+    def test_empty_subscript_rejected(self):
+        with pytest.raises(ValueError):
+            ActionBox(Eq(Var("x", primed=True), x), ())
+        with pytest.raises(ValueError):
+            ActionDiamond(Eq(Var("x", primed=True), x), ())
+
+
+class TestFairness:
+    incr = Eq(Var("x", primed=True), (x + 1) % 4)
+
+    def test_wf_taken(self):
+        assert holds(WF(("x",), self.incr), bits("x", [0, 1, 2, 3], 0), U)
+
+    def test_wf_violated_by_stutter(self):
+        assert not holds(WF(("x",), self.incr), bits("x", [0], 0), U)
+
+    def test_wf_vacuous_when_disabled(self):
+        blocked = And(Eq(x, 3), Eq(Var("x", primed=True), 3))
+        # <blocked>_x never changes x, so it is never enabled
+        assert holds(WF(("x",), blocked), bits("x", [0], 0), U)
+
+    def test_sf_violated_by_intermittent_enabling(self):
+        # action enabled only at x=0; loop 0 -> 1 -> 0 never takes it
+        act = And(Eq(x, 0), Eq(Var("x", primed=True), 3))
+        la = bits("x", [0, 1], 0)
+        assert not holds(SF(("x",), act), la, U)
+        # WF is satisfied: infinitely many disabled states (x=1)
+        assert holds(WF(("x",), act), la, U)
+
+    def test_sf_taken(self):
+        act = And(Eq(x, 0), Eq(Var("x", primed=True), 1))
+        assert holds(SF(("x",), act), bits("x", [0, 1], 0), U)
+
+    def test_fairness_needs_universe(self):
+        with pytest.raises(ValueError, match="Universe"):
+            holds(WF(("x",), self.incr), bits("x", [0], 0), universe=None)
+
+
+class TestBooleanConnectives:
+    def test_tand_tor_tnot(self):
+        la = bits("x", [0, 1], 1)
+        assert holds(TAnd(is_(0), Eventually(is_(1))), la, U)
+        assert holds(TOr(is_(9), is_(0)), la, U)
+        assert holds(TNot(is_(1)), la, U)
+
+    def test_timplies_tequiv(self):
+        la = bits("x", [0, 1], 1)
+        assert holds(TImplies(is_(1), is_(9)), la, U)       # false antecedent
+        assert holds(TEquiv(is_(0), Eventually(is_(0))), la, U)
+
+    def test_flattening(self):
+        conj = TAnd(TAnd(is_(0), is_(1)), is_(2))
+        assert len(conj.parts) == 3
+
+    def test_sugar(self):
+        la = bits("x", [0, 1], 1)
+        assert holds(is_(0) & Eventually(is_(1)), la, U)
+        assert holds(is_(9) | is_(0), la, U)
+        assert holds(~is_(1), la, U)
+        assert holds(is_(1).implies(is_(9)), la, U)
+
+
+class TestRenaming:
+    def test_rename_distributes(self):
+        formula = TAnd(is_(0), Always(StatePred(x < 2)),
+                       ActionBox(Eq(Var("x", primed=True), x), ("x",)),
+                       WF(("x",), Eq(Var("x", primed=True), x + 1)))
+        renamed = formula.rename({"x": "y"})
+        assert renamed.vars() == {"y"}
+        la = bits("y", [0, 1], 1)
+        uy = Universe({"y": interval(0, 3)})
+        assert holds(Eventually(StatePred(Eq(Var("y"), 1))), la, uy)
+
+    def test_hide_renames_bound(self):
+        formula = Hide({"q": interval(0, 1)}, Always(StatePred(Eq(Var("q"), x))))
+        renamed = formula.rename({"q": "q1", "x": "y"})
+        assert "q1" in renamed.bindings
+        assert renamed.vars() == {"y"}
+
+    def test_hide_rename_collision_rejected(self):
+        formula = Hide({"a": interval(0, 1), "b": interval(0, 1)},
+                       StatePred(Eq(Var("a"), Var("b"))))
+        with pytest.raises(ValueError):
+            formula.rename({"a": "b"})
+
+    def test_vars_includes_subscripts(self):
+        box = ActionBox(Eq(Var("x", primed=True), 0), ("x", "z"))
+        assert box.vars() == {"x", "z"}

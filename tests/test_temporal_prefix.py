@@ -1,0 +1,146 @@
+"""Unit tests for finite-behavior satisfaction and failure points --
+the machinery beneath the paper's C, ⊳, +v, and ⊥ operators."""
+
+import pytest
+
+from repro.kernel import And, Eq, FiniteBehavior, Not, State, Var, interval
+from repro.temporal import (
+    INFINITE,
+    ActionBox,
+    ActionDiamond,
+    Always,
+    Eventually,
+    Hide,
+    LeadsTo,
+    NotSafetyCheckable,
+    PrefixContext,
+    SF,
+    StatePred,
+    TAnd,
+    TImplies,
+    TNot,
+    TOr,
+    WF,
+    failure_point,
+    holds_for_first,
+    prefix_sat,
+)
+
+from tests.conftest import bits, st
+
+x = Var("x")
+incr = Eq(Var("x", primed=True), x + 1)
+
+
+def fb(*values):
+    return FiniteBehavior([st(x=v) for v in values])
+
+
+class TestPrefixSat:
+    def test_state_pred_first_state(self):
+        assert prefix_sat(StatePred(Eq(x, 0)), fb(0, 5))
+        assert not prefix_sat(StatePred(Eq(x, 1)), fb(0))
+
+    def test_negated_state_pred(self):
+        assert prefix_sat(TNot(StatePred(Eq(x, 1))), fb(0))
+
+    def test_negation_of_nonpredicate_rejected(self):
+        with pytest.raises(NotSafetyCheckable):
+            prefix_sat(TNot(ActionBox(incr, ("x",))), fb(0))
+
+    def test_action_box_over_steps(self):
+        box = ActionBox(incr, ("x",))
+        assert prefix_sat(box, fb(0, 1, 2))
+        assert prefix_sat(box, fb(0, 0, 1))   # stutter allowed
+        assert not prefix_sat(box, fb(0, 2))
+
+    def test_always_state_pred(self):
+        assert prefix_sat(Always(StatePred(x < 2)), fb(0, 1))
+        assert not prefix_sat(Always(StatePred(x < 2)), fb(0, 2))
+
+    def test_always_idempotent(self):
+        assert prefix_sat(Always(Always(StatePred(x < 2))), fb(0, 1))
+
+    def test_conjunction(self):
+        formula = TAnd(StatePred(Eq(x, 0)), ActionBox(incr, ("x",)))
+        assert prefix_sat(formula, fb(0, 1))
+        assert not prefix_sat(formula, fb(1, 2))
+
+    def test_disjunction_exact(self):
+        formula = TOr(StatePred(Eq(x, 5)), StatePred(Eq(x, 0)))
+        assert prefix_sat(formula, fb(0))
+
+    def test_implication_with_predicate_hypothesis(self):
+        formula = TImplies(StatePred(Eq(x, 1)), ActionBox(incr, ("x",)))
+        assert prefix_sat(formula, fb(0, 9))  # antecedent false
+
+    def test_implication_other_hypothesis_rejected(self):
+        formula = TImplies(ActionBox(incr, ("x",)), StatePred(Eq(x, 0)))
+        with pytest.raises(NotSafetyCheckable):
+            prefix_sat(formula, fb(0))
+
+    def test_fairness_always_finitely_satisfiable(self):
+        assert prefix_sat(WF(("x",), incr), fb(0, 9, 3))
+        assert prefix_sat(SF(("x",), incr), fb(0))
+
+    def test_eventualities_finitely_satisfiable(self):
+        assert prefix_sat(Eventually(StatePred(Eq(x, 7))), fb(0))
+        assert prefix_sat(LeadsTo(StatePred(Eq(x, 0)), StatePred(Eq(x, 7))), fb(0))
+        assert prefix_sat(ActionDiamond(incr, ("x",)), fb(0))
+
+    def test_hide_witness_over_prefix(self):
+        h = Var("h")
+        formula = Hide({"h": interval(0, 2)}, Always(StatePred(Eq(h, x))))
+        assert prefix_sat(formula, fb(0, 2, 1))
+        bad = Hide({"h": interval(0, 2)},
+                   TAnd(Always(StatePred(Eq(h, x))), Always(StatePred(Eq(h, 0)))))
+        assert not prefix_sat(bad, fb(0, 1))
+
+    def test_hide_budget(self):
+        h = Var("h")
+        formula = Hide({"h": interval(0, 2)}, Always(StatePred(Eq(h, 9))))
+        ctx = PrefixContext(max_witness_candidates=2)
+        with pytest.raises(NotSafetyCheckable):
+            prefix_sat(formula, fb(0, 1, 2, 0, 1), ctx)
+
+    def test_monotone_in_prefix_length(self):
+        box = ActionBox(incr, ("x",))
+        behavior = fb(0, 1, 2, 0)  # step 2 -> 0 violates
+        results = [prefix_sat(box, behavior.prefix(n)) for n in range(1, 5)]
+        assert results == [True, True, True, False]
+
+
+class TestFailurePoint:
+    def test_never_fails(self):
+        assert failure_point(ActionBox(incr, ("x",)), bits("x", [0, 1], 1)) \
+            == INFINITE
+
+    def test_fails_at_bad_step(self):
+        # prefix of length 2 contains the violating step 0 -> 2
+        assert failure_point(ActionBox(incr, ("x",)), bits("x", [0, 2], 1)) == 2
+
+    def test_fails_at_initial_state(self):
+        assert failure_point(StatePred(Eq(x, 1)), bits("x", [0], 0)) == 1
+
+    def test_failure_in_loop_wrap(self):
+        # 0 1 (1)^w satisfies; 0 (1 0)^w has the wrap step 0 -> 1... all
+        # increments; but 1 -> 0 inside the loop fails at prefix length 3
+        la = bits("x", [0, 1, 0], 1)
+        assert failure_point(ActionBox(incr, ("x",)), la) == 3
+
+    def test_liveness_never_fails_finitely(self):
+        assert failure_point(Eventually(StatePred(Eq(x, 9))),
+                             bits("x", [0], 0)) == INFINITE
+
+    def test_holds_for_first(self):
+        la = bits("x", [0, 2], 1)
+        box = ActionBox(incr, ("x",))
+        assert holds_for_first(box, la, 0)   # vacuous
+        assert holds_for_first(box, la, 1)
+        assert not holds_for_first(box, la, 2)
+
+    def test_conjunction_failure_is_min(self):
+        la = bits("x", [1, 3], 1)
+        formula = TAnd(StatePred(Eq(x, 1)), ActionBox(incr, ("x",)))
+        # init ok (x=1), step 1->3 bad at prefix length 2
+        assert failure_point(formula, la) == 2
