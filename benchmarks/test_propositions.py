@@ -7,7 +7,6 @@ mismatches would indicate a bug in either the operators or the syntactic
 reductions the Composition Theorem engine relies on.
 """
 
-import pytest
 
 from repro.core import (
     DisjointSpec,
@@ -16,16 +15,7 @@ from repro.core import (
     validate_proposition3,
     validate_proposition4,
 )
-from repro.kernel import (
-    And,
-    BIT,
-    Eq,
-    Not,
-    Or,
-    Universe,
-    Var,
-    all_lassos,
-)
+from repro.kernel import BIT, Eq, Not, Or, Universe, Var, all_lassos
 from repro.kernel.action import unchanged
 from repro.spec import Spec, weak_fairness
 from repro.temporal import ActionBox, StatePred, TAnd

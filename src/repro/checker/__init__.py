@@ -8,6 +8,7 @@ reachable state space of a finite instance.
 from .explorer import StateSpaceExplosion, explore, initial_states
 from .graph import StateGraph
 from .invariants import check_deadlock_free, check_invariant
+from .stats import ExploreStats
 from .liveness import (
     ConclusionChecker,
     PremiseConstraint,
@@ -23,6 +24,7 @@ __all__ = [
     "explore",
     "initial_states",
     "StateGraph",
+    "ExploreStats",
     "check_deadlock_free",
     "check_invariant",
     "ConclusionChecker",

@@ -6,21 +6,27 @@ primed so equations become bindings); :func:`explore` builds the
 reachable :class:`~repro.checker.graph.StateGraph` of a
 :class:`~repro.spec.Spec` under its next-state action ``N`` (stuttering
 self-loops are added by the graph itself).
+
+The hot path is plan-driven: the next-state action is compiled **once
+per run** into a :class:`~repro.kernel.action.SuccessorPlan` specialised
+to the spec's universe, instead of re-analysing the expression per
+state.  Pass an :class:`~repro.checker.stats.ExploreStats` to collect
+throughput, depth, and edge counts.
 """
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterator, List, Optional
 
-from ..kernel.action import successors
+from ..kernel.action import compile_action
 from ..kernel.expr import Expr, prime_expr, to_expr
 from ..kernel.state import State, Universe
 from ..spec import Spec
-from .graph import StateGraph
+from .graph import StateGraph, StateSpaceExplosion
+from .stats import ExploreStats
 
-
-class StateSpaceExplosion(Exception):
-    """Exploration exceeded the configured state budget."""
+__all__ = ["StateSpaceExplosion", "initial_states", "explore"]
 
 
 def initial_states(init: Expr, universe: Universe) -> Iterator[State]:
@@ -35,14 +41,23 @@ def initial_states(init: Expr, universe: Universe) -> Iterator[State]:
     if init.primed_vars():
         raise ValueError(f"initial predicate contains primed variables: {init!r}")
     primed = prime_expr(init)
-    dummy = State({name: next(iter(universe.domain(name).values()))
-                   for name in universe.variables})
-    yield from successors(primed, dummy, universe)
+    dummy_values = {}
+    for name in universe.variables:
+        try:
+            dummy_values[name] = next(iter(universe.domain(name).values()))
+        except StopIteration:
+            raise ValueError(
+                f"variable {name!r} has an empty domain; cannot enumerate "
+                f"initial states over it"
+            ) from None
+    dummy = State(dummy_values)
+    yield from compile_action(primed).plan(universe).successors(dummy)
 
 
 def explore(
     spec: Spec,
     max_states: int = 200_000,
+    stats: Optional[ExploreStats] = None,
 ) -> StateGraph:
     """The reachable state graph of ``Init ∧ □[N]_v`` over the spec's universe.
 
@@ -51,26 +66,38 @@ def explore(
     whatever ``N`` allows.  For a *complete system* -- the only thing the
     Composition Theorem ever asks us to explore -- ``N`` constrains every
     variable, so the graph is finite and tight.
+
+    ``max_states`` is a hard budget on interned states, enforced by the
+    graph at insertion time: the first state beyond the budget raises
+    :class:`StateSpaceExplosion` (see
+    :class:`~repro.checker.graph.StateGraph`).
     """
-    graph = StateGraph(spec.universe)
+    start = perf_counter()
+    plan = compile_action(spec.next_action).plan(spec.universe)
+    graph = StateGraph(spec.universe, max_states=max_states, name=spec.name)
     frontier: List[int] = []
     for state in initial_states(spec.init, spec.universe):
         node, new = graph.add_state(state)
         if new:
             graph.init_nodes.append(node)
             frontier.append(node)
+    depth = 0
+    plan_successors = plan.successors
+    states = graph.states
+    add_state = graph.add_state
+    add_edge = graph.add_edge
     while frontier:
-        if graph.state_count > max_states:
-            raise StateSpaceExplosion(
-                f"exploring {spec.name!r} exceeded {max_states} states"
-            )
         next_frontier: List[int] = []
         for src in frontier:
-            state = graph.states[src]
-            for succ_state in successors(spec.next_action, state, spec.universe):
-                dst, new = graph.add_state(succ_state, parent=src)
-                graph.add_edge(src, dst)
+            state = states[src]
+            for succ_state in plan_successors(state):
+                dst, new = add_state(succ_state, parent=src)
+                add_edge(src, dst)
                 if new:
                     next_frontier.append(dst)
         frontier = next_frontier
+        if frontier:
+            depth += 1
+    if stats is not None:
+        stats.record_explore(graph, depth, perf_counter() - start)
     return graph

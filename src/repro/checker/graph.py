@@ -22,6 +22,10 @@ NodeFilter = Callable[[int], bool]
 EdgeFilter = Callable[[int, int], bool]
 
 
+class StateSpaceExplosion(Exception):
+    """Exploration exceeded the configured state budget."""
+
+
 def _accept_all_nodes(_node: int) -> bool:
     return True
 
@@ -34,35 +38,67 @@ class StateGraph:
     """Explicit state graph with indexed nodes.
 
     ``succ[i]`` lists successor indices of node ``i`` (including ``i``
-    itself: the stutter edge).  ``parent`` records the BFS tree from the
-    initial states for counterexample reconstruction.
+    itself: the stutter edge).  A parallel per-node successor *set* makes
+    :meth:`add_edge` O(1) regardless of out-degree.  ``parent`` records
+    the BFS tree from the initial states for counterexample
+    reconstruction.
+
+    ``max_states`` is a hard budget on *interned* states, enforced at
+    insertion time: the graph holds at most ``max_states`` states, and the
+    insertion that would exceed the budget raises
+    :class:`StateSpaceExplosion` immediately (no overshoot within a BFS
+    level).
     """
 
-    def __init__(self, universe: Universe):
+    def __init__(self, universe: Universe, max_states: Optional[int] = None,
+                 name: Optional[str] = None):
         self.universe = universe
+        self.max_states = max_states
+        self.name = name
         self.states: List[State] = []
         self.index: Dict[State, int] = {}
         self.succ: List[List[int]] = []
+        self._succ_sets: List[Set[int]] = []
         self.init_nodes: List[int] = []
         self.parent: List[Optional[int]] = []
+        self._edge_count = 0  # real N-edges; stutter loops counted apart
 
     # -- construction ------------------------------------------------------
 
     def add_state(self, state: State, parent: Optional[int] = None) -> Tuple[int, bool]:
-        """Intern a state; returns (index, was_new)."""
+        """Intern a state; returns (index, was_new).
+
+        Raises :class:`StateSpaceExplosion` if interning a *new* state
+        would exceed ``max_states``.
+        """
         node = self.index.get(state)
         if node is not None:
             return node, False
         node = len(self.states)
+        if self.max_states is not None and node >= self.max_states:
+            label = f"exploring {self.name!r} " if self.name else "exploration "
+            raise StateSpaceExplosion(
+                f"{label}exceeded the state budget of {self.max_states} states"
+            )
         self.index[state] = node
         self.states.append(state)
         self.succ.append([node])  # stutter self-loop
+        self._succ_sets.append({node})
         self.parent.append(parent)
         return node, True
 
     def add_edge(self, src: int, dst: int) -> None:
-        if dst != src and dst not in self.succ[src]:
+        if dst == src:
+            return  # the stutter loop is materialised at add_state time
+        outs = self._succ_sets[src]
+        if dst not in outs:
+            outs.add(dst)
             self.succ[src].append(dst)
+            self._edge_count += 1
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        """O(1) membership test, stutter self-loops included."""
+        return dst in self._succ_sets[src]
 
     # -- metrics -------------------------------------------------------------
 
@@ -72,7 +108,19 @@ class StateGraph:
 
     @property
     def edge_count(self) -> int:
-        return sum(len(outs) for outs in self.succ)
+        """Real ``N``-edges only (the materialised stutter self-loops are
+        reported separately by :attr:`stutter_count`)."""
+        return self._edge_count
+
+    @property
+    def stutter_count(self) -> int:
+        """The materialised stutter self-loops: one per node."""
+        return len(self.states)
+
+    @property
+    def total_edge_count(self) -> int:
+        """All materialised edges, stutter self-loops included."""
+        return self._edge_count + len(self.states)
 
     # -- traversal --------------------------------------------------------------
 
@@ -205,8 +253,23 @@ class StateGraph:
         The component must be strongly connected under ``edge_ok``.  The
         walk is returned as a node list whose last node has an edge back to
         the first (possibly the stutter self-loop).
+
+        Every required edge must be an actual graph edge within the
+        component that ``edge_ok`` allows; a bogus requirement raises
+        ``ValueError`` instead of silently producing a non-walk.
         """
         comp_set = set(component)
+        required_edges = tuple(required_edges)
+        for src, dst in required_edges:
+            if src not in comp_set or dst not in comp_set:
+                raise ValueError(
+                    f"required edge ({src}, {dst}) leaves the component"
+                )
+            if dst not in self._succ_sets[src] or not edge_ok(src, dst):
+                raise ValueError(
+                    f"required edge ({src}, {dst}) is not an edge of the "
+                    f"graph allowed by the edge filter"
+                )
 
         def inside(n: int) -> bool:
             return n in comp_set

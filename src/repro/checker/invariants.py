@@ -10,6 +10,7 @@ from ..spec import Spec
 from .explorer import explore
 from .graph import StateGraph
 from .results import CheckResult, Counterexample
+from .stats import ExploreStats, maybe_phase
 
 
 def check_invariant(
@@ -17,34 +18,42 @@ def check_invariant(
     invariant: Expr,
     name: Optional[str] = None,
     max_states: int = 200_000,
+    run_stats: Optional[ExploreStats] = None,
 ) -> CheckResult:
     """Does every reachable state of the spec satisfy the predicate?
 
     Accepts a pre-explored :class:`StateGraph` to amortise exploration
-    across several invariants.
+    across several invariants.  Pass *run_stats* to time the exploration
+    and scan phases.
     """
     invariant = to_expr(invariant)
     if isinstance(spec_or_graph, StateGraph):
         graph = spec_or_graph
         label = name or "invariant"
+        if run_stats is not None and run_stats.states == 0:
+            run_stats.record_graph(graph)
     else:
-        graph = explore(spec_or_graph, max_states=max_states)
+        graph = explore(spec_or_graph, max_states=max_states, stats=run_stats)
         label = name or f"invariant of {spec_or_graph.name}"
-    stats = {"states": graph.state_count, "edges": graph.edge_count}
-    for node, state in enumerate(graph.states):
-        value = invariant.eval_state(state)
-        if not isinstance(value, bool):
-            raise TypeError(f"invariant {invariant!r} returned {value!r}")
-        if not value:
-            trace = FiniteBehavior([graph.states[i] for i in graph.path_to_root(node)])
-            return CheckResult(
-                label,
-                ok=False,
-                counterexample=Counterexample(
-                    trace, f"state violates invariant {invariant!r}"
-                ),
-                stats=stats,
-            )
+    stats = {"states": graph.state_count, "edges": graph.edge_count,
+             "stutter": graph.stutter_count}
+    with maybe_phase(run_stats, f"invariant:{label}"):
+        for node, state in enumerate(graph.states):
+            value = invariant.eval_state(state)
+            if not isinstance(value, bool):
+                raise TypeError(f"invariant {invariant!r} returned {value!r}")
+            if not value:
+                trace = FiniteBehavior(
+                    [graph.states[i] for i in graph.path_to_root(node)]
+                )
+                return CheckResult(
+                    label,
+                    ok=False,
+                    counterexample=Counterexample(
+                        trace, f"state violates invariant {invariant!r}"
+                    ),
+                    stats=stats,
+                )
     return CheckResult(label, ok=True, stats=stats)
 
 
@@ -67,9 +76,11 @@ def check_deadlock_free(
         spec = spec_or_graph
         graph = explore(spec, max_states=max_states)
         label = name or f"deadlock-freedom of {spec.name}"
-    stats = {"states": graph.state_count, "edges": graph.edge_count}
+    stats = {"states": graph.state_count, "edges": graph.edge_count,
+             "stutter": graph.stutter_count}
     for node in range(graph.state_count):
-        if all(dst == node for dst in graph.succ[node]):
+        # only the stutter self-loop => no progress step
+        if len(graph.succ[node]) == 1:
             trace = FiniteBehavior([graph.states[i] for i in graph.path_to_root(node)])
             return CheckResult(
                 label,

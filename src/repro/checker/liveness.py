@@ -38,7 +38,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
-from ..kernel.action import angle, enabled as kernel_enabled, holds_on_step, square
+from ..kernel.action import angle, compile_action, holds_on_step, square
 from ..kernel.behavior import Lasso
 from ..kernel.expr import Expr
 from ..kernel.state import State, Universe
@@ -61,18 +61,26 @@ from .explorer import explore
 from .graph import StateGraph
 from .refinement import IDENTITY, RefinementMapping
 from .results import CheckResult, Counterexample
+from .stats import ExploreStats, maybe_phase
 
 
 class PremiseConstraint:
-    """One premise fairness condition, evaluated on implementation states."""
+    """One premise fairness condition, evaluated on implementation states.
 
-    __slots__ = ("kind", "sub", "action", "_angle", "_enabled_cache")
+    ``<A>_v`` is compiled once into a successor plan per universe (see
+    :meth:`~repro.kernel.action.CompiledAction.plan`); ENABLED queries are
+    memoised per node on top of that.
+    """
+
+    __slots__ = ("kind", "sub", "action", "_angle", "_compiled",
+                 "_enabled_cache")
 
     def __init__(self, kind: str, sub: Sequence[str], action: Expr):
         self.kind = kind  # "WF" | "SF"
         self.sub = tuple(sub)
         self.action = action
         self._angle = angle(action, sub)
+        self._compiled = compile_action(self._angle)
         self._enabled_cache: Dict[int, bool] = {}
 
     @classmethod
@@ -89,7 +97,8 @@ class PremiseConstraint:
     def is_enabled(self, graph: StateGraph, node: int) -> bool:
         cached = self._enabled_cache.get(node)
         if cached is None:
-            cached = kernel_enabled(self._angle, graph.states[node], graph.universe)
+            plan = self._compiled.plan(graph.universe)
+            cached = plan.enabled(graph.states[node])
             self._enabled_cache[node] = cached
         return cached
 
@@ -218,6 +227,7 @@ class ConclusionChecker:
         self.stats: Dict[str, int] = {
             "states": graph.state_count,
             "edges": graph.edge_count,
+            "stutter": graph.stutter_count,
             "fair_units_examined": 0,
             "candidates_validated": 0,
         }
@@ -246,7 +256,8 @@ class ConclusionChecker:
         key = (id(action), node)
         cached = self._enabled_cache.get(key)
         if cached is None:
-            cached = kernel_enabled(action, self.mapped_state(node), self.target_universe)
+            plan = compile_action(action).plan(self.target_universe)
+            cached = plan.enabled(self.mapped_state(node))
             self._enabled_cache[key] = cached
             self._retained.append(action)  # pin: id()-keyed cache
         return cached
@@ -472,21 +483,25 @@ def check_temporal_implication(
     premises: Optional[Sequence[PremiseConstraint]] = None,
     name: Optional[str] = None,
     max_states: int = 200_000,
+    run_stats: Optional[ExploreStats] = None,
 ) -> CheckResult:
     """Check ``impl ⇒ conclusion`` where *impl* is a canonical spec (its
     fairness becomes the premises) and *conclusion* is a conjunction of
     safety and liveness conjuncts, optionally through a refinement mapping.
 
     This is the workhorse behind hypothesis (2b) of the Composition
-    Theorem and the refinement Corollary.
+    Theorem and the refinement Corollary.  Pass *run_stats* to time the
+    exploration and fair-cycle-search phases.
     """
     if isinstance(impl, StateGraph):
         graph = impl
         if premises is None:
             premises = []
         label = name or "temporal implication"
+        if run_stats is not None and run_stats.states == 0:
+            run_stats.record_graph(graph)
     else:
-        graph = explore(impl, max_states=max_states)
+        graph = explore(impl, max_states=max_states, stats=run_stats)
         if premises is None:
             premises = premises_of_spec(impl)
         label = name or f"{impl.name} => conclusion"
@@ -497,4 +512,5 @@ def check_temporal_implication(
         target_universe=target_universe,
         name=label,
     )
-    return checker.check(to_tf(conclusion))
+    with maybe_phase(run_stats, f"liveness:{label}"):
+        return checker.check(to_tf(conclusion))

@@ -22,13 +22,14 @@ from __future__ import annotations
 from typing import Dict, Mapping, Optional, Union
 
 from ..kernel.behavior import FiniteBehavior, Lasso
-from ..kernel.expr import EvalError, Expr, Var, to_expr
-from ..kernel.action import holds_on_step, square
+from ..kernel.expr import Env, EvalError, Expr, Var, to_expr
+from ..kernel.action import square
 from ..kernel.state import State, Universe
 from ..spec import Spec
 from .explorer import explore
 from .graph import StateGraph
 from .results import CheckResult, Counterexample
+from .stats import ExploreStats, maybe_phase
 
 
 class RefinementMapping:
@@ -87,6 +88,7 @@ def check_safety_refinement(
     name: Optional[str] = None,
     max_states: int = 200_000,
     domain_check: bool = True,
+    run_stats: Optional[ExploreStats] = None,
 ) -> CheckResult:
     """Exhaustively check ``C(impl) ⇒ C(target)`` on the reachable graph.
 
@@ -94,16 +96,20 @@ def check_safety_refinement(
     obligations).  With ``domain_check`` (default), mapped values must lie
     in the target universe's domains -- catching refinement mappings that
     leave the intended value space, which would make the verdict
-    meaningless.
+    meaningless.  Pass *run_stats* to time the exploration and simulation
+    phases.
     """
     mapping = mapping or IDENTITY
     if isinstance(impl, StateGraph):
         graph = impl
         label = name or f"safety refinement -> {target.name}"
+        if run_stats is not None and run_stats.states == 0:
+            run_stats.record_graph(graph)
     else:
-        graph = explore(impl, max_states=max_states)
+        graph = explore(impl, max_states=max_states, stats=run_stats)
         label = name or f"{impl.name} => C({target.name})"
-    stats = {"states": graph.state_count, "edges": graph.edge_count}
+    stats = {"states": graph.state_count, "edges": graph.edge_count,
+             "stutter": graph.stutter_count}
 
     mapped: Dict[int, State] = {}
 
@@ -125,39 +131,44 @@ def check_safety_refinement(
     def impl_trace(path) -> FiniteBehavior:
         return FiniteBehavior([graph.states[i] for i in path])
 
-    # initial condition
-    for node in graph.init_nodes:
-        value = target.init.eval_state(target_of(node))
-        if not isinstance(value, bool):
-            raise TypeError(f"target Init returned non-Boolean {value!r}")
-        if not value:
-            return CheckResult(
-                label,
-                ok=False,
-                counterexample=Counterexample(
-                    impl_trace([node]),
-                    f"mapped initial state violates Init of {target.name}: "
-                    f"{target_of(node)!r}",
-                ),
-                stats=stats,
-            )
-
-    # step condition
-    boxed = square(target.next_action, target.sub)
-    for src in range(graph.state_count):
-        for dst in graph.succ[src]:
-            if dst == src:
-                continue  # stutter maps to stutter: [N]_v trivially
-            if not holds_on_step(boxed, target_of(src), target_of(dst)):
-                path = graph.path_to_root(src) + [dst]
+    with maybe_phase(run_stats, f"refinement:{label}"):
+        # initial condition
+        for node in graph.init_nodes:
+            value = target.init.eval_state(target_of(node))
+            if not isinstance(value, bool):
+                raise TypeError(f"target Init returned non-Boolean {value!r}")
+            if not value:
                 return CheckResult(
                     label,
                     ok=False,
                     counterexample=Counterexample(
-                        impl_trace(path),
-                        f"mapped step violates [N]_v of {target.name}: "
-                        f"{target_of(src)!r} -> {target_of(dst)!r}",
+                        impl_trace([node]),
+                        f"mapped initial state violates Init of {target.name}: "
+                        f"{target_of(node)!r}",
                     ),
                     stats=stats,
                 )
+
+        # step condition -- the boxed action is built (and coerced) once,
+        # then evaluated per mapped edge
+        boxed = to_expr(square(target.next_action, target.sub))
+        for src in range(graph.state_count):
+            mapped_src = None
+            for dst in graph.succ[src]:
+                if dst == src:
+                    continue  # stutter maps to stutter: [N]_v trivially
+                if mapped_src is None:
+                    mapped_src = target_of(src)
+                if not boxed.holds(Env(mapped_src, target_of(dst))):
+                    path = graph.path_to_root(src) + [dst]
+                    return CheckResult(
+                        label,
+                        ok=False,
+                        counterexample=Counterexample(
+                            impl_trace(path),
+                            f"mapped step violates [N]_v of {target.name}: "
+                            f"{target_of(src)!r} -> {target_of(dst)!r}",
+                        ),
+                        stats=stats,
+                    )
     return CheckResult(label, ok=True, stats=stats)

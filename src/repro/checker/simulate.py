@@ -10,11 +10,11 @@ smoke-test before paying for exhaustive exploration.
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional
+from typing import Optional
 
 from ..kernel.action import successors
 from ..kernel.behavior import FiniteBehavior
-from ..kernel.expr import Expr, to_expr
+from ..kernel.expr import to_expr
 from ..spec import Spec
 from .explorer import initial_states
 from .results import CheckResult, Counterexample

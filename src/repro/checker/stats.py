@@ -1,0 +1,148 @@
+"""Exploration and checking statistics (the checker's observability layer).
+
+An :class:`ExploreStats` instance rides along through ``explore()`` /
+``check_invariant()`` / ``check_temporal_implication()`` /
+``check_safety_refinement()`` and accumulates what TLC-style tooling
+reports per run: state and edge counts (real ``N``-edges vs materialised
+stutter self-loops), BFS frontier depth, wall-clock time per phase, and
+the derived states-per-second throughput.  The CLI's ``--stats`` flag
+prints :meth:`ExploreStats.format`.
+
+The layer is deliberately write-only for the checker: populating it costs
+two ``perf_counter`` calls per phase, so it is safe to leave on in
+production runs, and every later scaling PR (sharding, parallel BFS) can
+quantify itself against the same numbers.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterator, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .graph import StateGraph
+
+
+class ExploreStats:
+    """Per-run exploration/checking statistics.
+
+    * ``states`` / ``edges`` / ``stutter_edges`` -- graph size; ``edges``
+      counts real ``N``-edges only, the stutter self-loops (one per node)
+      are reported separately;
+    * ``init_states`` -- number of initial states;
+    * ``depth`` -- BFS frontier depth: the number of expansion levels, i.e.
+      the distance of the deepest state from an initial state;
+    * ``explore_seconds`` -- wall-clock time of the exploration phase;
+    * ``phases`` -- ordered wall-clock timings per named phase (exploration
+      plus one entry per invariant/property check).
+    """
+
+    __slots__ = ("states", "edges", "stutter_edges", "init_states", "depth",
+                 "explore_seconds", "phases")
+
+    def __init__(self) -> None:
+        self.states = 0
+        self.edges = 0
+        self.stutter_edges = 0
+        self.init_states = 0
+        self.depth = 0
+        self.explore_seconds = 0.0
+        self.phases: Dict[str, float] = {}
+
+    # -- population ----------------------------------------------------------
+
+    def record_graph(self, graph: "StateGraph") -> None:
+        """Copy the size metrics of an explored graph."""
+        self.states = graph.state_count
+        self.edges = graph.edge_count
+        self.stutter_edges = graph.stutter_count
+        self.init_states = len(graph.init_nodes)
+
+    def record_explore(self, graph: "StateGraph", depth: int,
+                       seconds: float) -> None:
+        """Record one exploration run (size, frontier depth, timing)."""
+        self.record_graph(graph)
+        self.depth = depth
+        self.explore_seconds = seconds
+        self.phases["explore"] = self.phases.get("explore", 0.0) + seconds
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a named phase; repeated names accumulate."""
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            self.phases[name] = (
+                self.phases.get(name, 0.0) + perf_counter() - start
+            )
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def states_per_sec(self) -> float:
+        """Exploration throughput (0.0 before any exploration ran)."""
+        if self.explore_seconds <= 0.0:
+            return 0.0
+        return self.states / self.explore_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phases.values())
+
+    # -- rendering -----------------------------------------------------------
+
+    def format(self, indent: str = "") -> str:
+        """A human-readable multi-line summary (what ``--stats`` prints)."""
+        lines: List[str] = [
+            f"{indent}stats: {self.states} states "
+            f"({self.init_states} initial), "
+            f"{self.edges} real edges + {self.stutter_edges} stutter, "
+            f"depth {self.depth}",
+            f"{indent}       {self.states_per_sec:,.0f} states/sec "
+            f"(explore {self.explore_seconds:.4f}s)",
+        ]
+        if self.phases:
+            rendered = ", ".join(
+                f"{name} {seconds:.4f}s" for name, seconds in self.phases.items()
+            )
+            lines.append(f"{indent}phases: {rendered}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, object]:
+        """A plain-dict snapshot (stable keys; for CheckResult.stats and
+        machine consumption)."""
+        return {
+            "states": self.states,
+            "edges": self.edges,
+            "stutter_edges": self.stutter_edges,
+            "init_states": self.init_states,
+            "depth": self.depth,
+            "states_per_sec": self.states_per_sec,
+            "explore_seconds": self.explore_seconds,
+            "phases": dict(self.phases),
+        }
+
+    def __repr__(self) -> str:
+        return (f"ExploreStats(states={self.states}, edges={self.edges}, "
+                f"stutter={self.stutter_edges}, depth={self.depth}, "
+                f"states_per_sec={self.states_per_sec:.0f})")
+
+
+def maybe_phase(stats: Optional[ExploreStats], name: str):
+    """``stats.phase(name)`` or a no-op context manager when stats is None."""
+    if stats is not None:
+        return stats.phase(name)
+    return _NULL_CONTEXT
+
+
+class _NullContext:
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()

@@ -19,7 +19,7 @@ property-tested (PROP1-4 in DESIGN.md).
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 from ..spec import Component, Spec
 from ..temporal.formulas import (

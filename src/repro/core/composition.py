@@ -37,15 +37,13 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from ..checker.explorer import explore
-from ..checker.liveness import check_temporal_implication, premises_of_spec
+from ..checker.liveness import check_temporal_implication
 from ..checker.refinement import IDENTITY, RefinementMapping, check_safety_refinement
-from ..checker.results import CheckResult
 from ..kernel.state import Universe
-from ..spec import Component, Spec, conjoin
+from ..spec import Spec, conjoin
 from .agspec import AGSpec
 from .certificate import Certificate, Obligation
 from .disjoint import DisjointSpec
-from .operators import Guarantees
 from .propositions import (
     PropositionReport,
     proposition1,

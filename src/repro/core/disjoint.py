@@ -21,7 +21,7 @@ from ..kernel.action import unchanged
 from ..kernel.expr import Or
 from ..kernel.state import Universe
 from ..spec import Spec, spec_of_formula
-from ..temporal.formulas import ActionBox, StatePred, TAnd, TemporalFormula
+from ..temporal.formulas import ActionBox, TAnd, TemporalFormula
 
 
 class DisjointSpec:

@@ -19,13 +19,12 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from ..kernel.action import successors, holds_on_step, square
+from ..kernel.action import successors, holds_on_step
 from ..kernel.behavior import Lasso
 from ..kernel.expr import Expr
 from ..kernel.state import State, Universe
 from ..spec import Component, Spec
 from ..temporal.formulas import TemporalFormula, to_tf
-from ..temporal.prefix import INFINITE, PrefixContext, failure_point
 from ..temporal.semantics import EvalContext, holds
 from .disjoint import DisjointSpec
 from .operators import Closure, Guarantees, Orthogonal, Plus

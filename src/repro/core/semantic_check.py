@@ -24,12 +24,12 @@ max_stem and loop ≤ max_loop*.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..checker.results import CheckResult, Counterexample
 from ..kernel.behavior import all_lassos
 from ..kernel.state import Universe
-from ..temporal.formulas import TAnd, TemporalFormula, to_tf
+from ..temporal.formulas import TemporalFormula, to_tf
 from ..temporal.semantics import EvalContext
 
 

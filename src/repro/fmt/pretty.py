@@ -7,7 +7,6 @@ grammar needs them, so ``pretty`` output round-trips through
 
 from __future__ import annotations
 
-from typing import Dict
 
 from ..kernel.expr import (
     And,

@@ -20,6 +20,7 @@ action in the value model is handled, just more or less quickly.
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .expr import (
@@ -186,20 +187,182 @@ def _compile(expr: Expr) -> List[Branch]:
     return [Branch({}, [expr])]
 
 
+class _BranchPlan:
+    """One branch of a :class:`SuccessorPlan`: the per-state work of
+    :class:`Branch`, with everything that depends only on the universe and
+    frame hoisted out of the per-state loop.
+
+    * ``bindings`` -- ``(name, expr, domain)`` for each determined primed
+      variable declared in the universe (domain looked up once);
+    * ``checks`` -- the fail-fast re-determinations whose target variable
+      is actually determined by this branch;
+    * ``fixed_bound`` -- determined variables *outside* the frame: their
+      computed post-value must equal the pre-state value, or the branch
+      contributes nothing for this state;
+    * ``free_names``/``free_values`` -- the undetermined frame variables
+      and their domain value tuples, enumerated by product.
+    """
+
+    __slots__ = ("bindings", "checks", "fixed_bound", "free_names",
+                 "free_values", "constraints")
+
+    def __init__(self, branch: Branch, universe: "Universe",
+                 relevant: Sequence[str]):
+        self.bindings: Tuple[Tuple[str, Expr, object], ...] = tuple(
+            (name, expr, universe.domain(name))
+            for name, expr in branch.bindings.items()
+            if name in universe
+        )
+        determined = {name for name, _expr, _dom in self.bindings}
+        self.checks: Tuple[Tuple[str, Expr], ...] = tuple(
+            (name, expr) for name, expr in branch.binding_checks
+            if name in determined
+        )
+        relevant_set = set(relevant)
+        self.fixed_bound: Tuple[str, ...] = tuple(
+            name for name in determined if name not in relevant_set
+        )
+        free = [name for name in relevant if name not in determined]
+        self.free_names: Tuple[str, ...] = tuple(free)
+        self.free_values: Tuple[Tuple[object, ...], ...] = tuple(
+            tuple(universe.domain(name).values()) for name in free
+        )
+        self.constraints: Tuple[Expr, ...] = tuple(branch.constraints)
+
+
+class SuccessorPlan:
+    """A compiled action specialised to one universe and frame.
+
+    Built once per ``explore()``/``check_*`` run (via
+    :meth:`CompiledAction.plan`) and then driven per state; all domain
+    lookups, membership tests, and free-variable analyses happen at build
+    time, so :meth:`successors` only evaluates expressions.
+    """
+
+    __slots__ = ("compiled", "universe", "relevant", "branch_plans")
+
+    def __init__(self, compiled: "CompiledAction", universe: "Universe",
+                 frame: Optional[Iterable[str]] = None):
+        self.compiled = compiled
+        self.universe = universe
+        if frame is None:
+            self.relevant: Tuple[str, ...] = universe.variables
+        else:
+            wanted = set(frame)
+            self.relevant = tuple(
+                name for name in universe.variables if name in wanted
+            )
+        self.branch_plans: Tuple[_BranchPlan, ...] = tuple(
+            _BranchPlan(branch, universe, self.relevant)
+            for branch in compiled.branches
+        )
+
+    def successors(self, state: State) -> Iterator[State]:
+        """Enumerate the post-states ``t`` with ``action(state, t)``,
+        each emitted once."""
+        seen = set()
+        env0 = Env(state)
+        pre = state._map  # direct dict access: skip the Mapping ABC
+        for plan in self.branch_plans:
+            determined: Dict[str, object] = {}
+            alive = True
+            for name, expr, domain in plan.bindings:
+                try:
+                    value = expr.eval(env0)
+                except EvalError:
+                    alive = False  # binding unevaluable => branch disabled
+                    break
+                if value not in domain:
+                    alive = False  # post-value escapes the domain
+                    break
+                determined[name] = value
+            if not alive:
+                continue
+            for name, expr in plan.checks:
+                try:
+                    if expr.eval(env0) != determined[name]:
+                        alive = False
+                        break
+                except EvalError:
+                    alive = False
+                    break
+            if not alive:
+                continue
+            for name in plan.fixed_bound:
+                if determined[name] != pre[name]:
+                    alive = False  # out-of-frame variable must not change
+                    break
+            if not alive:
+                continue
+
+            base: Dict[str, object] = dict(pre)
+            base.update(determined)
+            if not plan.free_names:
+                candidate = State._trusted(base)
+                if self._constraints_hold(plan, state, candidate):
+                    if candidate not in seen:
+                        seen.add(candidate)
+                        yield candidate
+                continue
+            names = plan.free_names
+            for combo in itertools.product(*plan.free_values):
+                for name, value in zip(names, combo):
+                    base[name] = value
+                candidate = State._trusted(dict(base))
+                if self._constraints_hold(plan, state, candidate):
+                    if candidate not in seen:
+                        seen.add(candidate)
+                        yield candidate
+
+    @staticmethod
+    def _constraints_hold(plan: _BranchPlan, state: State,
+                          candidate: State) -> bool:
+        if not plan.constraints:
+            return True
+        env = Env(state, candidate)
+        try:
+            return all(c.holds(env) for c in plan.constraints)
+        except EvalError:
+            return False  # a type error on this candidate: not a step
+
+    def enabled(self, state: State) -> bool:
+        for _ in self.successors(state):
+            return True
+        return False
+
+
 class CompiledAction:
     """The compiled form of one action, cached by the explorer.
 
-    ``frame`` is the set of universe variables whose post-value the action
-    can constrain; any universe variable never mentioned primed in the
-    action is unconstrained and must be enumerated by the caller -- see
-    :func:`successors`.
+    :meth:`plan` specialises the branches to a universe and frame,
+    yielding a :class:`SuccessorPlan`; any universe variable never
+    mentioned primed in the action is unconstrained and must be
+    enumerated -- see :func:`successors`.
     """
 
-    __slots__ = ("action", "branches")
+    __slots__ = ("action", "branches", "_plans")
 
     def __init__(self, action: Expr):
         self.action = to_expr(action)
         self.branches = _compile(self.action)
+        self._plans: Dict[Tuple[object, Optional[FrozenSet[str]]],
+                          SuccessorPlan] = {}
+
+    def plan(self, universe: "Universe",
+             frame: Optional[Iterable[str]] = None) -> SuccessorPlan:
+        """The (cached) successor-enumeration plan for *universe*/*frame*.
+
+        Keyed by universe identity -- the universe object itself is held as
+        the key, so the id cannot be recycled under us.
+        """
+        key = (universe, None if frame is None else frozenset(frame))
+        cached = self._plans.get(key)
+        if cached is None:
+            if len(self._plans) > 16:  # bound a pathological caller
+                self._plans.clear()
+            cached = SuccessorPlan(self, universe, frame)
+            self._plans[key] = cached
+        return cached
 
 
 _COMPILE_CACHE: Dict[int, CompiledAction] = {}
@@ -212,68 +375,6 @@ def compile_action(action: Expr) -> CompiledAction:
         cached = CompiledAction(action)
         _COMPILE_CACHE[id(action)] = cached
     return cached
-
-
-def _enumerate_post(
-    state: State,
-    universe: Universe,
-    branch: Branch,
-    relevant: Sequence[str],
-) -> Iterator[State]:
-    """Yield candidate post-states for one branch.
-
-    *relevant* lists the universe variables the post-state ranges over;
-    variables outside *relevant* keep their pre-state value (they are the
-    universe variables the caller has declared untouched).
-    """
-    env0 = Env(state)
-    determined: Dict[str, object] = {}
-    for name, expr in branch.bindings.items():
-        if name not in universe:
-            # binding for a variable outside the universe: nothing to
-            # determine (the variable does not exist in this model)
-            continue
-        try:
-            value = expr.eval(env0)
-        except EvalError:
-            return  # binding unevaluable in this state => branch disabled
-        if value not in universe.domain(name):
-            return  # post-value escapes the domain => no successor here
-        determined[name] = value
-
-    # fail fast: conflicting determinations kill the branch before any
-    # candidate state is built
-    for name, expr in branch.binding_checks:
-        if name not in determined:
-            continue
-        try:
-            if expr.eval(env0) != determined[name]:
-                return
-        except EvalError:
-            return
-
-    free = [name for name in relevant if name not in determined]
-
-    base: Dict[str, object] = dict(state)
-    base.update(determined)
-
-    def rec(index: int) -> Iterator[State]:
-        if index == len(free):
-            candidate = State._trusted(dict(base))
-            env = Env(state, candidate)
-            try:
-                if all(constraint.holds(env) for constraint in branch.constraints):
-                    yield candidate
-            except EvalError:
-                pass  # a type error on this candidate: not a step
-            return
-        name = free[index]
-        for value in universe.domain(name).values():
-            base[name] = value
-            yield from rec(index + 1)
-        base[name] = state[name]
-
-    yield from rec(0)
 
 
 def successors(
@@ -292,35 +393,17 @@ def successors(
     stuttering steps are wanted).
 
     Duplicate post-states (reachable through several branches) are emitted
-    once.
+    once.  This is the convenience wrapper; hot loops should build the
+    :class:`SuccessorPlan` once and drive it directly.
     """
-    compiled = compile_action(action)
-    if frame is None:
-        relevant: Tuple[str, ...] = universe.variables
-    else:
-        relevant = tuple(name for name in universe.variables if name in set(frame))
-    seen = set()
-    for branch in compiled.branches:
-        # variables outside the frame must be unchanged: any binding or
-        # constraint violating that is filtered by the equality check below.
-        for candidate in _enumerate_post(state, universe, branch, relevant):
-            ok = True
-            for name in universe.variables:
-                if name not in relevant and candidate[name] != state[name]:
-                    ok = False
-                    break
-            if ok and candidate not in seen:
-                seen.add(candidate)
-                yield candidate
+    return compile_action(action).plan(universe, frame).successors(state)
 
 
 def enabled(action: Expr, state: State, universe: Universe,
             frame: Optional[Iterable[str]] = None) -> bool:
     """The paper's ENABLED: does some state ``t`` make ``(state, t)`` an
     *action* step?"""
-    for _ in successors(action, state, universe, frame):
-        return True
-    return False
+    return compile_action(action).plan(universe, frame).enabled(state)
 
 
 def holds_on_step(action: Expr, current: State, next_state: State) -> bool:

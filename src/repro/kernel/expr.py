@@ -33,7 +33,7 @@ to compare expression trees.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from .state import State
 from .values import Domain, check_value, domain_key, format_value, is_value

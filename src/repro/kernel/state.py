@@ -126,7 +126,7 @@ class Universe:
     Composition Theorem engine builds the universe of a product system.
     """
 
-    __slots__ = ("_domains",)
+    __slots__ = ("_domains", "_variables")
 
     def __init__(self, domains: Mapping[str, Domain]):
         for name, domain in domains.items():
@@ -135,10 +135,11 @@ class Universe:
             if not isinstance(domain, Domain):
                 raise TypeError(f"domain of {name!r} must be a Domain, got {domain!r}")
         self._domains: Dict[str, Domain] = dict(domains)
+        self._variables: Tuple[str, ...] = tuple(sorted(self._domains))
 
     @property
     def variables(self) -> Tuple[str, ...]:
-        return tuple(sorted(self._domains))
+        return self._variables
 
     def domain(self, name: str) -> Domain:
         try:

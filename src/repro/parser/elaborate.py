@@ -18,7 +18,7 @@ lifted with :func:`~repro.temporal.formulas.to_tf` and the result is a
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Dict, Mapping, Optional, Union
 
 from ..kernel.expr import (
     And,
@@ -38,7 +38,6 @@ from ..kernel.expr import (
     TupleExpr,
     Var,
     prime_expr,
-    to_expr,
 )
 from ..kernel.action import unchanged
 from ..kernel.values import BOOLEAN, Domain, FiniteDomain, TupleDomain, interval

@@ -9,7 +9,7 @@ and dotted variable names such as ``i.sig``.
 
 from __future__ import annotations
 
-from typing import Iterator, List, NamedTuple, Optional
+from typing import List, NamedTuple
 
 
 class Token(NamedTuple):

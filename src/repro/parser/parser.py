@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from .lexer import LexError, Token, tokenize
+from .lexer import Token, tokenize
 
 
 class ParseError(Exception):

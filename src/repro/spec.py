@@ -27,22 +27,12 @@ This module provides:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 from .kernel.expr import And, Const, Expr, to_expr
 from .kernel.action import square
 from .kernel.state import Universe
-from .temporal.formulas import (
-    ActionBox,
-    Always,
-    Hide,
-    SF,
-    StatePred,
-    TAnd,
-    TemporalFormula,
-    WF,
-    to_tf,
-)
+from .temporal.formulas import ActionBox, Always, Hide, SF, StatePred, TAnd, TemporalFormula, WF
 
 
 class Fairness:

@@ -29,9 +29,8 @@ Interface:
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
-from ..kernel.action import unchanged
 from ..kernel.expr import And, Eq, Expr, Not, Or, Var
 from ..kernel.state import Universe
 from ..kernel.values import BIT

@@ -22,7 +22,7 @@ requires (and obviously what Figure 2's protocol intends).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..kernel.behavior import FiniteBehavior
 from ..kernel.expr import And, Eq, Expr, Not, Var, to_expr

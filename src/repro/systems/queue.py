@@ -28,7 +28,7 @@ The module provides:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..kernel.action import unchanged
 from ..kernel.expr import (
@@ -39,7 +39,6 @@ from ..kernel.expr import (
     Eq,
     Exists,
     Expr,
-    Fn,
     Head,
     Len,
     Or,
@@ -49,7 +48,7 @@ from ..kernel.expr import (
 )
 from ..kernel.state import Universe
 from ..kernel.values import Domain, FiniteDomain, TupleDomain
-from ..spec import Component, Fairness, Spec, conjoin, weak_fairness
+from ..spec import Component, Spec, conjoin, weak_fairness
 from ..temporal.formulas import Hide, TemporalFormula
 from ..core.agspec import AGSpec
 from ..core.disjoint import DisjointSpec

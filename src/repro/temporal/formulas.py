@@ -31,10 +31,10 @@ Every node implements:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterator, Mapping, Sequence, Tuple
 
 from ..kernel.expr import Const, Expr, Var, to_expr
-from ..kernel.action import angle, holds_on_step, square, enabled as action_enabled
+from ..kernel.action import angle, holds_on_step, square
 from ..kernel.values import Domain
 
 

@@ -21,7 +21,7 @@ reported via :class:`WitnessSearchExhausted` rather than silently missed.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..kernel.behavior import Lasso
 from ..kernel.expr import Expr

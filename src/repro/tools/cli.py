@@ -16,16 +16,17 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..checker import (
+    ExploreStats,
     check_invariant,
     check_temporal_implication,
     explore,
 )
 from ..checker.results import CheckResult
 from ..checker.simulate import random_walk
-from ..fmt import pretty, pretty_spec
+from ..fmt import pretty
 from ..kernel.values import format_value
 from ..parser import TLAModule, load_module
 
@@ -45,38 +46,49 @@ def _report(result: CheckResult, out) -> bool:
 def cmd_check(args: argparse.Namespace, out) -> int:
     module = _load(args.module)
     spec = module.spec(args.spec)
-    graph = explore(spec, max_states=args.max_states)
+    stats = ExploreStats() if args.stats else None
+    graph = explore(spec, max_states=args.max_states, stats=stats)
+    # edge_count is real N-edges; the stutter self-loops (one per node)
+    # are reported separately so the N-edge count is not inflated
     print(f"{module.name}!{args.spec}: {graph.state_count} states, "
-          f"{graph.edge_count} edges", file=out)
+          f"{graph.edge_count} edges (+{graph.stutter_count} stutter)",
+          file=out)
     ok = True
     for name in args.invariant or ():
-        result = check_invariant(graph, module.expr(name), name=name)
+        result = check_invariant(graph, module.expr(name), name=name,
+                                 run_stats=stats)
         ok = _report(result, out) and ok
     for name in args.property or ():
         from ..checker.liveness import premises_of_spec
 
         result = check_temporal_implication(
             graph, module.formula(name),
-            premises=premises_of_spec(spec), name=name)
+            premises=premises_of_spec(spec), name=name, run_stats=stats)
         ok = _report(result, out) and ok
     if not (args.invariant or args.property):
         print("(no --invariant/--property given: exploration only)", file=out)
+    if stats is not None:
+        print(stats.format(), file=out)
     return 0 if ok else 1
 
 
 def cmd_explore(args: argparse.Namespace, out) -> int:
     module = _load(args.module)
     spec = module.spec(args.spec)
-    graph = explore(spec, max_states=args.max_states)
+    stats = ExploreStats() if args.stats else None
+    graph = explore(spec, max_states=args.max_states, stats=stats)
     print(f"{module.name}!{args.spec}:", file=out)
     print(f"  states: {graph.state_count}", file=out)
-    print(f"  edges:  {graph.edge_count}", file=out)
+    print(f"  edges:  {graph.edge_count} (+{graph.stutter_count} stutter)",
+          file=out)
     print(f"  initial states: {len(graph.init_nodes)}", file=out)
     shown = min(args.show, graph.state_count)
     if shown:
         print(f"  first {shown} state(s):", file=out)
         for node in range(shown):
             print(f"    {graph.states[node]!r}", file=out)
+    if stats is not None:
+        print(stats.format(indent="  "), file=out)
     return 0
 
 
@@ -125,6 +137,9 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--property", action="append",
                        help="temporal definition to check (repeatable)")
     check.add_argument("--max-states", type=int, default=200_000)
+    check.add_argument("--stats", action="store_true",
+                       help="print exploration statistics (states/sec, "
+                            "depth, real-vs-stutter edges, per-phase timing)")
     check.set_defaults(func=cmd_check)
 
     exp = sub.add_parser("explore", help="explore the state space")
@@ -133,6 +148,8 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--max-states", type=int, default=200_000)
     exp.add_argument("--show", type=int, default=5,
                      help="how many states to print")
+    exp.add_argument("--stats", action="store_true",
+                     help="print exploration statistics")
     exp.set_defaults(func=cmd_explore)
 
     trace = sub.add_parser("trace", help="print a random behavior prefix")

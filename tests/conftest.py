@@ -2,21 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 import pytest
 
-from repro.kernel import (
-    And,
-    Arith,
-    Const,
-    Eq,
-    Lasso,
-    State,
-    Universe,
-    Var,
-    interval,
-)
+from repro.kernel import Arith, Const, Eq, Lasso, State, Universe, Var, interval
 from repro.spec import Spec, weak_fairness
 
 

@@ -2,9 +2,10 @@
 
 import pytest
 
-from repro.checker import StateGraph, StateSpaceExplosion, explore, initial_states
+from repro.checker import ExploreStats, StateSpaceExplosion, explore, initial_states
 from repro.checker.graph import StateGraph as Graph
-from repro.kernel import And, BIT, Eq, Exists, Not, Or, State, Universe, Var, interval
+from repro.kernel import And, BIT, Eq, Exists, Or, Universe, Var, interval
+from repro.kernel.values import Domain
 from repro.spec import Spec
 
 from tests.conftest import counter_spec, st
@@ -45,6 +46,21 @@ class TestInitialStates:
         universe = Universe({"x": BIT})
         assert list(initial_states(And(Eq(x, 0), Eq(x, 1)), universe)) == []
 
+    def test_empty_domain_names_the_variable(self):
+        class EmptyDomain(Domain):
+            def values(self):
+                return iter(())
+
+            def __contains__(self, value):
+                return False
+
+            def size(self):
+                return 0
+
+        universe = Universe({"x": BIT, "weird": EmptyDomain()})
+        with pytest.raises(ValueError, match="'weird'.*empty domain"):
+            list(initial_states(Eq(x, 0), universe))
+
 
 class TestExplore:
     def test_counter(self):
@@ -67,11 +83,38 @@ class TestExplore:
         with pytest.raises(StateSpaceExplosion):
             explore(spec, max_states=1)
 
+    def test_budget_enforced_at_insertion_not_per_level(self):
+        # exactly the reachable count fits; one less explodes
+        spec = counter_spec(modulus=3)
+        graph = explore(spec, max_states=3)
+        assert graph.state_count == 3
+        with pytest.raises(StateSpaceExplosion, match="state budget.*2"):
+            explore(spec, max_states=2)
+
     def test_parent_paths(self):
         graph = explore(counter_spec())
         target = graph.index[st(x=2)]
         path = graph.path_to_root(target)
         assert [graph.states[i]["x"] for i in path] == [0, 1, 2]
+
+    def test_edge_counts_split_real_from_stutter(self):
+        graph = explore(counter_spec())
+        # the 3-cycle has 3 real N-edges; stutter loops are one per node
+        assert graph.edge_count == 3
+        assert graph.stutter_count == 3
+        assert graph.total_edge_count == 6
+
+    def test_stats_populated(self):
+        stats = ExploreStats()
+        graph = explore(counter_spec(), stats=stats)
+        assert stats.states == graph.state_count == 3
+        assert stats.edges == 3 and stats.stutter_edges == 3
+        assert stats.init_states == 1
+        assert stats.depth == 2  # x=0 -> x=1 -> x=2
+        assert stats.states_per_sec > 0
+        assert stats.explore_seconds > 0
+        assert "explore" in stats.phases
+        assert "states/sec" in stats.format()
 
 
 class TestStateGraph:
@@ -139,8 +182,49 @@ class TestStateGraph:
         graph = self.build_diamond()
         assert graph.covering_cycle([1], edge_ok=lambda s, d: s == d) == [1]
 
+    def test_covering_cycle_rejects_non_edge_requirement(self):
+        graph = self.build_diamond()
+        # (1, 2) is not an edge of the diamond at all
+        with pytest.raises(ValueError, match=r"required edge \(1, 2\)"):
+            graph.covering_cycle([0, 1, 2, 3], required_edges=[(1, 2)])
+
+    def test_covering_cycle_rejects_filtered_requirement(self):
+        graph = self.build_diamond()
+        # (0, 1) exists but the filter forbids it
+        with pytest.raises(ValueError, match="edge filter"):
+            graph.covering_cycle([0, 1, 2, 3],
+                                 edge_ok=lambda s, d: (s, d) != (0, 1),
+                                 required_edges=[(0, 1)])
+
+    def test_covering_cycle_rejects_requirement_outside_component(self):
+        graph = self.build_diamond()
+        with pytest.raises(ValueError, match="leaves the component"):
+            graph.covering_cycle([0, 1, 3], required_edges=[(0, 2)])
+
     def test_add_state_idempotent(self):
         graph = Graph(Universe({"x": BIT}))
         n1, new1 = graph.add_state(st(x=0))
         n2, new2 = graph.add_state(st(x=0))
         assert n1 == n2 and new1 and not new2
+
+    def test_add_edge_deduplicates_and_counts(self):
+        graph = Graph(Universe({"x": interval(0, 3)}))
+        nodes = [graph.add_state(st(x=i))[0] for i in range(3)]
+        graph.add_edge(nodes[0], nodes[1])
+        graph.add_edge(nodes[0], nodes[1])  # duplicate: ignored
+        graph.add_edge(nodes[0], nodes[0])  # stutter: never re-added
+        graph.add_edge(nodes[1], nodes[2])
+        assert graph.succ[0] == [0, 1]  # stutter first, then the real edge
+        assert graph.edge_count == 2
+        assert graph.stutter_count == 3
+        assert graph.has_edge(0, 1) and graph.has_edge(0, 0)
+        assert not graph.has_edge(0, 2)
+
+    def test_graph_level_budget(self):
+        graph = Graph(Universe({"x": interval(0, 9)}), max_states=2,
+                      name="tiny")
+        graph.add_state(st(x=0))
+        graph.add_state(st(x=1))
+        graph.add_state(st(x=1))  # re-interning an old state is free
+        with pytest.raises(StateSpaceExplosion, match="'tiny'.*2 states"):
+            graph.add_state(st(x=2))

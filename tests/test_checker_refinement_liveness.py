@@ -11,7 +11,6 @@ from repro.checker import (
     check_temporal_implication,
     explore,
     fair_units,
-    premises_of_spec,
 )
 from repro.kernel import (
     And,
@@ -35,7 +34,6 @@ from repro.temporal import (
     SF,
     StatePred,
     TAnd,
-    WF,
     holds,
 )
 

@@ -18,29 +18,11 @@ from repro.core import (
     validate_proposition1,
     validate_proposition4,
 )
-from repro.kernel import (
-    And,
-    BIT,
-    Eq,
-    Or,
-    Universe,
-    Var,
-    all_lassos,
-    interval,
-)
+from repro.kernel import And, BIT, Eq, Universe, Var, all_lassos, interval
 from repro.spec import Component, Spec, weak_fairness
-from repro.temporal import (
-    ActionBox,
-    Always,
-    Eventually,
-    Hide,
-    StatePred,
-    TAnd,
-    WF,
-    holds,
-)
+from repro.temporal import ActionBox, Eventually, Hide, StatePred, TAnd, WF
 
-from tests.conftest import counter_spec, lasso
+from tests.conftest import counter_spec
 
 x, y = Var("x"), Var("y")
 

@@ -16,8 +16,8 @@ from repro.core import (
     refinement_corollary,
 )
 from repro.checker import RefinementMapping
-from repro.kernel import And, BIT, Eq, Or, Universe, Var, interval
-from repro.spec import Component, Spec, conjoin, weak_fairness
+from repro.kernel import And, BIT, Eq, Universe, Var, interval
+from repro.spec import Component, Spec, weak_fairness
 from repro.systems import circuit
 from repro.temporal import Eventually, StatePred, holds
 

@@ -9,15 +9,8 @@ precisely by choosing the behavior.
 import pytest
 
 from repro.core import AsLongAs, Closure, Guarantees, Orthogonal, Plus, guarantees
-from repro.kernel import BIT, Eq, Universe, Var, interval
-from repro.temporal import (
-    ActionBox,
-    Always,
-    Eventually,
-    StatePred,
-    TAnd,
-    holds,
-)
+from repro.kernel import BIT, Eq, Universe, Var
+from repro.temporal import ActionBox, Eventually, StatePred, TAnd, holds
 
 from tests.conftest import lasso
 

@@ -16,17 +16,7 @@ from repro.checker import (
     explore,
     premises_of_spec,
 )
-from repro.kernel import (
-    And,
-    BIT,
-    Cmp,
-    Eq,
-    Implies,
-    Or,
-    Universe,
-    Var,
-    interval,
-)
+from repro.kernel import And, Eq, Implies, Or, Universe, Var, interval
 from repro.spec import Spec, conjoin, weak_fairness
 from repro.systems.handshake import ack, channel_vars, cinit, pending, send
 from repro.systems.queue import Queue

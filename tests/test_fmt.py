@@ -19,18 +19,7 @@ from repro.kernel import (
     structurally_equal,
 )
 from repro.parser import parse_expr, parse_formula
-from repro.temporal import (
-    ActionBox,
-    ActionDiamond,
-    Always,
-    Eventually,
-    Hide,
-    LeadsTo,
-    SF,
-    StatePred,
-    TAnd,
-    WF,
-)
+from repro.temporal import ActionBox, Always, Eventually, Hide, LeadsTo, SF, StatePred, WF
 
 from tests.conftest import counter_spec
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.kernel import (
     And,
-    BIT,
     Const,
     Eq,
     Exists,

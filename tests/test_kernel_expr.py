@@ -9,7 +9,6 @@ from repro.kernel import (
     Cat,
     Cmp,
     Const,
-    Env,
     Eq,
     Equiv,
     EvalError,

@@ -2,19 +2,7 @@
 
 import pytest
 
-from repro.kernel import (
-    And,
-    Arith,
-    Const,
-    Eq,
-    EvalError,
-    Exists,
-    State,
-    TupleDomain,
-    Var,
-    interval,
-    structurally_equal,
-)
+from repro.kernel import Const, Eq, Exists, State, TupleDomain, Var, structurally_equal
 from repro.parser import (
     Context,
     ElaborationError,
@@ -32,10 +20,8 @@ from repro.temporal import (
     ActionDiamond,
     Always,
     Eventually,
-    Hide,
     LeadsTo,
     SF,
-    StatePred,
     TAnd,
     TImplies,
     TOr,

@@ -1,6 +1,5 @@
 """Unit tests for the Figure 1 circuit and the arbiter example system."""
 
-import pytest
 
 from repro.checker import (
     check_invariant,

@@ -1,6 +1,5 @@
 """Unit tests for the two-phase handshake channel (Figure 2)."""
 
-import pytest
 
 from repro.kernel import FiniteDomain, State, Var, holds_on_step, successors
 from repro.systems.handshake import (

@@ -139,12 +139,10 @@ class TestCompleteQueue:
     def test_handshake_discipline(self):
         """o.val changes only while o is ready (the metastability concern
         of section A.1)."""
-        from repro.kernel import Eq, Not, Or
         from repro.temporal import ActionBox
 
         spec = complete_queue(1)
         graph = explore(spec)
-        o_val = Var("o.val")
         discipline = ActionBox(ready("o"), ("o.val",))
         result = check_temporal_implication(graph, discipline,
                                             premises=[], name="discipline")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.kernel import And, Eq, Not, Universe, Var, interval
+from repro.kernel import And, Eq, Universe, Var, interval
 from repro.temporal import (
     ActionBox,
     ActionDiamond,
@@ -23,7 +23,7 @@ from repro.temporal import (
     to_tf,
 )
 
-from tests.conftest import bits, lasso
+from tests.conftest import bits
 
 x = Var("x")
 U = Universe({"x": interval(0, 3)})

@@ -3,7 +3,7 @@ the machinery beneath the paper's C, ⊳, +v, and ⊥ operators."""
 
 import pytest
 
-from repro.kernel import And, Eq, FiniteBehavior, Not, State, Var, interval
+from repro.kernel import Eq, FiniteBehavior, Var, interval
 from repro.temporal import (
     INFINITE,
     ActionBox,

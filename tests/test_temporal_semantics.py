@@ -17,7 +17,7 @@ from repro.temporal import (
     holds,
 )
 
-from tests.conftest import bits, lasso
+from tests.conftest import bits
 
 x, h = Var("x"), Var("h")
 U = Universe({"x": interval(0, 2)})

@@ -1,7 +1,6 @@
 """Tests for the CLI, the simulator, and the queue-chain extension."""
 
 import io
-import pathlib
 
 import pytest
 

@@ -1,0 +1,155 @@
+"""CLI subcommand coverage: trace, explore --show, check exit codes,
+StateSpaceExplosion surfacing, and the --stats observability layer."""
+
+import io
+
+import pytest
+
+from repro.tools.cli import main
+
+COUNTER_TLA = """
+MODULE Counter
+CONSTANT N = 3
+VARIABLE x \\in 0..2
+Init == x = 0
+Next == x' = (x + 1) % N
+Spec == Init /\\ [][Next]_<<x>> /\\ WF_<<x>>(Next)
+Small == x < 3
+TooSmall == x < 2
+Progress == (x = 0) ~> (x = 2)
+"""
+
+
+@pytest.fixture
+def module_file(tmp_path):
+    path = tmp_path / "Counter.tla"
+    path.write_text(COUNTER_TLA)
+    return str(path)
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestCheckExitCodes:
+    def test_ok_is_exit_zero(self, module_file):
+        code, text = run_cli("check", module_file, "--invariant", "Small")
+        assert code == 0
+        assert "[OK] Small" in text
+
+    def test_failure_is_exit_one_with_counterexample(self, module_file):
+        code, text = run_cli("check", module_file, "--invariant", "TooSmall")
+        assert code == 1
+        assert "[FAIL]" in text or "TooSmall" in text
+        # a rendered trace reaches the violating state
+        assert "x" in text
+
+    def test_mixed_results_still_exit_one(self, module_file):
+        code, text = run_cli("check", module_file,
+                             "--invariant", "Small",
+                             "--invariant", "TooSmall")
+        assert code == 1
+        assert "[OK] Small" in text
+
+    def test_edge_line_reports_real_and_stutter_separately(self, module_file):
+        code, text = run_cli("check", module_file)
+        assert code == 0
+        # 3 reachable states, 3 real N-edges, 3 materialised stutter loops
+        assert "3 states, 3 edges (+3 stutter)" in text
+
+    def test_explosion_surfaces_as_exit_two(self, module_file):
+        code, text = run_cli("check", module_file, "--max-states", "1")
+        assert code == 2
+        assert "StateSpaceExplosion" in text
+        assert "state budget" in text and "1" in text
+
+    def test_missing_file_is_exit_two(self):
+        code, text = run_cli("check", "/nonexistent/No.tla")
+        assert code == 2
+        assert "error" in text
+
+
+class TestExplore:
+    def test_show_limits_states_printed(self, module_file):
+        code, text = run_cli("explore", module_file, "--show", "2")
+        assert code == 0
+        assert text.count("State(") == 2
+        assert "first 2 state(s):" in text
+
+    def test_show_zero_prints_no_states(self, module_file):
+        code, text = run_cli("explore", module_file, "--show", "0")
+        assert code == 0
+        assert "State(" not in text
+
+    def test_show_clamped_to_state_count(self, module_file):
+        code, text = run_cli("explore", module_file, "--show", "99")
+        assert code == 0
+        assert text.count("State(") == 3
+
+    def test_reports_real_and_stutter_edges(self, module_file):
+        code, text = run_cli("explore", module_file)
+        assert code == 0
+        assert "states: 3" in text
+        assert "edges:  3 (+3 stutter)" in text
+
+    def test_explosion_is_exit_two(self, module_file):
+        code, text = run_cli("explore", module_file, "--max-states", "2")
+        assert code == 2
+        assert "StateSpaceExplosion" in text
+
+
+class TestTrace:
+    def test_header_and_variable_rows(self, module_file):
+        code, text = run_cli("trace", module_file, "--steps", "5", "--seed", "3")
+        assert code == 0
+        lines = [line for line in text.splitlines() if line.strip()]
+        header = lines[0].split()
+        assert header[0] == "step"
+        assert header[1:] == [str(i) for i in range(len(header) - 1)]
+        assert any(line.split()[0] == "x" for line in lines[1:])
+
+    def test_deterministic_by_seed(self, module_file):
+        _, first = run_cli("trace", module_file, "--steps", "8", "--seed", "7")
+        _, second = run_cli("trace", module_file, "--steps", "8", "--seed", "7")
+        assert first == second
+
+    def test_trace_values_follow_spec(self, module_file):
+        code, text = run_cli("trace", module_file, "--steps", "6", "--seed", "1")
+        assert code == 0
+        row = next(line for line in text.splitlines()
+                   if line.split() and line.split()[0] == "x")
+        values = [int(v) for v in row.split()[1:]]
+        assert values[0] == 0
+        for pre, post in zip(values, values[1:]):
+            assert post in ((pre + 1) % 3, pre)
+
+
+class TestStats:
+    def test_check_stats_prints_throughput_depth_and_edge_split(
+            self, module_file):
+        code, text = run_cli("check", module_file,
+                             "--invariant", "Small", "--stats")
+        assert code == 0
+        assert "states/sec" in text
+        assert "depth 2" in text
+        assert "3 real edges + 3 stutter" in text
+        assert "invariant:Small" in text  # per-phase timing
+
+    def test_check_stats_includes_liveness_phase(self, module_file):
+        code, text = run_cli("check", module_file,
+                             "--property", "Progress", "--stats")
+        assert code == 0
+        assert "liveness:Progress" in text
+
+    def test_explore_stats(self, module_file):
+        code, text = run_cli("explore", module_file, "--stats")
+        assert code == 0
+        assert "states/sec" in text
+        assert "depth 2" in text
+
+    def test_no_stats_by_default(self, module_file):
+        code, text = run_cli("check", module_file, "--invariant", "Small")
+        assert code == 0
+        assert "states/sec" not in text
