@@ -19,9 +19,12 @@ Post-overhaul the same container explores complete_queue(2) in ~5.5 ms
 
 from __future__ import annotations
 
+import os
 from time import perf_counter
 
-from repro.checker import ExploreStats, explore
+import pytest
+
+from repro.checker import ExploreStats, explore, explore_parallel
 from repro.checker.explorer import initial_states
 from repro.kernel.action import compile_action
 from repro.kernel.expr import Env, EvalError
@@ -236,6 +239,74 @@ def test_explore_circuit_matches_baseline():
         ["stutter loops", graph.stutter_count],
         ["compiled-plan path", f"{t_new * 1000:.3f} ms"],
     ])
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover
+        return os.cpu_count() or 1
+
+
+def _assert_identical(serial, parallel):
+    assert parallel.states == serial.states        # same nodes, same numbering
+    assert parallel.succ == serial.succ            # same edges
+    assert parallel.init_nodes == serial.init_nodes
+    assert parallel.parent == serial.parent        # same BFS trace tree
+
+
+def test_explore_parallel_matches_serial_exactly():
+    """Graph equality (nodes, edges, init_nodes, numbering, parent tree)
+    holds on any machine -- this is the correctness half of the parallel
+    acceptance criterion; the wall-clock half is below."""
+    spec = complete_queue(4)
+    serial = explore(spec)
+    for workers in (2, 4):
+        _assert_identical(serial, explore_parallel(spec, workers=workers))
+
+
+def test_explore_parallel_queue_speedup_4_workers():
+    """PERF: ``explore_parallel(queue, workers=4)`` vs serial ``explore``.
+
+    The appendix queue system, sized so the successor work dominates the
+    coordinator's (serial) merging and IPC.  Requires 4 usable cores --
+    on smaller boxes the workers timeshare one core and the measurement
+    would only show scheduler overhead, so the speedup assertion is
+    meaningless there and the test skips (CI runs it; the graph-equality
+    test above runs everywhere).
+    """
+    cores = _usable_cores()
+    if cores < 4:
+        pytest.skip(f"needs >= 4 usable cores for a meaningful "
+                    f"4-worker speedup measurement, have {cores}")
+    spec = complete_queue(9)  # ~24.5k states, ~1.3s serial on the dev box
+    serial_graph = explore(spec)
+    stats = ExploreStats()
+    parallel_graph = explore_parallel(spec, workers=4, stats=stats)
+    _assert_identical(serial_graph, parallel_graph)
+
+    t_serial = _best_of(lambda: explore(spec), reps=3)
+    t_parallel = _best_of(lambda: explore_parallel(spec, workers=4), reps=3)
+    speedup = t_serial / t_parallel
+    rows = [
+        ["states", parallel_graph.state_count],
+        ["real edges", parallel_graph.edge_count],
+        ["serial explore", f"{t_serial * 1000:.1f} ms"],
+        ["parallel explore (4 workers)", f"{t_parallel * 1000:.1f} ms"],
+        ["speedup", f"{speedup:.2f}x"],
+        ["coordinator idle", f"{stats.coordinator_idle_seconds * 1000:.1f} ms"],
+    ]
+    for worker_id in sorted(stats.worker_stats):
+        entry = stats.worker_stats[worker_id]
+        rows.append([f"worker {worker_id} sources",
+                     f"{entry['sources']:.0f} "
+                     f"(busy {entry['busy_seconds'] * 1000:.1f} ms)"])
+    report("PERF: explore_parallel(complete_queue(9), workers=4)", rows)
+    assert speedup >= 1.5, (
+        f"expected >= 1.5x wall-clock speedup at 4 workers, got "
+        f"{speedup:.2f}x ({t_serial * 1000:.1f} ms -> "
+        f"{t_parallel * 1000:.1f} ms)"
+    )
 
 
 def test_explore_stats_populated():

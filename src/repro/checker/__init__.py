@@ -8,6 +8,7 @@ reachable state space of a finite instance.
 from .explorer import StateSpaceExplosion, explore, initial_states
 from .graph import StateGraph
 from .invariants import check_deadlock_free, check_invariant
+from .parallel import default_workers, explore_parallel
 from .stats import ExploreStats
 from .liveness import (
     ConclusionChecker,
@@ -22,6 +23,8 @@ from .results import CheckResult, Counterexample
 __all__ = [
     "StateSpaceExplosion",
     "explore",
+    "explore_parallel",
+    "default_workers",
     "initial_states",
     "StateGraph",
     "ExploreStats",

@@ -84,17 +84,11 @@ def explore(
     depth = 0
     plan_successors = plan.successors
     states = graph.states
-    add_state = graph.add_state
-    add_edge = graph.add_edge
+    merge_batch = graph.merge_batch
     while frontier:
         next_frontier: List[int] = []
         for src in frontier:
-            state = states[src]
-            for succ_state in plan_successors(state):
-                dst, new = add_state(succ_state, parent=src)
-                add_edge(src, dst)
-                if new:
-                    next_frontier.append(dst)
+            next_frontier.extend(merge_batch(src, plan_successors(states[src])))
         frontier = next_frontier
         if frontier:
             depth += 1

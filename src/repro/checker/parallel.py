@@ -1,0 +1,223 @@
+"""Parallel sharded BFS exploration of canonical specifications.
+
+:func:`explore_parallel` distributes the successor enumeration of each
+BFS level across ``multiprocessing`` worker processes while keeping the
+*merge* of results strictly serial, which makes the parallel explorer
+**bit-for-bit deterministic**: the resulting
+:class:`~repro.checker.graph.StateGraph` has the same states, the same
+node numbering, the same edges, the same BFS parent tree (hence the same
+counterexample traces), and the same
+:class:`~repro.checker.graph.StateSpaceExplosion` behaviour as a serial
+:func:`~repro.checker.explorer.explore` run -- regardless of worker
+count, chunking, or scheduling.  ``workers=1`` *is* the serial explorer
+(the call delegates), so the serial path remains the reference
+semantics; ``tests/test_parallel_differential.py`` checks the
+equivalence for every bundled system.
+
+How the work is sharded
+-----------------------
+
+Per BFS level the coordinator:
+
+1. snapshots the frontier (node ids in serial-BFS order), pairs each
+   frontier state with its :meth:`~repro.kernel.state.State.fingerprint`
+   (an opaque batch key echoed back by workers; fingerprint collisions
+   within a level are disambiguated with the node id, so keys are always
+   unique),
+2. splits the keyed frontier into contiguous chunks -- the chunk size is
+   a pure function of frontier length and worker count, so the sharding
+   itself is deterministic,
+3. ships the chunks to the pool with ``imap`` (which yields results in
+   **submission order**, not completion order), and
+4. merges each returned ``(src_fingerprint, successor_states)`` batch
+   through :meth:`~repro.checker.graph.StateGraph.merge_batch` in that
+   order -- exactly the order the serial explorer would have used.
+
+Workers are started once per run: each unpickles the spec in its
+initializer and builds its own
+:class:`~repro.kernel.action.SuccessorPlan` (compiled once, driven for
+every chunk), so the per-chunk payload is only the frontier states and
+the per-chunk result only the successor batches.  Worker-side busy time
+and coordinator idle time are recorded on the optional
+:class:`~repro.checker.stats.ExploreStats`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+from ..kernel.action import SuccessorPlan, compile_action
+from ..kernel.state import State
+from ..spec import Spec
+from .explorer import explore, initial_states
+from .graph import StateGraph
+from .stats import ExploreStats
+
+__all__ = ["explore_parallel", "default_workers"]
+
+# one payload per chunk: [(batch_key, frontier_state), ...]
+_Chunk = List[Tuple[object, State]]
+# one result per chunk: (worker_pid, busy_seconds, [(batch_key, successors)])
+_ChunkResult = Tuple[int, float, List[Tuple[object, List[State]]]]
+
+# targeted chunks per worker per level: >1 so a worker that drew cheap
+# sources can pick up another chunk instead of idling at the level barrier
+_CHUNKS_PER_WORKER = 4
+
+# never cut chunks smaller than this many sources: per-task pool overhead
+# (dispatch, pickling envelopes, result queueing) swamps the successor
+# work for tiny chunks
+_MIN_CHUNK = 16
+
+# frontiers smaller than workers * _MIN_CHUNK are expanded inline by the
+# coordinator (shipping them would cost more than computing them); the
+# narrow first/last BFS levels of most systems take this path
+def _inline_threshold(workers: int) -> int:
+    return workers * _MIN_CHUNK
+
+# worker-process globals, set once by _init_worker
+_worker_plan: Optional[SuccessorPlan] = None
+
+
+def default_workers() -> int:
+    """The worker count ``--workers 0`` resolves to: one per available
+    core (respecting CPU affinity where the platform exposes it)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return os.cpu_count() or 1
+
+
+def _init_worker(spec_payload: bytes) -> None:
+    """Pool initializer: unpickle the spec and compile its successor plan
+    once; every chunk this worker processes reuses the same plan."""
+    global _worker_plan
+    spec = pickle.loads(spec_payload)
+    _worker_plan = compile_action(spec.next_action).plan(spec.universe)
+
+
+def _expand_chunk(chunk: _Chunk) -> _ChunkResult:
+    """Worker body: enumerate successors for one frontier chunk."""
+    plan = _worker_plan
+    assert plan is not None, "worker used before initialization"
+    start = perf_counter()
+    batches = [(key, list(plan.successors(state))) for key, state in chunk]
+    return os.getpid(), perf_counter() - start, batches
+
+
+def _shard_frontier(
+    graph: StateGraph, frontier: List[int], workers: int
+) -> Tuple[List[_Chunk], Dict[object, int]]:
+    """Key the frontier by state fingerprint and cut it into contiguous
+    chunks; returns the chunks and the key -> node id resolution map."""
+    states = graph.states
+    entries: _Chunk = []
+    key_to_node: Dict[object, int] = {}
+    for node in frontier:
+        key: object = states[node].fingerprint()
+        if key in key_to_node:
+            # distinct frontier states with colliding fingerprints: make
+            # the batch key unique (workers only echo it back)
+            key = (key, node)
+        key_to_node[key] = node
+        entries.append((key, states[node]))
+    # ceil-divide into at most workers * _CHUNKS_PER_WORKER chunks of at
+    # least _MIN_CHUNK sources -- a pure function of (len(frontier),
+    # workers), hence deterministic
+    target = workers * _CHUNKS_PER_WORKER
+    chunk_size = max(_MIN_CHUNK, -(-len(entries) // target))
+    chunks = [entries[i:i + chunk_size]
+              for i in range(0, len(entries), chunk_size)]
+    return chunks, key_to_node
+
+
+def explore_parallel(
+    spec: Spec,
+    max_states: int = 200_000,
+    workers: int = 1,
+    stats: Optional[ExploreStats] = None,
+) -> StateGraph:
+    """The reachable state graph of ``Init ∧ □[N]_v``, explored with
+    *workers* processes.
+
+    Produces a graph identical to ``explore(spec, max_states)`` -- same
+    states in the same node order, same edges, same ``init_nodes``, same
+    BFS parent tree, and :class:`StateSpaceExplosion` raised at the same
+    insertion -- for every worker count.  ``workers <= 1`` delegates to
+    the serial explorer; ``workers=0`` is resolved by
+    :func:`default_workers` to one worker per available core.
+    """
+    if workers == 0:
+        workers = default_workers()
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers <= 1:
+        return explore(spec, max_states=max_states, stats=stats)
+
+    start = perf_counter()
+    # fork is the cheap path where available (Linux); spawn/forkserver
+    # workers rebuild everything from the pickled spec payload anyway
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods
+                                     else methods[0])
+    payload = pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+
+    graph = StateGraph(spec.universe, max_states=max_states, name=spec.name)
+    frontier: List[int] = []
+    for state in initial_states(spec.init, spec.universe):
+        node, new = graph.add_state(state)
+        if new:
+            graph.init_nodes.append(node)
+            frontier.append(node)
+
+    depth = 0
+    idle = 0.0
+    worker_ids: Dict[int, int] = {}  # pid -> dense worker id
+    merge_batch = graph.merge_batch
+    states = graph.states
+    # the coordinator's own plan, for frontiers too narrow to ship; the
+    # compile/plan caches make this free when it is never needed
+    local_plan = compile_action(spec.next_action).plan(spec.universe)
+    inline_below = _inline_threshold(workers)
+    with ctx.Pool(workers, initializer=_init_worker,
+                  initargs=(payload,)) as pool:
+        while frontier:
+            next_frontier: List[int] = []
+            if len(frontier) < inline_below:
+                # narrow level: expanding locally beats IPC round trips;
+                # merge order (frontier order) is the serial order either way
+                for src in frontier:
+                    next_frontier.extend(
+                        merge_batch(src, local_plan.successors(states[src])))
+            else:
+                chunks, key_to_node = _shard_frontier(graph, frontier,
+                                                      workers)
+                wait_from = perf_counter()
+                # imap yields chunk results in submission order; merging
+                # in that order reproduces the serial interning order
+                for pid, busy, batches in pool.imap(_expand_chunk, chunks):
+                    idle += perf_counter() - wait_from
+                    if stats is not None:
+                        stats.record_worker_batch(
+                            worker_ids.setdefault(pid, len(worker_ids)),
+                            sources=len(batches),
+                            successors=sum(len(succ)
+                                           for _key, succ in batches),
+                            busy_seconds=busy,
+                        )
+                    for key, successor_states in batches:
+                        next_frontier.extend(
+                            merge_batch(key_to_node[key], successor_states))
+                    wait_from = perf_counter()
+            frontier = next_frontier
+            if frontier:
+                depth += 1
+
+    if stats is not None:
+        stats.record_explore(graph, depth, perf_counter() - start)
+        stats.record_parallel(workers, idle)
+    return graph

@@ -12,7 +12,7 @@ from __future__ import annotations
 import random
 from typing import Optional
 
-from ..kernel.action import successors
+from ..kernel.action import compile_action
 from ..kernel.behavior import FiniteBehavior
 from ..kernel.expr import to_expr
 from ..spec import Spec
@@ -31,15 +31,22 @@ def random_walk(
     Picks a random initial state and then random ``N``-successors.  When a
     state has no successor (the system can only stutter), the walk ends
     early unless ``allow_stutter`` lets it idle in place.
+
+    The next-state action is compiled into a successor plan **once per
+    walk** and driven per step (the hot-loop discipline of the explorer);
+    seeded walks are deterministic, and the plan reuse does not change
+    which walk a given seed produces (the plan enumerates successors in
+    the same order the per-step convenience wrapper did).
     """
     rng = random.Random(seed)
     inits = list(initial_states(spec.init, spec.universe))
     if not inits:
         raise ValueError(f"spec {spec.name!r} has no initial states")
+    plan = compile_action(spec.next_action).plan(spec.universe)
     state = rng.choice(inits)
     states = [state]
     for _ in range(steps):
-        nexts = list(successors(spec.next_action, state, spec.universe))
+        nexts = list(plan.successors(state))
         if not nexts:
             if allow_stutter:
                 states.append(state)

@@ -35,11 +35,21 @@ class ExploreStats:
       the distance of the deepest state from an initial state;
     * ``explore_seconds`` -- wall-clock time of the exploration phase;
     * ``phases`` -- ordered wall-clock timings per named phase (exploration
-      plus one entry per invariant/property check).
+      plus one entry per invariant/property check);
+    * ``workers`` -- worker-process count of a parallel exploration
+      (0 = serial run);
+    * ``worker_stats`` -- per-worker accumulators: sources expanded,
+      successors produced, batches returned, busy seconds (worker-side
+      wall-clock inside ``SuccessorPlan.successors``);
+    * ``coordinator_idle_seconds`` -- time the parallel coordinator spent
+      blocked waiting on worker results (the shard-balance signal: high
+      idle with low worker busy time means the frontier shards are too
+      coarse or the instance is too small to parallelise).
     """
 
     __slots__ = ("states", "edges", "stutter_edges", "init_states", "depth",
-                 "explore_seconds", "phases")
+                 "explore_seconds", "phases", "workers", "worker_stats",
+                 "coordinator_idle_seconds")
 
     def __init__(self) -> None:
         self.states = 0
@@ -49,6 +59,9 @@ class ExploreStats:
         self.depth = 0
         self.explore_seconds = 0.0
         self.phases: Dict[str, float] = {}
+        self.workers = 0
+        self.worker_stats: Dict[int, Dict[str, float]] = {}
+        self.coordinator_idle_seconds = 0.0
 
     # -- population ----------------------------------------------------------
 
@@ -66,6 +79,24 @@ class ExploreStats:
         self.depth = depth
         self.explore_seconds = seconds
         self.phases["explore"] = self.phases.get("explore", 0.0) + seconds
+
+    def record_worker_batch(self, worker_id: int, sources: int,
+                            successors: int, busy_seconds: float) -> None:
+        """Accumulate one returned worker batch into that worker's totals."""
+        entry = self.worker_stats.get(worker_id)
+        if entry is None:
+            entry = {"sources": 0, "successors": 0, "batches": 0,
+                     "busy_seconds": 0.0}
+            self.worker_stats[worker_id] = entry
+        entry["sources"] += sources
+        entry["successors"] += successors
+        entry["batches"] += 1
+        entry["busy_seconds"] += busy_seconds
+
+    def record_parallel(self, workers: int, idle_seconds: float) -> None:
+        """Record the coordinator-side shape of a parallel exploration."""
+        self.workers = workers
+        self.coordinator_idle_seconds = idle_seconds
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -103,6 +134,22 @@ class ExploreStats:
             f"{indent}       {self.states_per_sec:,.0f} states/sec "
             f"(explore {self.explore_seconds:.4f}s)",
         ]
+        if self.workers:
+            lines.append(
+                f"{indent}parallel: {self.workers} workers, coordinator idle "
+                f"{self.coordinator_idle_seconds:.4f}s"
+            )
+            for worker_id in sorted(self.worker_stats):
+                entry = self.worker_stats[worker_id]
+                busy = entry["busy_seconds"]
+                rate = entry["sources"] / busy if busy > 0 else 0.0
+                lines.append(
+                    f"{indent}  worker {worker_id}: "
+                    f"{entry['sources']:.0f} sources -> "
+                    f"{entry['successors']:.0f} successors in "
+                    f"{entry['batches']:.0f} batches, busy {busy:.4f}s "
+                    f"({rate:,.0f} states/sec)"
+                )
         if self.phases:
             rendered = ", ".join(
                 f"{name} {seconds:.4f}s" for name, seconds in self.phases.items()
@@ -122,6 +169,10 @@ class ExploreStats:
             "states_per_sec": self.states_per_sec,
             "explore_seconds": self.explore_seconds,
             "phases": dict(self.phases),
+            "workers": self.workers,
+            "worker_stats": {wid: dict(entry)
+                             for wid, entry in self.worker_stats.items()},
+            "coordinator_idle_seconds": self.coordinator_idle_seconds,
         }
 
     def __repr__(self) -> str:

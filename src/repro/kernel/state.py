@@ -18,6 +18,51 @@ from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
 from .values import Domain, check_value, format_value
 
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+def _stable_hash(value: object, h: int = _FNV_OFFSET) -> int:
+    """A process-stable 64-bit FNV-1a hash of a TLA value.
+
+    Unlike the built-in ``hash``, this does not depend on
+    ``PYTHONHASHSEED``, so fingerprints computed in different interpreter
+    processes (coordinator vs workers, or across runs) agree.  Each value
+    kind is tagged so e.g. ``0``/``False``/``""`` hash apart.
+    """
+    if isinstance(value, bool):
+        h = ((h ^ (0xB1 + value)) * _FNV_PRIME) & _MASK64
+    elif isinstance(value, int):
+        h = ((h ^ 0x1E) * _FNV_PRIME) & _MASK64
+        h = ((h ^ (value & _MASK64)) * _FNV_PRIME) & _MASK64
+    elif isinstance(value, str):
+        h = ((h ^ 0x5E) * _FNV_PRIME) & _MASK64
+        for byte in value.encode("utf-8"):
+            h = ((h ^ byte) * _FNV_PRIME) & _MASK64
+    elif isinstance(value, tuple):
+        h = ((h ^ 0x7C) * _FNV_PRIME) & _MASK64
+        h = ((h ^ len(value)) * _FNV_PRIME) & _MASK64
+        for elem in value:
+            h = _stable_hash(elem, h)
+    elif isinstance(value, frozenset):
+        # order-independent: combine element hashes commutatively
+        acc = 0
+        for elem in value:
+            acc = (acc + _stable_hash(elem)) & _MASK64
+        h = ((h ^ 0xF5) * _FNV_PRIME) & _MASK64
+        h = ((h ^ len(value)) * _FNV_PRIME) & _MASK64
+        h = ((h ^ acc) * _FNV_PRIME) & _MASK64
+    else:  # pragma: no cover - the value model admits nothing else
+        raise TypeError(f"cannot fingerprint {value!r}")
+    return h
+
+
+def _unpickle_state(mapping: Dict[str, object]) -> "State":
+    """Pickle helper: rebuild a state without re-validating its values
+    (they were validated when the pickled state was first constructed)."""
+    return State._trusted(mapping)
+
 
 class State(Mapping[str, object]):
     """An immutable assignment of values to variable names.
@@ -27,7 +72,7 @@ class State(Mapping[str, object]):
     and set members (graph nodes).
     """
 
-    __slots__ = ("_map", "_items", "_hash")
+    __slots__ = ("_map", "_items", "_hash", "_fp")
 
     def __init__(self, assignment: Mapping[str, object]):
         for name, value in assignment.items():
@@ -37,6 +82,7 @@ class State(Mapping[str, object]):
         self._map: Dict[str, object] = dict(assignment)
         self._items: Optional[Tuple[Tuple[str, object], ...]] = None
         self._hash: Optional[int] = None
+        self._fp: Optional[int] = None
 
     @classmethod
     def _trusted(cls, mapping: Dict[str, object]) -> "State":
@@ -46,6 +92,7 @@ class State(Mapping[str, object]):
         state._map = mapping
         state._items = None
         state._hash = None
+        state._fp = None
         return state
 
     def _item_tuple(self) -> Tuple[Tuple[str, object], ...]:
@@ -78,6 +125,28 @@ class State(Mapping[str, object]):
         if isinstance(other, State):
             return self._map == other._map
         return NotImplemented
+
+    def fingerprint(self) -> int:
+        """A compact, process-stable 64-bit fingerprint of this state.
+
+        Folds the ``(name, value)`` items in sorted variable order -- which
+        is exactly a :class:`Universe`'s variable order, since
+        ``Universe.variables`` is sorted.  Equal states have equal
+        fingerprints in *every* process regardless of ``PYTHONHASHSEED``
+        (the built-in ``hash`` does not guarantee this for strings), which
+        is what lets the parallel explorer key successor batches by source
+        fingerprint.  Cached after the first call.
+        """
+        if self._fp is None:
+            self._fp = _stable_hash(self._item_tuple())
+        return self._fp
+
+    # -- pickling ------------------------------------------------------------
+
+    def __reduce__(self):
+        """Cheap pickling for worker hand-off: ship only the raw mapping and
+        rebuild through the trusted constructor (no re-validation)."""
+        return _unpickle_state, (self._map,)
 
     # -- functional update --------------------------------------------------
 

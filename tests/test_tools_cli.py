@@ -100,6 +100,35 @@ class TestExplore:
         assert "StateSpaceExplosion" in text
 
 
+class TestWorkers:
+    def test_workers_output_identical_to_serial(self, module_file):
+        code_serial, serial = run_cli("check", module_file,
+                                      "--invariant", "Small")
+        code_par, par = run_cli("check", module_file,
+                                "--invariant", "Small", "--workers", "2")
+        assert code_serial == code_par == 0
+        assert par == serial  # same graph, same counts, same report
+
+    def test_explore_workers_identical_to_serial(self, module_file):
+        _, serial = run_cli("explore", module_file, "--show", "99")
+        code, par = run_cli("explore", module_file, "--show", "99",
+                            "--workers", "2")
+        assert code == 0
+        assert par == serial  # same states printed in the same numbering
+
+    def test_parallel_explosion_same_exit_and_budget(self, module_file):
+        code, text = run_cli("check", module_file, "--max-states", "1",
+                             "--workers", "2")
+        assert code == 2
+        assert "StateSpaceExplosion" in text
+
+    def test_stats_report_worker_block(self, module_file):
+        code, text = run_cli("explore", module_file, "--stats",
+                             "--workers", "2")
+        assert code == 0
+        assert "workers" in text
+
+
 class TestTrace:
     def test_header_and_variable_rows(self, module_file):
         code, text = run_cli("trace", module_file, "--steps", "5", "--seed", "3")
