@@ -5,10 +5,18 @@ obligation of the Composition Theorem is discharged exhaustively over the
 reachable state space of a finite instance.
 """
 
+from .checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    manifest_path_for,
+    resume,
+    save_checkpoint,
+    write_manifest,
+)
 from .explorer import StateSpaceExplosion, explore, initial_states
 from .graph import StateGraph
 from .invariants import check_deadlock_free, check_invariant
-from .parallel import default_workers, explore_parallel
+from .parallel import WorkerFailure, default_workers, explore_parallel
 from .stats import ExploreStats
 from .liveness import (
     ConclusionChecker,
@@ -25,7 +33,14 @@ __all__ = [
     "explore",
     "explore_parallel",
     "default_workers",
+    "WorkerFailure",
     "initial_states",
+    "CheckpointError",
+    "load_checkpoint",
+    "save_checkpoint",
+    "resume",
+    "manifest_path_for",
+    "write_manifest",
     "StateGraph",
     "ExploreStats",
     "check_deadlock_free",

@@ -12,17 +12,24 @@ per run** into a :class:`~repro.kernel.action.SuccessorPlan` specialised
 to the spec's universe, instead of re-analysing the expression per
 state.  Pass an :class:`~repro.checker.stats.ExploreStats` to collect
 throughput, depth, and edge counts.
+
+Runs are durable: pass ``checkpoint=path`` (and optionally
+``checkpoint_every=N``) to atomically snapshot the run every N BFS
+levels via :mod:`repro.checker.checkpoint`;
+:func:`repro.checker.checkpoint.resume` continues a snapshot bit-for-bit
+identically to an uninterrupted run.
 """
 
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 from ..kernel.action import compile_action
 from ..kernel.expr import Expr, prime_expr, to_expr
 from ..kernel.state import State, Universe
 from ..spec import Spec
+from .checkpoint import save_checkpoint
 from .graph import StateGraph, StateSpaceExplosion
 from .stats import ExploreStats
 
@@ -54,10 +61,78 @@ def initial_states(init: Expr, universe: Universe) -> Iterator[State]:
     yield from compile_action(primed).plan(universe).successors(dummy)
 
 
+def _seed_graph(spec: Spec, max_states: int) -> Tuple[StateGraph, List[int]]:
+    """A fresh graph holding the spec's initial states, plus the level-0
+    frontier -- the common starting point of the serial and parallel
+    explorers."""
+    graph = StateGraph(spec.universe, max_states=max_states, name=spec.name)
+    frontier: List[int] = []
+    for state in initial_states(spec.init, spec.universe):
+        node, new = graph.add_state(state)
+        if new:
+            graph.init_nodes.append(node)
+            frontier.append(node)
+    return graph, frontier
+
+
+def _drive(
+    spec: Spec,
+    graph: StateGraph,
+    frontier: List[int],
+    depth: int,
+    levels: int,
+    elapsed_before: float,
+    stats: Optional[ExploreStats] = None,
+    checkpoint: Optional[str] = None,
+    checkpoint_every: int = 1,
+    start: Optional[float] = None,
+) -> StateGraph:
+    """The serial BFS engine, resumable at any level boundary.
+
+    Expands *frontier* level by level until empty.  ``depth`` and
+    ``levels`` are the counters accumulated so far (zero for a fresh
+    run), ``elapsed_before`` the wall-clock seconds a resumed run already
+    spent before its checkpoint.  When *checkpoint* is set, the run is
+    snapshotted atomically after every ``checkpoint_every``-th completed
+    level; because a level expansion is a pure function of
+    (graph, frontier) and the snapshot captures both exactly, resuming
+    reproduces the uninterrupted run bit-for-bit.
+    """
+    if start is None:
+        start = perf_counter()
+    plan = compile_action(spec.next_action).plan(spec.universe)
+    plan_successors = plan.successors
+    states = graph.states
+    merge_batch = graph.merge_batch
+    while frontier:
+        next_frontier: List[int] = []
+        for src in frontier:
+            next_frontier.extend(merge_batch(src, plan_successors(states[src])))
+        frontier = next_frontier
+        levels += 1
+        if frontier:
+            depth += 1
+        # snapshot on the cadence, plus always once the frontier drains:
+        # the file ends reflecting the completed run (resuming it is a no-op)
+        if checkpoint is not None and (
+                not frontier or levels % checkpoint_every == 0):
+            save_checkpoint(
+                checkpoint, spec, graph, frontier, depth, levels,
+                elapsed_seconds=(elapsed_before + perf_counter() - start),
+                workers=1, checkpoint_every=checkpoint_every, stats=stats,
+            )
+    if stats is not None:
+        stats.record_explore(graph, depth,
+                             elapsed_before + perf_counter() - start)
+    return graph
+
+
 def explore(
     spec: Spec,
     max_states: int = 200_000,
     stats: Optional[ExploreStats] = None,
+    checkpoint: Optional[str] = None,
+    checkpoint_every: int = 1,
 ) -> StateGraph:
     """The reachable state graph of ``Init ∧ □[N]_v`` over the spec's universe.
 
@@ -71,27 +146,15 @@ def explore(
     graph at insertion time: the first state beyond the budget raises
     :class:`StateSpaceExplosion` (see
     :class:`~repro.checker.graph.StateGraph`).
+
+    Pass ``checkpoint=path`` to snapshot the run atomically every
+    ``checkpoint_every`` BFS levels;
+    :func:`repro.checker.checkpoint.resume` continues the snapshot
+    bit-for-bit identically (including after a crash or an exceeded
+    budget -- the last snapshot survives both).
     """
     start = perf_counter()
-    plan = compile_action(spec.next_action).plan(spec.universe)
-    graph = StateGraph(spec.universe, max_states=max_states, name=spec.name)
-    frontier: List[int] = []
-    for state in initial_states(spec.init, spec.universe):
-        node, new = graph.add_state(state)
-        if new:
-            graph.init_nodes.append(node)
-            frontier.append(node)
-    depth = 0
-    plan_successors = plan.successors
-    states = graph.states
-    merge_batch = graph.merge_batch
-    while frontier:
-        next_frontier: List[int] = []
-        for src in frontier:
-            next_frontier.extend(merge_batch(src, plan_successors(states[src])))
-        frontier = next_frontier
-        if frontier:
-            depth += 1
-    if stats is not None:
-        stats.record_explore(graph, depth, perf_counter() - start)
-    return graph
+    graph, frontier = _seed_graph(spec, max_states)
+    return _drive(spec, graph, frontier, depth=0, levels=0,
+                  elapsed_before=0.0, stats=stats, checkpoint=checkpoint,
+                  checkpoint_every=checkpoint_every, start=start)

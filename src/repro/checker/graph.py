@@ -65,6 +65,43 @@ class StateGraph:
 
     # -- construction ------------------------------------------------------
 
+    @classmethod
+    def restore(
+        cls,
+        universe: Universe,
+        states: Sequence[State],
+        succ_rest: Sequence[Sequence[int]],
+        parent: Sequence[Optional[int]],
+        init_nodes: Sequence[int],
+        max_states: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> "StateGraph":
+        """Rebuild a graph from its serialized pieces (the checkpoint layer).
+
+        ``succ_rest[i]`` lists node ``i``'s non-stutter successors in their
+        original insertion order; the stutter self-loop is re-materialised
+        first, exactly as :meth:`add_state` would have.  The result is
+        bit-for-bit the graph that was serialized: same node numbering,
+        same adjacency-list order, same parents -- so a resumed BFS
+        continues exactly like the uninterrupted run.
+        """
+        if max_states is not None and len(states) > max_states:
+            raise StateSpaceExplosion(
+                f"cannot restore {len(states)} states under a budget of "
+                f"{max_states} states"
+            )
+        graph = cls(universe, max_states=max_states, name=name)
+        for node, state in enumerate(states):
+            rest = list(succ_rest[node])
+            graph.index[state] = node
+            graph.states.append(state)
+            graph.succ.append([node] + rest)
+            graph._succ_sets.append({node, *rest})
+            graph.parent.append(parent[node])
+            graph._edge_count += len(rest)
+        graph.init_nodes = list(init_nodes)
+        return graph
+
     def add_state(self, state: State, parent: Optional[int] = None) -> Tuple[int, bool]:
         """Intern a state; returns (index, was_new).
 

@@ -1,18 +1,18 @@
 """Parallel sharded BFS exploration of canonical specifications.
 
 :func:`explore_parallel` distributes the successor enumeration of each
-BFS level across ``multiprocessing`` worker processes while keeping the
-*merge* of results strictly serial, which makes the parallel explorer
-**bit-for-bit deterministic**: the resulting
-:class:`~repro.checker.graph.StateGraph` has the same states, the same
-node numbering, the same edges, the same BFS parent tree (hence the same
-counterexample traces), and the same
+BFS level across worker processes while keeping the *merge* of results
+strictly serial, which makes the parallel explorer **bit-for-bit
+deterministic**: the resulting :class:`~repro.checker.graph.StateGraph`
+has the same states, the same node numbering, the same edges, the same
+BFS parent tree (hence the same counterexample traces), and the same
 :class:`~repro.checker.graph.StateSpaceExplosion` behaviour as a serial
 :func:`~repro.checker.explorer.explore` run -- regardless of worker
-count, chunking, or scheduling.  ``workers=1`` *is* the serial explorer
-(the call delegates), so the serial path remains the reference
-semantics; ``tests/test_parallel_differential.py`` checks the
-equivalence for every bundled system.
+count, chunking, scheduling, **or worker failures**.  ``workers=1`` *is*
+the serial explorer (the call delegates), so the serial path remains the
+reference semantics; ``tests/test_parallel_differential.py`` checks the
+equivalence for every bundled system and
+``tests/test_fault_injection.py`` re-checks it under injected crashes.
 
 How the work is sharded
 -----------------------
@@ -27,19 +27,41 @@ Per BFS level the coordinator:
 2. splits the keyed frontier into contiguous chunks -- the chunk size is
    a pure function of frontier length and worker count, so the sharding
    itself is deterministic,
-3. ships the chunks to the pool with ``imap`` (which yields results in
-   **submission order**, not completion order), and
+3. submits the chunks to a ``concurrent.futures`` process pool and
+   retrieves results strictly in **submission order**, and
 4. merges each returned ``(src_fingerprint, successor_states)`` batch
    through :meth:`~repro.checker.graph.StateGraph.merge_batch` in that
    order -- exactly the order the serial explorer would have used.
 
-Workers are started once per run: each unpickles the spec in its
-initializer and builds its own
+Worker-crash recovery
+---------------------
+
+A worker that dies mid-chunk (OOM kill, segfault, ``SIGKILL``) surfaces
+as a broken pool; a worker that exceeds the per-chunk ``worker_timeout``
+surfaces as a timeout.  Either way the coordinator tears the pool down,
+spins up fresh processes, and resubmits every chunk whose result it has
+not merged yet.  This cannot change the explored graph: chunk expansion
+is **pure** (workers only read frontier states and drive a deterministic
+:class:`~repro.kernel.action.SuccessorPlan`; nothing is merged until a
+chunk's full result arrives), and the merge order is the chunk
+submission order whatever the retry history -- so a retried run is
+bit-for-bit the run without failures.  Retries are counted on
+:class:`~repro.checker.stats.ExploreStats` (``worker_retries``); a chunk
+that keeps failing raises :class:`WorkerFailure` after
+``_MAX_CHUNK_RETRIES`` attempts.
+
+Workers are started lazily and initialised once: each unpickles the spec
+in its initializer and builds its own
 :class:`~repro.kernel.action.SuccessorPlan` (compiled once, driven for
 every chunk), so the per-chunk payload is only the frontier states and
 the per-chunk result only the successor batches.  Worker-side busy time
 and coordinator idle time are recorded on the optional
 :class:`~repro.checker.stats.ExploreStats`.
+
+Durable runs: ``checkpoint=path`` snapshots the run at BFS level
+boundaries exactly like the serial explorer (see
+:mod:`repro.checker.checkpoint`); resuming with any worker count yields
+the identical graph.
 """
 
 from __future__ import annotations
@@ -47,22 +69,28 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from time import perf_counter
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..kernel.action import SuccessorPlan, compile_action
 from ..kernel.state import State
 from ..spec import Spec
-from .explorer import explore, initial_states
+from .checkpoint import save_checkpoint
+from .explorer import _seed_graph, explore
 from .graph import StateGraph
 from .stats import ExploreStats
 
-__all__ = ["explore_parallel", "default_workers"]
+__all__ = ["explore_parallel", "default_workers", "WorkerFailure"]
 
 # one payload per chunk: [(batch_key, frontier_state), ...]
 _Chunk = List[Tuple[object, State]]
 # one result per chunk: (worker_pid, busy_seconds, [(batch_key, successors)])
 _ChunkResult = Tuple[int, float, List[Tuple[object, List[State]]]]
+# optional fault-injection hook, called in the worker once per chunk
+_FaultHook = Optional[Callable[[_Chunk], None]]
 
 # targeted chunks per worker per level: >1 so a worker that drew cheap
 # sources can pick up another chunk instead of idling at the level barrier
@@ -73,14 +101,26 @@ _CHUNKS_PER_WORKER = 4
 # work for tiny chunks
 _MIN_CHUNK = 16
 
+# a chunk that failed this many times in a row aborts the run: by then the
+# failure is systematic (the chunk itself crashes the worker), not flaky
+# infrastructure, and retrying forever would loop
+_MAX_CHUNK_RETRIES = 3
+
+
+class WorkerFailure(Exception):
+    """A frontier chunk kept crashing or timing out after all retries."""
+
+
 # frontiers smaller than workers * _MIN_CHUNK are expanded inline by the
 # coordinator (shipping them would cost more than computing them); the
 # narrow first/last BFS levels of most systems take this path
 def _inline_threshold(workers: int) -> int:
     return workers * _MIN_CHUNK
 
+
 # worker-process globals, set once by _init_worker
 _worker_plan: Optional[SuccessorPlan] = None
+_worker_fault: _FaultHook = None
 
 
 def default_workers() -> int:
@@ -92,18 +132,21 @@ def default_workers() -> int:
         return os.cpu_count() or 1
 
 
-def _init_worker(spec_payload: bytes) -> None:
+def _init_worker(spec_payload: bytes, fault_hook: _FaultHook = None) -> None:
     """Pool initializer: unpickle the spec and compile its successor plan
     once; every chunk this worker processes reuses the same plan."""
-    global _worker_plan
+    global _worker_plan, _worker_fault
     spec = pickle.loads(spec_payload)
     _worker_plan = compile_action(spec.next_action).plan(spec.universe)
+    _worker_fault = fault_hook
 
 
 def _expand_chunk(chunk: _Chunk) -> _ChunkResult:
     """Worker body: enumerate successors for one frontier chunk."""
     plan = _worker_plan
     assert plan is not None, "worker used before initialization"
+    if _worker_fault is not None:
+        _worker_fault(chunk)
     start = perf_counter()
     batches = [(key, list(plan.successors(state))) for key, state in chunk]
     return os.getpid(), perf_counter() - start, batches
@@ -135,30 +178,122 @@ def _shard_frontier(
     return chunks, key_to_node
 
 
-def explore_parallel(
-    spec: Spec,
-    max_states: int = 200_000,
-    workers: int = 1,
-    stats: Optional[ExploreStats] = None,
-) -> StateGraph:
-    """The reachable state graph of ``Init ∧ □[N]_v``, explored with
-    *workers* processes.
+class _ChunkRunner:
+    """Owns the worker pool and yields chunk results in submission order,
+    retrying on worker death or per-chunk timeout.
 
-    Produces a graph identical to ``explore(spec, max_states)`` -- same
-    states in the same node order, same edges, same ``init_nodes``, same
-    BFS parent tree, and :class:`StateSpaceExplosion` raised at the same
-    insertion -- for every worker count.  ``workers <= 1`` delegates to
-    the serial explorer; ``workers=0`` is resolved by
-    :func:`default_workers` to one worker per available core.
+    The pool is created lazily (a run whose frontiers all stay below the
+    inline threshold never forks a process) and torn down + respawned on
+    any failure; chunks whose results were already merged are never
+    resubmitted, so the merge stream the coordinator sees is exactly the
+    no-failure stream.
     """
-    if workers == 0:
-        workers = default_workers()
-    if workers < 0:
-        raise ValueError(f"workers must be >= 0, got {workers}")
-    if workers <= 1:
-        return explore(spec, max_states=max_states, stats=stats)
 
-    start = perf_counter()
+    def __init__(self, workers: int, payload: bytes, ctx,
+                 worker_timeout: Optional[float], fault_hook: _FaultHook,
+                 stats: Optional[ExploreStats]):
+        self._workers = workers
+        self._payload = payload
+        self._ctx = ctx
+        self._timeout = worker_timeout
+        self._fault_hook = fault_hook
+        self._stats = stats
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._workers,
+                mp_context=self._ctx,
+                initializer=_init_worker,
+                initargs=(self._payload, self._fault_hook),
+            )
+        return self._executor
+
+    def _teardown(self) -> None:
+        """Drop the pool hard: kill worker processes (they may be hung or
+        already dead) and abandon the executor."""
+        executor = self._executor
+        self._executor = None
+        if executor is None:
+            return
+        for proc in list(getattr(executor, "_processes", {}).values()):
+            try:
+                proc.kill()
+            except (OSError, AttributeError):  # pragma: no cover - racy exit
+                pass
+        executor.shutdown(wait=False)
+
+    def close(self) -> None:
+        self._teardown()
+
+    def _wait_budget(self, outstanding: int) -> Optional[float]:
+        """How long to wait for the next result: the per-chunk timeout
+        scaled by the number of chunks each worker still has to get
+        through, so queued-but-healthy chunks are not misdiagnosed."""
+        if self._timeout is None:
+            return None
+        rounds = -(-outstanding // self._workers)  # ceil division
+        return self._timeout * max(1, rounds)
+
+    def run_level(self, chunks: List[_Chunk]) -> Iterator[_ChunkResult]:
+        """Yield one result per chunk, in chunk order, retrying failures."""
+        attempts = [0] * len(chunks)
+        futures: Optional[List] = None
+        index = 0
+        while index < len(chunks):
+            if futures is None:
+                executor = self._ensure()
+                submitted = [executor.submit(_expand_chunk, chunk)
+                             for chunk in chunks[index:]]
+                futures = [None] * index + submitted
+            try:
+                result = futures[index].result(
+                    timeout=self._wait_budget(len(chunks) - index))
+            except _FutureTimeout:
+                futures = self._retry(index, attempts, "timeout")
+                continue
+            except (BrokenProcessPool, EOFError, OSError):
+                futures = self._retry(index, attempts, "crash")
+                continue
+            yield result
+            index += 1
+
+    def _retry(self, index: int, attempts: List[int], reason: str) -> None:
+        """Account one failure of chunk *index* and reset the pool; the
+        caller resubmits every unmerged chunk on the fresh pool."""
+        attempts[index] += 1
+        if self._stats is not None:
+            self._stats.record_retry(reason)
+        self._teardown()
+        if attempts[index] > _MAX_CHUNK_RETRIES:
+            raise WorkerFailure(
+                f"frontier chunk {index} failed {attempts[index]} times "
+                f"(last failure: {reason}); giving up -- the chunk itself "
+                f"appears to crash or hang the worker"
+            )
+        return None
+
+
+def _drive_parallel(
+    spec: Spec,
+    graph: StateGraph,
+    frontier: List[int],
+    depth: int,
+    levels: int,
+    elapsed_before: float,
+    stats: Optional[ExploreStats] = None,
+    checkpoint: Optional[str] = None,
+    checkpoint_every: int = 1,
+    workers: int = 2,
+    worker_timeout: Optional[float] = None,
+    fault_hook: _FaultHook = None,
+    start: Optional[float] = None,
+) -> StateGraph:
+    """The parallel BFS engine, resumable at any level boundary (the
+    multi-process twin of :func:`repro.checker.explorer._drive`)."""
+    if start is None:
+        start = perf_counter()
     # fork is the cheap path where available (Linux); spawn/forkserver
     # workers rebuild everything from the pickled spec payload anyway
     methods = multiprocessing.get_all_start_methods()
@@ -166,15 +301,6 @@ def explore_parallel(
                                      else methods[0])
     payload = pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
 
-    graph = StateGraph(spec.universe, max_states=max_states, name=spec.name)
-    frontier: List[int] = []
-    for state in initial_states(spec.init, spec.universe):
-        node, new = graph.add_state(state)
-        if new:
-            graph.init_nodes.append(node)
-            frontier.append(node)
-
-    depth = 0
     idle = 0.0
     worker_ids: Dict[int, int] = {}  # pid -> dense worker id
     merge_batch = graph.merge_batch
@@ -183,8 +309,9 @@ def explore_parallel(
     # compile/plan caches make this free when it is never needed
     local_plan = compile_action(spec.next_action).plan(spec.universe)
     inline_below = _inline_threshold(workers)
-    with ctx.Pool(workers, initializer=_init_worker,
-                  initargs=(payload,)) as pool:
+    runner = _ChunkRunner(workers, payload, ctx, worker_timeout, fault_hook,
+                          stats)
+    try:
         while frontier:
             next_frontier: List[int] = []
             if len(frontier) < inline_below:
@@ -197,9 +324,9 @@ def explore_parallel(
                 chunks, key_to_node = _shard_frontier(graph, frontier,
                                                       workers)
                 wait_from = perf_counter()
-                # imap yields chunk results in submission order; merging
-                # in that order reproduces the serial interning order
-                for pid, busy, batches in pool.imap(_expand_chunk, chunks):
+                # results arrive in submission order; merging in that order
+                # reproduces the serial interning order
+                for pid, busy, batches in runner.run_level(chunks):
                     idle += perf_counter() - wait_from
                     if stats is not None:
                         stats.record_worker_batch(
@@ -214,10 +341,74 @@ def explore_parallel(
                             merge_batch(key_to_node[key], successor_states))
                     wait_from = perf_counter()
             frontier = next_frontier
+            levels += 1
             if frontier:
                 depth += 1
+            # cadence snapshots, plus a final one when the frontier drains
+            # (mirrors the serial engine)
+            if checkpoint is not None and (
+                    not frontier or levels % checkpoint_every == 0):
+                save_checkpoint(
+                    checkpoint, spec, graph, frontier, depth, levels,
+                    elapsed_seconds=(elapsed_before
+                                     + perf_counter() - start),
+                    workers=workers, checkpoint_every=checkpoint_every,
+                    stats=stats,
+                )
+    finally:
+        runner.close()
 
     if stats is not None:
-        stats.record_explore(graph, depth, perf_counter() - start)
+        stats.record_explore(graph, depth,
+                             elapsed_before + perf_counter() - start)
         stats.record_parallel(workers, idle)
     return graph
+
+
+def explore_parallel(
+    spec: Spec,
+    max_states: int = 200_000,
+    workers: int = 1,
+    stats: Optional[ExploreStats] = None,
+    checkpoint: Optional[str] = None,
+    checkpoint_every: int = 1,
+    worker_timeout: Optional[float] = None,
+    fault_hook: _FaultHook = None,
+) -> StateGraph:
+    """The reachable state graph of ``Init ∧ □[N]_v``, explored with
+    *workers* processes.
+
+    Produces a graph identical to ``explore(spec, max_states)`` -- same
+    states in the same node order, same edges, same ``init_nodes``, same
+    BFS parent tree, and :class:`StateSpaceExplosion` raised at the same
+    insertion -- for every worker count, even when workers crash or hang
+    mid-chunk.  ``workers <= 1`` delegates to the serial explorer;
+    ``workers=0`` is resolved by :func:`default_workers` to one worker
+    per available core.
+
+    ``worker_timeout`` bounds the seconds a worker may spend on one
+    chunk; a chunk whose worker dies or exceeds the timeout is re-run on
+    a fresh process (retries land in ``stats.worker_retries``), and a
+    chunk failing ``_MAX_CHUNK_RETRIES`` times raises
+    :class:`WorkerFailure`.  ``checkpoint`` / ``checkpoint_every``
+    snapshot the run at BFS level boundaries exactly like the serial
+    explorer.  ``fault_hook`` is a picklable callable invoked in the
+    worker once per chunk -- the fault-injection seam the crash-recovery
+    tests use; leave it ``None`` in production.
+    """
+    if workers == 0:
+        workers = default_workers()
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers <= 1:
+        return explore(spec, max_states=max_states, stats=stats,
+                       checkpoint=checkpoint,
+                       checkpoint_every=checkpoint_every)
+    start = perf_counter()
+    graph, frontier = _seed_graph(spec, max_states)
+    return _drive_parallel(spec, graph, frontier, depth=0, levels=0,
+                           elapsed_before=0.0, stats=stats,
+                           checkpoint=checkpoint,
+                           checkpoint_every=checkpoint_every,
+                           workers=workers, worker_timeout=worker_timeout,
+                           fault_hook=fault_hook, start=start)

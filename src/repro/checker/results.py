@@ -9,7 +9,7 @@ validated against the exact lasso semantics where applicable.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
 from ..kernel.behavior import FiniteBehavior, Lasso
 from ..kernel.state import State
@@ -33,12 +33,16 @@ class Counterexample:
         return self.trace.states
 
     def render(self, variables: Optional[Sequence[str]] = None) -> str:
-        """A column-per-state table in the style of the paper's Figure 2."""
+        """A column-per-state table in the style of the paper's Figure 2.
+
+        An empty *variables* selection falls back to all variables, like
+        ``None`` -- a caller narrowing the table to a subsystem's
+        variables that happens to pass an empty tuple gets the full trace
+        rather than a header-only (useless) table.
+        """
         states = list(self.trace.states)
-        if variables is None:
-            names: List[str] = sorted({name for state in states for name in state})
-        else:
-            names = list(variables)
+        names = list(variables) if variables else sorted(
+            {name for state in states for name in state})
         header = ["state"] + [str(i) for i in range(len(states))]
         if isinstance(self.trace, Lasso):
             header[1 + self.trace.loop_start] += "*"  # loop entry

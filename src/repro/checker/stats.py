@@ -44,12 +44,18 @@ class ExploreStats:
     * ``coordinator_idle_seconds`` -- time the parallel coordinator spent
       blocked waiting on worker results (the shard-balance signal: high
       idle with low worker busy time means the frontier shards are too
-      coarse or the instance is too small to parallelise).
+      coarse or the instance is too small to parallelise);
+    * ``worker_retries`` -- per-reason counts of frontier chunks that had
+      to be re-run on a fresh worker process (``"crash"``: the worker
+      died mid-chunk; ``"timeout"``: it exceeded the per-chunk timeout).
+      Retries never change the explored graph -- chunk expansion is pure
+      and the merge order is fixed -- so this is purely an
+      infrastructure-health signal.
     """
 
     __slots__ = ("states", "edges", "stutter_edges", "init_states", "depth",
                  "explore_seconds", "phases", "workers", "worker_stats",
-                 "coordinator_idle_seconds")
+                 "coordinator_idle_seconds", "worker_retries")
 
     def __init__(self) -> None:
         self.states = 0
@@ -62,6 +68,7 @@ class ExploreStats:
         self.workers = 0
         self.worker_stats: Dict[int, Dict[str, float]] = {}
         self.coordinator_idle_seconds = 0.0
+        self.worker_retries: Dict[str, int] = {}
 
     # -- population ----------------------------------------------------------
 
@@ -96,7 +103,38 @@ class ExploreStats:
     def record_parallel(self, workers: int, idle_seconds: float) -> None:
         """Record the coordinator-side shape of a parallel exploration."""
         self.workers = workers
-        self.coordinator_idle_seconds = idle_seconds
+        self.coordinator_idle_seconds += idle_seconds
+
+    def record_retry(self, reason: str) -> None:
+        """Count one chunk retry (``"crash"`` or ``"timeout"``)."""
+        self.worker_retries[reason] = self.worker_retries.get(reason, 0) + 1
+
+    @property
+    def total_retries(self) -> int:
+        return sum(self.worker_retries.values())
+
+    def restore(self, snapshot: Dict[str, object]) -> None:
+        """Reload the accumulators a resumed run carries over from its
+        checkpoint's :meth:`as_dict` snapshot.
+
+        Only the *cumulative* counters are restored -- worker totals,
+        retries, coordinator idle time, worker count.  Graph-size fields
+        and the ``explore`` phase are deliberately skipped: the resumed
+        run re-records them itself (``record_explore`` is handed the
+        checkpointed elapsed seconds plus the new ones, so restoring the
+        phase here would double-count it).
+        """
+        self.workers = int(snapshot.get("workers", 0) or 0)
+        self.coordinator_idle_seconds = float(
+            snapshot.get("coordinator_idle_seconds", 0.0) or 0.0)
+        for worker_id, entry in dict(
+                snapshot.get("worker_stats") or {}).items():
+            self.worker_stats[int(worker_id)] = {
+                key: value for key, value in dict(entry).items()
+            }
+        for reason, count in dict(
+                snapshot.get("worker_retries") or {}).items():
+            self.worker_retries[str(reason)] = int(count)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -135,9 +173,16 @@ class ExploreStats:
             f"(explore {self.explore_seconds:.4f}s)",
         ]
         if self.workers:
+            retry_text = ""
+            if self.worker_retries:
+                rendered_retries = ", ".join(
+                    f"{count} {reason}"
+                    for reason, count in sorted(self.worker_retries.items())
+                )
+                retry_text = f", retries: {rendered_retries}"
             lines.append(
                 f"{indent}parallel: {self.workers} workers, coordinator idle "
-                f"{self.coordinator_idle_seconds:.4f}s"
+                f"{self.coordinator_idle_seconds:.4f}s{retry_text}"
             )
             for worker_id in sorted(self.worker_stats):
                 entry = self.worker_stats[worker_id]
@@ -173,6 +218,7 @@ class ExploreStats:
             "worker_stats": {wid: dict(entry)
                              for wid, entry in self.worker_stats.items()},
             "coordinator_idle_seconds": self.coordinator_idle_seconds,
+            "worker_retries": dict(self.worker_retries),
         }
 
     def __repr__(self) -> str:

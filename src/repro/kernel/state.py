@@ -14,6 +14,7 @@ checking we fix the finite footprint relevant to the specification at hand.
 
 from __future__ import annotations
 
+import json
 from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
 from .values import Domain, check_value, format_value
@@ -56,6 +57,38 @@ def _stable_hash(value: object, h: int = _FNV_OFFSET) -> int:
     else:  # pragma: no cover - the value model admits nothing else
         raise TypeError(f"cannot fingerprint {value!r}")
     return h
+
+
+def value_to_portable(value: object) -> object:
+    """Encode a TLA value as a JSON-serializable object, stably.
+
+    Scalars (``bool``/``int``/``str``) pass through; composites become
+    tagged lists -- ``("T", elems...)`` for tuples, ``("S", elems...)``
+    for frozensets -- which is unambiguous because a bare JSON array is
+    never itself a TLA value.  Frozenset elements are emitted in a
+    canonical order (sorted by their own encoding), so equal values
+    always produce byte-identical JSON: the checkpoint layer relies on
+    this for stable, portable on-disk state serialization.
+    """
+    if isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, tuple):
+        return ["T"] + [value_to_portable(elem) for elem in value]
+    if isinstance(value, frozenset):
+        encoded = [value_to_portable(elem) for elem in value]
+        encoded.sort(key=lambda obj: json.dumps(obj, sort_keys=True))
+        return ["S"] + encoded
+    raise TypeError(f"cannot portably encode {value!r}")
+
+
+def value_from_portable(obj: object) -> object:
+    """Decode :func:`value_to_portable` output back into a TLA value."""
+    if isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, list) and obj and obj[0] in ("T", "S"):
+        elems = (value_from_portable(elem) for elem in obj[1:])
+        return tuple(elems) if obj[0] == "T" else frozenset(elems)
+    raise ValueError(f"not a portable TLA value encoding: {obj!r}")
 
 
 def _unpickle_state(mapping: Dict[str, object]) -> "State":
@@ -141,12 +174,30 @@ class State(Mapping[str, object]):
             self._fp = _stable_hash(self._item_tuple())
         return self._fp
 
-    # -- pickling ------------------------------------------------------------
+    # -- pickling / portable serialization -----------------------------------
 
     def __reduce__(self):
         """Cheap pickling for worker hand-off: ship only the raw mapping and
         rebuild through the trusted constructor (no re-validation)."""
         return _unpickle_state, (self._map,)
+
+    def to_portable(self) -> Dict[str, object]:
+        """A JSON-serializable ``{name: encoded value}`` snapshot of this
+        state (see :func:`value_to_portable`), in sorted variable order."""
+        return {name: value_to_portable(value)
+                for name, value in self._item_tuple()}
+
+    @classmethod
+    def from_portable(cls, mapping: Mapping[str, object]) -> "State":
+        """Rebuild a state from :meth:`to_portable` output.
+
+        Decoded values are structurally valid by construction (the
+        decoder only produces value-model members), so this takes the
+        trusted fast path; integrity beyond that is the checkpoint
+        layer's job (it cross-checks state fingerprints).
+        """
+        return cls._trusted({name: value_from_portable(obj)
+                             for name, obj in mapping.items()})
 
     # -- functional update --------------------------------------------------
 

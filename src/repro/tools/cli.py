@@ -10,12 +10,20 @@
 
 ``check`` exits nonzero when any check fails, printing rendered
 counterexamples -- suitable for CI.
+
+Durable runs: ``check`` and ``explore`` accept ``--checkpoint PATH`` to
+snapshot the exploration atomically every ``--checkpoint-every`` BFS
+levels, ``--resume`` to continue a snapshot bit-for-bit, and
+``--worker-timeout`` to bound (and retry) stuck parallel workers.  When a
+checkpoint path is given, a JSON run manifest (spec, budget, workers,
+wall time, outcome, counterexample trace) is written next to it.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from time import perf_counter
 from typing import Optional, Sequence
 
 from ..checker import (
@@ -23,8 +31,12 @@ from ..checker import (
     check_invariant,
     check_temporal_implication,
     explore_parallel,
+    manifest_path_for,
+    resume,
+    write_manifest,
 )
-from ..checker.results import CheckResult
+from ..checker.graph import StateGraph, StateSpaceExplosion
+from ..checker.results import CheckResult, Counterexample
 from ..checker.simulate import random_walk
 from ..fmt import pretty
 from ..kernel.values import format_value
@@ -43,21 +55,83 @@ def _report(result: CheckResult, out) -> bool:
     return result.ok
 
 
+def _durability_error(args: argparse.Namespace, out) -> bool:
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint PATH "
+              "(the snapshot to continue from)", file=out)
+        return True
+    return False
+
+
+def _run_exploration(args: argparse.Namespace, spec,
+                     stats: Optional[ExploreStats]) -> StateGraph:
+    """Fresh exploration or checkpoint resume, per the durability flags."""
+    if args.resume:
+        return resume(args.checkpoint, spec, workers=args.workers,
+                      max_states=args.max_states, stats=stats,
+                      checkpoint_every=args.checkpoint_every,
+                      worker_timeout=args.worker_timeout)
+    return explore_parallel(spec, max_states=args.max_states,
+                            workers=args.workers, stats=stats,
+                            checkpoint=args.checkpoint,
+                            checkpoint_every=args.checkpoint_every,
+                            worker_timeout=args.worker_timeout)
+
+
+def _maybe_manifest(
+    args: argparse.Namespace,
+    spec_name: str,
+    wall_seconds: float,
+    outcome: str,
+    graph: Optional[StateGraph] = None,
+    counterexample: Optional[Counterexample] = None,
+    stats: Optional[ExploreStats] = None,
+    error: Optional[str] = None,
+) -> None:
+    """Write the run manifest next to the checkpoint (if one was asked for)."""
+    if not args.checkpoint:
+        return
+    write_manifest(
+        manifest_path_for(args.checkpoint),
+        spec_name=spec_name,
+        max_states=args.max_states,
+        workers=args.workers,
+        wall_seconds=wall_seconds,
+        outcome=outcome,
+        states=graph.state_count if graph is not None else None,
+        edges=graph.edge_count if graph is not None else None,
+        counterexample=counterexample,
+        stats=stats,
+        error=error,
+    )
+
+
 def cmd_check(args: argparse.Namespace, out) -> int:
+    if _durability_error(args, out):
+        return 2
     module = _load(args.module)
     spec = module.spec(args.spec)
+    label = f"{module.name}!{args.spec}"
     stats = ExploreStats() if args.stats else None
-    graph = explore_parallel(spec, max_states=args.max_states,
-                             workers=args.workers, stats=stats)
+    start = perf_counter()
+    try:
+        graph = _run_exploration(args, spec, stats)
+    except StateSpaceExplosion as exc:
+        _maybe_manifest(args, label, perf_counter() - start, "explosion",
+                        stats=stats, error=str(exc))
+        raise
     # edge_count is real N-edges; the stutter self-loops (one per node)
     # are reported separately so the N-edge count is not inflated
-    print(f"{module.name}!{args.spec}: {graph.state_count} states, "
+    print(f"{label}: {graph.state_count} states, "
           f"{graph.edge_count} edges (+{graph.stutter_count} stutter)",
           file=out)
     ok = True
+    first_cex: Optional[Counterexample] = None
     for name in args.invariant or ():
         result = check_invariant(graph, module.expr(name), name=name,
                                  run_stats=stats)
+        if first_cex is None and result.counterexample is not None:
+            first_cex = result.counterexample
         ok = _report(result, out) and ok
     for name in args.property or ():
         from ..checker.liveness import premises_of_spec
@@ -65,21 +139,36 @@ def cmd_check(args: argparse.Namespace, out) -> int:
         result = check_temporal_implication(
             graph, module.formula(name),
             premises=premises_of_spec(spec), name=name, run_stats=stats)
+        if first_cex is None and result.counterexample is not None:
+            first_cex = result.counterexample
         ok = _report(result, out) and ok
     if not (args.invariant or args.property):
         print("(no --invariant/--property given: exploration only)", file=out)
     if stats is not None:
         print(stats.format(), file=out)
+    _maybe_manifest(args, label, perf_counter() - start,
+                    "ok" if ok else "violation", graph=graph,
+                    counterexample=first_cex, stats=stats)
     return 0 if ok else 1
 
 
 def cmd_explore(args: argparse.Namespace, out) -> int:
+    if _durability_error(args, out):
+        return 2
     module = _load(args.module)
     spec = module.spec(args.spec)
+    label = f"{module.name}!{args.spec}"
     stats = ExploreStats() if args.stats else None
-    graph = explore_parallel(spec, max_states=args.max_states,
-                             workers=args.workers, stats=stats)
-    print(f"{module.name}!{args.spec}:", file=out)
+    start = perf_counter()
+    try:
+        graph = _run_exploration(args, spec, stats)
+    except StateSpaceExplosion as exc:
+        _maybe_manifest(args, label, perf_counter() - start, "explosion",
+                        stats=stats, error=str(exc))
+        raise
+    _maybe_manifest(args, label, perf_counter() - start, "ok", graph=graph,
+                    stats=stats)
+    print(f"{label}:", file=out)
     print(f"  states: {graph.state_count}", file=out)
     print(f"  edges:  {graph.edge_count} (+{graph.stutter_count} stutter)",
           file=out)
@@ -124,6 +213,26 @@ def cmd_pretty(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _add_durability_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--checkpoint", default=None, metavar="PATH",
+                     help="snapshot the exploration to PATH (atomically, at "
+                          "BFS level boundaries) and write a JSON run "
+                          "manifest to PATH.manifest.json")
+    sub.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                     help="snapshot every N BFS levels (default 1)")
+    sub.add_argument("--resume", action="store_true",
+                     help="continue from the --checkpoint snapshot instead "
+                          "of starting fresh; the resumed run is bit-for-bit "
+                          "the uninterrupted one (pass a larger --max-states "
+                          "to continue past an exceeded budget)")
+    sub.add_argument("--worker-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="bound the seconds a parallel worker may spend on "
+                          "one frontier chunk; a worker that dies or "
+                          "exceeds this is retried on a fresh process "
+                          "(never changes the result)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -148,6 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print exploration statistics (states/sec, "
                             "depth, real-vs-stutter edges, per-phase timing, "
                             "per-worker throughput)")
+    _add_durability_flags(check)
     check.set_defaults(func=cmd_check)
 
     exp = sub.add_parser("explore", help="explore the state space")
@@ -162,6 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="how many states to print")
     exp.add_argument("--stats", action="store_true",
                      help="print exploration statistics")
+    _add_durability_flags(exp)
     exp.set_defaults(func=cmd_explore)
 
     trace = sub.add_parser("trace", help="print a random behavior prefix")

@@ -2,12 +2,59 @@
 
 from __future__ import annotations
 
+import pathlib
 from typing import Dict, Sequence
 
 import pytest
 
 from repro.kernel import Arith, Const, Eq, Lasso, State, Universe, Var, interval
 from repro.spec import Spec, weak_fairness
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite the golden files under tests/goldens/ from the "
+             "current output instead of comparing against them",
+    )
+
+
+class GoldenComparer:
+    """Byte-for-byte comparison against a file under ``tests/goldens/``.
+
+    ``golden.check("name.txt", text)`` fails with a diff-friendly message
+    on any byte difference; running pytest with ``--update-goldens``
+    rewrites the files instead (review the diff before committing).
+    """
+
+    def __init__(self, update: bool):
+        self.update = update
+
+    def check(self, name: str, actual: str) -> None:
+        path = GOLDEN_DIR / name
+        if self.update:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            path.write_text(actual)
+            return
+        if not path.exists():
+            raise AssertionError(
+                f"golden file {path} does not exist; run "
+                f"pytest --update-goldens to create it"
+            )
+        expected = path.read_text()
+        if actual != expected:
+            raise AssertionError(
+                f"output differs from golden {name} "
+                f"(run pytest --update-goldens to accept the change):\n"
+                f"--- golden\n{expected}\n--- actual\n{actual}"
+            )
+
+
+@pytest.fixture
+def golden(request) -> GoldenComparer:
+    return GoldenComparer(request.config.getoption("--update-goldens"))
 
 
 def st(**values) -> State:

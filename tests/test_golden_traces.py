@@ -1,0 +1,57 @@
+"""Golden-trace regression suite: counterexample rendering, frozen.
+
+For every system-under-test case (see ``tests/systems_under_test.py``)
+the violated property's rendered counterexample is compared
+**byte-for-byte** against a checked-in golden file.  Counterexample
+traces are part of the user-facing contract -- the paper's Figure 2 is
+literally such a table -- so any change to exploration order, trace
+reconstruction, lasso search, or table formatting shows up here as a
+reviewable diff instead of silently shifting what users see.
+
+The renders are deterministic by construction: exploration is BFS over
+a deterministic successor enumeration, state fingerprints are
+``PYTHONHASHSEED``-independent, and ``Counterexample.render`` sorts its
+variable rows -- the suite double-checks the render is identical across
+two fresh explorations.
+
+Run ``pytest tests/test_golden_traces.py --update-goldens`` after an
+*intentional* output change, eyeball the diff, and commit the new files.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checker import explore
+
+from .systems_under_test import CASE_PARAMS
+
+
+def _rendered_violation(case) -> str:
+    spec = case.make_spec()
+    graph = explore(spec)
+    result = case.check(spec, graph)
+    assert not result.ok, f"{case.id}: expected a violation"
+    assert result.counterexample is not None
+    kind = "lasso" if result.counterexample.is_lasso else "finite"
+    assert kind == case.kind
+    # goldens end with a newline so they diff cleanly as text files
+    return result.counterexample.render() + "\n"
+
+
+@pytest.mark.parametrize("case", CASE_PARAMS)
+def test_violation_trace_matches_golden(case, golden):
+    golden.check(f"{case.id}_trace.txt", _rendered_violation(case))
+
+
+@pytest.mark.parametrize("case", CASE_PARAMS)
+def test_render_is_deterministic_across_runs(case):
+    assert _rendered_violation(case) == _rendered_violation(case)
+
+
+@pytest.mark.parametrize("case", CASE_PARAMS)
+def test_summary_line_matches_golden(case, golden):
+    spec = case.make_spec()
+    graph = explore(spec)
+    result = case.check(spec, graph)
+    golden.check(f"{case.id}_summary.txt", result.summary() + "\n")

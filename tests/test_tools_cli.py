@@ -1,7 +1,9 @@
 """CLI subcommand coverage: trace, explore --show, check exit codes,
-StateSpaceExplosion surfacing, and the --stats observability layer."""
+StateSpaceExplosion surfacing, the --stats observability layer, and the
+durable-run flags (--checkpoint / --resume / manifests)."""
 
 import io
+import json
 
 import pytest
 
@@ -17,6 +19,7 @@ Spec == Init /\\ [][Next]_<<x>> /\\ WF_<<x>>(Next)
 Small == x < 3
 TooSmall == x < 2
 Progress == (x = 0) ~> (x = 2)
+Stuck == (x = 0) ~> (x = 3)
 """
 
 
@@ -182,3 +185,136 @@ class TestStats:
         code, text = run_cli("check", module_file, "--invariant", "Small")
         assert code == 0
         assert "states/sec" not in text
+
+
+class TestDurableRuns:
+    def _paths(self, tmp_path):
+        cp = str(tmp_path / "run.ckpt")
+        return cp, cp + ".manifest.json"
+
+    def test_checkpoint_writes_snapshot_and_manifest(self, module_file,
+                                                     tmp_path):
+        cp, manifest = self._paths(tmp_path)
+        code, _ = run_cli("check", module_file, "--invariant", "Small",
+                          "--checkpoint", cp)
+        assert code == 0
+        with open(cp) as handle:
+            snapshot = json.load(handle)
+        assert snapshot["format"] == "repro-checkpoint"
+        assert snapshot["spec_name"]
+        with open(manifest) as handle:
+            data = json.load(handle)
+        assert data["format"] == "repro-run-manifest"
+        assert data["spec"] == "Counter!Spec"
+        assert data["outcome"] == "ok"
+        assert data["states"] == 3
+        assert data["counterexample"] is None
+        assert data["wall_seconds"] >= 0
+
+    def test_manifest_records_invariant_violation(self, module_file,
+                                                  tmp_path):
+        cp, manifest = self._paths(tmp_path)
+        code, _ = run_cli("check", module_file, "--invariant", "TooSmall",
+                          "--checkpoint", cp)
+        assert code == 1
+        data = json.load(open(manifest))
+        assert data["outcome"] == "violation"
+        cex = data["counterexample"]
+        assert cex["kind"] == "finite"
+        assert "x" in cex["rendered"]
+        assert len(cex["states"]) >= 2
+
+    def test_manifest_records_liveness_violation_as_lasso(self, module_file,
+                                                          tmp_path):
+        cp, manifest = self._paths(tmp_path)
+        code, text = run_cli("check", module_file, "--property", "Stuck",
+                             "--checkpoint", cp)
+        assert code == 1
+        assert "counterexample" in text
+        data = json.load(open(manifest))
+        assert data["outcome"] == "violation"
+        assert data["counterexample"]["kind"] == "lasso"
+        assert "loop_start" in data["counterexample"]
+
+    def test_resume_output_identical_to_fresh_run(self, module_file,
+                                                  tmp_path):
+        cp, _ = self._paths(tmp_path)
+        code_fresh, fresh = run_cli("explore", module_file, "--show", "99",
+                                    "--checkpoint", cp)
+        assert code_fresh == 0
+        code_resumed, resumed = run_cli("explore", module_file, "--show",
+                                        "99", "--checkpoint", cp, "--resume")
+        assert code_resumed == 0
+        assert resumed == fresh  # same graph, same numbering, same counts
+
+    def test_resume_without_checkpoint_is_exit_two(self, module_file):
+        for command in ("check", "explore"):
+            code, text = run_cli(command, module_file, "--resume")
+            assert code == 2
+            assert "--resume requires --checkpoint" in text
+
+    def test_explosion_manifest_then_resume_with_bigger_budget(
+            self, module_file, tmp_path):
+        cp, manifest = self._paths(tmp_path)
+        code, _ = run_cli("check", module_file, "--max-states", "2",
+                          "--checkpoint", cp)
+        assert code == 2
+        data = json.load(open(manifest))
+        assert data["outcome"] == "explosion"
+        assert "budget" in data["error"]
+        # the pre-explosion snapshot survives; a larger budget finishes
+        code, text = run_cli("check", module_file, "--max-states", "3",
+                             "--checkpoint", cp, "--resume")
+        assert code == 0
+        assert "3 states" in text
+        assert json.load(open(manifest))["outcome"] == "ok"
+
+    def test_worker_timeout_flag_keeps_output_identical(self, module_file):
+        _, serial = run_cli("check", module_file, "--invariant", "Small")
+        code, timed = run_cli("check", module_file, "--invariant", "Small",
+                              "--workers", "2", "--worker-timeout", "60")
+        assert code == 0
+        assert timed == serial
+
+    def test_parallel_checkpoint_resume(self, module_file, tmp_path):
+        cp, manifest = self._paths(tmp_path)
+        code, fresh = run_cli("explore", module_file, "--show", "99",
+                              "--workers", "2", "--checkpoint", cp)
+        assert code == 0
+        code, resumed = run_cli("explore", module_file, "--show", "99",
+                                "--workers", "2", "--checkpoint", cp,
+                                "--resume")
+        assert code == 0
+        assert resumed == fresh
+        assert json.load(open(manifest))["workers"] == 2
+
+
+class TestCounterexampleRegressions:
+    """repro check must exit nonzero on *any* counterexample, and trace
+    rendering must stay robust for degenerate variable selections."""
+
+    def test_failing_property_is_exit_one(self, module_file):
+        code, text = run_cli("check", module_file, "--property", "Stuck")
+        assert code == 1
+        assert "[FAILED] Stuck" in text
+        assert "counterexample" in text
+
+    def test_failing_property_and_passing_invariant_still_exit_one(
+            self, module_file):
+        code, _ = run_cli("check", module_file, "--invariant", "Small",
+                          "--property", "Stuck")
+        assert code == 1
+
+    def test_render_with_empty_variables_falls_back_to_all(self):
+        from repro.checker.results import Counterexample
+        from repro.kernel.behavior import FiniteBehavior, Lasso
+        from repro.kernel.state import State
+
+        trace = FiniteBehavior([State({"x": 0}), State({"x": 1})])
+        cex = Counterexample(trace, "boom")
+        for empty in ((), []):
+            rendered = cex.render(variables=empty)
+            assert rendered == cex.render()
+            assert "x" in rendered  # not a header-only table
+        lasso = Counterexample(Lasso([State({"x": 0})], 0), "boom")
+        assert "x" in lasso.render(variables=())
