@@ -25,6 +25,15 @@ from .liveness import (
     fair_units,
     premises_of_spec,
 )
+from .reduction import (
+    MemoryStateStore,
+    ReductionConfig,
+    SpillStateStore,
+    StateStore,
+    build_store,
+    check_invariant_reduced,
+    decompose,
+)
 from .refinement import IDENTITY, RefinementMapping, check_safety_refinement
 from .results import CheckResult, Counterexample
 
@@ -55,4 +64,11 @@ __all__ = [
     "check_safety_refinement",
     "CheckResult",
     "Counterexample",
+    "ReductionConfig",
+    "decompose",
+    "check_invariant_reduced",
+    "StateStore",
+    "MemoryStateStore",
+    "SpillStateStore",
+    "build_store",
 ]

@@ -67,6 +67,11 @@ CHECKPOINT_VERSION = 1
 # resume()'s "keep writing to the file we loaded from" default
 _SAME_PATH = object()
 
+# resume()'s "adopt whatever the checkpoint recorded" default for the
+# reduction / store configurations (None is a meaningful explicit value:
+# "I want this run unreduced / in-RAM", which must *match* the snapshot)
+_ADOPT = object()
+
 
 class CheckpointError(Exception):
     """A checkpoint file is missing, malformed, or fails integrity checks."""
@@ -108,6 +113,8 @@ def save_checkpoint(
     workers: int = 1,
     checkpoint_every: int = 1,
     stats: Optional[ExploreStats] = None,
+    reduction: Optional[Dict[str, object]] = None,
+    store: Optional[Dict[str, object]] = None,
 ) -> None:
     """Atomically snapshot a run at a BFS level boundary.
 
@@ -115,7 +122,13 @@ def save_checkpoint(
     number of completed expansion rounds (the checkpoint cadence
     counter), ``frontier`` the node ids still to expand -- exactly the
     loop state of :func:`~repro.checker.explorer.explore` between two
-    levels.
+    levels.  ``reduction`` / ``store`` are the effective
+    partial-order-reduction and state-store configurations of the run
+    (``ReductionConfig.as_dict()`` / ``StateStore.config()``), recorded
+    so :func:`resume` continues under the *same* semantics -- resuming a
+    reduced run unreduced (or vice versa) would not reproduce the run.
+    Spill-store states are re-interned from this snapshot on resume, so
+    the snapshot is self-contained even if the spill files are lost.
     """
     variables = list(graph.universe.variables)
     rows: List[List[object]] = []
@@ -148,6 +161,8 @@ def save_checkpoint(
         },
         "frontier": list(frontier),
         "stats": stats.as_dict() if stats is not None else None,
+        "reduction": reduction,
+        "store": store,
     }
     _atomic_write_json(path, payload)
 
@@ -157,7 +172,8 @@ class Checkpoint:
 
     __slots__ = ("path", "spec_name", "max_states", "workers",
                  "checkpoint_every", "depth", "levels", "elapsed_seconds",
-                 "frontier", "stats_snapshot", "_graph_data", "_spec_pickle")
+                 "frontier", "stats_snapshot", "reduction_config",
+                 "store_config", "_graph_data", "_spec_pickle")
 
     def __init__(self, path: str, payload: Dict[str, object]):
         self.path = path
@@ -186,6 +202,11 @@ class Checkpoint:
         except KeyError as exc:
             raise CheckpointError(f"{path}: missing field {exc}") from None
         self.stats_snapshot: Optional[Dict[str, object]] = payload.get("stats")
+        # pre-reduction checkpoints carry neither key: both read as None,
+        # meaning "full exploration, in-RAM store" -- the legacy semantics
+        self.reduction_config: Optional[Dict[str, object]] = \
+            payload.get("reduction")
+        self.store_config: Optional[Dict[str, object]] = payload.get("store")
 
     def load_spec(self) -> Spec:
         """Unpickle the embedded spec (for standalone ``resume(path)``)."""
@@ -198,10 +219,16 @@ class Checkpoint:
             ) from exc
 
     def restore_graph(self, spec: Spec,
-                      max_states: Optional[int] = None) -> StateGraph:
+                      max_states: Optional[int] = None,
+                      store: object = None) -> StateGraph:
         """Rebuild the graph against *spec*'s universe, verifying that the
         stored variables match and that every decoded state reproduces its
-        stored fingerprint (corruption / encoding-drift detection)."""
+        stored fingerprint (corruption / encoding-drift detection).
+
+        *store* is the :class:`~repro.checker.reduction.store.StateStore`
+        to re-intern the states through (default: fresh in-RAM store);
+        spill stores rebuild their data/index files from the snapshot, so
+        resuming never depends on the old spill files surviving."""
         data = self._graph_data
         variables = list(data["variables"])
         if variables != list(spec.universe.variables):
@@ -229,6 +256,7 @@ class Checkpoint:
             data["init_nodes"],
             max_states=self.max_states if max_states is None else max_states,
             name=spec.name,
+            store=store,
         )
 
 
@@ -246,6 +274,17 @@ def load_checkpoint(path: str) -> Checkpoint:
     return Checkpoint(path, payload)
 
 
+def _reduction_dict(reduction: object) -> Optional[Dict[str, object]]:
+    """Normalize a ReductionConfig-or-dict-or-None to the as_dict form."""
+    if reduction is None or isinstance(reduction, dict):
+        return reduction
+    return reduction.as_dict()  # a ReductionConfig
+
+
+def _store_kind(config: Optional[Dict[str, object]]) -> str:
+    return "mem" if config is None else str(config.get("kind", "mem"))
+
+
 def resume(
     path: str,
     spec: Optional[Spec] = None,
@@ -257,6 +296,8 @@ def resume(
     checkpoint_every: Optional[int] = None,
     worker_timeout: Optional[float] = None,
     fault_hook: object = None,
+    reduction: object = _ADOPT,
+    store: object = _ADOPT,
 ) -> StateGraph:
     """Continue an exploration from a checkpoint, bit-for-bit.
 
@@ -270,11 +311,53 @@ def resume(
     larger budget).  By default the resumed run keeps checkpointing to
     the same *path*; pass ``checkpoint=None`` to disable further
     snapshots, or another path to redirect them.
+
+    The run's partial-order-reduction and state-store semantics are
+    adopted from the snapshot by default.  Passing ``reduction`` (a
+    :class:`~repro.checker.reduction.por.ReductionConfig`, its dict
+    form, or ``None`` for "unreduced") or ``store`` (a
+    ``StateStore.config()`` dict, or ``None`` for in-RAM) asserts what
+    the caller *expects* the run to be: a mismatch with the snapshot
+    raises :class:`CheckpointError` instead of silently continuing the
+    run under different semantics, which would not reproduce it.  For a
+    spill store the directory/capacity may differ (the files are rebuilt
+    from the snapshot); only the store *kind* must match.
     """
     loaded = load_checkpoint(path)
     if spec is None:
         spec = loaded.load_spec()
-    graph = loaded.restore_graph(spec, max_states=max_states)
+
+    if reduction is _ADOPT:
+        reduction_cfg = loaded.reduction_config
+    else:
+        reduction_cfg = _reduction_dict(reduction)
+        if reduction_cfg != loaded.reduction_config:
+            raise CheckpointError(
+                f"{path}: checkpoint was written with reduction config "
+                f"{loaded.reduction_config!r} but the resume requested "
+                f"{reduction_cfg!r}; resuming under different reduction "
+                f"semantics would not reproduce the run"
+            )
+    store_cfg: Optional[Dict[str, object]]
+    if store is _ADOPT:
+        store_cfg = loaded.store_config
+    else:
+        store_cfg = store  # type: ignore[assignment]
+        if _store_kind(store_cfg) != _store_kind(loaded.store_config):
+            raise CheckpointError(
+                f"{path}: checkpoint was written with a "
+                f"{_store_kind(loaded.store_config)!r} state store but the "
+                f"resume requested {_store_kind(store_cfg)!r}; pick one or "
+                f"drop the flag to adopt the checkpoint's store"
+            )
+    from .reduction.por import ReductionConfig
+    from .reduction.store import build_store
+    reducer_config = (
+        ReductionConfig(tuple(reduction_cfg.get("observed_vars", ())))
+        if reduction_cfg is not None else None)
+
+    graph = loaded.restore_graph(spec, max_states=max_states,
+                                 store=build_store(store_cfg))
     if stats is not None and loaded.stats_snapshot:
         stats.restore(loaded.stats_snapshot)
     target = path if checkpoint is _SAME_PATH else checkpoint
@@ -284,19 +367,22 @@ def resume(
     if worker_count == 0:
         from .parallel import default_workers
         worker_count = default_workers()
+    from .explorer import _resolve_reducer
+    reducer = _resolve_reducer(spec, reducer_config, stats)
     if worker_count <= 1:
         from .explorer import _drive
         return _drive(spec, graph, list(loaded.frontier),
                       depth=loaded.depth, levels=loaded.levels,
                       elapsed_before=loaded.elapsed_seconds, stats=stats,
-                      checkpoint=target, checkpoint_every=every)
+                      checkpoint=target, checkpoint_every=every,
+                      reducer=reducer)
     from .parallel import _drive_parallel
     return _drive_parallel(spec, graph, list(loaded.frontier),
                            depth=loaded.depth, levels=loaded.levels,
                            elapsed_before=loaded.elapsed_seconds, stats=stats,
                            checkpoint=target, checkpoint_every=every,
                            workers=worker_count, worker_timeout=worker_timeout,
-                           fault_hook=fault_hook)
+                           fault_hook=fault_hook, reducer=reducer)
 
 
 # -- run manifests -----------------------------------------------------------
@@ -333,12 +419,17 @@ def write_manifest(
     counterexample: Optional[Counterexample] = None,
     stats: Optional[ExploreStats] = None,
     error: Optional[str] = None,
+    reduction: Optional[Dict[str, object]] = None,
+    store: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """Atomically write a JSON run manifest; returns the payload.
 
     *outcome* is one of ``"ok"`` (all checks passed / exploration
     completed), ``"violation"`` (a counterexample was found),
     ``"explosion"`` (the state budget was exceeded), or ``"error"``.
+    ``reduction`` / ``store`` record the *effective* reduction and
+    state-store configuration of the run (after any auto-disable), so
+    the artifact says what semantics actually produced the verdict.
     """
     payload: Dict[str, object] = {
         "format": "repro-run-manifest",
@@ -354,6 +445,8 @@ def write_manifest(
                            if counterexample is not None else None),
         "stats": stats.as_dict() if stats is not None else None,
         "error": error,
+        "reduction": reduction,
+        "store": store,
     }
     _atomic_write_json(path, payload)
     return payload

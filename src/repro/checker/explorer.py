@@ -18,12 +18,23 @@ Runs are durable: pass ``checkpoint=path`` (and optionally
 levels via :mod:`repro.checker.checkpoint`;
 :func:`repro.checker.checkpoint.resume` continues a snapshot bit-for-bit
 identically to an uninterrupted run.
+
+Two scaling levers plug in through :mod:`repro.checker.reduction`:
+
+* ``reduction=ReductionConfig(...)`` enables ample/stubborn-set
+  partial-order reduction derived from the paper's ``Disjoint``
+  decomposition -- sound for invariants and deadlock, auto-disabled
+  (with the reason recorded on the stats) when the action shape is not
+  reducible.  The POR-off path is byte-identical to the pre-subsystem
+  explorer.
+* ``store=...`` swaps the state-interning backend (in-RAM dict vs the
+  disk spill store), without changing node numbering or verdicts.
 """
 
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple, TYPE_CHECKING
 
 from ..kernel.action import compile_action
 from ..kernel.expr import Expr, prime_expr, to_expr
@@ -32,6 +43,10 @@ from ..spec import Spec
 from .checkpoint import save_checkpoint
 from .graph import StateGraph, StateSpaceExplosion
 from .stats import ExploreStats
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from .reduction.por import AmpleReducer, ReductionConfig
+    from .reduction.store import StateStore
 
 __all__ = ["StateSpaceExplosion", "initial_states", "explore"]
 
@@ -61,11 +76,14 @@ def initial_states(init: Expr, universe: Universe) -> Iterator[State]:
     yield from compile_action(primed).plan(universe).successors(dummy)
 
 
-def _seed_graph(spec: Spec, max_states: int) -> Tuple[StateGraph, List[int]]:
+def _seed_graph(
+    spec: Spec, max_states: int, store: Optional["StateStore"] = None
+) -> Tuple[StateGraph, List[int]]:
     """A fresh graph holding the spec's initial states, plus the level-0
     frontier -- the common starting point of the serial and parallel
     explorers."""
-    graph = StateGraph(spec.universe, max_states=max_states, name=spec.name)
+    graph = StateGraph(spec.universe, max_states=max_states, name=spec.name,
+                       store=store)
     frontier: List[int] = []
     for state in initial_states(spec.init, spec.universe):
         node, new = graph.add_state(state)
@@ -73,6 +91,37 @@ def _seed_graph(spec: Spec, max_states: int) -> Tuple[StateGraph, List[int]]:
             graph.init_nodes.append(node)
             frontier.append(node)
     return graph, frontier
+
+
+def _resolve_reducer(
+    spec: Spec,
+    reduction: Optional["ReductionConfig"],
+    stats: Optional[ExploreStats],
+) -> Optional["AmpleReducer"]:
+    """Build the reducer for a run (or record why reduction is off)."""
+    if reduction is None:
+        return None
+    from .reduction.por import build_reducer
+
+    reducer, reason = build_reducer(spec, reduction)
+    if stats is not None:
+        if reducer is None:
+            stats.record_reduction(enabled=False, reason=reason)
+        else:
+            stats.record_reduction(enabled=True)
+    return reducer
+
+
+def _finish_reduction(graph: StateGraph,
+                      reducer: Optional["AmpleReducer"],
+                      stats: Optional[ExploreStats]) -> None:
+    """Fold the reducer's merge-time counters into graph/stats state."""
+    if reducer is None:
+        return
+    counters = reducer.counters
+    graph.reduction_used = bool(counters["ample_states"])
+    if stats is not None:
+        stats.record_reduction(enabled=True, counters=counters)
 
 
 def _drive(
@@ -86,6 +135,7 @@ def _drive(
     checkpoint: Optional[str] = None,
     checkpoint_every: int = 1,
     start: Optional[float] = None,
+    reducer: Optional["AmpleReducer"] = None,
 ) -> StateGraph:
     """The serial BFS engine, resumable at any level boundary.
 
@@ -97,17 +147,35 @@ def _drive(
     level; because a level expansion is a pure function of
     (graph, frontier) and the snapshot captures both exactly, resuming
     reproduces the uninterrupted run bit-for-bit.
+
+    With a *reducer*, each source is expanded through its ample set and
+    merged via :func:`repro.checker.reduction.por.merge_source` (which
+    applies the C3 cycle proviso against the live graph); without one,
+    the loop below is exactly the pre-reduction hot path.
     """
     if start is None:
         start = perf_counter()
-    plan = compile_action(spec.next_action).plan(spec.universe)
-    plan_successors = plan.successors
     states = graph.states
     merge_batch = graph.merge_batch
+    if reducer is None:
+        plan = compile_action(spec.next_action).plan(spec.universe)
+        plan_successors = plan.successors
+    else:
+        from .reduction.por import merge_source
+        reduce_expand = reducer.expand
     while frontier:
         next_frontier: List[int] = []
-        for src in frontier:
-            next_frontier.extend(merge_batch(src, plan_successors(states[src])))
+        if reducer is None:
+            for src in frontier:
+                next_frontier.extend(
+                    merge_batch(src, plan_successors(states[src])))
+        else:
+            for src in frontier:
+                tag, succs, pruned = reduce_expand(states[src])
+                next_frontier.extend(
+                    merge_source(graph, src, tag, succs, pruned, reducer))
+        if stats is not None:
+            stats.record_level(len(frontier), graph)
         frontier = next_frontier
         levels += 1
         if frontier:
@@ -120,7 +188,11 @@ def _drive(
                 checkpoint, spec, graph, frontier, depth, levels,
                 elapsed_seconds=(elapsed_before + perf_counter() - start),
                 workers=1, checkpoint_every=checkpoint_every, stats=stats,
+                reduction=(reducer.config.as_dict()
+                           if reducer is not None else None),
+                store=graph.store.config(),
             )
+    _finish_reduction(graph, reducer, stats)
     if stats is not None:
         stats.record_explore(graph, depth,
                              elapsed_before + perf_counter() - start)
@@ -133,6 +205,8 @@ def explore(
     stats: Optional[ExploreStats] = None,
     checkpoint: Optional[str] = None,
     checkpoint_every: int = 1,
+    reduction: Optional["ReductionConfig"] = None,
+    store: Optional["StateStore"] = None,
 ) -> StateGraph:
     """The reachable state graph of ``Init ∧ □[N]_v`` over the spec's universe.
 
@@ -152,9 +226,15 @@ def explore(
     :func:`repro.checker.checkpoint.resume` continues the snapshot
     bit-for-bit identically (including after a crash or an exceeded
     budget -- the last snapshot survives both).
+
+    ``reduction`` / ``store`` plug in partial-order reduction and the
+    state-store backend (see :mod:`repro.checker.reduction`); both
+    default to off, which is the byte-identical legacy behaviour.
     """
     start = perf_counter()
-    graph, frontier = _seed_graph(spec, max_states)
+    reducer = _resolve_reducer(spec, reduction, stats)
+    graph, frontier = _seed_graph(spec, max_states, store=store)
     return _drive(spec, graph, frontier, depth=0, levels=0,
                   elapsed_before=0.0, stats=stats, checkpoint=checkpoint,
-                  checkpoint_every=checkpoint_every, start=start)
+                  checkpoint_every=checkpoint_every, start=start,
+                  reducer=reducer)

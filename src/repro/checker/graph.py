@@ -14,9 +14,13 @@ liveness checker's Streett-style fair-cycle search needs.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (Callable, Dict, Iterable, List, Optional, Sequence, Set,
+                    Tuple, TYPE_CHECKING)
 
 from ..kernel.state import State, Universe
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .reduction.store import StateStore
 
 NodeFilter = Callable[[int], bool]
 EdgeFilter = Callable[[int, int], bool]
@@ -51,17 +55,38 @@ class StateGraph:
     """
 
     def __init__(self, universe: Universe, max_states: Optional[int] = None,
-                 name: Optional[str] = None):
+                 name: Optional[str] = None,
+                 store: Optional["StateStore"] = None):
+        if store is None:
+            from .reduction.store import MemoryStateStore
+            store = MemoryStateStore()
+        store.prepare(universe.variables)
         self.universe = universe
         self.max_states = max_states
         self.name = name
-        self.states: List[State] = []
-        self.index: Dict[State, int] = {}
+        self.store = store
+        # for the default MemoryStateStore these are the real list and a
+        # bound dict.get -- interning costs exactly what it did before the
+        # store layer existed
+        self.states: Sequence[State] = store.states_view()
+        self._lookup = store.lookup
+        self._append = store.append
         self.succ: List[List[int]] = []
         self._succ_sets: List[Set[int]] = []
         self.init_nodes: List[int] = []
         self.parent: List[Optional[int]] = []
         self._edge_count = 0  # real N-edges; stutter loops counted apart
+        self.reduction_used = False  # set by the explorer when POR pruned
+
+    @property
+    def index(self) -> Dict[State, int]:
+        """The live state -> node dict of the in-RAM store (back-compat;
+        spill stores answer membership via :meth:`lookup` instead)."""
+        return self.store.index  # type: ignore[attr-defined]
+
+    def lookup(self, state: State) -> Optional[int]:
+        """The node id of an interned state, or None (store-agnostic)."""
+        return self._lookup(state)
 
     # -- construction ------------------------------------------------------
 
@@ -75,6 +100,7 @@ class StateGraph:
         init_nodes: Sequence[int],
         max_states: Optional[int] = None,
         name: Optional[str] = None,
+        store: Optional["StateStore"] = None,
     ) -> "StateGraph":
         """Rebuild a graph from its serialized pieces (the checkpoint layer).
 
@@ -83,18 +109,19 @@ class StateGraph:
         first, exactly as :meth:`add_state` would have.  The result is
         bit-for-bit the graph that was serialized: same node numbering,
         same adjacency-list order, same parents -- so a resumed BFS
-        continues exactly like the uninterrupted run.
+        continues exactly like the uninterrupted run.  States are
+        re-interned through the (optionally spill-backed) *store* in node
+        order, so a resumed spill store's files are rebuilt equal.
         """
         if max_states is not None and len(states) > max_states:
             raise StateSpaceExplosion(
                 f"cannot restore {len(states)} states under a budget of "
                 f"{max_states} states"
             )
-        graph = cls(universe, max_states=max_states, name=name)
+        graph = cls(universe, max_states=max_states, name=name, store=store)
         for node, state in enumerate(states):
             rest = list(succ_rest[node])
-            graph.index[state] = node
-            graph.states.append(state)
+            graph._append(state)
             graph.succ.append([node] + rest)
             graph._succ_sets.append({node, *rest})
             graph.parent.append(parent[node])
@@ -108,7 +135,7 @@ class StateGraph:
         Raises :class:`StateSpaceExplosion` if interning a *new* state
         would exceed ``max_states``.
         """
-        node = self.index.get(state)
+        node = self._lookup(state)
         if node is not None:
             return node, False
         node = len(self.states)
@@ -117,8 +144,7 @@ class StateGraph:
             raise StateSpaceExplosion(
                 f"{label}exceeded the state budget of {self.max_states} states"
             )
-        self.index[state] = node
-        self.states.append(state)
+        self._append(state)
         self.succ.append([node])  # stutter self-loop
         self._succ_sets.append({node})
         self.parent.append(parent)

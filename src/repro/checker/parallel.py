@@ -29,9 +29,13 @@ Per BFS level the coordinator:
    itself is deterministic,
 3. submits the chunks to a ``concurrent.futures`` process pool and
    retrieves results strictly in **submission order**, and
-4. merges each returned ``(src_fingerprint, successor_states)`` batch
-   through :meth:`~repro.checker.graph.StateGraph.merge_batch` in that
-   order -- exactly the order the serial explorer would have used.
+4. merges each returned ``(src_fingerprint, tag, successors, pruned)``
+   batch in that order -- exactly the order the serial explorer would
+   have used (plain runs go straight through
+   :meth:`~repro.checker.graph.StateGraph.merge_batch`; reduced runs go
+   through :func:`repro.checker.reduction.por.merge_source`, which also
+   applies the C3 cycle proviso on the coordinator, in merge order, so
+   the reduced graph too is identical for every worker count).
 
 Worker-crash recovery
 ---------------------
@@ -75,20 +79,28 @@ from concurrent.futures.process import BrokenProcessPool
 from time import perf_counter
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
-from ..kernel.action import SuccessorPlan, compile_action
+from typing import TYPE_CHECKING
+
+from ..kernel.action import compile_action
 from ..kernel.state import State
 from ..spec import Spec
 from .checkpoint import save_checkpoint
-from .explorer import _seed_graph, explore
+from .explorer import _finish_reduction, _resolve_reducer, _seed_graph, explore
 from .graph import StateGraph
 from .stats import ExploreStats
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from .reduction.por import AmpleReducer, ReductionConfig
+    from .reduction.store import StateStore
 
 __all__ = ["explore_parallel", "default_workers", "WorkerFailure"]
 
 # one payload per chunk: [(batch_key, frontier_state), ...]
 _Chunk = List[Tuple[object, State]]
-# one result per chunk: (worker_pid, busy_seconds, [(batch_key, successors)])
-_ChunkResult = Tuple[int, float, List[Tuple[object, List[State]]]]
+# one result per chunk:
+# (worker_pid, busy_seconds, [(batch_key, tag, successors, pruned)]) --
+# tag/pruned are EXPAND_FULL/0 for unreduced runs (see reduction.por)
+_ChunkResult = Tuple[int, float, List[Tuple[object, int, List[State], int]]]
 # optional fault-injection hook, called in the worker once per chunk
 _FaultHook = Optional[Callable[[_Chunk], None]]
 
@@ -118,8 +130,9 @@ def _inline_threshold(workers: int) -> int:
     return workers * _MIN_CHUNK
 
 
-# worker-process globals, set once by _init_worker
-_worker_plan: Optional[SuccessorPlan] = None
+# worker-process globals, set once by _init_worker: a pure
+# state -> (tag, successors, pruned) expansion function
+_worker_expand: Optional[Callable[[State], Tuple[int, List[State], int]]] = None
 _worker_fault: _FaultHook = None
 
 
@@ -132,23 +145,52 @@ def default_workers() -> int:
         return os.cpu_count() or 1
 
 
+def _full_expander(
+    spec: Spec,
+) -> Callable[[State], Tuple[int, List[State], int]]:
+    """The unreduced expansion function (tag is always EXPAND_FULL=0)."""
+    plan = compile_action(spec.next_action).plan(spec.universe)
+    successors = plan.successors
+
+    def expand(state: State) -> Tuple[int, List[State], int]:
+        return 0, list(successors(state)), 0
+
+    return expand
+
+
 def _init_worker(spec_payload: bytes, fault_hook: _FaultHook = None) -> None:
-    """Pool initializer: unpickle the spec and compile its successor plan
-    once; every chunk this worker processes reuses the same plan."""
-    global _worker_plan, _worker_fault
-    spec = pickle.loads(spec_payload)
-    _worker_plan = compile_action(spec.next_action).plan(spec.universe)
+    """Pool initializer: unpickle (spec, reduction config) and build the
+    expansion function once; every chunk this worker processes reuses it.
+
+    With reduction on, the worker derives the *same* reducer the
+    coordinator did (decomposition is a pure function of the spec), so
+    per-state ample decisions are identical on both sides."""
+    global _worker_expand, _worker_fault
+    spec, reduction = pickle.loads(spec_payload)
+    if reduction is not None:
+        from .reduction.por import build_reducer
+
+        reducer, _reason = build_reducer(spec, reduction)
+        if reducer is not None:
+            _worker_expand = reducer.expand
+        else:  # pragma: no cover - coordinator never ships an unusable config
+            _worker_expand = _full_expander(spec)
+    else:
+        _worker_expand = _full_expander(spec)
     _worker_fault = fault_hook
 
 
 def _expand_chunk(chunk: _Chunk) -> _ChunkResult:
     """Worker body: enumerate successors for one frontier chunk."""
-    plan = _worker_plan
-    assert plan is not None, "worker used before initialization"
+    expand = _worker_expand
+    assert expand is not None, "worker used before initialization"
     if _worker_fault is not None:
         _worker_fault(chunk)
     start = perf_counter()
-    batches = [(key, list(plan.successors(state))) for key, state in chunk]
+    batches = []
+    for key, state in chunk:
+        tag, succs, pruned = expand(state)
+        batches.append((key, tag, succs, pruned))
     return os.getpid(), perf_counter() - start, batches
 
 
@@ -289,9 +331,16 @@ def _drive_parallel(
     worker_timeout: Optional[float] = None,
     fault_hook: _FaultHook = None,
     start: Optional[float] = None,
+    reducer: Optional["AmpleReducer"] = None,
 ) -> StateGraph:
     """The parallel BFS engine, resumable at any level boundary (the
-    multi-process twin of :func:`repro.checker.explorer._drive`)."""
+    multi-process twin of :func:`repro.checker.explorer._drive`).
+
+    With a *reducer*, workers compute per-state ample sets (pure, so any
+    chunking/retry history yields the same batches) and the coordinator
+    applies the C3 cycle proviso at merge time, in submission order,
+    against the live graph -- which makes the reduced graph bit-for-bit
+    identical to the serial reduced run for any worker count."""
     if start is None:
         start = perf_counter()
     # fork is the cheap path where available (Linux); spawn/forkserver
@@ -299,15 +348,31 @@ def _drive_parallel(
     methods = multiprocessing.get_all_start_methods()
     ctx = multiprocessing.get_context("fork" if "fork" in methods
                                      else methods[0])
-    payload = pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+    reduction_config = reducer.config if reducer is not None else None
+    payload = pickle.dumps((spec, reduction_config),
+                           protocol=pickle.HIGHEST_PROTOCOL)
 
     idle = 0.0
     worker_ids: Dict[int, int] = {}  # pid -> dense worker id
     merge_batch = graph.merge_batch
     states = graph.states
-    # the coordinator's own plan, for frontiers too narrow to ship; the
-    # compile/plan caches make this free when it is never needed
-    local_plan = compile_action(spec.next_action).plan(spec.universe)
+    # the coordinator's own expander, for frontiers too narrow to ship --
+    # the reducer's expand when reduction is on, else the full plan (the
+    # compile/plan caches make the latter free when it is never needed)
+    if reducer is not None:
+        from .reduction.por import merge_source
+
+        local_expand = reducer.expand
+
+        def merge(src: int, tag: int, succs: List[State],
+                  pruned: int) -> List[int]:
+            return merge_source(graph, src, tag, succs, pruned, reducer)
+    else:
+        local_expand = _full_expander(spec)
+
+        def merge(src: int, tag: int, succs: List[State],
+                  pruned: int) -> List[int]:
+            return merge_batch(src, succs)
     inline_below = _inline_threshold(workers)
     runner = _ChunkRunner(workers, payload, ctx, worker_timeout, fault_hook,
                           stats)
@@ -318,8 +383,8 @@ def _drive_parallel(
                 # narrow level: expanding locally beats IPC round trips;
                 # merge order (frontier order) is the serial order either way
                 for src in frontier:
-                    next_frontier.extend(
-                        merge_batch(src, local_plan.successors(states[src])))
+                    tag, succs, pruned = local_expand(states[src])
+                    next_frontier.extend(merge(src, tag, succs, pruned))
             else:
                 chunks, key_to_node = _shard_frontier(graph, frontier,
                                                       workers)
@@ -333,13 +398,16 @@ def _drive_parallel(
                             worker_ids.setdefault(pid, len(worker_ids)),
                             sources=len(batches),
                             successors=sum(len(succ)
-                                           for _key, succ in batches),
+                                           for _k, _t, succ, _p in batches),
                             busy_seconds=busy,
                         )
-                    for key, successor_states in batches:
+                    for key, tag, successor_states, pruned in batches:
                         next_frontier.extend(
-                            merge_batch(key_to_node[key], successor_states))
+                            merge(key_to_node[key], tag, successor_states,
+                                  pruned))
                     wait_from = perf_counter()
+            if stats is not None:
+                stats.record_level(len(frontier), graph)
             frontier = next_frontier
             levels += 1
             if frontier:
@@ -354,10 +422,14 @@ def _drive_parallel(
                                      + perf_counter() - start),
                     workers=workers, checkpoint_every=checkpoint_every,
                     stats=stats,
+                    reduction=(reduction_config.as_dict()
+                               if reduction_config is not None else None),
+                    store=graph.store.config(),
                 )
     finally:
         runner.close()
 
+    _finish_reduction(graph, reducer, stats)
     if stats is not None:
         stats.record_explore(graph, depth,
                              elapsed_before + perf_counter() - start)
@@ -374,6 +446,8 @@ def explore_parallel(
     checkpoint_every: int = 1,
     worker_timeout: Optional[float] = None,
     fault_hook: _FaultHook = None,
+    reduction: Optional["ReductionConfig"] = None,
+    store: Optional["StateStore"] = None,
 ) -> StateGraph:
     """The reachable state graph of ``Init ∧ □[N]_v``, explored with
     *workers* processes.
@@ -395,7 +469,23 @@ def explore_parallel(
     explorer.  ``fault_hook`` is a picklable callable invoked in the
     worker once per chunk -- the fault-injection seam the crash-recovery
     tests use; leave it ``None`` in production.
+
+    ``reduction`` / ``store`` plug in partial-order reduction and the
+    state-store backend exactly as in :func:`explore`; the reduced graph
+    is still bit-for-bit identical across worker counts (workers compute
+    ample sets, the coordinator applies the cycle proviso in serial
+    merge order).  Requesting ``workers=1`` explicitly together with
+    options that only the multi-process engine honours
+    (``worker_timeout`` / ``fault_hook``) is an error rather than a
+    silent degrade; ``workers=0`` auto-sizing is exempt because it never
+    resolves below the core count.
     """
+    if workers == 1 and (worker_timeout is not None
+                         or fault_hook is not None):
+        raise ValueError(
+            "workers=1 runs the serial engine, which would silently "
+            "ignore worker_timeout/fault_hook; drop those options or "
+            "use workers >= 2 (workers=0 auto-sizes)")
     if workers == 0:
         workers = default_workers()
     if workers < 0:
@@ -403,12 +493,15 @@ def explore_parallel(
     if workers <= 1:
         return explore(spec, max_states=max_states, stats=stats,
                        checkpoint=checkpoint,
-                       checkpoint_every=checkpoint_every)
+                       checkpoint_every=checkpoint_every,
+                       reduction=reduction, store=store)
     start = perf_counter()
-    graph, frontier = _seed_graph(spec, max_states)
+    reducer = _resolve_reducer(spec, reduction, stats)
+    graph, frontier = _seed_graph(spec, max_states, store=store)
     return _drive_parallel(spec, graph, frontier, depth=0, levels=0,
                            elapsed_before=0.0, stats=stats,
                            checkpoint=checkpoint,
                            checkpoint_every=checkpoint_every,
                            workers=workers, worker_timeout=worker_timeout,
-                           fault_hook=fault_hook, start=start)
+                           fault_hook=fault_hook, start=start,
+                           reducer=reducer)

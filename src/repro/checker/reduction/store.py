@@ -1,0 +1,349 @@
+"""Pluggable state interning: in-RAM dict vs fingerprint-indexed spill.
+
+A :class:`StateStore` owns the ``state -> node id`` interning map of a
+:class:`~repro.checker.graph.StateGraph`.  The graph only ever calls two
+hot-path operations -- :meth:`StateStore.lookup` (is this state already
+interned?) and :meth:`StateStore.append` (intern it as the next node) --
+plus random access by node id, so the storage policy is swappable:
+
+* :class:`MemoryStateStore` is the classic explicit-state layout: a
+  Python list of :class:`~repro.kernel.state.State` objects plus a dict
+  index.  ``lookup`` is bound directly to ``dict.get`` at construction
+  time, so the default configuration adds **zero** per-state overhead
+  over the pre-subsystem graph.
+
+* :class:`SpillStateStore` bounds resident ``State`` objects: a hot LRU
+  tier of decoded states backed by an append-only data file (one
+  JSON-encoded row per state, the portable encoding of
+  :func:`repro.kernel.state.value_to_portable`) and a fixed-width binary
+  index file that is ``mmap``-ed for random access.  Lookups key on the
+  process-stable FNV-1a :meth:`~repro.kernel.state.State.fingerprint`;
+  fingerprint collisions are resolved by decoding the stored candidates
+  and comparing structurally, so verdicts never depend on fingerprints
+  being collision-free.  The RAM cost per interned state drops from a
+  full ``State`` to one ``fingerprint -> node`` dict entry, which is
+  what lets ``max_states`` budgets exceed resident memory.
+
+Both stores intern states in call order, so node numbering -- and hence
+traces, counterexamples, and budget behaviour -- is **bit-for-bit
+identical** whichever store backs the graph (the differential suite in
+``tests/test_reduction_differential.py`` asserts this).
+
+Index-file record layout (little-endian, 20 bytes per node)::
+
+    u64 fingerprint | u64 data-file offset | u32 row length in bytes
+
+The data file is plain JSON-lines, so a spilled run can be inspected
+with ``head``/``jq``; the index is regenerable from the data file in
+principle, but checkpoint/resume simply re-interns states through
+:meth:`append`, which rebuilds both files from scratch.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from ...kernel.state import State, value_from_portable, value_to_portable
+
+__all__ = [
+    "StateStore",
+    "MemoryStateStore",
+    "SpillStateStore",
+    "build_store",
+]
+
+_IDX_RECORD = struct.Struct("<QQI")  # fingerprint, offset, length
+
+
+class StateStore:
+    """The interning protocol a :class:`StateGraph` drives.
+
+    Subclasses must provide ``lookup``/``append`` (as *instance
+    attributes or methods* -- the graph binds them once), random access
+    via :meth:`get`, ``len()``, and a sequence view over the interned
+    states in node order.
+    """
+
+    kind = "abstract"
+
+    def prepare(self, variables: Sequence[str]) -> None:
+        """Bind the store to a universe's variable order (idempotent)."""
+
+    def lookup(self, state: State) -> Optional[int]:
+        """The node id of *state*, or ``None`` if not interned."""
+        raise NotImplementedError
+
+    def append(self, state: State) -> int:
+        """Intern *state* as the next node id; returns that id."""
+        raise NotImplementedError
+
+    def get(self, node: int) -> State:
+        """The state interned as *node*."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def states_view(self) -> Sequence[State]:
+        """A sequence view of all interned states in node order."""
+        raise NotImplementedError
+
+    def counters(self) -> Dict[str, int]:
+        """Store-health counters for :class:`ExploreStats` (may be empty)."""
+        return {}
+
+    def config(self) -> Dict[str, object]:
+        """The effective configuration, for manifests and resume checks."""
+        return {"kind": self.kind}
+
+    def flush(self) -> None:
+        """Flush any buffered writes (checkpoint boundary hook)."""
+
+    def close(self) -> None:
+        """Release file handles; the store must not be used afterwards."""
+
+
+class MemoryStateStore(StateStore):
+    """The default store: every state resident in a list + dict index."""
+
+    kind = "mem"
+
+    def __init__(self) -> None:
+        self._states: List[State] = []
+        self._index: Dict[State, int] = {}
+        # bind the hot path straight to the dict: the graph's lookup is
+        # then exactly the pre-subsystem ``self.index.get``
+        self.lookup = self._index.get
+
+    def append(self, state: State) -> int:
+        node = len(self._states)
+        self._index[state] = node
+        self._states.append(state)
+        return node
+
+    def get(self, node: int) -> State:
+        return self._states[node]
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def states_view(self) -> List[State]:
+        # the actual list: zero-cost iteration/indexing for the explorer
+        return self._states
+
+    @property
+    def index(self) -> Dict[State, int]:
+        """The live state -> node dict (kept for back-compat access)."""
+        return self._index
+
+
+class _SpillView(Sequence[State]):
+    """``graph.states`` facade over a spill store: indexable, iterable."""
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: "SpillStateStore"):
+        self._store = store
+
+    def __getitem__(self, node: Union[int, slice]) -> State:
+        if isinstance(node, slice):
+            return [self._store.get(i)
+                    for i in range(*node.indices(len(self._store)))]
+        if node < 0:
+            node += len(self._store)
+        return self._store.get(node)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __iter__(self) -> Iterator[State]:
+        for node in range(len(self._store)):
+            yield self._store.get(node)
+
+
+class SpillStateStore(StateStore):
+    """Bounded-memory store: LRU of hot states over an on-disk cold tier.
+
+    ``hot_capacity`` bounds the resident decoded :class:`State` objects;
+    everything else lives in ``{directory}/states.dat`` (JSON-lines) and
+    ``{directory}/states.idx`` (20-byte records, mmap-ed lazily).  The
+    per-state RAM floor is the ``fingerprint -> node`` map entry used to
+    answer :meth:`lookup`.
+    """
+
+    kind = "spill"
+
+    def __init__(self, directory: str, hot_capacity: int = 4096,
+                 name: str = "states"):
+        if hot_capacity < 1:
+            raise ValueError(f"hot_capacity must be >= 1, got {hot_capacity}")
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self.hot_capacity = hot_capacity
+        self._data_path = os.path.join(directory, name + ".dat")
+        self._idx_path = os.path.join(directory, name + ".idx")
+        # a fresh store always truncates: interning replays from node 0
+        # (checkpoint resume re-interns the restored states through append)
+        self._data = open(self._data_path, "w+b")
+        self._idx = open(self._idx_path, "w+b")
+        self._idx_mm: Optional[mmap.mmap] = None
+        self._idx_mapped = 0  # bytes covered by the current mmap
+        self._offset = 0
+        self._count = 0
+        self._variables: Optional[List[str]] = None
+        # fingerprint -> node id, or list of node ids on collision
+        self._by_fp: Dict[int, object] = {}
+        self._hot: "OrderedDict[int, State]" = OrderedDict()
+        self._stats = {"appends": 0, "hot_hits": 0, "cold_loads": 0,
+                       "evictions": 0, "lookup_hits": 0, "lookup_misses": 0,
+                       "fp_collisions": 0}
+
+    # -- helpers -------------------------------------------------------------
+
+    def prepare(self, variables: Sequence[str]) -> None:
+        names = list(variables)
+        if self._variables is None:
+            self._variables = names
+        elif self._variables != names:
+            raise ValueError(
+                f"spill store at {self.directory!r} is bound to variables "
+                f"{self._variables}, cannot rebind to {names}"
+            )
+
+    def _encode(self, state: State) -> bytes:
+        assert self._variables is not None, "store used before prepare()"
+        row = [value_to_portable(state[name]) for name in self._variables]
+        return (json.dumps(row, separators=(",", ":")) + "\n").encode("utf-8")
+
+    def _decode(self, payload: bytes) -> State:
+        assert self._variables is not None
+        row = json.loads(payload)
+        return State._trusted({name: value_from_portable(obj)
+                               for name, obj in zip(self._variables, row)})
+
+    def _cache(self, node: int, state: State) -> None:
+        hot = self._hot
+        hot[node] = state
+        hot.move_to_end(node)
+        if len(hot) > self.hot_capacity:
+            hot.popitem(last=False)
+            self._stats["evictions"] += 1
+
+    def _idx_record(self, node: int) -> tuple:
+        end = (node + 1) * _IDX_RECORD.size
+        if self._idx_mm is None or end > self._idx_mapped:
+            # the index grew past the mapped window: flush and re-map
+            self._idx.flush()
+            if self._idx_mm is not None:
+                self._idx_mm.close()
+            self._idx_mm = mmap.mmap(self._idx.fileno(), 0,
+                                     access=mmap.ACCESS_READ)
+            self._idx_mapped = len(self._idx_mm)
+        return _IDX_RECORD.unpack_from(self._idx_mm, node * _IDX_RECORD.size)
+
+    def _load(self, node: int) -> State:
+        _fp, offset, length = self._idx_record(node)
+        self._data.flush()
+        self._data.seek(offset)
+        state = self._decode(self._data.read(length))
+        self._data.seek(0, os.SEEK_END)
+        self._stats["cold_loads"] += 1
+        self._cache(node, state)
+        return state
+
+    # -- StateStore protocol -------------------------------------------------
+
+    def lookup(self, state: State) -> Optional[int]:
+        entry = self._by_fp.get(state.fingerprint())
+        if entry is None:
+            self._stats["lookup_misses"] += 1
+            return None
+        candidates = entry if isinstance(entry, list) else (entry,)
+        for node in candidates:
+            if self.get(node) == state:
+                self._stats["lookup_hits"] += 1
+                return node
+        self._stats["lookup_misses"] += 1
+        return None
+
+    def append(self, state: State) -> int:
+        node = self._count
+        payload = self._encode(state)
+        self._data.write(payload)
+        self._idx.write(_IDX_RECORD.pack(
+            state.fingerprint() & 0xFFFFFFFFFFFFFFFF,
+            self._offset, len(payload)))
+        self._offset += len(payload)
+        self._count = node + 1
+        fp = state.fingerprint()
+        entry = self._by_fp.get(fp)
+        if entry is None:
+            self._by_fp[fp] = node
+        elif isinstance(entry, list):
+            entry.append(node)
+            self._stats["fp_collisions"] += 1
+        else:
+            self._by_fp[fp] = [entry, node]
+            self._stats["fp_collisions"] += 1
+        self._stats["appends"] += 1
+        self._cache(node, state)
+        return node
+
+    def get(self, node: int) -> State:
+        if not 0 <= node < self._count:
+            raise IndexError(f"node {node} out of range (0..{self._count - 1})")
+        state = self._hot.get(node)
+        if state is not None:
+            self._hot.move_to_end(node)
+            self._stats["hot_hits"] += 1
+            return state
+        return self._load(node)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def states_view(self) -> _SpillView:
+        return _SpillView(self)
+
+    def counters(self) -> Dict[str, int]:
+        return dict(self._stats)
+
+    def config(self) -> Dict[str, object]:
+        return {"kind": self.kind, "spill_dir": self.directory,
+                "hot_capacity": self.hot_capacity}
+
+    def flush(self) -> None:
+        self._data.flush()
+        self._idx.flush()
+
+    def close(self) -> None:
+        if self._idx_mm is not None:
+            self._idx_mm.close()
+            self._idx_mm = None
+        for handle in (self._data, self._idx):
+            try:
+                handle.close()
+            except OSError:  # pragma: no cover - double close
+                pass
+
+
+def build_store(config: Optional[Dict[str, object]]) -> StateStore:
+    """A store instance from a manifest/checkpoint-style config dict.
+
+    ``None`` or ``{"kind": "mem"}`` yields the in-RAM store; a spill
+    config must carry ``spill_dir`` (and optionally ``hot_capacity``).
+    """
+    if not config or config.get("kind") in (None, "mem"):
+        return MemoryStateStore()
+    if config.get("kind") != "spill":
+        raise ValueError(f"unknown state-store kind {config.get('kind')!r}")
+    directory = config.get("spill_dir")
+    if not directory:
+        raise ValueError("spill store config requires 'spill_dir'")
+    return SpillStateStore(str(directory),
+                           hot_capacity=int(config.get("hot_capacity", 4096)))

@@ -55,7 +55,13 @@ class ExploreStats:
 
     __slots__ = ("states", "edges", "stutter_edges", "init_states", "depth",
                  "explore_seconds", "phases", "workers", "worker_stats",
-                 "coordinator_idle_seconds", "worker_retries")
+                 "coordinator_idle_seconds", "worker_retries", "levels",
+                 "por_enabled", "por_reason", "por_counters", "store_kind",
+                 "store_counters", "peak_rss_kb")
+
+    # per-level rows beyond this are dropped (pathologically deep graphs
+    # would otherwise bloat checkpoints); the totals stay exact
+    _MAX_LEVEL_ROWS = 2048
 
     def __init__(self) -> None:
         self.states = 0
@@ -69,6 +75,17 @@ class ExploreStats:
         self.worker_stats: Dict[int, Dict[str, float]] = {}
         self.coordinator_idle_seconds = 0.0
         self.worker_retries: Dict[str, int] = {}
+        # per-BFS-level cumulative snapshots: frontier size expanded plus
+        # the graph's state / real-edge / stutter-edge counts afterwards
+        self.levels: List[Dict[str, int]] = []
+        # partial-order reduction: None = never requested; False = requested
+        # but disabled (reason says why); True = active
+        self.por_enabled: Optional[bool] = None
+        self.por_reason: Optional[str] = None
+        self.por_counters: Dict[str, int] = {}
+        self.store_kind: Optional[str] = None
+        self.store_counters: Dict[str, int] = {}
+        self.peak_rss_kb = 0
 
     # -- population ----------------------------------------------------------
 
@@ -81,11 +98,44 @@ class ExploreStats:
 
     def record_explore(self, graph: "StateGraph", depth: int,
                        seconds: float) -> None:
-        """Record one exploration run (size, frontier depth, timing)."""
+        """Record one exploration run (size, frontier depth, timing),
+        plus the store-health counters and the process's peak RSS."""
         self.record_graph(graph)
         self.depth = depth
         self.explore_seconds = seconds
         self.phases["explore"] = self.phases.get("explore", 0.0) + seconds
+        store = getattr(graph, "store", None)
+        if store is not None:
+            self.store_kind = store.kind
+            self.store_counters = store.counters()
+        self.peak_rss_kb = _peak_rss_kb()
+
+    def record_level(self, frontier: int, graph: "StateGraph") -> None:
+        """Record one completed BFS level: the frontier size that was just
+        expanded and the cumulative graph counters after the merge."""
+        if len(self.levels) >= self._MAX_LEVEL_ROWS:
+            return
+        self.levels.append({
+            "frontier": frontier,
+            "states": graph.state_count,
+            "edges": graph.edge_count,
+            "stutter": graph.stutter_count,
+        })
+
+    def record_reduction(self, enabled: bool,
+                         reason: Optional[str] = None,
+                         counters: Optional[Dict[str, int]] = None) -> None:
+        """Record the partial-order-reduction outcome of a run.
+
+        Called once up front with the on/off decision (and the disable
+        reason, if any) and once at the end with the merge-time counters;
+        counters *accumulate* so resumed runs add to their checkpointed
+        totals."""
+        self.por_enabled = enabled
+        self.por_reason = reason
+        if counters:
+            for key, value in counters.items():
+                self.por_counters[key] = self.por_counters.get(key, 0) + value
 
     def record_worker_batch(self, worker_id: int, sources: int,
                             successors: int, busy_seconds: float) -> None:
@@ -135,6 +185,13 @@ class ExploreStats:
         for reason, count in dict(
                 snapshot.get("worker_retries") or {}).items():
             self.worker_retries[str(reason)] = int(count)
+        self.levels = [dict(row) for row in (snapshot.get("levels") or [])]
+        por = snapshot.get("por_enabled")
+        if por is not None:
+            self.por_enabled = bool(por)
+            self.por_reason = snapshot.get("por_reason")  # type: ignore
+        for key, value in dict(snapshot.get("por_counters") or {}).items():
+            self.por_counters[str(key)] = int(value)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -195,11 +252,58 @@ class ExploreStats:
                     f"{entry['batches']:.0f} batches, busy {busy:.4f}s "
                     f"({rate:,.0f} states/sec)"
                 )
+        if self.por_enabled is not None:
+            lines.append(self._format_reduction(indent))
+        if self.store_kind not in (None, "mem"):
+            rendered_store = ", ".join(
+                f"{key}={value}"
+                for key, value in sorted(self.store_counters.items()))
+            lines.append(f"{indent}store: {self.store_kind} ({rendered_store})")
         if self.phases:
             rendered = ", ".join(
                 f"{name} {seconds:.4f}s" for name, seconds in self.phases.items()
             )
             lines.append(f"{indent}phases: {rendered}")
+        return "\n".join(lines)
+
+    def _format_reduction(self, indent: str) -> str:
+        if not self.por_enabled:
+            return (f"{indent}reduction: disabled "
+                    f"({self.por_reason or 'not applicable'})")
+        c = self.por_counters
+        ample = c.get("ample_states", 0)
+        expanded = (ample + c.get("full_states", 0)
+                    + c.get("proviso_states", 0))
+        rate = (100.0 * ample / expanded) if expanded else 0.0
+        return (f"{indent}reduction: por on, ample at {ample}/{expanded} "
+                f"states ({rate:.0f}%), proviso fallbacks "
+                f"{c.get('proviso_states', 0)}, "
+                f"~{c.get('pruned_successors', 0)} successors pruned")
+
+    def summary(self, indent: str = "") -> str:
+        """:meth:`format` plus the per-level table and peak RSS -- the one
+        coherent table the CLI's ``--stats`` flag prints."""
+        lines = [self.format(indent)]
+        if self.levels:
+            header = (f"{indent}per-level: "
+                      f"{'level':>5} {'frontier':>9} {'states':>8} "
+                      f"{'real-edges':>11} {'stutter':>8}")
+            lines.append(header)
+            rows = list(enumerate(self.levels))
+            if len(rows) > 24:  # keep deep runs readable
+                rows = rows[:12] + [None] + rows[-12:]
+            for row in rows:
+                if row is None:
+                    lines.append(f"{indent}           ...")
+                    continue
+                level, entry = row
+                lines.append(
+                    f"{indent}           "
+                    f"{level:>5} {entry['frontier']:>9} {entry['states']:>8} "
+                    f"{entry['edges']:>11} {entry['stutter']:>8}"
+                )
+        if self.peak_rss_kb:
+            lines.append(f"{indent}peak RSS: {self.peak_rss_kb / 1024.0:,.1f} MiB")
         return "\n".join(lines)
 
     def as_dict(self) -> Dict[str, object]:
@@ -219,12 +323,35 @@ class ExploreStats:
                              for wid, entry in self.worker_stats.items()},
             "coordinator_idle_seconds": self.coordinator_idle_seconds,
             "worker_retries": dict(self.worker_retries),
+            "levels": [dict(row) for row in self.levels],
+            "por_enabled": self.por_enabled,
+            "por_reason": self.por_reason,
+            "por_counters": dict(self.por_counters),
+            "store_kind": self.store_kind,
+            "store_counters": dict(self.store_counters),
+            "peak_rss_kb": self.peak_rss_kb,
         }
 
     def __repr__(self) -> str:
         return (f"ExploreStats(states={self.states}, edges={self.edges}, "
                 f"stutter={self.stutter_edges}, depth={self.depth}, "
                 f"states_per_sec={self.states_per_sec:.0f})")
+
+
+def _peak_rss_kb() -> int:
+    """The process's peak resident set size in KiB (0 where unavailable).
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS; normalise to KiB."""
+    try:
+        import resource
+        import sys
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform == "darwin":  # pragma: no cover - macOS units
+            peak //= 1024
+        return int(peak)
+    except Exception:  # pragma: no cover - non-POSIX platforms
+        return 0
 
 
 def maybe_phase(stats: Optional[ExploreStats], name: str):

@@ -16,7 +16,19 @@ snapshot the exploration atomically every ``--checkpoint-every`` BFS
 levels, ``--resume`` to continue a snapshot bit-for-bit, and
 ``--worker-timeout`` to bound (and retry) stuck parallel workers.  When a
 checkpoint path is given, a JSON run manifest (spec, budget, workers,
-wall time, outcome, counterexample trace) is written next to it.
+wall time, outcome, counterexample trace, effective reduction/store
+configuration) is written next to it.
+
+Scaling levers (see :mod:`repro.checker.reduction`): ``--por`` turns on
+Disjoint-derived partial-order reduction (sound for invariants and
+deadlock; auto-disabled with a warning when ``--property`` needs the
+full graph), ``--store spill --spill-dir DIR`` swaps the in-RAM state
+store for the fingerprint-indexed disk spill store so ``--max-states``
+can exceed resident memory.  Both default to off, which is the
+byte-identical legacy behaviour; on ``--resume`` they default to
+whatever the checkpoint recorded, and passing them explicitly asserts a
+match (a mismatched resume is refused rather than silently changing the
+run's semantics).
 """
 
 from __future__ import annotations
@@ -28,6 +40,8 @@ from typing import Optional, Sequence
 
 from ..checker import (
     ExploreStats,
+    ReductionConfig,
+    build_store,
     check_invariant,
     check_temporal_implication,
     explore_parallel,
@@ -60,22 +74,66 @@ def _durability_error(args: argparse.Namespace, out) -> bool:
         print("error: --resume requires --checkpoint PATH "
               "(the snapshot to continue from)", file=out)
         return True
+    if args.store == "spill" and not args.spill_dir:
+        print("error: --store spill requires --spill-dir DIR "
+              "(where the state data/index files live)", file=out)
+        return True
+    if args.workers == 1 and args.worker_timeout is not None:
+        # never silently accept an option the serial engine would ignore
+        print("error: --worker-timeout only applies to the multi-process "
+              "engine; --workers 1 runs the serial explorer, which would "
+              "silently ignore it (use --workers 2+ or --workers 0)",
+              file=out)
+        return True
     return False
 
 
+def _store_config(args: argparse.Namespace) -> dict:
+    """The StateStore config dict the --store flags describe."""
+    if args.store == "spill":
+        return {"kind": "spill", "spill_dir": args.spill_dir,
+                "hot_capacity": args.spill_cache}
+    return {"kind": "mem"}
+
+
 def _run_exploration(args: argparse.Namespace, spec,
-                     stats: Optional[ExploreStats]) -> StateGraph:
-    """Fresh exploration or checkpoint resume, per the durability flags."""
+                     stats: Optional[ExploreStats],
+                     reduction: Optional[ReductionConfig]) -> StateGraph:
+    """Fresh exploration or checkpoint resume, per the durability flags.
+
+    *reduction* is the resolved request (None = off).  On ``--resume``,
+    flags the user left at their defaults are *not* forwarded, so the
+    run adopts the checkpoint's recorded configuration; explicit flags
+    are forwarded and act as assertions (mismatch -> CheckpointError).
+    """
     if args.resume:
+        kwargs = {}
+        if args.por is not None:
+            kwargs["reduction"] = reduction
+        if args.store is not None:
+            kwargs["store"] = _store_config(args)
         return resume(args.checkpoint, spec, workers=args.workers,
                       max_states=args.max_states, stats=stats,
                       checkpoint_every=args.checkpoint_every,
-                      worker_timeout=args.worker_timeout)
+                      worker_timeout=args.worker_timeout, **kwargs)
+    store = build_store(_store_config(args)) if args.store else None
     return explore_parallel(spec, max_states=args.max_states,
                             workers=args.workers, stats=stats,
                             checkpoint=args.checkpoint,
                             checkpoint_every=args.checkpoint_every,
-                            worker_timeout=args.worker_timeout)
+                            worker_timeout=args.worker_timeout,
+                            reduction=reduction, store=store)
+
+
+def _reduction_manifest(reduction: Optional[ReductionConfig],
+                        graph: Optional[StateGraph]) -> Optional[dict]:
+    """The manifest's effective-reduction record: the requested config
+    plus whether any state was actually ample-expanded."""
+    if reduction is None:
+        return None
+    payload = reduction.as_dict()
+    payload["used"] = bool(getattr(graph, "reduction_used", False))
+    return payload
 
 
 def _maybe_manifest(
@@ -87,10 +145,15 @@ def _maybe_manifest(
     counterexample: Optional[Counterexample] = None,
     stats: Optional[ExploreStats] = None,
     error: Optional[str] = None,
+    reduction: Optional[ReductionConfig] = None,
 ) -> None:
     """Write the run manifest next to the checkpoint (if one was asked for)."""
     if not args.checkpoint:
         return
+    if graph is not None:
+        store_cfg = graph.store.config()
+    else:
+        store_cfg = _store_config(args) if args.store else None
     write_manifest(
         manifest_path_for(args.checkpoint),
         spec_name=spec_name,
@@ -103,6 +166,8 @@ def _maybe_manifest(
         counterexample=counterexample,
         stats=stats,
         error=error,
+        reduction=_reduction_manifest(reduction, graph),
+        store=store_cfg,
     )
 
 
@@ -113,13 +178,37 @@ def cmd_check(args: argparse.Namespace, out) -> int:
     spec = module.spec(args.spec)
     label = f"{module.name}!{args.spec}"
     stats = ExploreStats() if args.stats else None
+    # resolve the invariants *before* exploring: their free variables are
+    # the observed set the reduction must keep visible (C2)
+    inv_exprs = [(name, module.expr(name)) for name in args.invariant or ()]
+    if args.por and args.property:
+        print("warning: partial-order reduction preserves invariant and "
+              "deadlock verdicts only; --property needs the full graph, "
+              "so reduction is disabled for this run", file=out)
+        args.por = False
+    reduction = None
+    if args.por:
+        observed = sorted({v for _name, expr in inv_exprs
+                           for v in expr.free_vars()})
+        reduction = ReductionConfig(tuple(observed))
     start = perf_counter()
     try:
-        graph = _run_exploration(args, spec, stats)
+        graph = _run_exploration(args, spec, stats, reduction)
     except StateSpaceExplosion as exc:
         _maybe_manifest(args, label, perf_counter() - start, "explosion",
-                        stats=stats, error=str(exc))
+                        stats=stats, error=str(exc), reduction=reduction)
         raise
+    if getattr(graph, "reduction_used", False) and any(
+            not check_invariant(graph, expr, name=name).ok
+            for name, expr in inv_exprs):
+        # a reduced run may reach the violating state along a different
+        # shortest path; re-explore the full graph so the reported trace
+        # is the canonical POR-off counterexample (the verdict itself is
+        # already guaranteed identical by the ample conditions)
+        print("note: violation found under reduction; re-exploring the "
+              "full graph for the canonical counterexample", file=out)
+        graph = explore_parallel(spec, max_states=args.max_states,
+                                 workers=args.workers, stats=stats)
     # edge_count is real N-edges; the stutter self-loops (one per node)
     # are reported separately so the N-edge count is not inflated
     print(f"{label}: {graph.state_count} states, "
@@ -127,9 +216,8 @@ def cmd_check(args: argparse.Namespace, out) -> int:
           file=out)
     ok = True
     first_cex: Optional[Counterexample] = None
-    for name in args.invariant or ():
-        result = check_invariant(graph, module.expr(name), name=name,
-                                 run_stats=stats)
+    for name, expr in inv_exprs:
+        result = check_invariant(graph, expr, name=name, run_stats=stats)
         if first_cex is None and result.counterexample is not None:
             first_cex = result.counterexample
         ok = _report(result, out) and ok
@@ -145,10 +233,12 @@ def cmd_check(args: argparse.Namespace, out) -> int:
     if not (args.invariant or args.property):
         print("(no --invariant/--property given: exploration only)", file=out)
     if stats is not None:
-        print(stats.format(), file=out)
+        print(stats.summary(), file=out)
     _maybe_manifest(args, label, perf_counter() - start,
                     "ok" if ok else "violation", graph=graph,
-                    counterexample=first_cex, stats=stats)
+                    counterexample=first_cex, stats=stats,
+                    reduction=reduction)
+    graph.store.close()
     return 0 if ok else 1
 
 
@@ -159,15 +249,18 @@ def cmd_explore(args: argparse.Namespace, out) -> int:
     spec = module.spec(args.spec)
     label = f"{module.name}!{args.spec}"
     stats = ExploreStats() if args.stats else None
+    # no property is being checked, so nothing is observed: every class
+    # is invisible and the reduction preserves reachability-of-deadlock
+    reduction = ReductionConfig(()) if args.por else None
     start = perf_counter()
     try:
-        graph = _run_exploration(args, spec, stats)
+        graph = _run_exploration(args, spec, stats, reduction)
     except StateSpaceExplosion as exc:
         _maybe_manifest(args, label, perf_counter() - start, "explosion",
-                        stats=stats, error=str(exc))
+                        stats=stats, error=str(exc), reduction=reduction)
         raise
     _maybe_manifest(args, label, perf_counter() - start, "ok", graph=graph,
-                    stats=stats)
+                    stats=stats, reduction=reduction)
     print(f"{label}:", file=out)
     print(f"  states: {graph.state_count}", file=out)
     print(f"  edges:  {graph.edge_count} (+{graph.stutter_count} stutter)",
@@ -179,7 +272,8 @@ def cmd_explore(args: argparse.Namespace, out) -> int:
         for node in range(shown):
             print(f"    {graph.states[node]!r}", file=out)
     if stats is not None:
-        print(stats.format(indent="  "), file=out)
+        print(stats.summary(indent="  "), file=out)
+    graph.store.close()
     return 0
 
 
@@ -233,6 +327,31 @@ def _add_durability_flags(sub: argparse.ArgumentParser) -> None:
                           "(never changes the result)")
 
 
+def _add_scaling_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--por", dest="por", action="store_true", default=None,
+                     help="enable partial-order reduction derived from the "
+                          "spec's Disjoint decomposition (sound for "
+                          "invariants and deadlock; verdicts and reported "
+                          "traces are identical to a full run)")
+    sub.add_argument("--no-por", dest="por", action="store_false",
+                     help="force reduction off (on --resume this asserts "
+                          "the checkpoint was written without reduction)")
+    sub.add_argument("--store", choices=("mem", "spill"), default=None,
+                     help="state-store backend: 'mem' (default) interns "
+                          "states in RAM; 'spill' keeps a bounded LRU of "
+                          "hot states backed by data+index files under "
+                          "--spill-dir, so --max-states can exceed resident "
+                          "memory.  Node numbering and verdicts are "
+                          "identical either way.")
+    sub.add_argument("--spill-dir", default=None, metavar="DIR",
+                     help="directory for the spill store's states.dat / "
+                          "states.idx files (required with --store spill)")
+    sub.add_argument("--spill-cache", type=int, default=4096, metavar="N",
+                     help="spill store: how many hot decoded states to keep "
+                          "resident (default 4096); purely a speed knob, "
+                          "never changes results")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -258,6 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "depth, real-vs-stutter edges, per-phase timing, "
                             "per-worker throughput)")
     _add_durability_flags(check)
+    _add_scaling_flags(check)
     check.set_defaults(func=cmd_check)
 
     exp = sub.add_parser("explore", help="explore the state space")
@@ -273,6 +393,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--stats", action="store_true",
                      help="print exploration statistics")
     _add_durability_flags(exp)
+    _add_scaling_flags(exp)
     exp.set_defaults(func=cmd_explore)
 
     trace = sub.add_parser("trace", help="print a random behavior prefix")

@@ -1,0 +1,371 @@
+"""Differential tests for the state-space reduction subsystem.
+
+Two claims, checked empirically against the unreduced serial explorer
+(the reference semantics):
+
+* **Partial-order reduction never changes verdicts or reported
+  traces.**  For every bundled system and a battery of seeded random
+  specs, POR-on and POR-off runs must agree on invariant verdicts,
+  counterexample traces (via the canonicalising re-exploration in
+  :func:`~repro.checker.reduction.check_invariant_reduced`), and
+  deadlock existence -- while the reduced runs are free to visit fewer
+  states.  Reduced exploration must itself be bit-for-bit deterministic
+  across worker counts (ample sets are computed in workers, the C3
+  proviso on the coordinator in serial merge order).
+* **The state-store backend is invisible.**  A spill-store run whose
+  state count exceeds the hot LRU capacity must produce the *identical*
+  graph -- same states under the same node numbering, same adjacency,
+  same BFS parents -- as the in-RAM store, at any worker count, with or
+  without reduction, and spill checkpoints must survive explosion /
+  worker-kill interruptions and resume bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import random
+
+import pytest
+
+import repro.checker.parallel as parallel_module
+from repro.checker import (
+    CheckpointError,
+    ExploreStats,
+    ReductionConfig,
+    StateSpaceExplosion,
+    build_store,
+    check_deadlock_free,
+    check_invariant,
+    check_invariant_reduced,
+    decompose,
+    explore,
+    explore_parallel,
+    resume,
+)
+from repro.kernel.expr import Cmp, Const, Len, Var
+from repro.spec import Spec
+from repro.systems.handshake import ready
+from repro.systems.queue import QueueChain, complete_queue
+
+from .systems_under_test import CASES
+from .test_fault_injection import _kill_once
+from .test_property_random_specs import random_action, random_universe
+
+WORKER_COUNTS = [1, 2, 4]
+_extra = int(os.environ.get("REPRO_TEST_WORKERS", "0"))
+if _extra and _extra not in WORKER_COUNTS:
+    WORKER_COUNTS.append(_extra)
+
+
+def graph_signature(graph):
+    """Everything that must be bit-for-bit equal between two runs."""
+    return (list(graph.states), [list(adj) for adj in graph.succ],
+            list(graph.parent), list(graph.init_nodes),
+            graph.edge_count, graph.stutter_count)
+
+
+def spill_store(tmp_path, hot_capacity=8, name="spill"):
+    directory = tmp_path / name
+    directory.mkdir(exist_ok=True)
+    return build_store({"kind": "spill", "spill_dir": str(directory),
+                        "hot_capacity": hot_capacity})
+
+
+# the bundled invariant cases: (system id, spec factory, invariant expr,
+# expected verdict) -- one violated and one satisfied invariant per
+# reducible system, so both the counterexample path and the ok path of
+# the reduced checker are exercised
+INVARIANT_CASES = [
+    pytest.param(lambda: complete_queue(2),
+                 Cmp("<=", Len(Var("q")), 1), False, id="queue-violated"),
+    pytest.param(lambda: complete_queue(2),
+                 Cmp("<=", Len(Var("q")), 2), True, id="queue-ok"),
+    pytest.param(lambda: QueueChain(2, 1).complete_spec(),
+                 Cmp("<=", Len(Var("q1")), 1), True, id="chain-ok"),
+    pytest.param(lambda: QueueChain(2, 1).complete_spec(),
+                 Cmp("<=", Len(Var("q2")), 0), False, id="chain-violated"),
+]
+
+
+# ---------------------------------------------------------------------------
+# POR verdict / trace equivalence
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("make_spec,invariant,expected_ok", INVARIANT_CASES)
+def test_por_invariant_verdict_and_trace_identical(make_spec, invariant,
+                                                   expected_ok):
+    spec = make_spec()
+    full = check_invariant(explore(spec), invariant, name="inv")
+    reduced, used = check_invariant_reduced(spec, invariant, name="inv")
+    assert full.ok == reduced.ok == expected_ok
+    if not expected_ok:
+        # the canonicalising re-exploration makes even the *trace* equal
+        assert (reduced.counterexample.render()
+                == full.counterexample.render())
+
+
+def test_handshake_reduction_correct_but_unprofitable():
+    """Two mutually dependent classes: POR stays enabled but every state
+    is fully expanded, and verdicts are untouched."""
+    case = next(c for c in CASES if c.id == "handshake")
+    spec = case.make_spec()
+    full = check_invariant(explore(spec), ready("c"), name="ready")
+    reduced, used = check_invariant_reduced(spec, ready("c"), name="ready")
+    assert not used  # dependent classes: no state is ample-expanded
+    assert full.ok == reduced.ok
+    assert (reduced.counterexample.render()
+            == full.counterexample.render())
+
+
+@pytest.mark.parametrize("case", [pytest.param(c, id=c.id) for c in CASES])
+def test_por_deadlock_existence_preserved(case):
+    """C0/C1 preserve deadlocks: the reduced graph reports a deadlock iff
+    the full graph has one (persistent sets keep every deadlock state
+    reachable, and prune no successor down to zero)."""
+    spec = case.make_spec()
+    full_verdict = check_deadlock_free(explore(spec)).ok
+    reduced = explore(spec, reduction=ReductionConfig(()))
+    assert check_deadlock_free(reduced).ok == full_verdict
+
+
+def test_chain_reduction_shrinks_the_graph():
+    """The k-queue chain is the profitable shape: disjoint components
+    give independent classes, and the reduced graph is strictly smaller
+    with the same deadlock verdict."""
+    spec = QueueChain(2, 1).complete_spec()
+    full = explore(spec)
+    stats = ExploreStats()
+    reduced = explore(spec, stats=stats, reduction=ReductionConfig(()))
+    assert reduced.state_count < full.state_count
+    assert stats.por_enabled is True
+    assert stats.por_counters["ample_states"] > 0
+    assert (check_deadlock_free(reduced).ok
+            == check_deadlock_free(full).ok)
+
+
+def test_liveness_shaped_specs_auto_disable():
+    """Specs whose decomposition collapses are refused with a recorded
+    reason, and the run silently falls back to full exploration."""
+    case = next(c for c in CASES if c.id == "arbiter")
+    spec = case.make_spec()
+    stats = ExploreStats()
+    reduced = explore(spec, stats=stats, reduction=ReductionConfig(()))
+    assert stats.por_enabled is False
+    assert stats.por_reason
+    assert graph_signature(reduced) == graph_signature(explore(spec))
+
+
+# ---------------------------------------------------------------------------
+# seeded random specs: POR + both stores against the reference explorer
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_random_specs_reduction_and_stores_agree(seed, tmp_path):
+    rng = random.Random(seed)
+    universe = random_universe(rng)
+    spec = Spec(f"rand{seed}", Const(True), random_action(rng, universe),
+                universe.variables, universe)
+    full = explore(spec)
+    # spill store: bit-for-bit the in-RAM graph even with a tiny LRU
+    spilled = explore(spec, store=spill_store(tmp_path, hot_capacity=4))
+    assert graph_signature(spilled) == graph_signature(full)
+    # reduction: deadlock existence preserved ...
+    reduced = explore(spec, reduction=ReductionConfig(()))
+    assert check_deadlock_free(reduced).ok == check_deadlock_free(full).ok
+    # ... and a random observed invariant gets the same verdict and the
+    # same (canonical) counterexample trace
+    name = rng.choice(universe.variables)
+    bound = rng.choice(list(universe.domain(name).values()))
+    invariant = Cmp("<=", Var(name), bound)
+    full_result = check_invariant(full, invariant, name="inv")
+    reduced_result, _used = check_invariant_reduced(spec, invariant,
+                                                    name="inv")
+    assert reduced_result.ok == full_result.ok
+    if not full_result.ok:
+        assert (reduced_result.counterexample.render()
+                == full_result.counterexample.render())
+
+
+# ---------------------------------------------------------------------------
+# determinism across worker counts
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_reduced_parallel_matches_reduced_serial(workers):
+    """The reduced graph -- not just its verdicts -- is identical for
+    every worker count: ample sets are pure worker-side functions and the
+    proviso is applied in serial merge order on the coordinator."""
+    spec = complete_queue(2)
+    config = ReductionConfig(("q",))
+    serial = explore(spec, reduction=config)
+    parallel = explore_parallel(spec, workers=workers, reduction=config)
+    assert graph_signature(parallel) == graph_signature(serial)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_spill_store_identical_at_any_worker_count(workers, tmp_path):
+    """Acceptance criterion: a spill run whose state count (170) exceeds
+    the hot LRU capacity (8) is bit-for-bit the mem-store run at any
+    worker count."""
+    spec = complete_queue(2)
+    reference = explore(spec)
+    store = spill_store(tmp_path, hot_capacity=8, name=f"w{workers}")
+    graph = explore_parallel(spec, workers=workers, store=store)
+    assert graph.state_count > 8
+    assert graph_signature(graph) == graph_signature(reference)
+    assert graph.store.counters()["evictions"] > 0
+    graph.store.close()
+
+
+def test_spill_plus_reduction_plus_workers(tmp_path):
+    """All three levers at once still reproduce the serial reduced run."""
+    spec = QueueChain(2, 1).complete_spec()
+    config = ReductionConfig(())
+    reference = explore(spec, reduction=config)
+    store = spill_store(tmp_path, hot_capacity=8)
+    graph = explore_parallel(spec, workers=2, reduction=config, store=store)
+    assert graph_signature(graph) == graph_signature(reference)
+    graph.store.close()
+
+
+# ---------------------------------------------------------------------------
+# durability: spill checkpoints under interruption, config mismatch refusal
+# ---------------------------------------------------------------------------
+
+
+def _interrupted_checkpoint(spec, tmp_path, budget):
+    """Explode a reduced spill run mid-way, leaving a live checkpoint."""
+    path = str(tmp_path / "run.ckpt")
+    store = spill_store(tmp_path, hot_capacity=8, name="ckpt-spill")
+    with pytest.raises(StateSpaceExplosion):
+        explore(spec, max_states=budget, checkpoint=path,
+                reduction=ReductionConfig(("q",)), store=store)
+    store.close()
+    return path
+
+
+def test_spill_checkpoint_resume_bit_for_bit(tmp_path):
+    spec = complete_queue(2)
+    reference = explore(spec, reduction=ReductionConfig(("q",)))
+    path = _interrupted_checkpoint(spec, tmp_path, budget=60)
+    # the resumed run adopts the stored reduction + spill configuration
+    graph = resume(path, max_states=200_000)
+    assert graph.store.kind == "spill"
+    assert graph_signature(graph) == graph_signature(reference)
+    graph.store.close()
+
+
+def test_resume_refuses_mismatched_configs(tmp_path):
+    spec = complete_queue(2)
+    path = _interrupted_checkpoint(spec, tmp_path, budget=60)
+    with pytest.raises(CheckpointError, match="reduction"):
+        resume(path, max_states=200_000, reduction=None)
+    with pytest.raises(CheckpointError, match="state store"):
+        resume(path, max_states=200_000, store={"kind": "mem"})
+    with pytest.raises(CheckpointError, match="reduction"):
+        resume(path, max_states=200_000,
+               reduction=ReductionConfig(("q", "i.sig")))  # wrong observed
+    # matching explicit configs are accepted
+    graph = resume(path, max_states=200_000,
+                   reduction=ReductionConfig(("q",)),
+                   store={"kind": "spill",
+                          "spill_dir": str(tmp_path / "ckpt-spill"),
+                          "hot_capacity": 8})
+    reference = explore(spec, reduction=ReductionConfig(("q",)))
+    assert graph_signature(graph) == graph_signature(reference)
+    graph.store.close()
+
+
+def test_spill_resume_survives_deleted_spill_files(tmp_path):
+    """The checkpoint is self-contained: resuming re-interns every state
+    through a fresh spill store, so losing the spill files is harmless."""
+    spec = complete_queue(2)
+    reference = explore(spec, reduction=ReductionConfig(("q",)))
+    path = _interrupted_checkpoint(spec, tmp_path, budget=60)
+    for stale in (tmp_path / "ckpt-spill").iterdir():
+        stale.unlink()
+    graph = resume(path, max_states=200_000)
+    assert graph_signature(graph) == graph_signature(reference)
+    graph.store.close()
+
+
+def test_spill_reduced_run_survives_worker_kill(tmp_path, monkeypatch):
+    """Fault injection: a SIGKILLed worker mid-chunk does not perturb a
+    reduced spill-store exploration (the chunk is retried and the merge
+    stream -- including proviso decisions -- is unchanged)."""
+    monkeypatch.setattr(parallel_module, "_MIN_CHUNK", 1)
+    spec = complete_queue(2)
+    config = ReductionConfig(("q",))
+    reference = explore(spec, reduction=config)
+    stats = ExploreStats()
+    hook = functools.partial(_kill_once, str(tmp_path / "killed.marker"))
+    store = spill_store(tmp_path, hot_capacity=8)
+    graph = explore_parallel(spec, workers=2, stats=stats, fault_hook=hook,
+                             checkpoint=str(tmp_path / "run.ckpt"),
+                             reduction=config, store=store)
+    assert graph_signature(graph) == graph_signature(reference)
+    assert stats.total_retries >= 1
+    graph.store.close()
+
+
+# ---------------------------------------------------------------------------
+# option validation: no silent degradation to the serial engine
+# ---------------------------------------------------------------------------
+
+
+def test_explicit_serial_with_parallel_only_options_rejected():
+    spec = complete_queue(2)
+    with pytest.raises(ValueError, match="serial"):
+        explore_parallel(spec, workers=1, worker_timeout=5.0)
+    with pytest.raises(ValueError, match="serial"):
+        explore_parallel(spec, workers=1, fault_hook=_kill_once)
+
+
+def test_autosized_workers_keep_parallel_options():
+    """workers=0 resolves to the core count and is exempt from the
+    explicit-workers=1 rejection (it never *silently* degrades)."""
+    spec = complete_queue(2)
+    graph = explore_parallel(spec, workers=0, worker_timeout=60.0)
+    assert graph_signature(graph) == graph_signature(explore(spec))
+
+
+# ---------------------------------------------------------------------------
+# observability: the new stats surface
+# ---------------------------------------------------------------------------
+
+
+def test_stats_summary_reports_reduction_store_and_levels(tmp_path):
+    spec = complete_queue(2)
+    stats = ExploreStats()
+    store = spill_store(tmp_path, hot_capacity=8)
+    explore(spec, stats=stats, reduction=ReductionConfig(("q",)),
+            store=store)
+    text = stats.summary()
+    assert "reduction: por on" in text
+    assert "store: spill" in text
+    assert "per-level:" in text
+    assert "real-edges" in text
+    assert "peak RSS:" in text
+    snapshot = stats.as_dict()
+    assert snapshot["por_enabled"] is True
+    assert snapshot["store_kind"] == "spill"
+    assert snapshot["levels"], "per-level rows missing from the snapshot"
+    assert snapshot["peak_rss_kb"] >= 0
+    store.close()
+
+
+def test_decompose_is_pure():
+    """Workers rebuild the decomposition from the pickled spec; the two
+    sides must agree on every class footprint."""
+    spec = QueueChain(2, 1).complete_spec()
+    first = decompose(spec)
+    second = decompose(spec)
+    assert [c.label for c in first.classes] == [c.label
+                                               for c in second.classes]
+    assert [c.writes for c in first.classes] == [c.writes
+                                                 for c in second.classes]
+    assert first.dep == second.dep
