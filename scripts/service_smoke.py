@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the checking service, CI-runnable.
+
+Boots ``python -m repro serve`` as a real subprocess on an ephemeral
+port, then drives the full client surface:
+
+1. ``/healthz`` answers;
+2. submit a check, stream its NDJSON progress events (tee'd to
+   ``--events-out`` for artifact upload), verdict ``ok``;
+3. byte-identical resubmission is served from the content-addressed
+   cache -- ``cache_hit: true``, zero new exploration;
+4. a slow job is cancelled mid-exploration at a BFS level boundary;
+5. SIGTERM shuts the server down cleanly (exit code 0).
+
+Prints ``PASS`` and exits 0, or dies with an AssertionError/trace.
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.service import ServiceClient  # noqa: E402
+
+COUNTER_TLA = """
+MODULE Counter
+CONSTANT N = 3
+VARIABLE x \\in 0..2
+Init == x = 0
+Next == x' = (x + 1) % N
+Spec == Init /\\ [][Next]_<<x>> /\\ WF_<<x>>(Next)
+Small == x < 3
+"""
+
+CHAIN_TLA = """
+MODULE Chain
+CONSTANT N = 40
+VARIABLE x \\in 0..40
+Init == x = 0
+Next == x' = IF x < N THEN x + 1 ELSE x
+Spec == Init /\\ [][Next]_<<x>>
+Bound == x <= 40
+"""
+
+
+def wait_until(predicate, timeout=30.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError(f"timed out waiting for {message}")
+        time.sleep(0.05)
+
+
+def spawn_server(state_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (os.path.join(REPO, "src") + os.pathsep
+                         + env.get("PYTHONPATH", ""))
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--state-dir", state_dir, "--pool-size", "2"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+
+
+def discover_url(state_dir):
+    path = os.path.join(state_dir, "server.json")
+    wait_until(lambda: os.path.exists(path), message="server.json")
+    with open(path) as handle:
+        return json.load(handle)["url"]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--events-out", default="service-events.ndjson",
+                        help="tee every streamed progress event here "
+                             "(NDJSON; CI uploads it as an artifact)")
+    parser.add_argument("--state-dir", default=None,
+                        help="service state directory (default: a tempdir)")
+    args = parser.parse_args()
+
+    state_dir = args.state_dir or tempfile.mkdtemp(prefix="repro-svc-")
+    server = spawn_server(state_dir)
+    event_log = open(args.events_out, "w")
+
+    def tee_events(client, job_id):
+        events = []
+        for event in client.events(job_id, timeout=120):
+            event_log.write(json.dumps(event, separators=(",", ":")) + "\n")
+            events.append(event)
+        event_log.flush()
+        return events
+
+    try:
+        client = ServiceClient(discover_url(state_dir), timeout=120)
+
+        health = client.health()
+        assert health["status"] == "ok", health
+        print(f"[1/5] healthz ok (pool {health['pool_size']}, "
+              f"queue limit {health['queue_limit']})")
+
+        submitted = client.submit(COUNTER_TLA, invariants=["Small"])
+        assert submitted["disposition"] == "created", submitted
+        job_id = submitted["job"]["id"]
+        events = tee_events(client, job_id)
+        kinds = [event["event"] for event in events]
+        assert kinds[-1] == "done" and "level" in kinds, kinds
+        record = client.job(job_id)
+        assert record["result"]["verdict"] == "ok", record
+        print(f"[2/5] submit+watch ok ({len(events)} events, "
+              f"{record['result']['states']} states)")
+
+        again = client.submit(COUNTER_TLA, invariants=["Small"])
+        assert again["disposition"] == "cached", again
+        assert again["job"]["cache_hit"] is True, again
+        cached_events = tee_events(client, again["job"]["id"])
+        assert [e["event"] for e in cached_events] == ["done"], cached_events
+        assert again["job"]["result"] == record["result"]
+        print("[3/5] byte-identical resubmit served from cache "
+              "(cache_hit=true, zero new exploration)")
+
+        slow = client.submit(CHAIN_TLA, invariants=["Bound"],
+                             level_delay=0.1)
+        slow_id = slow["job"]["id"]
+        wait_until(lambda: client.job(slow_id)["state"] == "running",
+                   message="slow job to start")
+        outcome = client.cancel(slow_id)
+        assert outcome["accepted"], outcome
+        final = client.wait(slow_id, timeout=60)
+        assert final["state"] == "cancelled", final
+        tee_events(client, slow_id)
+        print("[4/5] mid-exploration cancel landed at a level boundary")
+
+        server.send_signal(signal.SIGTERM)
+        server.wait(timeout=30)
+        assert server.returncode == 0, server.returncode
+        print("[5/5] SIGTERM drained the server cleanly (exit 0)")
+    finally:
+        event_log.close()
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=10)
+
+    print(f"PASS (events tee'd to {args.events_out})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

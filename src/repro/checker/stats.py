@@ -16,9 +16,10 @@ quantify itself against the same numbers.
 
 from __future__ import annotations
 
+import json
 from contextlib import contextmanager
 from time import perf_counter
-from typing import Dict, Iterator, List, Optional, TYPE_CHECKING
+from typing import Callable, Dict, Iterator, List, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from .graph import StateGraph
@@ -56,8 +57,9 @@ class ExploreStats:
     __slots__ = ("states", "edges", "stutter_edges", "init_states", "depth",
                  "explore_seconds", "phases", "workers", "worker_stats",
                  "coordinator_idle_seconds", "worker_retries", "levels",
-                 "por_enabled", "por_reason", "por_counters", "store_kind",
-                 "store_counters", "peak_rss_kb")
+                 "levels_seen", "por_enabled", "por_reason", "por_counters",
+                 "store_kind", "store_counters", "peak_rss_kb",
+                 "_level_listeners")
 
     # per-level rows beyond this are dropped (pathologically deep graphs
     # would otherwise bloat checkpoints); the totals stay exact
@@ -78,6 +80,14 @@ class ExploreStats:
         # per-BFS-level cumulative snapshots: frontier size expanded plus
         # the graph's state / real-edge / stutter-edge counts afterwards
         self.levels: List[Dict[str, int]] = []
+        # total levels recorded, including rows beyond _MAX_LEVEL_ROWS
+        self.levels_seen = 0
+        # the progress-callback seam: both exploration engines call
+        # record_level at every BFS level boundary, so a listener here
+        # observes live per-level progress (the checking service streams
+        # these; raising from a listener aborts the exploration, which is
+        # how cooperative cancellation works)
+        self._level_listeners: List[Callable[[int, Dict[str, int]], None]] = []
         # partial-order reduction: None = never requested; False = requested
         # but disabled (reason says why); True = active
         self.por_enabled: Optional[bool] = None
@@ -110,17 +120,33 @@ class ExploreStats:
             self.store_counters = store.counters()
         self.peak_rss_kb = _peak_rss_kb()
 
+    def add_level_listener(
+            self, listener: Callable[[int, Dict[str, int]], None]) -> None:
+        """Subscribe to per-level progress: *listener* is called with
+        ``(level_index, row)`` after every completed BFS level, where
+        ``row`` is the same dict :meth:`record_level` stores.  Listeners
+        run on the exploring thread, between the level merge and the
+        level's checkpoint; an exception raised by a listener aborts the
+        exploration at that boundary (the previous checkpoint survives),
+        which is the cancellation/shutdown seam the checking service
+        uses."""
+        self._level_listeners.append(listener)
+
     def record_level(self, frontier: int, graph: "StateGraph") -> None:
         """Record one completed BFS level: the frontier size that was just
         expanded and the cumulative graph counters after the merge."""
-        if len(self.levels) >= self._MAX_LEVEL_ROWS:
-            return
-        self.levels.append({
+        row = {
             "frontier": frontier,
             "states": graph.state_count,
             "edges": graph.edge_count,
             "stutter": graph.stutter_count,
-        })
+        }
+        level = self.levels_seen
+        self.levels_seen += 1
+        if len(self.levels) < self._MAX_LEVEL_ROWS:
+            self.levels.append(row)
+        for listener in self._level_listeners:
+            listener(level, row)
 
     def record_reduction(self, enabled: bool,
                          reason: Optional[str] = None,
@@ -186,6 +212,8 @@ class ExploreStats:
                 snapshot.get("worker_retries") or {}).items():
             self.worker_retries[str(reason)] = int(count)
         self.levels = [dict(row) for row in (snapshot.get("levels") or [])]
+        self.levels_seen = int(snapshot.get("levels_seen", len(self.levels))
+                               or len(self.levels))
         por = snapshot.get("por_enabled")
         if por is not None:
             self.por_enabled = bool(por)
@@ -324,6 +352,7 @@ class ExploreStats:
             "coordinator_idle_seconds": self.coordinator_idle_seconds,
             "worker_retries": dict(self.worker_retries),
             "levels": [dict(row) for row in self.levels],
+            "levels_seen": self.levels_seen,
             "por_enabled": self.por_enabled,
             "por_reason": self.por_reason,
             "por_counters": dict(self.por_counters),
@@ -331,6 +360,13 @@ class ExploreStats:
             "store_counters": dict(self.store_counters),
             "peak_rss_kb": self.peak_rss_kb,
         }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The machine-readable twin of :meth:`format`: the
+        :meth:`as_dict` snapshot as canonical (sorted-key) JSON.  This is
+        what ``--stats-json PATH`` writes and what the checking service
+        stores in its result cache."""
+        return json.dumps(self.as_dict(), sort_keys=True, indent=indent)
 
     def __repr__(self) -> str:
         return (f"ExploreStats(states={self.states}, edges={self.edges}, "

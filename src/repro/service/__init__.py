@@ -1,0 +1,50 @@
+"""Checking-as-a-service: an asyncio job server over the explorer.
+
+Every entry point before this package was a one-shot CLI process: each
+``repro check`` re-explored from scratch even when the module, spec, and
+flags were byte-identical, and nothing could watch a long run without
+owning its terminal.  This package splits *submission* from *checking*
+the way TLAPS's proof manager splits obligation generation from backend
+provers (see PAPERS.md):
+
+* :mod:`repro.service.cache` -- a content-addressed result cache keyed
+  by a canonical fingerprint of (module source, spec name, semantic
+  check config), so byte-identical resubmissions return in O(1);
+* :mod:`repro.service.jobs` -- the job manager: admission control over a
+  bounded queue (full -> rejected with a retry-after hint), a bounded
+  pool of concurrent explorations, a per-job
+  ``queued -> running -> done/failed/cancelled`` state machine, live
+  per-level progress events, and graceful shutdown that checkpoints
+  in-flight jobs so a restarted server resumes them;
+* :mod:`repro.service.server` -- a stdlib-only asyncio HTTP front end
+  (``POST /jobs``, ``GET /jobs/<id>``, NDJSON event streaming,
+  ``DELETE /jobs/<id>``, ``/healthz``);
+* :mod:`repro.service.client` -- the thin blocking client behind the
+  ``repro serve`` / ``repro submit`` / ``repro watch`` / ``repro
+  cancel`` CLI verbs.
+
+Everything is standard library only; the exploration itself runs through
+the same :func:`repro.checker.explore_parallel` / checkpoint machinery
+the CLI uses, so verdicts, traces, and graphs are bit-for-bit the ones a
+local run would produce.
+"""
+
+from .cache import ResultCache, canonical_fingerprint
+from .client import ServiceClient, ServiceError, QueueFullError
+from .jobs import CheckRequest, Job, JobManager, QueueFull
+from .server import BackgroundServer, CheckService, run_server
+
+__all__ = [
+    "ResultCache",
+    "canonical_fingerprint",
+    "CheckRequest",
+    "Job",
+    "JobManager",
+    "QueueFull",
+    "CheckService",
+    "BackgroundServer",
+    "run_server",
+    "ServiceClient",
+    "ServiceError",
+    "QueueFullError",
+]

@@ -1,0 +1,123 @@
+"""Content-addressed result cache for the checking service.
+
+A check is a pure function of (module source, spec name, semantic check
+configuration): the explorer is deterministic for any worker count, the
+checkpoint layer makes interrupted runs bit-for-bit resumable, and the
+reduction layer preserves verdicts and traces.  That purity is what
+makes content addressing sound -- the cache key never has to mention
+*how* a result was computed (workers, checkpoint cadence, pacing), only
+*what* was asked.
+
+:func:`canonical_fingerprint` hashes the canonical JSON rendering of the
+request; :class:`ResultCache` stores one JSON document per fingerprint
+(verdict, per-check results with portable counterexample traces, the
+:meth:`~repro.checker.stats.ExploreStats.as_dict` summary, and a graph
+digest) under ``<dir>/<fp>.json``, with an in-memory layer in front so a
+warm hit costs one dict lookup.  Writes are atomic
+(write-temp-then-rename), so a crash mid-``put`` never leaves a torn
+entry for a later server to trust.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+__all__ = ["canonical_fingerprint", "ResultCache"]
+
+
+def canonical_fingerprint(module_source: str, spec: str,
+                          config: Dict[str, object]) -> str:
+    """The content address of a check: SHA-256 over the canonical JSON of
+    (module source, spec name, semantic config).
+
+    *config* must contain exactly the knobs that can change the verdict,
+    the reported trace, or the explored graph -- invariants, properties,
+    ``max_states``, ``por`` -- and none of the execution-only knobs
+    (worker count, checkpoint cadence, pacing), which the engine
+    guarantees cannot.  Key order and whitespace never matter: the JSON
+    is sorted and minimally separated.
+    """
+    canonical = json.dumps(
+        {"module": module_source, "spec": spec, "config": config},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Fingerprint -> result-document store, disk-backed and crash-safe.
+
+    ``directory=None`` keeps the cache purely in memory (useful for
+    tests and embedding); otherwise every :meth:`put` also lands as
+    ``<directory>/<fp>.json`` and a fresh process re-reads entries
+    lazily on :meth:`get`.
+    """
+
+    def __init__(self, directory: Optional[str] = None):
+        self.directory = directory
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+        self._memory: Dict[str, Dict[str, object]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, fingerprint: str) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, fingerprint + ".json")
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        """The cached result document, or None.  Counts hits/misses."""
+        entry = self._memory.get(fingerprint)
+        if entry is None and self.directory is not None:
+            try:
+                with open(self._path(fingerprint)) as handle:
+                    entry = json.load(handle)
+            except (OSError, ValueError):
+                entry = None  # absent or torn-by-external-meddling: a miss
+            else:
+                self._memory[fingerprint] = entry
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, fingerprint: str, result: Dict[str, object]) -> None:
+        """Store a result document (atomically, when disk-backed)."""
+        self._memory[fingerprint] = result
+        if self.directory is None:
+            return
+        path = self._path(fingerprint)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=fingerprint[:16] + ".", suffix=".tmp", dir=self.directory)
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(result, handle, separators=(",", ":"))
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, fingerprint: str) -> bool:
+        if fingerprint in self._memory:
+            return True
+        return (self.directory is not None
+                and os.path.exists(self._path(fingerprint)))
+
+    def __len__(self) -> int:
+        if self.directory is None:
+            return len(self._memory)
+        on_disk = {name[:-5] for name in os.listdir(self.directory)
+                   if name.endswith(".json")}
+        return len(on_disk | set(self._memory))
+
+    def counters(self) -> Dict[str, int]:
+        """Health counters for ``/healthz``."""
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self)}

@@ -1,0 +1,165 @@
+"""Thin blocking HTTP client for the checking service.
+
+Wraps ``http.client`` (stdlib only) for the four verbs the CLI exposes:
+``submit``, ``job``/``wait``, ``events`` (NDJSON streaming), and
+``cancel``, plus ``health``.  Raises :class:`QueueFullError` (with the
+server's retry-after hint) on backpressure and :class:`ServiceError`
+for every other non-2xx answer.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+from typing import Dict, Iterator, List, Optional, Sequence
+from urllib.parse import urlparse
+
+__all__ = ["ServiceClient", "ServiceError", "QueueFullError"]
+
+_TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class ServiceError(Exception):
+    """A non-2xx service response."""
+
+    def __init__(self, status: int, message: str,
+                 payload: Optional[Dict[str, object]] = None):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload or {}
+
+
+class QueueFullError(ServiceError):
+    """429: the admission queue is full; retry after ``retry_after``s."""
+
+    def __init__(self, status: int, message: str,
+                 payload: Optional[Dict[str, object]] = None):
+        super().__init__(status, message, payload)
+        self.retry_after = float((payload or {}).get("retry_after", 1.0))
+
+
+class ServiceClient:
+    """Blocking client bound to one server URL."""
+
+    def __init__(self, url: str = "http://127.0.0.1:8123",
+                 timeout: float = 60.0):
+        parsed = urlparse(url if "//" in url else "http://" + url)
+        if parsed.scheme not in ("", "http"):
+            raise ValueError(f"only http:// URLs are supported, got {url!r}")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 8123
+        self.timeout = timeout
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def _connect(self, timeout: Optional[float]) -> HTTPConnection:
+        return HTTPConnection(self.host, self.port,
+                              timeout=self.timeout if timeout is None
+                              else timeout)
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, object]] = None
+                 ) -> Dict[str, object]:
+        conn = self._connect(None)
+        try:
+            encoded = json.dumps(body).encode("utf-8") \
+                if body is not None else None
+            headers = {"Content-Type": "application/json"} \
+                if encoded is not None else {}
+            conn.request(method, path, body=encoded, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        finally:
+            conn.close()
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError:
+            payload = {"error": raw.decode("utf-8", "replace")}
+        if response.status == 429:
+            raise QueueFullError(response.status,
+                                 str(payload.get("error", "queue full")),
+                                 payload)
+        if response.status >= 400:
+            raise ServiceError(response.status,
+                               str(payload.get("error", "request failed")),
+                               payload)
+        return payload
+
+    # -- the verbs -----------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        return self._request("GET", "/healthz")
+
+    def submit(self, module_source: str, spec: str = "Spec",
+               invariants: Sequence[str] = (),
+               properties: Sequence[str] = (),
+               max_states: int = 200_000, por: bool = False,
+               workers: int = 1, checkpoint_every: int = 1,
+               level_delay: float = 0.0) -> Dict[str, object]:
+        """POST /jobs.  Returns ``{"job": {...}, "disposition": ...}``;
+        raises :class:`QueueFullError` on backpressure."""
+        return self._request("POST", "/jobs", body={
+            "module_source": module_source,
+            "spec": spec,
+            "invariants": list(invariants),
+            "properties": list(properties),
+            "max_states": max_states,
+            "por": por,
+            "workers": workers,
+            "checkpoint_every": checkpoint_every,
+            "level_delay": level_delay,
+        })
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def list_jobs(self) -> List[Dict[str, object]]:
+        return self._request("GET", "/jobs")["jobs"]  # type: ignore[index]
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def events(self, job_id: str,
+               timeout: Optional[float] = None) -> Iterator[Dict[str, object]]:
+        """GET /jobs/<id>/events: yield progress events as they stream,
+        until the job reaches a terminal state and the server closes the
+        connection.  *timeout* bounds each read (None = client default)."""
+        conn = self._connect(timeout)
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    payload = json.loads(raw.decode("utf-8")) if raw else {}
+                except ValueError:
+                    payload = {}
+                raise ServiceError(response.status,
+                                   str(payload.get("error", "stream failed")),
+                                   payload)
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()
+
+    def wait(self, job_id: str, timeout: float = 600.0,
+             poll: float = 0.1) -> Dict[str, object]:
+        """Poll until the job is terminal; returns its final record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record.get("state") in _TERMINAL_STATES:
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record.get('state')!r} "
+                    f"after {timeout:g}s")
+            time.sleep(poll)

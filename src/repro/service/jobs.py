@@ -1,0 +1,685 @@
+"""The checking service's job manager.
+
+A :class:`JobManager` admits :class:`CheckRequest` submissions, runs
+them on a bounded pool of explorer runs, and carries each through the
+per-job state machine::
+
+    queued -> running -> done | failed | cancelled
+
+* **Admission control / backpressure** -- at most ``queue_limit`` jobs
+  may sit in ``queued``; a submission beyond that raises
+  :class:`QueueFull` carrying a retry-after hint derived from recent
+  run times, which the HTTP layer turns into ``429 Retry-After``.
+* **Content-addressed caching** -- a submission whose fingerprint (see
+  :func:`repro.service.cache.canonical_fingerprint`) already has a
+  cached result completes instantly with ``cache_hit=True`` and the
+  cached verdict/trace/stats; a submission identical to a job currently
+  queued or running is *coalesced* onto that job, so N clients
+  submitting the same check cost one exploration.
+* **Progress events** -- each job accumulates an append-only NDJSON
+  event list (``queued``/``started``/``level``/``done``/...); the
+  per-level rows come straight from the explorer through
+  :meth:`repro.checker.stats.ExploreStats.add_level_listener`, so a
+  watcher sees live frontier/state/edge counts.
+* **Cancellation and graceful shutdown** -- both ride the same seam:
+  the level listener raises inside the exploring thread at the next BFS
+  level boundary.  A cancelled job ends ``cancelled``; an interrupted
+  one (server shutdown) drops back to ``queued`` with its latest
+  checkpoint on disk, is persisted, and a restarted manager resumes it
+  bit-for-bit via :func:`repro.checker.checkpoint.resume` -- same
+  verdict, same trace, same graph digest.
+
+Everything the manager needs to survive a restart lives under its
+``state_dir``: ``jobs/<id>.json`` records, ``jobs/<id>.events.ndjson``
+event logs, ``jobs/<id>.ckpt`` exploration checkpoints, and ``cache/``
+result documents.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..checker import (
+    ExploreStats,
+    ReductionConfig,
+    check_invariant,
+    check_temporal_implication,
+    explore_parallel,
+    premises_of_spec,
+)
+from ..checker.checkpoint import counterexample_to_portable, resume
+from ..checker.graph import StateGraph, StateSpaceExplosion
+from ..checker.results import CheckResult
+from ..parser import load_module
+from .cache import ResultCache, canonical_fingerprint
+
+__all__ = [
+    "CheckRequest",
+    "Job",
+    "JobManager",
+    "QueueFull",
+    "JobCancelled",
+    "run_check",
+    "graph_digest",
+]
+
+# verdicts that are pure functions of the request and therefore cacheable;
+# "failed" (an exception) is deliberately not -- it may be environmental
+_CACHEABLE_VERDICTS = ("ok", "violation", "explosion")
+
+_TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class QueueFull(Exception):
+    """The pending queue is at its admission limit; retry later."""
+
+    def __init__(self, retry_after: float):
+        super().__init__(
+            f"job queue is full; retry in ~{retry_after:g}s")
+        self.retry_after = retry_after
+
+
+class JobCancelled(Exception):
+    """Raised inside the exploring thread when the job was cancelled."""
+
+
+class _JobInterrupted(Exception):
+    """Raised inside the exploring thread on graceful server shutdown."""
+
+
+@dataclass(frozen=True)
+class CheckRequest:
+    """One check submission: a module plus what to verify and how.
+
+    ``module_source``/``spec``/``invariants``/``properties``/
+    ``max_states``/``por`` are *semantic* -- they address the result in
+    the cache.  ``workers``, ``checkpoint_every``, and ``level_delay``
+    are execution-only: the engine produces the identical graph and
+    verdict for any value (``level_delay`` merely sleeps between BFS
+    levels -- a pacing knob so demos and tests can watch or interrupt
+    toy modules that would otherwise finish in microseconds).
+    """
+
+    module_source: str
+    spec: str = "Spec"
+    invariants: Tuple[str, ...] = ()
+    properties: Tuple[str, ...] = ()
+    max_states: int = 200_000
+    por: bool = False
+    workers: int = 1
+    checkpoint_every: int = 1
+    level_delay: float = 0.0
+
+    _FIELDS = ("module_source", "spec", "invariants", "properties",
+               "max_states", "por", "workers", "checkpoint_every",
+               "level_delay")
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CheckRequest":
+        """Validate and build a request from a JSON body; raises
+        ``ValueError`` with a client-presentable message on bad input."""
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        unknown = set(payload) - set(cls._FIELDS)
+        if unknown:
+            raise ValueError(f"unknown request fields: {sorted(unknown)}")
+        module_source = payload.get("module_source")
+        if not isinstance(module_source, str) or not module_source.strip():
+            raise ValueError("module_source must be a non-empty string")
+        spec = payload.get("spec", "Spec")
+        if not isinstance(spec, str) or not spec:
+            raise ValueError("spec must be a non-empty string")
+
+        def names(key: str) -> Tuple[str, ...]:
+            value = payload.get(key, ())
+            if isinstance(value, str):
+                value = (value,)
+            if (not isinstance(value, (list, tuple))
+                    or not all(isinstance(v, str) and v for v in value)):
+                raise ValueError(f"{key} must be a list of definition names")
+            return tuple(value)
+
+        def bounded_int(key: str, default: int, minimum: int) -> int:
+            value = payload.get(key, default)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < minimum:
+                raise ValueError(f"{key} must be an integer >= {minimum}")
+            return value
+
+        level_delay = payload.get("level_delay", 0.0)
+        if not isinstance(level_delay, (int, float)) \
+                or isinstance(level_delay, bool) or level_delay < 0 \
+                or level_delay > 10:
+            raise ValueError("level_delay must be a number in [0, 10]")
+        por = payload.get("por", False)
+        if not isinstance(por, bool):
+            raise ValueError("por must be a boolean")
+        return cls(
+            module_source=module_source,
+            spec=spec,
+            invariants=names("invariants"),
+            properties=names("properties"),
+            max_states=bounded_int("max_states", 200_000, 1),
+            por=por,
+            workers=bounded_int("workers", 1, 0),
+            checkpoint_every=bounded_int("checkpoint_every", 1, 1),
+            level_delay=float(level_delay),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "module_source": self.module_source,
+            "spec": self.spec,
+            "invariants": list(self.invariants),
+            "properties": list(self.properties),
+            "max_states": self.max_states,
+            "por": self.por,
+            "workers": self.workers,
+            "checkpoint_every": self.checkpoint_every,
+            "level_delay": self.level_delay,
+        }
+
+    def semantic_config(self) -> Dict[str, object]:
+        """The slice of the request that can change the result -- the
+        cache key covers exactly this (plus module source and spec)."""
+        return {
+            "invariants": list(self.invariants),
+            "properties": list(self.properties),
+            "max_states": self.max_states,
+            "por": self.por,
+        }
+
+    def fingerprint(self) -> str:
+        return canonical_fingerprint(self.module_source, self.spec,
+                                     self.semantic_config())
+
+
+def graph_digest(graph: StateGraph) -> str:
+    """A strong identity for an explored graph: SHA-256 over the state
+    fingerprints in node order, the adjacency lists, the BFS parent
+    tree, and the initial nodes.  Two runs with equal digests produced
+    bit-for-bit the same graph (hence the same traces)."""
+    payload = {
+        "fingerprints": [format(state.fingerprint(), "016x")
+                         for state in graph.states],
+        "succ": graph.succ,
+        "parent": graph.parent,
+        "init": graph.init_nodes,
+    }
+    canonical = json.dumps(payload, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _check_record(kind: str, res: CheckResult) -> Dict[str, object]:
+    return {
+        "kind": kind,
+        "name": res.name,
+        "ok": res.ok,
+        "summary": res.summary(),
+        "counterexample": (counterexample_to_portable(res.counterexample)
+                           if res.counterexample is not None else None),
+    }
+
+
+def run_check(
+    request: CheckRequest,
+    stats: Optional[ExploreStats] = None,
+    checkpoint: Optional[str] = None,
+    resume_from_checkpoint: bool = False,
+) -> Dict[str, object]:
+    """Execute one check request to a result document (the unit the
+    cache stores): explore (fresh, or resumed from *checkpoint* when
+    *resume_from_checkpoint*), run every requested invariant and
+    property, and summarise verdict + per-check counterexamples + stats
+    + graph digest.  This is the service twin of ``repro check``; the
+    POR semantics (auto-disable for properties, full re-exploration for
+    the canonical trace on a reduced violation) match the CLI's.
+    """
+    module = load_module(request.module_source)
+    spec = module.spec(request.spec)
+    label = f"{module.name}!{request.spec}"
+    if stats is None:
+        stats = ExploreStats()
+    inv_exprs = [(name, module.expr(name)) for name in request.invariants]
+    notes: List[str] = []
+    por_active = request.por
+    if request.por and request.properties:
+        por_active = False
+        notes.append("partial-order reduction disabled: temporal "
+                     "properties need the full graph")
+    reduction = None
+    if por_active:
+        observed = sorted({v for _name, expr in inv_exprs
+                           for v in expr.free_vars()})
+        reduction = ReductionConfig(tuple(observed))
+
+    def base(verdict: str) -> Dict[str, object]:
+        return {"verdict": verdict, "label": label, "checks": [],
+                "states": None, "edges": None, "stutter": None,
+                "graph_digest": None, "notes": notes, "error": None,
+                "stats": stats.as_dict()}
+
+    try:
+        if resume_from_checkpoint and checkpoint is not None \
+                and os.path.exists(checkpoint):
+            graph = resume(checkpoint, spec, workers=request.workers,
+                           max_states=request.max_states, stats=stats,
+                           checkpoint_every=request.checkpoint_every)
+        else:
+            graph = explore_parallel(
+                spec, max_states=request.max_states, workers=request.workers,
+                stats=stats, checkpoint=checkpoint,
+                checkpoint_every=request.checkpoint_every,
+                reduction=reduction)
+    except StateSpaceExplosion as exc:
+        result = base("explosion")
+        result["error"] = str(exc)
+        result["stats"] = stats.as_dict()
+        return result
+
+    if getattr(graph, "reduction_used", False) and any(
+            not check_invariant(graph, expr, name=name).ok
+            for name, expr in inv_exprs):
+        # as in the CLI: re-explore the full graph so the reported trace
+        # is the canonical POR-off counterexample
+        notes.append("violation found under reduction; re-explored the "
+                     "full graph for the canonical counterexample")
+        graph.store.close()
+        graph = explore_parallel(spec, max_states=request.max_states,
+                                 workers=request.workers, stats=stats)
+    ok = True
+    checks: List[Dict[str, object]] = []
+    for name, expr in inv_exprs:
+        res = check_invariant(graph, expr, name=name, run_stats=stats)
+        checks.append(_check_record("invariant", res))
+        ok = ok and res.ok
+    for name in request.properties:
+        res = check_temporal_implication(
+            graph, module.formula(name), premises=premises_of_spec(spec),
+            name=name, run_stats=stats)
+        checks.append(_check_record("property", res))
+        ok = ok and res.ok
+    result = base("ok" if ok else "violation")
+    result["checks"] = checks
+    result["states"] = graph.state_count
+    result["edges"] = graph.edge_count
+    result["stutter"] = graph.stutter_count
+    result["graph_digest"] = graph_digest(graph)
+    result["stats"] = stats.as_dict()
+    graph.store.close()
+    return result
+
+
+class Job:
+    """One submission moving through the service's state machine."""
+
+    def __init__(self, job_id: str, request: CheckRequest,
+                 fingerprint: str, checkpoint_path: Optional[str] = None):
+        self.id = job_id
+        self.request = request
+        self.fingerprint = fingerprint
+        self.checkpoint_path = checkpoint_path
+        self.state = "queued"
+        self.cache_hit = False
+        self.resume = False          # continue from checkpoint when run
+        self.coalesced = 0           # extra submissions attached to this job
+        self.created = time.time()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.result: Optional[Dict[str, object]] = None
+        self.error: Optional[str] = None
+        self.events: List[Dict[str, object]] = []
+        self.cancel_requested = False
+        self.interrupt_requested = False
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in _TERMINAL_STATES
+
+    def emit(self, event: str, **fields: object) -> None:
+        """Append one progress event (safe from the exploring thread:
+        list appends are atomic and watchers only read by index)."""
+        record: Dict[str, object] = {
+            "event": event, "job": self.id, "seq": len(self.events),
+            "t": round(time.time(), 4),
+        }
+        record.update(fields)
+        self.events.append(record)
+
+    def to_dict(self, with_request: bool = False) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "id": self.id,
+            "state": self.state,
+            "fingerprint": self.fingerprint,
+            "cache_hit": self.cache_hit,
+            "resume": self.resume,
+            "coalesced": self.coalesced,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "result": self.result,
+            "error": self.error,
+            "events": len(self.events),
+        }
+        if with_request:
+            payload["request"] = self.request.to_dict()
+        return payload
+
+
+class JobManager:
+    """Admit, queue, execute, cancel, persist, and resume check jobs.
+
+    All public methods are called on the event-loop thread; the
+    exploration itself runs on executor threads, reporting back only
+    through the job's event list and the level-listener control flow.
+    ``pool_size`` bounds concurrent explorations, ``queue_limit`` the
+    jobs waiting in ``queued`` (admission control).
+    """
+
+    def __init__(self, state_dir: str, pool_size: int = 2,
+                 queue_limit: int = 16):
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.state_dir = os.path.abspath(state_dir)
+        self.pool_size = pool_size
+        self.queue_limit = queue_limit
+        self.jobs_dir = os.path.join(self.state_dir, "jobs")
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        self.cache = ResultCache(os.path.join(self.state_dir, "cache"))
+        self._jobs: Dict[str, Job] = {}
+        self._inflight: Dict[str, str] = {}  # fingerprint -> live job id
+        self._queue: Optional[asyncio.Queue] = None
+        self._runners: List[asyncio.Task] = []
+        self._accepting = False
+        self._interrupting = False
+        self._recent_runtimes: List[float] = []
+        self.started_at = time.time()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Load persisted jobs (requeueing interrupted ones) and start
+        the runner pool."""
+        self._queue = asyncio.Queue()
+        self._accepting = True
+        self._interrupting = False
+        self._recover()
+        loop = asyncio.get_running_loop()
+        self._runners = [loop.create_task(self._runner())
+                         for _ in range(self.pool_size)]
+
+    def _recover(self) -> None:
+        """Reload ``jobs/*.json``; anything non-terminal goes back to the
+        queue, resuming from its checkpoint when one survives."""
+        for name in sorted(os.listdir(self.jobs_dir)):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.jobs_dir, name)
+            try:
+                with open(path) as handle:
+                    record = json.load(handle)
+                job = self._job_from_record(record)
+            except (OSError, ValueError, KeyError):
+                continue  # torn or foreign file: not a job we can run
+            self._jobs[job.id] = job
+            if job.state in ("queued", "running"):
+                job.state = "queued"
+                job.resume = bool(job.checkpoint_path
+                                  and os.path.exists(job.checkpoint_path))
+                job.emit("requeued", resume=job.resume)
+                self._inflight[job.fingerprint] = job.id
+                self._persist(job)
+                assert self._queue is not None
+                self._queue.put_nowait(job.id)
+
+    def _job_from_record(self, record: Dict[str, object]) -> Job:
+        request = CheckRequest.from_dict(record["request"])
+        job = Job(str(record["id"]), request, str(record["fingerprint"]),
+                  checkpoint_path=record.get("checkpoint"))
+        job.state = str(record["state"])
+        job.cache_hit = bool(record.get("cache_hit", False))
+        job.resume = bool(record.get("resume", False))
+        job.coalesced = int(record.get("coalesced", 0))
+        job.created = float(record.get("created", time.time()))
+        job.started = record.get("started")
+        job.finished = record.get("finished")
+        job.result = record.get("result")
+        job.error = record.get("error")
+        events_path = self._events_path(job.id)
+        if os.path.exists(events_path):
+            with open(events_path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        job.events.append(json.loads(line))
+        return job
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop admissions, interrupt running jobs at
+        their next level boundary (they fall back to ``queued`` with a
+        checkpoint), keep queued jobs persisted, stop the runners."""
+        self._accepting = False
+        self._interrupting = True
+        assert self._queue is not None
+        for _ in self._runners:
+            self._queue.put_nowait(None)
+        if self._runners:
+            await asyncio.gather(*self._runners, return_exceptions=True)
+        self._runners = []
+
+    # -- submission / querying ----------------------------------------------
+
+    def submit(self, request: CheckRequest) -> Tuple[Job, str]:
+        """Admit one request.  Returns ``(job, disposition)`` where
+        disposition is ``"created"`` (fresh job queued), ``"cached"``
+        (verdict served from the result cache; the job is born ``done``
+        with ``cache_hit=True``), or ``"coalesced"`` (an identical job
+        is already queued/running; the caller shares it).  Raises
+        :class:`QueueFull` past the admission limit and ``ValueError``
+        for requests that cannot parse/elaborate."""
+        if not self._accepting:
+            raise QueueFull(retry_after=self._retry_after())
+        # eager validation: a module that cannot parse or a spec that
+        # does not exist fails now (HTTP 400), not minutes later
+        module = load_module(request.module_source)
+        module.spec(request.spec)
+        for name in tuple(request.invariants) + tuple(request.properties):
+            module.get(name)
+
+        fingerprint = request.fingerprint()
+        live_id = self._inflight.get(fingerprint)
+        if live_id is not None:
+            live = self._jobs.get(live_id)
+            if live is not None and not live.terminal:
+                live.coalesced += 1
+                return live, "coalesced"
+        cached = self.cache.get(fingerprint)
+        if cached is not None:
+            job = self._new_job(request, fingerprint)
+            job.cache_hit = True
+            job.state = "done"
+            job.finished = time.time()
+            job.result = cached
+            job.emit("done", verdict=cached.get("verdict"), cache_hit=True)
+            self._jobs[job.id] = job
+            self._persist(job)
+            return job, "cached"
+        if self._queued_count() >= self.queue_limit:
+            raise QueueFull(retry_after=self._retry_after())
+        job = self._new_job(request, fingerprint)
+        job.emit("queued")
+        self._jobs[job.id] = job
+        self._inflight[fingerprint] = job.id
+        self._persist(job)
+        assert self._queue is not None
+        self._queue.put_nowait(job.id)
+        return job, "created"
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        return sorted(self._jobs.values(), key=lambda job: job.created)
+
+    def cancel(self, job_id: str) -> Tuple[Optional[Job], bool]:
+        """Cancel a job: immediate for ``queued``, cooperative (next BFS
+        level boundary) for ``running``.  Returns (job, accepted)."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            return None, False
+        if job.state == "queued":
+            job.state = "cancelled"
+            job.finished = time.time()
+            job.emit("cancelled", while_state="queued")
+            self._inflight.pop(job.fingerprint, None)
+            self._persist(job)
+            return job, True
+        if job.state == "running":
+            job.cancel_requested = True
+            job.emit("cancel_requested")
+            return job, True
+        return job, False
+
+    def health(self) -> Dict[str, object]:
+        counts: Dict[str, int] = {}
+        for job in self._jobs.values():
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return {
+            "status": "ok" if self._accepting else "draining",
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "pool_size": self.pool_size,
+            "queue_limit": self.queue_limit,
+            "queued": self._queued_count(),
+            "jobs": counts,
+            "cache": self.cache.counters(),
+        }
+
+    # -- internals -----------------------------------------------------------
+
+    def _new_job(self, request: CheckRequest, fingerprint: str) -> Job:
+        job_id = uuid.uuid4().hex[:12]
+        return Job(job_id, request, fingerprint,
+                   checkpoint_path=os.path.join(self.jobs_dir,
+                                                job_id + ".ckpt"))
+
+    def _queued_count(self) -> int:
+        return sum(1 for job in self._jobs.values()
+                   if job.state == "queued")
+
+    def _retry_after(self) -> float:
+        """Backpressure hint: roughly how long until a queue slot frees
+        (queue depth x mean recent runtime / pool width)."""
+        recent = self._recent_runtimes
+        mean = (sum(recent) / len(recent)) if recent else 1.0
+        estimate = self._queued_count() * mean / self.pool_size
+        return round(max(1.0, estimate), 1)
+
+    def _events_path(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, job_id + ".events.ndjson")
+
+    def _persist(self, job: Job) -> None:
+        """Write the job record and its event log (atomic rename for the
+        record, the durable source of truth across restarts)."""
+        record = job.to_dict(with_request=True)
+        record["checkpoint"] = job.checkpoint_path
+        path = os.path.join(self.jobs_dir, job.id + ".json")
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(record, handle, separators=(",", ":"))
+        os.replace(tmp, path)
+        with open(self._events_path(job.id), "w") as handle:
+            for event in list(job.events):
+                handle.write(json.dumps(event, separators=(",", ":")) + "\n")
+
+    async def _runner(self) -> None:
+        """One pool slot: take queued jobs and execute them on a thread."""
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            job_id = await self._queue.get()
+            if job_id is None:
+                return
+            job = self._jobs.get(job_id)
+            if job is None or job.state != "queued":
+                continue  # cancelled while queued
+            if self._interrupting:
+                continue  # draining: stays queued and persisted
+            job.state = "running"
+            job.started = time.time()
+            job.emit("started", resume=job.resume, workers=job.request.workers)
+            self._persist(job)
+            began = time.monotonic()
+            try:
+                result = await loop.run_in_executor(
+                    None, self._execute, job)
+            except JobCancelled:
+                job.state = "cancelled"
+                job.finished = time.time()
+                job.emit("cancelled", while_state="running")
+                self._inflight.pop(job.fingerprint, None)
+                self._remove_checkpoint(job)
+            except _JobInterrupted:
+                # graceful shutdown: back to queued, checkpoint on disk;
+                # the next manager on this state_dir resumes it
+                job.state = "queued"
+                job.resume = bool(job.checkpoint_path
+                                  and os.path.exists(job.checkpoint_path))
+                job.emit("interrupted", resume=job.resume)
+            except Exception as exc:  # surface executor errors as verdicts
+                job.state = "failed"
+                job.finished = time.time()
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.emit("failed", error=job.error)
+                self._inflight.pop(job.fingerprint, None)
+                self._remove_checkpoint(job)
+            else:
+                job.state = "done"
+                job.finished = time.time()
+                job.result = result
+                if result.get("verdict") in _CACHEABLE_VERDICTS:
+                    self.cache.put(job.fingerprint, result)
+                self._recent_runtimes.append(time.monotonic() - began)
+                del self._recent_runtimes[:-16]
+                job.emit("done", verdict=result.get("verdict"),
+                         cache_hit=False,
+                         states=result.get("states"),
+                         edges=result.get("edges"))
+                self._inflight.pop(job.fingerprint, None)
+                self._remove_checkpoint(job)
+            self._persist(job)
+
+    def _remove_checkpoint(self, job: Job) -> None:
+        if not job.checkpoint_path:
+            return
+        try:
+            os.unlink(job.checkpoint_path)
+        except OSError:
+            pass
+
+    def _execute(self, job: Job) -> Dict[str, object]:
+        """Thread body: run the check, streaming level events and
+        honouring cancel/interrupt flags at level boundaries."""
+        stats = ExploreStats()
+
+        def on_level(level: int, row: Dict[str, int]) -> None:
+            if job.cancel_requested:
+                raise JobCancelled()
+            if self._interrupting or job.interrupt_requested:
+                raise _JobInterrupted()
+            job.emit("level", level=level, **row)
+            if job.request.level_delay:
+                time.sleep(job.request.level_delay)
+
+        stats.add_level_listener(on_level)
+        return run_check(job.request, stats=stats,
+                         checkpoint=job.checkpoint_path,
+                         resume_from_checkpoint=job.resume)

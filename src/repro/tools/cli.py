@@ -9,7 +9,16 @@
     python -m repro pretty Counter.tla Next
 
 ``check`` exits nonzero when any check fails, printing rendered
-counterexamples -- suitable for CI.
+counterexamples -- suitable for CI.  ``--stats-json PATH`` writes the
+machine-readable :meth:`~repro.checker.stats.ExploreStats.to_json`
+snapshot next to the human ``--stats`` summary.
+
+Service verbs (see :mod:`repro.service`): ``repro serve`` runs the
+checking service (async job server + content-addressed result cache);
+``repro submit`` posts a module to it, ``repro watch`` streams a job's
+NDJSON progress events, ``repro cancel`` cancels one.  SIGTERM on the
+server checkpoints running jobs; restarting it on the same state
+directory resumes them to the identical verdict and trace.
 
 Durable runs: ``check`` and ``explore`` accept ``--checkpoint PATH`` to
 snapshot the exploration atomically every ``--checkpoint-every`` BFS
@@ -34,6 +43,7 @@ run's semantics).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from time import perf_counter
 from typing import Optional, Sequence
@@ -86,6 +96,35 @@ def _durability_error(args: argparse.Namespace, out) -> bool:
               file=out)
         return True
     return False
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for flags that must be >= 1; bad values fail at
+    parse time (usage error, exit 2) instead of surfacing as confusing
+    runtime errors deep in the store/checkpoint layers."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer >= 1, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer >= 1, got {value}")
+    return value
+
+
+def _want_stats(args: argparse.Namespace) -> Optional[ExploreStats]:
+    """Stats are collected when either rendering is requested: the human
+    ``--stats`` summary or the machine ``--stats-json`` file."""
+    return ExploreStats() if (args.stats or args.stats_json) else None
+
+
+def _write_stats_json(args: argparse.Namespace,
+                      stats: Optional[ExploreStats]) -> None:
+    if not args.stats_json or stats is None:
+        return
+    with open(args.stats_json, "w") as handle:
+        handle.write(stats.to_json(indent=2) + "\n")
 
 
 def _store_config(args: argparse.Namespace) -> dict:
@@ -177,7 +216,7 @@ def cmd_check(args: argparse.Namespace, out) -> int:
     module = _load(args.module)
     spec = module.spec(args.spec)
     label = f"{module.name}!{args.spec}"
-    stats = ExploreStats() if args.stats else None
+    stats = _want_stats(args)
     # resolve the invariants *before* exploring: their free variables are
     # the observed set the reduction must keep visible (C2)
     inv_exprs = [(name, module.expr(name)) for name in args.invariant or ()]
@@ -197,6 +236,7 @@ def cmd_check(args: argparse.Namespace, out) -> int:
     except StateSpaceExplosion as exc:
         _maybe_manifest(args, label, perf_counter() - start, "explosion",
                         stats=stats, error=str(exc), reduction=reduction)
+        _write_stats_json(args, stats)
         raise
     if getattr(graph, "reduction_used", False) and any(
             not check_invariant(graph, expr, name=name).ok
@@ -232,12 +272,13 @@ def cmd_check(args: argparse.Namespace, out) -> int:
         ok = _report(result, out) and ok
     if not (args.invariant or args.property):
         print("(no --invariant/--property given: exploration only)", file=out)
-    if stats is not None:
+    if args.stats and stats is not None:
         print(stats.summary(), file=out)
     _maybe_manifest(args, label, perf_counter() - start,
                     "ok" if ok else "violation", graph=graph,
                     counterexample=first_cex, stats=stats,
                     reduction=reduction)
+    _write_stats_json(args, stats)
     graph.store.close()
     return 0 if ok else 1
 
@@ -248,7 +289,7 @@ def cmd_explore(args: argparse.Namespace, out) -> int:
     module = _load(args.module)
     spec = module.spec(args.spec)
     label = f"{module.name}!{args.spec}"
-    stats = ExploreStats() if args.stats else None
+    stats = _want_stats(args)
     # no property is being checked, so nothing is observed: every class
     # is invisible and the reduction preserves reachability-of-deadlock
     reduction = ReductionConfig(()) if args.por else None
@@ -258,6 +299,7 @@ def cmd_explore(args: argparse.Namespace, out) -> int:
     except StateSpaceExplosion as exc:
         _maybe_manifest(args, label, perf_counter() - start, "explosion",
                         stats=stats, error=str(exc), reduction=reduction)
+        _write_stats_json(args, stats)
         raise
     _maybe_manifest(args, label, perf_counter() - start, "ok", graph=graph,
                     stats=stats, reduction=reduction)
@@ -271,8 +313,9 @@ def cmd_explore(args: argparse.Namespace, out) -> int:
         print(f"  first {shown} state(s):", file=out)
         for node in range(shown):
             print(f"    {graph.states[node]!r}", file=out)
-    if stats is not None:
+    if args.stats and stats is not None:
         print(stats.summary(indent="  "), file=out)
+    _write_stats_json(args, stats)
     graph.store.close()
     return 0
 
@@ -307,13 +350,97 @@ def cmd_pretty(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _terminal_exit_code(record: dict) -> int:
+    """Map a finished service job to ``repro check``-style exit codes."""
+    state = record.get("state")
+    if state == "done":
+        result = record.get("result") or {}
+        verdict = result.get("verdict")
+        if verdict == "ok":
+            return 0
+        if verdict == "violation":
+            return 1
+        return 2  # explosion / anything unexpected
+    if state == "cancelled":
+        return 3
+    return 2  # failed
+
+
+def cmd_serve(args: argparse.Namespace, out) -> int:
+    from ..service.server import run_server
+
+    return run_server(state_dir=args.state_dir, host=args.host,
+                      port=args.port, pool_size=args.pool_size,
+                      queue_limit=args.queue_limit, out=out)
+
+
+def cmd_submit(args: argparse.Namespace, out) -> int:
+    from ..service.client import QueueFullError, ServiceClient
+
+    with open(args.module) as handle:
+        source = handle.read()
+    client = ServiceClient(args.server)
+    try:
+        payload = client.submit(
+            source, spec=args.spec,
+            invariants=args.invariant or (),
+            properties=args.property or (),
+            max_states=args.max_states, por=bool(args.por),
+            workers=args.workers, level_delay=args.level_delay)
+    except QueueFullError as exc:
+        print(f"error: {exc} (retry in ~{exc.retry_after:g}s)", file=out)
+        return 3
+    job = payload["job"]
+    if args.as_json:
+        print(json.dumps(payload), file=out)
+    else:
+        print(f"job {job['id']}: {job['state']} "
+              f"(disposition={payload['disposition']}, "
+              f"cache_hit={job['cache_hit']})", file=out)
+    if not args.wait:
+        return 0
+    record = client.wait(job["id"], timeout=args.timeout)
+    result = record.get("result") or {}
+    for check in result.get("checks", ()):
+        print(check["summary"], file=out)
+        cex = check.get("counterexample")
+        if cex:
+            print(cex["rendered"], file=out)
+    verdict = result.get("verdict") or record.get("state")
+    print(f"job {job['id']}: {record['state']} "
+          f"(verdict={verdict}, cache_hit={record['cache_hit']})", file=out)
+    return _terminal_exit_code(record)
+
+
+def cmd_watch(args: argparse.Namespace, out) -> int:
+    """Stream a job's progress events as NDJSON lines until it ends."""
+    from ..service.client import ServiceClient
+
+    client = ServiceClient(args.server)
+    for event in client.events(args.job, timeout=args.timeout):
+        print(json.dumps(event), file=out)
+    return _terminal_exit_code(client.job(args.job))
+
+
+def cmd_cancel(args: argparse.Namespace, out) -> int:
+    from ..service.client import ServiceClient
+
+    outcome = ServiceClient(args.server).cancel(args.job)
+    print(f"job {args.job}: cancel "
+          f"{'accepted' if outcome['accepted'] else 'rejected'} "
+          f"(state={outcome['state']})", file=out)
+    return 0 if outcome["accepted"] else 1
+
+
 def _add_durability_flags(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--checkpoint", default=None, metavar="PATH",
                      help="snapshot the exploration to PATH (atomically, at "
                           "BFS level boundaries) and write a JSON run "
                           "manifest to PATH.manifest.json")
-    sub.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
-                     help="snapshot every N BFS levels (default 1)")
+    sub.add_argument("--checkpoint-every", type=_positive_int, default=1,
+                     metavar="N",
+                     help="snapshot every N BFS levels (default 1; must be "
+                          ">= 1)")
     sub.add_argument("--resume", action="store_true",
                      help="continue from the --checkpoint snapshot instead "
                           "of starting fresh; the resumed run is bit-for-bit "
@@ -346,10 +473,30 @@ def _add_scaling_flags(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--spill-dir", default=None, metavar="DIR",
                      help="directory for the spill store's states.dat / "
                           "states.idx files (required with --store spill)")
-    sub.add_argument("--spill-cache", type=int, default=4096, metavar="N",
+    sub.add_argument("--spill-cache", type=_positive_int, default=4096,
+                     metavar="N",
                      help="spill store: how many hot decoded states to keep "
-                          "resident (default 4096); purely a speed knob, "
-                          "never changes results")
+                          "resident (default 4096; must be >= 1); purely a "
+                          "speed knob, never changes results")
+
+
+def _add_engine_flags(sub: argparse.ArgumentParser) -> None:
+    """The exploration-engine flags ``check`` and ``explore`` share."""
+    sub.add_argument("--max-states", type=_positive_int, default=200_000,
+                     help="hard budget on interned states (default 200000)")
+    sub.add_argument("--workers", type=int, default=1,
+                     help="worker processes for the exploration (default 1 "
+                          "= the serial reference explorer; 0 = one per "
+                          "core).  Any value yields the identical graph, "
+                          "numbering, and traces.")
+    sub.add_argument("--stats", action="store_true",
+                     help="print exploration statistics (states/sec, "
+                          "depth, real-vs-stutter edges, per-phase timing, "
+                          "per-worker throughput)")
+    sub.add_argument("--stats-json", default=None, metavar="PATH",
+                     help="also write the statistics as JSON to PATH (the "
+                          "machine-readable twin of --stats; implies "
+                          "collecting stats)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -366,16 +513,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="state-predicate definition to check (repeatable)")
     check.add_argument("--property", action="append",
                        help="temporal definition to check (repeatable)")
-    check.add_argument("--max-states", type=int, default=200_000)
-    check.add_argument("--workers", type=int, default=1,
-                       help="worker processes for the exploration (default 1 "
-                            "= the serial reference explorer; 0 = one per "
-                            "core).  Any value yields the identical graph, "
-                            "numbering, and traces.")
-    check.add_argument("--stats", action="store_true",
-                       help="print exploration statistics (states/sec, "
-                            "depth, real-vs-stutter edges, per-phase timing, "
-                            "per-worker throughput)")
+    _add_engine_flags(check)
     _add_durability_flags(check)
     _add_scaling_flags(check)
     check.set_defaults(func=cmd_check)
@@ -383,15 +521,9 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("explore", help="explore the state space")
     exp.add_argument("module")
     exp.add_argument("--spec", default="Spec")
-    exp.add_argument("--max-states", type=int, default=200_000)
-    exp.add_argument("--workers", type=int, default=1,
-                     help="worker processes for the exploration (default 1 "
-                          "= the serial reference explorer; 0 = one per "
-                          "core)")
     exp.add_argument("--show", type=int, default=5,
                      help="how many states to print")
-    exp.add_argument("--stats", action="store_true",
-                     help="print exploration statistics")
+    _add_engine_flags(exp)
     _add_durability_flags(exp)
     _add_scaling_flags(exp)
     exp.set_defaults(func=cmd_explore)
@@ -408,6 +540,72 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("definition", nargs="?", default=None)
     pp.add_argument("--unicode", action="store_true")
     pp.set_defaults(func=cmd_pretty)
+
+    serve = sub.add_parser(
+        "serve", help="run the checking service (async job server with a "
+                      "content-addressed result cache)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8123,
+                       help="TCP port (default 8123; 0 = pick an ephemeral "
+                            "port, recorded in STATE_DIR/server.json)")
+    serve.add_argument("--state-dir", default=".repro-service", metavar="DIR",
+                       help="where jobs, checkpoints, and the result cache "
+                            "live; restarting on the same directory resumes "
+                            "interrupted jobs (default .repro-service)")
+    serve.add_argument("--pool-size", type=_positive_int, default=2,
+                       metavar="N", help="concurrent explorations (default 2)")
+    serve.add_argument("--queue-limit", type=_positive_int, default=16,
+                       metavar="N",
+                       help="admission limit on queued jobs; submissions "
+                            "beyond it get 429 + Retry-After (default 16)")
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a module to a running checking service")
+    submit.add_argument("module", help="path to a mini-TLA module file")
+    submit.add_argument("--spec", default="Spec")
+    submit.add_argument("--invariant", action="append",
+                        help="state-predicate definition to check "
+                             "(repeatable)")
+    submit.add_argument("--property", action="append",
+                        help="temporal definition to check (repeatable)")
+    submit.add_argument("--max-states", type=_positive_int, default=200_000)
+    submit.add_argument("--workers", type=int, default=1)
+    submit.add_argument("--por", action="store_true", default=False,
+                        help="request partial-order reduction (same "
+                             "semantics as repro check --por)")
+    submit.add_argument("--level-delay", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="pace the exploration: sleep this long after "
+                             "every BFS level (demo/testing knob; never "
+                             "changes the result)")
+    submit.add_argument("--server", default="http://127.0.0.1:8123",
+                        metavar="URL")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job finishes and exit like "
+                             "repro check (0 ok, 1 violation, 2 error, "
+                             "3 cancelled)")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="--wait timeout in seconds (default 600)")
+    submit.add_argument("--json", dest="as_json", action="store_true",
+                        help="print the raw submission response as JSON")
+    submit.set_defaults(func=cmd_submit)
+
+    watch = sub.add_parser(
+        "watch", help="stream a job's progress events as NDJSON until it "
+                      "finishes")
+    watch.add_argument("job", help="job id (from repro submit)")
+    watch.add_argument("--server", default="http://127.0.0.1:8123",
+                       metavar="URL")
+    watch.add_argument("--timeout", type=float, default=600.0,
+                       help="per-read stream timeout in seconds")
+    watch.set_defaults(func=cmd_watch)
+
+    cancel = sub.add_parser("cancel", help="cancel a queued or running job")
+    cancel.add_argument("job", help="job id (from repro submit)")
+    cancel.add_argument("--server", default="http://127.0.0.1:8123",
+                        metavar="URL")
+    cancel.set_defaults(func=cmd_cancel)
 
     return parser
 

@@ -1,0 +1,107 @@
+"""Content-addressed cache layer: fingerprint soundness (semantic knobs
+address the result, execution-only knobs never do) and ResultCache
+persistence/atomicity/counters."""
+
+import json
+
+from repro.service.cache import ResultCache, canonical_fingerprint
+from repro.service.jobs import CheckRequest
+
+COUNTER_TLA = """
+MODULE Counter
+CONSTANT N = 3
+VARIABLE x \\in 0..2
+Init == x = 0
+Next == x' = (x + 1) % N
+Spec == Init /\\ [][Next]_<<x>> /\\ WF_<<x>>(Next)
+Small == x < 3
+TooSmall == x < 2
+Progress == (x = 0) ~> (x = 2)
+"""
+
+
+def fp(**overrides):
+    request = CheckRequest(module_source=COUNTER_TLA,
+                           invariants=("Small",), **overrides)
+    return request.fingerprint()
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        assert fp() == fp()
+
+    def test_execution_knobs_do_not_change_the_key(self):
+        # the engine is deterministic for any worker count, checkpoint
+        # cadence, and pacing -- so none of them may address the cache
+        base = fp()
+        assert fp(workers=4) == base
+        assert fp(checkpoint_every=7) == base
+        assert fp(level_delay=0.25) == base
+
+    def test_semantic_knobs_all_change_the_key(self):
+        base = fp()
+        assert fp(max_states=10) != base
+        assert fp(por=True) != base
+        assert CheckRequest(module_source=COUNTER_TLA,
+                            invariants=("TooSmall",)).fingerprint() != base
+        assert CheckRequest(module_source=COUNTER_TLA,
+                            invariants=("Small",),
+                            properties=("Progress",)).fingerprint() != base
+
+    def test_module_source_changes_the_key(self):
+        assert CheckRequest(
+            module_source=COUNTER_TLA + "\n",
+            invariants=("Small",)).fingerprint() != fp()
+
+    def test_spec_name_changes_the_key(self):
+        a = canonical_fingerprint("m", "Spec", {"max_states": 1})
+        b = canonical_fingerprint("m", "Spec2", {"max_states": 1})
+        assert a != b
+
+    def test_key_order_in_config_does_not_matter(self):
+        a = canonical_fingerprint("m", "Spec", {"a": 1, "b": 2})
+        b = canonical_fingerprint("m", "Spec", {"b": 2, "a": 1})
+        assert a == b
+
+    def test_invariant_order_matters(self):
+        # the CLI runs checks in the order given; the report differs
+        a = CheckRequest(module_source=COUNTER_TLA,
+                         invariants=("Small", "TooSmall")).fingerprint()
+        b = CheckRequest(module_source=COUNTER_TLA,
+                         invariants=("TooSmall", "Small")).fingerprint()
+        assert a != b
+
+
+class TestResultCache:
+    def test_memory_roundtrip_and_counters(self):
+        cache = ResultCache()
+        assert cache.get("deadbeef") is None
+        cache.put("deadbeef", {"verdict": "ok"})
+        assert cache.get("deadbeef") == {"verdict": "ok"}
+        assert "deadbeef" in cache
+        assert len(cache) == 1
+        assert cache.counters() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_disk_persistence_across_instances(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        first = ResultCache(directory)
+        first.put("abc123", {"verdict": "violation", "states": 3})
+        second = ResultCache(directory)  # fresh process, cold memory
+        assert second.get("abc123") == {"verdict": "violation", "states": 3}
+        assert second.hits == 1 and second.misses == 0
+        assert "abc123" in second and len(second) == 1
+
+    def test_torn_entry_is_a_miss_not_a_crash(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        cache = ResultCache(directory)
+        (tmp_path / "cache" / "feed.json").write_text("{not json")
+        assert cache.get("feed") is None
+        assert cache.misses == 1
+
+    def test_put_is_atomic_on_disk(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        cache = ResultCache(directory)
+        cache.put("aa", {"verdict": "ok"})
+        files = list(tmp_path.glob("cache/*"))
+        assert [f.name for f in files] == ["aa.json"]  # no .tmp leftovers
+        assert json.loads(files[0].read_text()) == {"verdict": "ok"}

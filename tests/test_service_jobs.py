@@ -1,0 +1,468 @@
+"""JobManager state machine: the queued -> running -> terminal
+lifecycle, streaming level events, caching/coalescing dispositions,
+admission control, cooperative cancellation, and the acceptance
+scenario -- graceful shutdown mid-job checkpoints, and a fresh manager
+on the same state directory resumes to the identical graph digest."""
+
+import asyncio
+import json
+import os
+import time
+
+import pytest
+
+from repro.parser import ParseError
+from repro.service.jobs import (
+    CheckRequest,
+    JobManager,
+    QueueFull,
+    run_check,
+)
+
+COUNTER_TLA = """
+MODULE Counter
+CONSTANT N = 3
+VARIABLE x \\in 0..2
+Init == x = 0
+Next == x' = (x + 1) % N
+Spec == Init /\\ [][Next]_<<x>> /\\ WF_<<x>>(Next)
+Small == x < 3
+TooSmall == x < 2
+Progress == (x = 0) ~> (x = 2)
+"""
+
+# a 41-level chain: slow enough (with level_delay) to watch, cancel,
+# and interrupt mid-flight, fast enough to finish within a test
+CHAIN_TLA = """
+MODULE Chain
+CONSTANT N = 40
+VARIABLE x \\in 0..40
+Init == x = 0
+Next == x' = IF x < N THEN x + 1 ELSE x
+Spec == Init /\\ [][Next]_<<x>>
+Bound == x <= 40
+"""
+
+
+def counter_request(**overrides):
+    overrides.setdefault("module_source", COUNTER_TLA)
+    overrides.setdefault("invariants", ("Small",))
+    return CheckRequest(**overrides)
+
+
+def chain_request(**overrides):
+    overrides.setdefault("invariants", ("Bound",))
+    return CheckRequest(module_source=CHAIN_TLA, **overrides)
+
+
+async def wait_for(predicate, timeout=30.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError(f"timed out waiting for {message}")
+        await asyncio.sleep(0.02)
+
+
+async def wait_terminal(job, timeout=30.0):
+    await wait_for(lambda: job.terminal, timeout,
+                   f"job {job.id} to finish (state={job.state})")
+    return job
+
+
+class TestLifecycle:
+    def test_submit_runs_to_done_with_events(self, tmp_path):
+        async def scenario():
+            manager = JobManager(str(tmp_path), pool_size=1)
+            await manager.start()
+            job, disposition = manager.submit(counter_request())
+            assert disposition == "created"
+            assert job.state == "queued"
+            await wait_terminal(job)
+            await manager.shutdown()
+            return job
+
+        job = asyncio.run(scenario())
+        assert job.state == "done"
+        assert job.result["verdict"] == "ok"
+        assert job.result["states"] == 3
+        assert job.result["graph_digest"]
+        kinds = [event["event"] for event in job.events]
+        assert kinds[0] == "queued"
+        assert kinds[1] == "started"
+        assert kinds[-1] == "done"
+        assert kinds.count("level") == job.result["stats"]["levels_seen"]
+        # seq is a gap-free stream index (what the NDJSON watcher relies on)
+        assert [event["seq"] for event in job.events] \
+            == list(range(len(job.events)))
+        # done jobs leave no checkpoint behind
+        assert not os.path.exists(job.checkpoint_path)
+
+    def test_violation_carries_portable_trace(self, tmp_path):
+        async def scenario():
+            manager = JobManager(str(tmp_path), pool_size=1)
+            await manager.start()
+            job, _ = manager.submit(counter_request(invariants=("TooSmall",)))
+            await wait_terminal(job)
+            await manager.shutdown()
+            return job
+
+        job = asyncio.run(scenario())
+        assert job.state == "done"
+        assert job.result["verdict"] == "violation"
+        (check,) = job.result["checks"]
+        assert check["ok"] is False
+        assert check["counterexample"] is not None
+
+    def test_explosion_is_a_verdict_not_a_failure(self, tmp_path):
+        async def scenario():
+            manager = JobManager(str(tmp_path), pool_size=1)
+            await manager.start()
+            job, _ = manager.submit(counter_request(max_states=2))
+            await wait_terminal(job)
+            # explosions are pure functions of the request too: cached
+            rerun, disposition = manager.submit(counter_request(max_states=2))
+            await manager.shutdown()
+            return job, rerun, disposition
+
+        job, rerun, disposition = asyncio.run(scenario())
+        assert job.state == "done"
+        assert job.result["verdict"] == "explosion"
+        assert "state budget" in job.result["error"]
+        assert disposition == "cached"
+        assert rerun.result["verdict"] == "explosion"
+
+    def test_record_and_event_log_persisted(self, tmp_path):
+        async def scenario():
+            manager = JobManager(str(tmp_path), pool_size=1)
+            await manager.start()
+            job, _ = manager.submit(counter_request())
+            await wait_terminal(job)
+            await manager.shutdown()
+            return job
+
+        job = asyncio.run(scenario())
+        record_path = tmp_path / "jobs" / (job.id + ".json")
+        record = json.loads(record_path.read_text())
+        assert record["state"] == "done"
+        assert record["result"]["verdict"] == "ok"
+        events_path = tmp_path / "jobs" / (job.id + ".events.ndjson")
+        lines = [json.loads(line) for line in
+                 events_path.read_text().splitlines() if line]
+        assert lines == job.events
+
+    def test_bad_submissions_rejected_eagerly(self, tmp_path):
+        async def scenario():
+            manager = JobManager(str(tmp_path), pool_size=1)
+            await manager.start()
+            outcomes = {}
+            for key, request in {
+                "parse": CheckRequest(module_source="MODULE Bad\nInit == x ="),
+                "spec": counter_request(spec="NoSuchSpec"),
+                "name": counter_request(invariants=("NoSuchInv",)),
+            }.items():
+                try:
+                    manager.submit(request)
+                except (ParseError, ValueError, KeyError) as exc:
+                    outcomes[key] = exc
+            await manager.shutdown()
+            return outcomes
+
+        outcomes = asyncio.run(scenario())
+        assert set(outcomes) == {"parse", "spec", "name"}
+
+
+class TestCacheAndCoalescing:
+    def test_identical_resubmission_is_cached_with_zero_exploration(
+            self, tmp_path):
+        async def scenario():
+            manager = JobManager(str(tmp_path), pool_size=1)
+            await manager.start()
+            first, first_disposition = manager.submit(counter_request())
+            await wait_terminal(first)
+            # execution-only knobs differ; the fingerprint must not
+            second, second_disposition = manager.submit(
+                counter_request(workers=2, checkpoint_every=5))
+            await manager.shutdown()
+            return first, first_disposition, second, second_disposition
+
+        first, d1, second, d2 = asyncio.run(scenario())
+        assert (d1, d2) == ("created", "cached")
+        assert second.state == "done" and second.cache_hit is True
+        assert first.cache_hit is False
+        # byte-identical verdict, trace, and graph -- served from cache
+        assert second.result == first.result
+        # zero new exploration: the cached job never started or levelled
+        kinds = [event["event"] for event in second.events]
+        assert kinds == ["done"]
+        assert second.events[0]["cache_hit"] is True
+
+    def test_any_semantic_change_misses_the_cache(self, tmp_path):
+        async def scenario():
+            manager = JobManager(str(tmp_path), pool_size=1)
+            await manager.start()
+            first, _ = manager.submit(counter_request())
+            await wait_terminal(first)
+            changed, disposition = manager.submit(
+                counter_request(module_source=COUNTER_TLA + "\n"))
+            await wait_terminal(changed)
+            await manager.shutdown()
+            return disposition
+
+        assert asyncio.run(scenario()) == "created"
+
+    def test_cache_survives_a_manager_restart(self, tmp_path):
+        async def first_life():
+            manager = JobManager(str(tmp_path), pool_size=1)
+            await manager.start()
+            job, _ = manager.submit(counter_request())
+            await wait_terminal(job)
+            await manager.shutdown()
+            return job.result
+
+        async def second_life():
+            manager = JobManager(str(tmp_path), pool_size=1)
+            await manager.start()
+            job, disposition = manager.submit(counter_request())
+            await manager.shutdown()
+            return job, disposition
+
+        fresh_result = asyncio.run(first_life())
+        job, disposition = asyncio.run(second_life())
+        assert disposition == "cached"
+        assert job.result == fresh_result
+
+    def test_concurrent_identical_submissions_coalesce(self, tmp_path):
+        async def scenario():
+            manager = JobManager(str(tmp_path), pool_size=1)
+            await manager.start()
+            slow = chain_request(level_delay=0.05)
+            first, _ = manager.submit(slow)
+            await wait_for(lambda: first.state == "running",
+                           message="job to start")
+            attached = [manager.submit(slow) for _ in range(4)]
+            await wait_terminal(first)
+            await manager.shutdown()
+            return first, attached
+
+        first, attached = asyncio.run(scenario())
+        assert all(job is first for job, _ in attached)
+        assert all(d == "coalesced" for _, d in attached)
+        assert first.coalesced == 4
+        assert first.state == "done" and first.result["verdict"] == "ok"
+
+
+class TestAdmissionControl:
+    def test_queue_limit_rejects_with_retry_after(self, tmp_path):
+        async def scenario():
+            manager = JobManager(str(tmp_path), pool_size=1, queue_limit=1)
+            await manager.start()
+            running, _ = manager.submit(chain_request(level_delay=0.05))
+            await wait_for(lambda: running.state == "running",
+                           message="job to start")
+            # distinct max_states => distinct fingerprints, no coalescing
+            queued, disposition = manager.submit(
+                chain_request(max_states=1000))
+            assert disposition == "created"
+            try:
+                manager.submit(chain_request(max_states=1001))
+            except QueueFull as exc:
+                rejection = exc
+            else:
+                rejection = None
+            manager.cancel(running.id)
+            await wait_terminal(running)
+            await wait_terminal(queued)
+            await manager.shutdown()
+            return rejection
+
+        rejection = asyncio.run(scenario())
+        assert rejection is not None
+        assert rejection.retry_after >= 1.0
+
+
+class TestCancellation:
+    def test_cancel_queued_is_immediate(self, tmp_path):
+        async def scenario():
+            manager = JobManager(str(tmp_path), pool_size=1)
+            await manager.start()
+            running, _ = manager.submit(chain_request(level_delay=0.05))
+            await wait_for(lambda: running.state == "running",
+                           message="job to start")
+            waiting, _ = manager.submit(chain_request(max_states=1000))
+            job, accepted = manager.cancel(waiting.id)
+            assert accepted and job.state == "cancelled"
+            manager.cancel(running.id)
+            await wait_terminal(running)
+            await manager.shutdown()
+            return waiting
+
+        waiting = asyncio.run(scenario())
+        assert waiting.state == "cancelled"
+        assert waiting.events[-1]["while_state"] == "queued"
+
+    def test_cancel_running_lands_at_next_level_boundary(self, tmp_path):
+        async def scenario():
+            manager = JobManager(str(tmp_path), pool_size=1)
+            await manager.start()
+            job, _ = manager.submit(chain_request(level_delay=0.05))
+            await wait_for(
+                lambda: any(e["event"] == "level" for e in job.events),
+                message="first level event")
+            _, accepted = manager.cancel(job.id)
+            assert accepted
+            await wait_terminal(job)
+            await manager.shutdown()
+            return job
+
+        job = asyncio.run(scenario())
+        assert job.state == "cancelled"
+        kinds = [event["event"] for event in job.events]
+        assert "cancel_requested" in kinds
+        assert job.events[-1]["while_state"] == "running"
+        # it stopped early: nowhere near the chain's 41 levels
+        assert kinds.count("level") < 41
+        assert not os.path.exists(job.checkpoint_path)
+
+    def test_cancel_terminal_job_is_rejected(self, tmp_path):
+        async def scenario():
+            manager = JobManager(str(tmp_path), pool_size=1)
+            await manager.start()
+            job, _ = manager.submit(counter_request())
+            await wait_terminal(job)
+            _, accepted = manager.cancel(job.id)
+            await manager.shutdown()
+            return accepted
+
+        assert asyncio.run(scenario()) is False
+
+    def test_cancel_unknown_job(self, tmp_path):
+        async def scenario():
+            manager = JobManager(str(tmp_path), pool_size=1)
+            await manager.start()
+            job, accepted = manager.cancel("nope")
+            await manager.shutdown()
+            return job, accepted
+
+        assert asyncio.run(scenario()) == (None, False)
+
+
+class TestShutdownAndResume:
+    """The acceptance scenario: interrupt mid-job, restart, resume to
+    the bit-for-bit identical graph."""
+
+    def test_interrupted_job_resumes_to_identical_digest(self, tmp_path):
+        request = chain_request(level_delay=0.05)
+        fresh = run_check(chain_request())  # no pacing: the reference run
+
+        async def first_life():
+            manager = JobManager(str(tmp_path), pool_size=1)
+            await manager.start()
+            job, _ = manager.submit(request)
+            await wait_for(
+                lambda: sum(1 for e in job.events
+                            if e["event"] == "level") >= 3,
+                message="a few levels of progress")
+            await manager.shutdown()  # SIGTERM equivalent
+            return job
+
+        job = asyncio.run(first_life())
+        assert job.state == "queued"  # interrupted, not lost
+        assert job.resume is True
+        assert os.path.exists(job.checkpoint_path)
+        kinds = [event["event"] for event in job.events]
+        assert kinds[-1] == "interrupted"
+        assert 3 <= kinds.count("level") < 41  # genuinely mid-flight
+        record = json.loads(
+            (tmp_path / "jobs" / (job.id + ".json")).read_text())
+        assert record["state"] == "queued" and record["resume"] is True
+
+        async def second_life():
+            manager = JobManager(str(tmp_path), pool_size=1)
+            await manager.start()  # recovery requeues the interrupted job
+            resumed = manager.get(job.id)
+            assert resumed is not None
+            await wait_terminal(resumed)
+            await manager.shutdown()
+            return resumed
+
+        resumed = asyncio.run(second_life())
+        assert resumed.state == "done"
+        assert resumed.result["verdict"] == "ok"
+        # the resumed exploration produced the same graph, bit for bit
+        assert resumed.result["graph_digest"] == fresh["graph_digest"]
+        assert resumed.result["states"] == fresh["states"]
+        assert resumed.result["edges"] == fresh["edges"]
+        kinds = [event["event"] for event in resumed.events]
+        assert "requeued" in kinds
+        started = [e for e in resumed.events if e["event"] == "started"]
+        assert started[-1]["resume"] is True
+        assert not os.path.exists(resumed.checkpoint_path)
+
+    def test_crashed_running_job_is_requeued_on_recovery(self, tmp_path):
+        # simulate a worker crash (no graceful drain): a persisted record
+        # stuck in "running" with no checkpoint must restart from scratch
+        manager = JobManager(str(tmp_path), pool_size=1)
+        request = counter_request()
+        job = manager._new_job(request, request.fingerprint())
+        job.state = "running"
+        manager._jobs[job.id] = job
+        manager._persist(job)
+
+        async def next_life():
+            recovered = JobManager(str(tmp_path), pool_size=1)
+            await recovered.start()
+            revived = recovered.get(job.id)
+            assert revived is not None
+            await wait_terminal(revived)
+            await recovered.shutdown()
+            return revived
+
+        revived = asyncio.run(next_life())
+        assert revived.state == "done"
+        assert revived.resume is False  # no checkpoint survived the crash
+        assert revived.result["verdict"] == "ok"
+
+    def test_health_counters(self, tmp_path):
+        async def scenario():
+            manager = JobManager(str(tmp_path), pool_size=2, queue_limit=5)
+            await manager.start()
+            job, _ = manager.submit(counter_request())
+            await wait_terminal(job)
+            manager.submit(counter_request())  # cache hit
+            health = manager.health()
+            await manager.shutdown()
+            return health
+
+        health = asyncio.run(scenario())
+        assert health["status"] == "ok"
+        assert health["pool_size"] == 2 and health["queue_limit"] == 5
+        assert health["jobs"]["done"] == 2
+        assert health["cache"]["hits"] == 1
+        assert health["cache"]["entries"] == 1
+
+
+class TestRequestValidation:
+    def test_from_dict_roundtrip(self):
+        request = chain_request(workers=2, level_delay=0.5)
+        assert CheckRequest.from_dict(request.to_dict()) == request
+
+    def test_single_string_invariant_is_accepted(self):
+        request = CheckRequest.from_dict(
+            {"module_source": COUNTER_TLA, "invariants": "Small"})
+        assert request.invariants == ("Small",)
+
+    @pytest.mark.parametrize("payload, fragment", [
+        ({}, "module_source"),
+        ({"module_source": ""}, "module_source"),
+        ({"module_source": "m", "bogus": 1}, "unknown request fields"),
+        ({"module_source": "m", "max_states": 0}, "max_states"),
+        ({"module_source": "m", "max_states": True}, "max_states"),
+        ({"module_source": "m", "checkpoint_every": 0}, "checkpoint_every"),
+        ({"module_source": "m", "level_delay": -1}, "level_delay"),
+        ({"module_source": "m", "level_delay": 60}, "level_delay"),
+        ({"module_source": "m", "por": "yes"}, "por"),
+        ({"module_source": "m", "invariants": [1]}, "invariants"),
+    ])
+    def test_bad_payloads_rejected(self, payload, fragment):
+        with pytest.raises(ValueError, match=fragment):
+            CheckRequest.from_dict(payload)

@@ -187,6 +187,61 @@ class TestStats:
         assert "states/sec" not in text
 
 
+class TestStatsJson:
+    def test_check_stats_json_writes_machine_readable_file(
+            self, module_file, tmp_path):
+        path = tmp_path / "stats.json"
+        code, text = run_cli("check", module_file, "--invariant", "Small",
+                             "--stats-json", str(path))
+        assert code == 0
+        assert "states/sec" not in text  # no human summary unless --stats
+        stats = json.loads(path.read_text())
+        assert stats["states"] == 3
+        assert stats["depth"] == 2
+        assert stats["levels_seen"] == 3
+        assert "invariant:Small" in stats["phases"]
+
+    def test_explore_stats_json_and_stats_compose(self, module_file,
+                                                  tmp_path):
+        path = tmp_path / "stats.json"
+        code, text = run_cli("explore", module_file, "--stats",
+                             "--stats-json", str(path))
+        assert code == 0
+        assert "states/sec" in text  # both renderings at once
+        assert json.loads(path.read_text())["states"] == 3
+
+    def test_stats_json_written_even_on_explosion(self, module_file,
+                                                  tmp_path):
+        path = tmp_path / "stats.json"
+        code, _ = run_cli("check", module_file, "--max-states", "1",
+                          "--stats-json", str(path))
+        assert code == 2
+        # the partial document still lands, machine-readable
+        assert "states" in json.loads(path.read_text())
+
+
+class TestParseTimeValidation:
+    """--checkpoint-every and --spill-cache reject non-positive values
+    as usage errors (exit 2) before any work starts."""
+
+    @pytest.mark.parametrize("flags", [
+        ("--checkpoint-every", "0"),
+        ("--checkpoint-every", "-3"),
+        ("--checkpoint-every", "two"),
+        ("--spill-cache", "0"),
+        ("--spill-cache", "-5"),
+    ])
+    def test_bad_values_are_usage_errors(self, module_file, flags):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("check", module_file, *flags)
+        assert excinfo.value.code == 2
+
+    def test_boundary_value_one_is_accepted(self, module_file):
+        code, _ = run_cli("check", module_file, "--invariant", "Small",
+                          "--checkpoint-every", "1")
+        assert code == 0
+
+
 class TestDurableRuns:
     def _paths(self, tmp_path):
         cp = str(tmp_path / "run.ckpt")
