@@ -1,0 +1,86 @@
+"""PERF/acceptance: the compact engine on the k=3 queue chain.
+
+The compact explorer (packed-int states, per-conjunct memoized guard
+trees, fingerprint-only retention -- see DESIGN.md section 4g) must be
+**>= 5x** the full engine's states/sec on the queue-chain workload while
+producing the bit-for-bit identical graph: same state/edge counts and
+the same streaming :class:`~repro.checker.digest.GraphDigest`.
+
+The ratio is a property of the algorithms, not the machine (both halves
+run on the same interpreter in the same process), but the full-engine
+half is slow enough that the measurement is gated on cores like the POR
+benchmark.  Set ``REPRO_BENCH_STATS_JSON`` to also write the compact
+run's machine-readable stats snapshot (CI uploads it as an artifact).
+"""
+
+import os
+from time import perf_counter
+
+import pytest
+
+from repro.checker import ExploreStats, digest_of_graph, explore, explore_compact
+from repro.systems.queue import QueueChain
+
+from conftest import report
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover
+        return os.cpu_count() or 1
+
+
+def _best_of(fn, rounds: int = 2) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = perf_counter()
+        fn()
+        best = min(best, perf_counter() - t0)
+    return best
+
+
+def test_compact_engine_speedup_on_queue_chain():
+    cores = _usable_cores()
+    if cores < 4:
+        pytest.skip(f"full-engine half of the measurement is too slow on "
+                    f"{cores} usable core(s); CI runs it on 4+")
+    spec = QueueChain(3, 1).complete_spec()
+
+    full = explore(spec)
+    t_full = _best_of(lambda: explore(spec), rounds=1)
+
+    stats = ExploreStats()
+    compact = explore_compact(spec, stats=stats)
+    t_compact = _best_of(lambda: explore_compact(spec), rounds=2)
+
+    # identity first: a fast wrong answer is worthless
+    assert compact.state_count == full.state_count
+    assert compact.edge_count == full.edge_count
+    assert compact.digest() == digest_of_graph(full)
+    assert stats.fingerprint_collisions == 0
+
+    ratio = t_full / t_compact
+    assert ratio >= 5.0, (
+        f"compact engine ran {ratio:.2f}x the full engine "
+        f"({full.state_count} states: full {t_full:.3f}s, compact "
+        f"{t_compact:.3f}s); the acceptance bar is >= 5x"
+    )
+
+    stats_json = os.environ.get("REPRO_BENCH_STATS_JSON")
+    if stats_json:
+        with open(stats_json, "w") as handle:
+            handle.write(stats.to_json(indent=2) + "\n")
+
+    report("compact engine, queue chain k=3, N=1", [
+        ["states", full.state_count],
+        ["real edges", full.edge_count],
+        ["full engine", f"{t_full:.3f} s "
+                        f"({full.state_count / t_full:,.0f} states/s)"],
+        ["compact engine", f"{t_compact:.3f} s "
+                           f"({compact.state_count / t_compact:,.0f} "
+                           f"states/s)"],
+        ["speedup", f"{ratio:.2f}x"],
+        ["graph digest", compact.digest()[:16] + "..."],
+        ["collision bound", f"{stats.collision_probability_bound:.3g}"],
+    ])

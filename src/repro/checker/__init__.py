@@ -13,6 +13,14 @@ from .checkpoint import (
     save_checkpoint,
     write_manifest,
 )
+from .compact import (
+    CompactGraph,
+    CompactUnsupported,
+    check_invariant_compact,
+    explore_compact,
+    resume_compact,
+)
+from .digest import GraphDigest, digest_of_graph
 from .explorer import StateSpaceExplosion, explore, initial_states
 from .graph import StateGraph
 from .invariants import check_deadlock_free, check_invariant
@@ -51,6 +59,13 @@ __all__ = [
     "manifest_path_for",
     "write_manifest",
     "StateGraph",
+    "CompactGraph",
+    "CompactUnsupported",
+    "explore_compact",
+    "resume_compact",
+    "check_invariant_compact",
+    "GraphDigest",
+    "digest_of_graph",
     "ExploreStats",
     "check_deadlock_free",
     "check_invariant",

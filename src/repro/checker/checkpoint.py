@@ -188,6 +188,12 @@ class Checkpoint:
                 f"{path}: unsupported checkpoint version {version!r} "
                 f"(this build reads version {CHECKPOINT_VERSION})"
             )
+        if payload.get("mode") == "compact":
+            raise CheckpointError(
+                f"{path}: checkpoint was written by the compact engine; "
+                f"resume it with --compact "
+                f"(repro.checker.compact.resume_compact)"
+            )
         try:
             self.spec_name: str = payload["spec_name"]
             self.max_states: Optional[int] = payload["max_states"]
@@ -260,8 +266,8 @@ class Checkpoint:
         )
 
 
-def load_checkpoint(path: str) -> Checkpoint:
-    """Parse and validate a checkpoint file."""
+def _read_checkpoint_payload(path: str) -> Dict[str, object]:
+    """Read and JSON-parse a checkpoint file (shared by both engines)."""
     try:
         with open(path) as handle:
             payload = json.load(handle)
@@ -271,7 +277,12 @@ def load_checkpoint(path: str) -> Checkpoint:
         raise CheckpointError(f"{path}: unreadable checkpoint ({exc})") from exc
     if not isinstance(payload, dict):
         raise CheckpointError(f"{path}: checkpoint is not a JSON object")
-    return Checkpoint(path, payload)
+    return payload
+
+
+def load_checkpoint(path: str) -> Checkpoint:
+    """Parse and validate a full-engine checkpoint file."""
+    return Checkpoint(path, _read_checkpoint_payload(path))
 
 
 def _reduction_dict(reduction: object) -> Optional[Dict[str, object]]:

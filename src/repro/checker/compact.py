@@ -1,0 +1,724 @@
+"""The compact engine: fingerprint-only BFS over packed states.
+
+This is the repo's rendition of TLC's scale trick (Yu, Manolios,
+Lamport, *Model Checking TLA+ Specifications*): instead of retaining a
+dict-backed :class:`~repro.kernel.state.State` per visited state, the
+explorer interns **one packed int per state** (see
+:mod:`repro.kernel.packed`) plus a parent id, and regenerates everything
+else -- full states, counterexample traces, invariant verdicts -- on
+demand by decoding packed ints and re-walking BFS parents with the
+compiled action plan.
+
+Design contract (checked exhaustively by
+``tests/test_compact_differential.py``): a compact run of a spec is
+**bit-for-bit equivalent** to a full run -- same node numbering, same
+BFS parent tree, same edge counts, same
+:class:`~repro.checker.graph.StateSpaceExplosion` insertion point, same
+verdicts and regenerated traces, and the same streaming
+:class:`~repro.checker.digest.GraphDigest` -- for any worker count and
+across checkpoint/resume.  The engine differs from the full one only in
+what it *retains*.
+
+Two scale consequences:
+
+* memory per visited state drops from a boxed dict to roughly one small
+  int (10^7 states fit in laptop RAM), and
+* the packed successor plan memoizes per-conjunct footprints, which on
+  branchy specs is a >5x states/sec win (CI gates this on the
+  queue-chain benchmark).
+
+Interning is keyed on *packed ints*, which are bijective with states --
+so unlike classic fingerprint-set exploration, state interning here can
+never merge two distinct states.  64-bit fingerprints are still
+computed (they feed the graph digest and the service cache), and the
+engine counts any fingerprint collisions it observes on
+``ExploreStats.fingerprint_collisions`` instead of staying silent; the
+birthday-bound collision probability is reported in
+``ExploreStats.summary()`` / ``to_json()``.
+
+Temporal (lasso) properties need the full successor structure, which
+the compact engine deliberately does not retain; callers gate those to
+the full engine (the CLI refuses ``--compact --property``, the service
+auto-disables compact with a note).
+"""
+
+from __future__ import annotations
+
+import base64
+import multiprocessing
+import os
+import pickle
+from time import perf_counter
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..kernel.behavior import FiniteBehavior
+from ..kernel.expr import Expr, to_expr
+from ..kernel.packed import CompactUnsupported, PackedPlan
+from ..spec import Spec
+from .checkpoint import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    _SAME_PATH,
+    _atomic_write_json,
+    _read_checkpoint_payload,
+)
+from .digest import GraphDigest
+from .explorer import initial_states
+from .graph import StateSpaceExplosion
+from .parallel import (
+    _CHUNKS_PER_WORKER,
+    _MIN_CHUNK,
+    _ChunkRunner,
+    _inline_threshold,
+    default_workers,
+)
+from .results import CheckResult, Counterexample
+from .stats import ExploreStats, maybe_phase
+
+__all__ = [
+    "CompactGraph",
+    "CompactUnsupported",
+    "explore_compact",
+    "resume_compact",
+    "save_compact_checkpoint",
+    "check_invariant_compact",
+]
+
+#: The ``mode`` tag compact checkpoints carry, so the two engines can
+#: refuse each other's snapshots with a usable error.
+COMPACT_CHECKPOINT_MODE = "compact"
+
+
+class _PackedStatesView:
+    """Read-only sequence of decoded states, materialised per access.
+
+    Gives a :class:`CompactGraph` the ``graph.states[node]`` surface the
+    CLI's ``--show`` and ad-hoc callers expect, without retaining any
+    :class:`~repro.kernel.state.State` objects.
+    """
+
+    __slots__ = ("_graph",)
+
+    def __init__(self, graph: "CompactGraph"):
+        self._graph = graph
+
+    def __len__(self) -> int:
+        return len(self._graph.packed)
+
+    def __getitem__(self, node: int):
+        return self._graph.state_at(node)
+
+    def __iter__(self):
+        decode = self._graph.codec.decode
+        for packed in self._graph.packed:
+            yield decode(packed)
+
+
+class CompactGraph:
+    """A reachable state graph retaining only packed ints + BFS parents.
+
+    Mirrors the :class:`~repro.checker.graph.StateGraph` surface the
+    checking layers read (``state_count`` / ``edge_count`` /
+    ``stutter_count`` / ``init_nodes`` / ``path_to_root`` / ``states``)
+    but drops successor lists and full states.  The transition structure
+    is folded into a streaming :class:`GraphDigest` at expansion time
+    instead, so two explorations can still be compared bit-for-bit.
+    """
+
+    def __init__(self, spec: Spec, plan: Optional[PackedPlan] = None,
+                 max_states: Optional[int] = None):
+        self.spec = spec
+        self.plan = plan if plan is not None else PackedPlan(spec)
+        self.codec = self.plan.codec
+        self.name = spec.name
+        self.max_states = max_states
+        self.visited: Dict[int, int] = {}   # packed -> node id
+        self.packed: List[int] = []         # node id -> packed
+        self.parent: List[int] = []         # node id -> parent (-1: initial)
+        self.init_nodes: List[int] = []
+        self._edge_count = 0
+        self._fingerprints: set = set()
+        self._collisions = 0
+        self._digest = GraphDigest()
+
+    # -- interning -----------------------------------------------------------
+
+    def intern(self, packed: int, parent: int) -> Tuple[int, bool]:
+        """Intern a packed state; returns ``(node_id, is_new)``.
+
+        Enforces the ``max_states`` budget at insertion time exactly
+        like :meth:`StateGraph.add_state`, and counts 64-bit fingerprint
+        collisions (packed keys are exact, so a collision here is
+        *observed and survived*, never a silent merge).
+        """
+        node = self.visited.get(packed)
+        if node is not None:
+            return node, False
+        node = len(self.packed)
+        if self.max_states is not None and node >= self.max_states:
+            label = f"exploring {self.name!r} " if self.name else "exploration "
+            raise StateSpaceExplosion(
+                f"{label}exceeded the state budget of "
+                f"{self.max_states} states")
+        self.visited[packed] = node
+        self.packed.append(packed)
+        self.parent.append(parent)
+        if parent < 0:
+            self.init_nodes.append(node)
+        fingerprint = self.codec.fingerprint(packed)
+        if fingerprint in self._fingerprints:
+            self._collisions += 1
+        else:
+            self._fingerprints.add(fingerprint)
+        self._digest.absorb_node(fingerprint, parent)
+        return node, True
+
+    def merge_successors(self, src: int,
+                         successors: Iterable[int]) -> List[int]:
+        """Merge one source's successor emission; returns new node ids.
+
+        Edge accounting matches the full engine: stutter self-loops and
+        repeated targets are not counted, and the deduplicated target
+        list (the full engine's ``succ[src][1:]``) feeds the digest's
+        edge stream.
+        """
+        new_nodes: List[int] = []
+        dsts: List[int] = []
+        seen: set = set()
+        for packed in successors:
+            node, is_new = self.intern(packed, src)
+            if is_new:
+                new_nodes.append(node)
+            if node != src and node not in seen:
+                seen.add(node)
+                dsts.append(node)
+        self._edge_count += len(dsts)
+        self._digest.absorb_edges(src, dsts)
+        return new_nodes
+
+    # -- StateGraph-compatible surface ---------------------------------------
+
+    @property
+    def state_count(self) -> int:
+        return len(self.packed)
+
+    @property
+    def edge_count(self) -> int:
+        return self._edge_count
+
+    @property
+    def stutter_count(self) -> int:
+        return len(self.packed)
+
+    @property
+    def total_edge_count(self) -> int:
+        return self._edge_count + len(self.packed)
+
+    @property
+    def states(self) -> _PackedStatesView:
+        return _PackedStatesView(self)
+
+    @property
+    def fingerprint_collisions(self) -> int:
+        """Distinct states observed sharing a 64-bit fingerprint."""
+        return self._collisions
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < len(self.packed):
+            raise ValueError(
+                f"node {node!r} is not in this graph (valid ids: "
+                f"0..{len(self.packed) - 1}); states beyond the "
+                f"max_states budget are never interned")
+
+    def state_at(self, node: int):
+        """Decode node *node* back into a full ``State``."""
+        self._check_node(node)
+        return self.codec.decode(self.packed[node])
+
+    def path_to_root(self, node: int) -> List[int]:
+        """The BFS-tree path from an initial node to *node* (inclusive)."""
+        self._check_node(node)
+        path = [node]
+        while self.parent[path[-1]] >= 0:
+            path.append(self.parent[path[-1]])
+        path.reverse()
+        return path
+
+    def trace_to(self, node: int) -> FiniteBehavior:
+        """Regenerate the counterexample trace reaching *node*.
+
+        Decodes the BFS-parent chain and re-verifies every step against
+        the compiled packed plan -- each regenerated state really is a
+        successor of its predecessor, so a corrupt parent table (or an
+        encoder drift) surfaces here instead of producing a bogus trace.
+        """
+        path = self.path_to_root(node)
+        for prev, nxt in zip(path, path[1:]):
+            if self.packed[nxt] not in self.plan.successors(self.packed[prev]):
+                raise RuntimeError(
+                    f"regenerated trace is not a behavior: node {nxt} is "
+                    f"not a successor of its BFS parent {prev}; the "
+                    f"parent table is corrupt or the encoder drifted")
+        return FiniteBehavior([self.state_at(n) for n in path])
+
+    # -- digests -------------------------------------------------------------
+
+    def digest(self) -> str:
+        """The streaming graph digest (see :mod:`repro.checker.digest`)."""
+        return self._digest.hexdigest()
+
+    def digest_state(self) -> List[int]:
+        return self._digest.state()
+
+
+# -- exploration -------------------------------------------------------------
+
+
+def _seed_compact(spec: Spec,
+                  max_states: Optional[int]) -> Tuple[CompactGraph, List[int]]:
+    graph = CompactGraph(spec, max_states=max_states)
+    encode = graph.codec.encode
+    frontier: List[int] = []
+    for state in initial_states(spec.init, spec.universe):
+        node, is_new = graph.intern(encode(state), -1)
+        if is_new:
+            frontier.append(node)
+    return graph, frontier
+
+
+def _finish_compact(graph: CompactGraph, stats: Optional[ExploreStats],
+                    depth: int, elapsed: float) -> None:
+    if stats is not None:
+        stats.engine = "compact"
+        stats.record_explore(graph, depth, elapsed)
+        stats.fingerprint_collisions = graph.fingerprint_collisions
+
+
+def _drive_compact(
+    spec: Spec,
+    graph: CompactGraph,
+    frontier: List[int],
+    depth: int,
+    levels: int,
+    elapsed_before: float,
+    stats: Optional[ExploreStats] = None,
+    checkpoint: Optional[str] = None,
+    checkpoint_every: int = 1,
+    workers: int = 1,
+    worker_timeout: Optional[float] = None,
+    fault_hook: Optional[Callable] = None,
+    start: Optional[float] = None,
+) -> CompactGraph:
+    """The compact BFS loop, resumable at any level boundary (the
+    packed-int twin of :func:`repro.checker.explorer._drive`)."""
+    if start is None:
+        start = perf_counter()
+    if workers > 1:
+        return _drive_compact_parallel(
+            spec, graph, frontier, depth, levels, elapsed_before,
+            stats=stats, checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every, workers=workers,
+            worker_timeout=worker_timeout, fault_hook=fault_hook,
+            start=start)
+    successors = graph.plan.successors
+    packed = graph.packed
+    merge = graph.merge_successors
+    while frontier:
+        next_frontier: List[int] = []
+        for src in frontier:
+            next_frontier.extend(merge(src, successors(packed[src])))
+        if stats is not None:
+            stats.record_level(len(frontier), graph)
+        frontier = next_frontier
+        levels += 1
+        if frontier:
+            depth += 1
+        if checkpoint is not None and (
+                not frontier or levels % checkpoint_every == 0):
+            save_compact_checkpoint(
+                checkpoint, spec, graph, frontier, depth, levels,
+                elapsed_seconds=elapsed_before + perf_counter() - start,
+                workers=workers, checkpoint_every=checkpoint_every,
+                stats=stats)
+    _finish_compact(graph, stats, depth,
+                    elapsed_before + perf_counter() - start)
+    return graph
+
+
+# worker-process globals, set once by _init_compact_worker
+_compact_expand: Optional[Callable[[int], List[int]]] = None
+_compact_fault: Optional[Callable] = None
+
+
+def _init_compact_worker(spec_payload: bytes, fault_hook=None) -> None:
+    """Pool initializer: build the packed plan once per worker process."""
+    global _compact_expand, _compact_fault
+    spec = pickle.loads(spec_payload)
+    _compact_expand = PackedPlan(spec).successors
+    _compact_fault = fault_hook
+
+
+def _expand_packed_chunk(chunk: List[int]):
+    """Worker body: successor emission for one packed frontier chunk.
+
+    Chunk entries are packed ints -- exact state identities -- so no
+    batch keys are needed: the coordinator pairs results back to sources
+    positionally (results arrive per chunk in submission order, batches
+    within a chunk in chunk order)."""
+    expand = _compact_expand
+    assert expand is not None, "worker used before initialization"
+    if _compact_fault is not None:
+        _compact_fault(chunk)
+    start = perf_counter()
+    batches = [expand(packed) for packed in chunk]
+    return os.getpid(), perf_counter() - start, batches
+
+
+def _packed_chunks(entries: List[int], workers: int) -> List[List[int]]:
+    """Contiguous chunks, same size rule as the full engine's sharding."""
+    target = workers * _CHUNKS_PER_WORKER
+    chunk_size = max(_MIN_CHUNK, -(-len(entries) // target))
+    return [entries[i:i + chunk_size]
+            for i in range(0, len(entries), chunk_size)]
+
+
+def _drive_compact_parallel(
+    spec: Spec,
+    graph: CompactGraph,
+    frontier: List[int],
+    depth: int,
+    levels: int,
+    elapsed_before: float,
+    stats: Optional[ExploreStats] = None,
+    checkpoint: Optional[str] = None,
+    checkpoint_every: int = 1,
+    workers: int = 2,
+    worker_timeout: Optional[float] = None,
+    fault_hook: Optional[Callable] = None,
+    start: Optional[float] = None,
+) -> CompactGraph:
+    """Multi-process compact BFS: workers expand packed chunks, the
+    coordinator merges strictly in submission order, so the graph (and
+    its digest) is bit-for-bit the serial compact graph -- the same
+    determinism argument as :func:`repro.checker.parallel._drive_parallel`,
+    with retry/crash recovery inherited from :class:`_ChunkRunner`."""
+    if start is None:
+        start = perf_counter()
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods
+                                     else methods[0])
+    payload = pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+    idle = 0.0
+    worker_ids: Dict[int, int] = {}
+    successors = graph.plan.successors
+    packed = graph.packed
+    merge = graph.merge_successors
+    inline_below = _inline_threshold(workers)
+    runner = _ChunkRunner(workers, payload, ctx, worker_timeout, fault_hook,
+                          stats, initializer=_init_compact_worker,
+                          task=_expand_packed_chunk)
+    try:
+        while frontier:
+            next_frontier: List[int] = []
+            if len(frontier) < inline_below:
+                for src in frontier:
+                    next_frontier.extend(merge(src, successors(packed[src])))
+            else:
+                sources = list(frontier)
+                chunks = _packed_chunks([packed[src] for src in sources],
+                                        workers)
+                merged = 0
+                wait_from = perf_counter()
+                for pid, busy, batches in runner.run_level(chunks):
+                    idle += perf_counter() - wait_from
+                    if stats is not None:
+                        stats.record_worker_batch(
+                            worker_ids.setdefault(pid, len(worker_ids)),
+                            sources=len(batches),
+                            successors=sum(len(b) for b in batches),
+                            busy_seconds=busy,
+                        )
+                    for offset, succ_packed in enumerate(batches):
+                        next_frontier.extend(
+                            merge(sources[merged + offset], succ_packed))
+                    merged += len(batches)
+                    wait_from = perf_counter()
+            if stats is not None:
+                stats.record_level(len(frontier), graph)
+            frontier = next_frontier
+            levels += 1
+            if frontier:
+                depth += 1
+            if checkpoint is not None and (
+                    not frontier or levels % checkpoint_every == 0):
+                save_compact_checkpoint(
+                    checkpoint, spec, graph, frontier, depth, levels,
+                    elapsed_seconds=elapsed_before + perf_counter() - start,
+                    workers=workers, checkpoint_every=checkpoint_every,
+                    stats=stats)
+    finally:
+        runner.close()
+    _finish_compact(graph, stats, depth,
+                    elapsed_before + perf_counter() - start)
+    if stats is not None:
+        stats.record_parallel(workers, idle)
+    return graph
+
+
+def explore_compact(
+    spec: Spec,
+    max_states: int = 200_000,
+    workers: int = 1,
+    stats: Optional[ExploreStats] = None,
+    checkpoint: Optional[str] = None,
+    checkpoint_every: int = 1,
+    worker_timeout: Optional[float] = None,
+    fault_hook: Optional[Callable] = None,
+) -> CompactGraph:
+    """Explore ``Init ∧ □[N]_v`` on the compact engine.
+
+    The resulting :class:`CompactGraph` has the same node numbering,
+    BFS parents, edge counts, budget behaviour, and streaming digest as
+    a full :func:`~repro.checker.explorer.explore` /
+    :func:`~repro.checker.parallel.explore_parallel` run of the same
+    spec -- it just retains packed ints instead of states.  ``workers``
+    follows the parallel explorer's conventions (``0`` auto-sizes,
+    ``<= 1`` runs serially); specs the packed codec cannot represent
+    raise :class:`CompactUnsupported` before any exploration happens.
+    """
+    if workers == 1 and (worker_timeout is not None
+                         or fault_hook is not None):
+        raise ValueError(
+            "workers=1 runs the serial engine, which would silently "
+            "ignore worker_timeout/fault_hook; drop those options or "
+            "use workers >= 2 (workers=0 auto-sizes)")
+    if workers == 0:
+        workers = default_workers()
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    start = perf_counter()
+    graph, frontier = _seed_compact(spec, max_states)
+    return _drive_compact(spec, graph, frontier, depth=0, levels=0,
+                          elapsed_before=0.0, stats=stats,
+                          checkpoint=checkpoint,
+                          checkpoint_every=checkpoint_every,
+                          workers=workers, worker_timeout=worker_timeout,
+                          fault_hook=fault_hook, start=start)
+
+
+# -- checkpoint / resume -----------------------------------------------------
+
+
+def save_compact_checkpoint(
+    path: str,
+    spec: Spec,
+    graph: CompactGraph,
+    frontier: Sequence[int],
+    depth: int,
+    levels: int,
+    elapsed_seconds: float,
+    workers: int = 1,
+    checkpoint_every: int = 1,
+    stats: Optional[ExploreStats] = None,
+) -> None:
+    """Atomically snapshot a compact run at a BFS level boundary.
+
+    The snapshot stores packed ints (plus the codec signature, so resume
+    can verify the packing layout still matches the spec) and the live
+    digest accumulator -- edge structure is not retained, so the digest
+    stream *must* survive the round trip rather than be recomputed.
+    """
+    payload = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "mode": COMPACT_CHECKPOINT_MODE,
+        "spec_name": spec.name,
+        "spec_pickle": base64.b64encode(
+            pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+        ).decode("ascii"),
+        "max_states": graph.max_states,
+        "workers": workers,
+        "checkpoint_every": checkpoint_every,
+        "depth": depth,
+        "levels": levels,
+        "elapsed_seconds": elapsed_seconds,
+        "compact": {
+            "codec_signature": graph.codec.signature(),
+            "packed": list(graph.packed),
+            "parent": list(graph.parent),
+            "init_nodes": list(graph.init_nodes),
+            "edge_count": graph.edge_count,
+            "digest": graph.digest_state(),
+        },
+        "frontier": list(frontier),
+        "stats": stats.as_dict() if stats is not None else None,
+    }
+    _atomic_write_json(path, payload)
+
+
+def resume_compact(
+    path: str,
+    spec: Optional[Spec] = None,
+    *,
+    workers: Optional[int] = None,
+    max_states: Optional[int] = None,
+    stats: Optional[ExploreStats] = None,
+    checkpoint: object = _SAME_PATH,
+    checkpoint_every: Optional[int] = None,
+    worker_timeout: Optional[float] = None,
+    fault_hook: Optional[Callable] = None,
+) -> CompactGraph:
+    """Continue a compact exploration from a checkpoint, bit-for-bit.
+
+    Mirrors :func:`repro.checker.checkpoint.resume` (same defaults, same
+    keep-checkpointing-to-the-same-path behaviour) for compact
+    snapshots.  A full-engine snapshot is rejected with a clear
+    :class:`CheckpointError` rather than misread, as is a snapshot whose
+    packed layout no longer matches the spec's domain enumeration.
+    """
+    payload = _read_checkpoint_payload(path)
+    if payload.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"{path}: not a {CHECKPOINT_FORMAT} file "
+            f"(format={payload.get('format')!r})")
+    version = payload.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path}: unsupported checkpoint version {version!r} "
+            f"(this build reads version {CHECKPOINT_VERSION})")
+    mode = payload.get("mode")
+    if mode != COMPACT_CHECKPOINT_MODE:
+        raise CheckpointError(
+            f"{path}: checkpoint was written by the full-state engine; "
+            f"resume it without --compact (the two engines' snapshots "
+            f"are not interchangeable)")
+    try:
+        data = payload["compact"]
+        spec_pickle = payload["spec_pickle"]
+        stored_max = payload["max_states"]
+        stored_workers = payload["workers"]
+        stored_every = payload["checkpoint_every"]
+        depth = payload["depth"]
+        levels = payload["levels"]
+        elapsed = payload["elapsed_seconds"]
+        frontier = [int(node) for node in payload["frontier"]]
+        packed_rows = [int(p) for p in data["packed"]]
+        parent = [int(p) for p in data["parent"]]
+        init_nodes = [int(n) for n in data["init_nodes"]]
+        edge_count = int(data["edge_count"])
+        digest_state = data["digest"]
+        codec_signature = data["codec_signature"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"{path}: missing or malformed field ({exc!r})") from None
+    if spec is None:
+        try:
+            spec = pickle.loads(base64.b64decode(spec_pickle))
+        except Exception as exc:
+            raise CheckpointError(
+                f"{path}: embedded spec cannot be unpickled ({exc}); "
+                f"pass the spec to resume_compact() explicitly") from exc
+
+    plan = PackedPlan(spec)
+    if plan.codec.signature() != codec_signature:
+        raise CheckpointError(
+            f"{path}: packed-state layout does not match spec "
+            f"{spec.name!r}; the checkpoint is corrupt or was written "
+            f"against a different spec or domain enumeration")
+    budget = stored_max if max_states is None else max_states
+    if budget is not None and len(packed_rows) > budget:
+        raise StateSpaceExplosion(
+            f"exploring {spec.name!r} exceeded the state budget of "
+            f"{budget} states")
+    if len(parent) != len(packed_rows) or any(
+            node >= len(packed_rows) for node in frontier):
+        raise CheckpointError(
+            f"{path}: inconsistent node tables; the checkpoint is corrupt")
+
+    graph = CompactGraph(spec, plan, max_states=budget)
+    graph.packed = packed_rows
+    graph.parent = parent
+    graph.visited = {p: node for node, p in enumerate(packed_rows)}
+    if len(graph.visited) != len(packed_rows):
+        raise CheckpointError(
+            f"{path}: duplicate packed states; the checkpoint is corrupt")
+    graph.init_nodes = init_nodes
+    graph._edge_count = edge_count
+    graph._digest = GraphDigest.restore(digest_state)
+    fingerprint = plan.codec.fingerprint
+    fingerprints: set = set()
+    collisions = 0
+    for p in packed_rows:
+        fp = fingerprint(p)
+        if fp in fingerprints:
+            collisions += 1
+        else:
+            fingerprints.add(fp)
+    graph._fingerprints = fingerprints
+    graph._collisions = collisions
+
+    if stats is not None and payload.get("stats"):
+        stats.restore(payload["stats"])
+    target = path if checkpoint is _SAME_PATH else checkpoint
+    every = stored_every if checkpoint_every is None else checkpoint_every
+    worker_count = stored_workers if workers is None else workers
+    if worker_count == 0:
+        worker_count = default_workers()
+    return _drive_compact(spec, graph, frontier, depth=depth, levels=levels,
+                          elapsed_before=elapsed, stats=stats,
+                          checkpoint=target, checkpoint_every=every,
+                          workers=worker_count,
+                          worker_timeout=worker_timeout,
+                          fault_hook=fault_hook)
+
+
+# -- invariant checking ------------------------------------------------------
+
+
+def check_invariant_compact(
+    graph: CompactGraph,
+    invariant: Expr,
+    name: Optional[str] = None,
+    run_stats: Optional[ExploreStats] = None,
+) -> CheckResult:
+    """Does every reachable state satisfy the predicate?
+
+    The compact twin of :func:`repro.checker.invariants.check_invariant`
+    over a pre-explored graph: same scan order (node-id order, so the
+    first violation -- and hence the counterexample trace -- is
+    identical to the full engine's), same ``TypeError`` on a non-bool
+    predicate, same ``CheckResult`` shape.  Evaluation is memoized on
+    the packed footprint of the invariant's free variables, so states
+    are only decoded once per distinct footprint.
+    """
+    invariant = to_expr(invariant)
+    label = name or "invariant"
+    if run_stats is not None and run_stats.states == 0:
+        run_stats.record_graph(graph)
+    stats = {"states": graph.state_count, "edges": graph.edge_count,
+             "stutter": graph.stutter_count}
+    mask = graph.codec.mask_of(invariant.free_vars())
+    decode = graph.codec.decode
+    memo: Dict[int, bool] = {}
+    with maybe_phase(run_stats, f"invariant:{label}"):
+        for node, packed in enumerate(graph.packed):
+            key = packed & mask
+            value = memo.get(key)
+            if value is None:
+                value = invariant.eval_state(decode(packed))
+                if not isinstance(value, bool):
+                    raise TypeError(
+                        f"invariant {invariant!r} returned {value!r}")
+                memo[key] = value
+            if not value:
+                return CheckResult(
+                    label,
+                    ok=False,
+                    counterexample=Counterexample(
+                        graph.trace_to(node),
+                        f"state violates invariant {invariant!r}"
+                    ),
+                    stats=stats,
+                )
+    return CheckResult(label, ok=True, stats=stats)

@@ -209,8 +209,22 @@ class StateGraph:
 
     # -- traversal --------------------------------------------------------------
 
+    def _check_node(self, node: int) -> None:
+        """Reject node ids that were never interned.
+
+        A caller holding an id beyond the graph (typically a state that
+        was dropped when the ``max_states`` budget fired) must get a
+        defined error here -- negative ids would otherwise silently
+        index from the end and produce a *wrong* path."""
+        if not 0 <= node < len(self.parent):
+            raise ValueError(
+                f"node {node!r} is not in this graph (valid ids: "
+                f"0..{len(self.parent) - 1}); states beyond the "
+                f"max_states budget are never interned")
+
     def path_to_root(self, node: int) -> List[int]:
         """The BFS-tree path from an initial node to *node* (inclusive)."""
+        self._check_node(node)
         path = [node]
         while self.parent[path[-1]] is not None:
             path.append(self.parent[path[-1]])  # type: ignore[arg-type]
@@ -226,6 +240,9 @@ class StateGraph:
     ) -> Optional[List[int]]:
         """Shortest path from any source to any target within the filtered
         subgraph; sources must satisfy ``node_ok`` themselves."""
+        sources = list(sources)
+        for source in sources:
+            self._check_node(source)
         frontier = [s for s in sources if node_ok(s)]
         prev: Dict[int, Optional[int]] = {s: None for s in frontier}
         for start in frontier:

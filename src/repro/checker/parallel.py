@@ -233,13 +233,19 @@ class _ChunkRunner:
 
     def __init__(self, workers: int, payload: bytes, ctx,
                  worker_timeout: Optional[float], fault_hook: _FaultHook,
-                 stats: Optional[ExploreStats]):
+                 stats: Optional[ExploreStats],
+                 initializer: Callable = _init_worker,
+                 task: Callable = _expand_chunk):
         self._workers = workers
         self._payload = payload
         self._ctx = ctx
         self._timeout = worker_timeout
         self._fault_hook = fault_hook
         self._stats = stats
+        # the engine seam: the compact explorer reuses the pool/retry
+        # machinery with its own worker initializer and chunk task
+        self._initializer = initializer
+        self._task = task
         self._executor: Optional[ProcessPoolExecutor] = None
 
     def _ensure(self) -> ProcessPoolExecutor:
@@ -247,7 +253,7 @@ class _ChunkRunner:
             self._executor = ProcessPoolExecutor(
                 max_workers=self._workers,
                 mp_context=self._ctx,
-                initializer=_init_worker,
+                initializer=self._initializer,
                 initargs=(self._payload, self._fault_hook),
             )
         return self._executor
@@ -286,7 +292,7 @@ class _ChunkRunner:
         while index < len(chunks):
             if futures is None:
                 executor = self._ensure()
-                submitted = [executor.submit(_expand_chunk, chunk)
+                submitted = [executor.submit(self._task, chunk)
                              for chunk in chunks[index:]]
                 futures = [None] * index + submitted
             try:

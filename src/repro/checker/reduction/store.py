@@ -129,6 +129,18 @@ class MemoryStateStore(StateStore):
     def get(self, node: int) -> State:
         return self._states[node]
 
+    def counters(self) -> Dict[str, int]:
+        """Report 64-bit fingerprint collisions among the interned states.
+
+        The in-RAM store interns on full ``State`` keys, so a collision
+        can never merge two states here -- but staying silent about one
+        would hide exactly the event that *would* corrupt a
+        fingerprint-keyed consumer (the spill index, the service cache,
+        the compact engine's digest).  Computed lazily at stats-collection
+        time; fingerprints are cached on the states themselves."""
+        distinct = len({state.fingerprint() for state in self._states})
+        return {"fp_collisions": len(self._states) - distinct}
+
     def __len__(self) -> int:
         return len(self._states)
 

@@ -58,8 +58,8 @@ class ExploreStats:
                  "explore_seconds", "phases", "workers", "worker_stats",
                  "coordinator_idle_seconds", "worker_retries", "levels",
                  "levels_seen", "por_enabled", "por_reason", "por_counters",
-                 "store_kind", "store_counters", "peak_rss_kb",
-                 "_level_listeners")
+                 "store_kind", "store_counters", "peak_rss_kb", "engine",
+                 "fingerprint_collisions", "_level_listeners")
 
     # per-level rows beyond this are dropped (pathologically deep graphs
     # would otherwise bloat checkpoints); the totals stay exact
@@ -96,6 +96,13 @@ class ExploreStats:
         self.store_kind: Optional[str] = None
         self.store_counters: Dict[str, int] = {}
         self.peak_rss_kb = 0
+        # which exploration engine produced these numbers ("full" or
+        # "compact"), and how many 64-bit fingerprint collisions were
+        # *observed* among distinct states (never silent: the memory and
+        # spill stores count them, and the compact engine -- which interns
+        # on exact packed ints -- detects them at intern time)
+        self.engine = "full"
+        self.fingerprint_collisions = 0
 
     # -- population ----------------------------------------------------------
 
@@ -118,6 +125,8 @@ class ExploreStats:
         if store is not None:
             self.store_kind = store.kind
             self.store_counters = store.counters()
+            self.fingerprint_collisions = int(
+                self.store_counters.get("fp_collisions", 0) or 0)
         self.peak_rss_kb = _peak_rss_kb()
 
     def add_level_listener(
@@ -220,6 +229,11 @@ class ExploreStats:
             self.por_reason = snapshot.get("por_reason")  # type: ignore
         for key, value in dict(snapshot.get("por_counters") or {}).items():
             self.por_counters[str(key)] = int(value)
+        engine = snapshot.get("engine")
+        if engine:
+            self.engine = str(engine)
+        self.fingerprint_collisions = int(
+            snapshot.get("fingerprint_collisions", 0) or 0)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -244,6 +258,17 @@ class ExploreStats:
     @property
     def total_seconds(self) -> float:
         return sum(self.phases.values())
+
+    @property
+    def collision_probability_bound(self) -> float:
+        """Birthday bound on the probability that *any* two of the
+        explored states share a 64-bit fingerprint: ``n(n-1)/2 / 2^64``
+        (capped at 1.0).  This is what a fingerprint-set explorer like
+        TLC risks silently merging; our engines intern on exact keys, so
+        here it bounds how often the *observed* collision counter should
+        fire under a sound hash."""
+        n = self.states
+        return min(1.0, (n * (n - 1) / 2) / float(1 << 64))
 
     # -- rendering -----------------------------------------------------------
 
@@ -312,6 +337,14 @@ class ExploreStats:
         """:meth:`format` plus the per-level table and peak RSS -- the one
         coherent table the CLI's ``--stats`` flag prints."""
         lines = [self.format(indent)]
+        if self.engine != "full":
+            lines.append(f"{indent}engine: {self.engine}")
+        detected = (f"; {self.fingerprint_collisions} collision(s) detected"
+                    if self.fingerprint_collisions else "")
+        lines.append(
+            f"{indent}fingerprints: 64-bit FNV-1a, collision probability "
+            f"bound {self.collision_probability_bound:.3g} over "
+            f"{self.states} states{detected}")
         if self.levels:
             header = (f"{indent}per-level: "
                       f"{'level':>5} {'frontier':>9} {'states':>8} "
@@ -359,6 +392,9 @@ class ExploreStats:
             "store_kind": self.store_kind,
             "store_counters": dict(self.store_counters),
             "peak_rss_kb": self.peak_rss_kb,
+            "engine": self.engine,
+            "fingerprint_collisions": self.fingerprint_collisions,
+            "collision_probability_bound": self.collision_probability_bound,
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:

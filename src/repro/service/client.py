@@ -97,7 +97,8 @@ class ServiceClient:
                invariants: Sequence[str] = (),
                properties: Sequence[str] = (),
                max_states: int = 200_000, por: bool = False,
-               workers: int = 1, checkpoint_every: int = 1,
+               compact: bool = False, workers: int = 1,
+               checkpoint_every: int = 1,
                level_delay: float = 0.0) -> Dict[str, object]:
         """POST /jobs.  Returns ``{"job": {...}, "disposition": ...}``;
         raises :class:`QueueFullError` on backpressure."""
@@ -108,6 +109,7 @@ class ServiceClient:
             "properties": list(properties),
             "max_states": max_states,
             "por": por,
+            "compact": compact,
             "workers": workers,
             "checkpoint_every": checkpoint_every,
             "level_delay": level_delay,

@@ -38,7 +38,6 @@ result documents.
 from __future__ import annotations
 
 import asyncio
-import hashlib
 import json
 import os
 import time
@@ -47,16 +46,23 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..checker import (
+    CompactGraph,
+    CompactUnsupported,
     ExploreStats,
     ReductionConfig,
     check_invariant,
+    check_invariant_compact,
     check_temporal_implication,
+    digest_of_graph,
+    explore_compact,
     explore_parallel,
     premises_of_spec,
+    resume_compact,
 )
 from ..checker.checkpoint import counterexample_to_portable, resume
 from ..checker.graph import StateGraph, StateSpaceExplosion
 from ..checker.results import CheckResult
+from ..kernel.packed import PackedCodec
 from ..parser import load_module
 from .cache import ResultCache, canonical_fingerprint
 
@@ -99,8 +105,8 @@ class CheckRequest:
     """One check submission: a module plus what to verify and how.
 
     ``module_source``/``spec``/``invariants``/``properties``/
-    ``max_states``/``por`` are *semantic* -- they address the result in
-    the cache.  ``workers``, ``checkpoint_every``, and ``level_delay``
+    ``max_states``/``por``/``compact`` are *semantic* -- they address
+    the result in the cache.  ``workers``, ``checkpoint_every``, and ``level_delay``
     are execution-only: the engine produces the identical graph and
     verdict for any value (``level_delay`` merely sleeps between BFS
     levels -- a pacing knob so demos and tests can watch or interrupt
@@ -113,13 +119,14 @@ class CheckRequest:
     properties: Tuple[str, ...] = ()
     max_states: int = 200_000
     por: bool = False
+    compact: bool = False
     workers: int = 1
     checkpoint_every: int = 1
     level_delay: float = 0.0
 
     _FIELDS = ("module_source", "spec", "invariants", "properties",
-               "max_states", "por", "workers", "checkpoint_every",
-               "level_delay")
+               "max_states", "por", "compact", "workers",
+               "checkpoint_every", "level_delay")
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "CheckRequest":
@@ -161,6 +168,12 @@ class CheckRequest:
         por = payload.get("por", False)
         if not isinstance(por, bool):
             raise ValueError("por must be a boolean")
+        compact = payload.get("compact", False)
+        if not isinstance(compact, bool):
+            raise ValueError("compact must be a boolean")
+        if compact and por:
+            raise ValueError("compact and por are mutually exclusive: the "
+                             "compact engine has no reduction machinery")
         return cls(
             module_source=module_source,
             spec=spec,
@@ -168,6 +181,7 @@ class CheckRequest:
             properties=names("properties"),
             max_states=bounded_int("max_states", 200_000, 1),
             por=por,
+            compact=compact,
             workers=bounded_int("workers", 1, 0),
             checkpoint_every=bounded_int("checkpoint_every", 1, 1),
             level_delay=float(level_delay),
@@ -181,6 +195,7 @@ class CheckRequest:
             "properties": list(self.properties),
             "max_states": self.max_states,
             "por": self.por,
+            "compact": self.compact,
             "workers": self.workers,
             "checkpoint_every": self.checkpoint_every,
             "level_delay": self.level_delay,
@@ -194,6 +209,7 @@ class CheckRequest:
             "properties": list(self.properties),
             "max_states": self.max_states,
             "por": self.por,
+            "compact": self.compact,
         }
 
     def fingerprint(self) -> str:
@@ -201,20 +217,64 @@ class CheckRequest:
                                      self.semantic_config())
 
 
-def graph_digest(graph: StateGraph) -> str:
-    """A strong identity for an explored graph: SHA-256 over the state
-    fingerprints in node order, the adjacency lists, the BFS parent
-    tree, and the initial nodes.  Two runs with equal digests produced
-    bit-for-bit the same graph (hence the same traces)."""
-    payload = {
-        "fingerprints": [format(state.fingerprint(), "016x")
-                         for state in graph.states],
-        "succ": graph.succ,
-        "parent": graph.parent,
-        "init": graph.init_nodes,
-    }
-    canonical = json.dumps(payload, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+def graph_digest(graph) -> str:
+    """A strong identity for an explored graph: SHA-256 sealing the
+    streaming :class:`~repro.checker.digest.GraphDigest` (state
+    fingerprints + BFS parent tree in node order, per-source successor
+    lists in expansion order).  Two runs with equal digests produced
+    bit-for-bit the same graph (hence the same traces) -- and because
+    the compact engine maintains the same stream incrementally, a
+    compact run and a full run of one spec yield the *same* digest."""
+    own = getattr(graph, "digest", None)  # CompactGraph streams its own
+    if own is not None:
+        return own()
+    return digest_of_graph(graph)
+
+
+def _explore_for(request: CheckRequest, spec, stats: ExploreStats,
+                 checkpoint: Optional[str], resume_from_checkpoint: bool,
+                 reduction: Optional[ReductionConfig],
+                 compact_active: bool, notes: List[str]):
+    """Dispatch one exploration to the engine the request selected.
+
+    A spec the packed codec cannot represent (unbounded values, huge
+    domains) falls back to the full engine with a note -- the verdict,
+    trace, and digest are identical by construction, so the fallback is
+    sound and the job still completes.  The support probe runs *before*
+    touching any checkpoint: the fallback decision is a pure function of
+    the spec, so an interrupted fallen-back job resumes its full-engine
+    checkpoint with the full engine rather than tripping the compact
+    resume's cross-engine guard.
+    """
+    resuming = (resume_from_checkpoint and checkpoint is not None
+                and os.path.exists(checkpoint))
+    if compact_active:
+        try:
+            PackedCodec(spec.universe)
+        except CompactUnsupported as exc:
+            compact_active = False
+            notes.append(f"compact engine unavailable for this spec "
+                         f"({exc}); ran the full engine")
+    if compact_active:
+        if resuming:
+            return resume_compact(
+                checkpoint, spec, workers=request.workers,
+                max_states=request.max_states, stats=stats,
+                checkpoint_every=request.checkpoint_every)
+        return explore_compact(
+            spec, max_states=request.max_states,
+            workers=request.workers, stats=stats,
+            checkpoint=checkpoint,
+            checkpoint_every=request.checkpoint_every)
+    if resuming:
+        return resume(checkpoint, spec, workers=request.workers,
+                      max_states=request.max_states, stats=stats,
+                      checkpoint_every=request.checkpoint_every)
+    return explore_parallel(
+        spec, max_states=request.max_states, workers=request.workers,
+        stats=stats, checkpoint=checkpoint,
+        checkpoint_every=request.checkpoint_every,
+        reduction=reduction)
 
 
 def _check_record(kind: str, res: CheckResult) -> Dict[str, object]:
@@ -254,6 +314,17 @@ def run_check(
         por_active = False
         notes.append("partial-order reduction disabled: temporal "
                      "properties need the full graph")
+    compact_active = request.compact
+    if request.compact and request.properties:
+        # mirrors the POR precedent: lasso search walks successor lists
+        # the compact engine does not retain
+        compact_active = False
+        notes.append("compact engine disabled: temporal properties need "
+                     "the full state graph")
+    if compact_active and por_active:
+        por_active = False
+        notes.append("partial-order reduction disabled: the compact "
+                     "engine has no reduction machinery")
     reduction = None
     if por_active:
         observed = sorted({v for _name, expr in inv_exprs
@@ -267,17 +338,9 @@ def run_check(
                 "stats": stats.as_dict()}
 
     try:
-        if resume_from_checkpoint and checkpoint is not None \
-                and os.path.exists(checkpoint):
-            graph = resume(checkpoint, spec, workers=request.workers,
-                           max_states=request.max_states, stats=stats,
-                           checkpoint_every=request.checkpoint_every)
-        else:
-            graph = explore_parallel(
-                spec, max_states=request.max_states, workers=request.workers,
-                stats=stats, checkpoint=checkpoint,
-                checkpoint_every=request.checkpoint_every,
-                reduction=reduction)
+        graph = _explore_for(request, spec, stats, checkpoint,
+                             resume_from_checkpoint, reduction,
+                             compact_active, notes)
     except StateSpaceExplosion as exc:
         result = base("explosion")
         result["error"] = str(exc)
@@ -296,8 +359,10 @@ def run_check(
                                  workers=request.workers, stats=stats)
     ok = True
     checks: List[Dict[str, object]] = []
+    run_invariant = (check_invariant_compact
+                     if isinstance(graph, CompactGraph) else check_invariant)
     for name, expr in inv_exprs:
-        res = check_invariant(graph, expr, name=name, run_stats=stats)
+        res = run_invariant(graph, expr, name=name, run_stats=stats)
         checks.append(_check_record("invariant", res))
         ok = ok and res.ok
     for name in request.properties:
@@ -313,7 +378,9 @@ def run_check(
     result["stutter"] = graph.stutter_count
     result["graph_digest"] = graph_digest(graph)
     result["stats"] = stats.as_dict()
-    graph.store.close()
+    store = getattr(graph, "store", None)  # the compact engine has none
+    if store is not None:
+        store.close()
     return result
 
 

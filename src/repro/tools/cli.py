@@ -38,25 +38,38 @@ byte-identical legacy behaviour; on ``--resume`` they default to
 whatever the checkpoint recorded, and passing them explicitly asserts a
 match (a mismatched resume is refused rather than silently changing the
 run's semantics).
+
+``--compact`` switches to the fingerprint-only engine
+(:mod:`repro.checker.compact`): states live as packed machine integers,
+the BFS keeps only fingerprints plus parent/level metadata, and
+counterexample traces are regenerated on demand by re-walking the
+parent chain through the compiled action plan.  Verdicts, traces, node
+numbering, and graph digests are identical to the full engine.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from time import perf_counter
 from typing import Optional, Sequence
 
 from ..checker import (
+    CheckpointError,
+    CompactUnsupported,
     ExploreStats,
     ReductionConfig,
     build_store,
     check_invariant,
+    check_invariant_compact,
     check_temporal_implication,
+    explore_compact,
     explore_parallel,
     manifest_path_for,
     resume,
+    resume_compact,
     write_manifest,
 )
 from ..checker.graph import StateGraph, StateSpaceExplosion
@@ -79,14 +92,64 @@ def _report(result: CheckResult, out) -> bool:
     return result.ok
 
 
+def _spill_dir_problem(path: str) -> Optional[str]:
+    """Why *path* cannot host the spill store's files (None = usable).
+
+    Probed with an actual write, not just ``os.access`` -- permission
+    bits lie for root and for read-only filesystems."""
+    try:
+        os.makedirs(path, exist_ok=True)
+    except OSError as exc:
+        return str(exc)
+    if not os.path.isdir(path):
+        return "not a directory"
+    probe = os.path.join(path, ".repro-write-probe")
+    try:
+        with open(probe, "w"):
+            pass
+        os.unlink(probe)
+    except OSError as exc:
+        return str(exc)
+    return None
+
+
 def _durability_error(args: argparse.Namespace, out) -> bool:
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint PATH "
               "(the snapshot to continue from)", file=out)
         return True
+    if args.resume and args.checkpoint \
+            and not os.path.exists(args.checkpoint):
+        print(f"error: cannot resume: checkpoint file "
+              f"{args.checkpoint!r} does not exist (run with --checkpoint "
+              f"first to create one, or drop --resume)", file=out)
+        return True
     if args.store == "spill" and not args.spill_dir:
         print("error: --store spill requires --spill-dir DIR "
               "(where the state data/index files live)", file=out)
+        return True
+    if args.store == "spill" and args.spill_dir:
+        problem = _spill_dir_problem(args.spill_dir)
+        if problem is not None:
+            print(f"error: --spill-dir {args.spill_dir!r} is not a "
+                  f"writable directory ({problem})", file=out)
+            return True
+    if args.compact and args.por:
+        print("error: --compact and --por are mutually exclusive: the "
+              "compact engine explores the full graph on packed ints and "
+              "has no reduction machinery (drop one of the flags)",
+              file=out)
+        return True
+    if args.compact and args.store == "spill":
+        print("error: --compact keeps only packed ints in RAM and does "
+              "not use a state store; drop --store spill (compact mode "
+              "is already the low-memory engine)", file=out)
+        return True
+    if args.compact and getattr(args, "property", None):
+        print("error: --compact cannot check temporal properties: "
+              "lasso search needs the full successor structure, which "
+              "the compact engine does not retain (drop --compact or "
+              "--property)", file=out)
         return True
     if args.workers == 1 and args.worker_timeout is not None:
         # never silently accept an option the serial engine would ignore
@@ -145,6 +208,21 @@ def _run_exploration(args: argparse.Namespace, spec,
     run adopts the checkpoint's recorded configuration; explicit flags
     are forwarded and act as assertions (mismatch -> CheckpointError).
     """
+    if args.compact:
+        # fingerprint-only engine: no reduction, no state store -- the
+        # incompatible flag combinations were rejected in
+        # _durability_error, so plain dispatch is enough here
+        if args.resume:
+            return resume_compact(args.checkpoint, spec,
+                                  workers=args.workers,
+                                  max_states=args.max_states, stats=stats,
+                                  checkpoint_every=args.checkpoint_every,
+                                  worker_timeout=args.worker_timeout)
+        return explore_compact(spec, max_states=args.max_states,
+                               workers=args.workers, stats=stats,
+                               checkpoint=args.checkpoint,
+                               checkpoint_every=args.checkpoint_every,
+                               worker_timeout=args.worker_timeout)
     if args.resume:
         kwargs = {}
         if args.por is not None:
@@ -162,6 +240,14 @@ def _run_exploration(args: argparse.Namespace, spec,
                             checkpoint_every=args.checkpoint_every,
                             worker_timeout=args.worker_timeout,
                             reduction=reduction, store=store)
+
+
+def _close_store(graph) -> None:
+    """Release the graph's state-store resources; the compact engine has
+    no store (fingerprints + packed ints only), so this is a no-op there."""
+    store = getattr(graph, "store", None)
+    if store is not None:
+        store.close()
 
 
 def _reduction_manifest(reduction: Optional[ReductionConfig],
@@ -189,8 +275,12 @@ def _maybe_manifest(
     """Write the run manifest next to the checkpoint (if one was asked for)."""
     if not args.checkpoint:
         return
-    if graph is not None:
-        store_cfg = graph.store.config()
+    store = getattr(graph, "store", None)  # CompactGraph has no store
+    if store is not None:
+        store_cfg = store.config()
+    elif graph is not None:
+        store_cfg = {"kind": "compact"} if getattr(args, "compact", False) \
+            else None
     else:
         store_cfg = _store_config(args) if args.store else None
     write_manifest(
@@ -238,6 +328,9 @@ def cmd_check(args: argparse.Namespace, out) -> int:
                         stats=stats, error=str(exc), reduction=reduction)
         _write_stats_json(args, stats)
         raise
+    except (CheckpointError, CompactUnsupported) as exc:
+        print(f"error: {exc}", file=out)
+        return 2
     if getattr(graph, "reduction_used", False) and any(
             not check_invariant(graph, expr, name=name).ok
             for name, expr in inv_exprs):
@@ -256,8 +349,10 @@ def cmd_check(args: argparse.Namespace, out) -> int:
           file=out)
     ok = True
     first_cex: Optional[Counterexample] = None
+    run_invariant = check_invariant_compact if args.compact \
+        else check_invariant
     for name, expr in inv_exprs:
-        result = check_invariant(graph, expr, name=name, run_stats=stats)
+        result = run_invariant(graph, expr, name=name, run_stats=stats)
         if first_cex is None and result.counterexample is not None:
             first_cex = result.counterexample
         ok = _report(result, out) and ok
@@ -279,7 +374,7 @@ def cmd_check(args: argparse.Namespace, out) -> int:
                     counterexample=first_cex, stats=stats,
                     reduction=reduction)
     _write_stats_json(args, stats)
-    graph.store.close()
+    _close_store(graph)
     return 0 if ok else 1
 
 
@@ -301,6 +396,9 @@ def cmd_explore(args: argparse.Namespace, out) -> int:
                         stats=stats, error=str(exc), reduction=reduction)
         _write_stats_json(args, stats)
         raise
+    except (CheckpointError, CompactUnsupported) as exc:
+        print(f"error: {exc}", file=out)
+        return 2
     _maybe_manifest(args, label, perf_counter() - start, "ok", graph=graph,
                     stats=stats, reduction=reduction)
     print(f"{label}:", file=out)
@@ -316,7 +414,7 @@ def cmd_explore(args: argparse.Namespace, out) -> int:
     if args.stats and stats is not None:
         print(stats.summary(indent="  "), file=out)
     _write_stats_json(args, stats)
-    graph.store.close()
+    _close_store(graph)
     return 0
 
 
@@ -386,6 +484,7 @@ def cmd_submit(args: argparse.Namespace, out) -> int:
             invariants=args.invariant or (),
             properties=args.property or (),
             max_states=args.max_states, por=bool(args.por),
+            compact=bool(args.compact),
             workers=args.workers, level_delay=args.level_delay)
     except QueueFullError as exc:
         print(f"error: {exc} (retry in ~{exc.retry_after:g}s)", file=out)
@@ -489,6 +588,14 @@ def _add_engine_flags(sub: argparse.ArgumentParser) -> None:
                           "= the serial reference explorer; 0 = one per "
                           "core).  Any value yields the identical graph, "
                           "numbering, and traces.")
+    sub.add_argument("--compact", action="store_true",
+                     help="fingerprint-only engine: keep packed integer "
+                          "states plus BFS parents instead of full State "
+                          "objects, and regenerate counterexample traces "
+                          "on demand.  Verdicts, traces, and node "
+                          "numbering are identical to the full engine; "
+                          "incompatible with --por, --store spill, and "
+                          "--property (those need the full graph).")
     sub.add_argument("--stats", action="store_true",
                      help="print exploration statistics (states/sec, "
                           "depth, real-vs-stutter edges, per-phase timing, "
@@ -574,6 +681,11 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--por", action="store_true", default=False,
                         help="request partial-order reduction (same "
                              "semantics as repro check --por)")
+    submit.add_argument("--compact", action="store_true", default=False,
+                        help="request the fingerprint-only compact engine "
+                             "(same semantics as repro check --compact; "
+                             "auto-disabled server-side when temporal "
+                             "properties need the full graph)")
     submit.add_argument("--level-delay", type=float, default=0.0,
                         metavar="SECONDS",
                         help="pace the exploration: sleep this long after "

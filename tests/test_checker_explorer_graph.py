@@ -228,3 +228,75 @@ class TestStateGraph:
         graph.add_state(st(x=1))  # re-interning an old state is free
         with pytest.raises(StateSpaceExplosion, match="'tiny'.*2 states"):
             graph.add_state(st(x=2))
+
+
+class TestNodeIdValidation:
+    """Out-of-graph node ids (typically states dropped past the
+    ``max_states`` budget) get a defined ``ValueError``, never a silent
+    negative-index path or a bare ``IndexError``."""
+
+    def build(self):
+        graph = Graph(Universe({"x": interval(0, 3)}))
+        nodes = [graph.add_state(st(x=i))[0] for i in range(3)]
+        graph.add_edge(nodes[0], nodes[1])
+        graph.add_edge(nodes[1], nodes[2])
+        graph.parent = [None, 0, 1]
+        graph.init_nodes = [0]
+        return graph
+
+    @pytest.mark.parametrize("bogus", [-1, -7, 3, 10**9])
+    def test_path_to_root_rejects_out_of_graph_ids(self, bogus):
+        graph = self.build()
+        with pytest.raises(ValueError, match="not in this graph"):
+            graph.path_to_root(bogus)
+
+    def test_path_to_root_message_names_the_budget(self):
+        graph = self.build()
+        with pytest.raises(ValueError, match="max_states budget"):
+            graph.path_to_root(99)
+
+    @pytest.mark.parametrize("bogus", [-1, 3, 10**9])
+    def test_bfs_path_rejects_out_of_graph_sources(self, bogus):
+        graph = self.build()
+        with pytest.raises(ValueError, match="not in this graph"):
+            graph.bfs_path([0, bogus], lambda n: n == 2)
+
+    def test_bfs_path_still_accepts_valid_generators(self):
+        # sources may be any iterable; validation must not consume it
+        # before filtering
+        graph = self.build()
+        path = graph.bfs_path(iter([0]), lambda n: n == 2)
+        assert path == [0, 1, 2]
+
+    def test_negative_id_does_not_wrap_around(self):
+        # the regression this guards: parent[-1] used to index from the
+        # end and produce a wrong-but-plausible path instead of an error
+        graph = self.build()
+        with pytest.raises(ValueError):
+            graph.path_to_root(-1)
+
+
+class TestCompactNodeIdValidation:
+    """The compact graph mirrors the id-validation contract."""
+
+    def build(self):
+        from repro.checker import explore_compact
+        from repro.systems.queue import complete_queue
+        return explore_compact(complete_queue(2))
+
+    @pytest.mark.parametrize("bogus", [-1, 10**9])
+    def test_path_to_root_rejects_out_of_graph_ids(self, bogus):
+        graph = self.build()
+        with pytest.raises(ValueError, match="not in this graph"):
+            graph.path_to_root(bogus)
+
+    @pytest.mark.parametrize("bogus", [-1, 10**9])
+    def test_state_at_rejects_out_of_graph_ids(self, bogus):
+        graph = self.build()
+        with pytest.raises(ValueError, match="not in this graph"):
+            graph.state_at(bogus)
+
+    def test_trace_to_rejects_out_of_graph_ids(self):
+        graph = self.build()
+        with pytest.raises(ValueError, match="not in this graph"):
+            graph.trace_to(graph.state_count)

@@ -466,3 +466,75 @@ class TestRequestValidation:
     def test_bad_payloads_rejected(self, payload, fragment):
         with pytest.raises(ValueError, match=fragment):
             CheckRequest.from_dict(payload)
+
+
+class TestCompactRequests:
+    """The compact engine through the service: same verdict, same trace,
+    same graph digest, a distinct cache identity, and the property /
+    unsupported-spec fallbacks ride the notes channel."""
+
+    def test_verdict_trace_and_digest_match_full(self):
+        full = run_check(counter_request(invariants=("Small", "TooSmall")))
+        compact = run_check(counter_request(
+            invariants=("Small", "TooSmall"), compact=True))
+        assert compact["verdict"] == full["verdict"] == "violation"
+        assert compact["graph_digest"] == full["graph_digest"]
+        assert compact["checks"] == full["checks"]
+        assert (compact["states"], compact["edges"], compact["stutter"]) \
+            == (full["states"], full["edges"], full["stutter"])
+        assert compact["stats"]["engine"] == "compact"
+        assert full["stats"]["engine"] == "full"
+        assert compact["stats"]["fingerprint_collisions"] == 0
+        assert "collision_probability_bound" in compact["stats"]
+
+    def test_compact_addresses_the_cache_separately(self):
+        assert (counter_request(compact=True).fingerprint()
+                != counter_request().fingerprint())
+        assert counter_request(compact=True).semantic_config()["compact"] \
+            is True
+
+    def test_properties_auto_disable_compact_with_note(self):
+        result = run_check(counter_request(
+            properties=("Progress",), compact=True))
+        assert result["verdict"] == "ok"
+        assert any("compact engine disabled" in note
+                   for note in result["notes"])
+        assert result["stats"]["engine"] == "full"
+
+    def test_explosion_verdict_matches_full(self):
+        full = run_check(chain_request(max_states=5))
+        compact = run_check(chain_request(max_states=5, compact=True))
+        assert compact["verdict"] == full["verdict"] == "explosion"
+        assert compact["error"] == full["error"]
+
+    def test_from_dict_accepts_and_roundtrips_compact(self):
+        request = CheckRequest.from_dict(
+            {"module_source": COUNTER_TLA, "compact": True})
+        assert request.compact is True
+        assert CheckRequest.from_dict(request.to_dict()) == request
+
+    @pytest.mark.parametrize("payload, fragment", [
+        ({"module_source": "m", "compact": 1}, "compact"),
+        ({"module_source": "m", "compact": True, "por": True},
+         "mutually exclusive"),
+    ])
+    def test_bad_compact_payloads_rejected(self, payload, fragment):
+        with pytest.raises(ValueError, match=fragment):
+            CheckRequest.from_dict(payload)
+
+    def test_compact_job_through_the_manager(self, tmp_path):
+        async def scenario():
+            manager = JobManager(str(tmp_path / "svc"), pool_size=1)
+            await manager.start()
+            job, disposition = manager.submit(
+                counter_request(invariants=("TooSmall",), compact=True))
+            assert disposition == "created"
+            await wait_terminal(job)
+            await manager.shutdown()
+            return job
+
+        job = asyncio.run(scenario())
+        assert job.state == "done"
+        assert job.result["verdict"] == "violation"
+        reference = run_check(counter_request(invariants=("TooSmall",)))
+        assert job.result["graph_digest"] == reference["graph_digest"]

@@ -373,3 +373,162 @@ class TestCounterexampleRegressions:
             assert "x" in rendered  # not a header-only table
         lasso = Counterexample(Lasso([State({"x": 0})], 0), "boom")
         assert "x" in lasso.render(variables=())
+
+
+class TestCompactEngine:
+    """--compact: same verdicts, traces, and rendered output as the full
+    engine, plus the stats surface the collision report rides on."""
+
+    def test_check_output_identical_to_full(self, module_file):
+        for invariant in ("Small", "TooSmall"):
+            code_full, full = run_cli("check", module_file,
+                                      "--invariant", invariant)
+            code_compact, compact = run_cli("check", module_file,
+                                            "--invariant", invariant,
+                                            "--compact")
+            assert code_compact == code_full
+            assert compact == full  # byte-identical, trace included
+
+    def test_explore_output_identical_to_full(self, module_file):
+        _, full = run_cli("explore", module_file, "--show", "99")
+        code, compact = run_cli("explore", module_file, "--show", "99",
+                                "--compact")
+        assert code == 0
+        assert compact == full
+
+    def test_stats_report_engine_and_collision_bound(self, module_file):
+        code, text = run_cli("check", module_file, "--invariant", "Small",
+                             "--compact", "--stats")
+        assert code == 0
+        assert "engine: compact" in text
+        assert "collision probability bound" in text
+        assert "collision(s) detected" not in text
+
+    def test_stats_json_records_engine(self, module_file, tmp_path):
+        out = tmp_path / "stats.json"
+        code, _ = run_cli("check", module_file, "--invariant", "Small",
+                          "--compact", "--stats-json", str(out))
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["engine"] == "compact"
+        assert payload["fingerprint_collisions"] == 0
+        assert 0 <= payload["collision_probability_bound"] < 1
+
+    def test_checkpoint_resume_identical(self, module_file, tmp_path):
+        cp = str(tmp_path / "c.ckpt")
+        _, fresh = run_cli("explore", module_file, "--show", "99",
+                           "--compact")
+        code, _ = run_cli("explore", module_file, "--show", "99",
+                          "--compact", "--checkpoint", cp)
+        assert code == 0
+        code, resumed = run_cli("explore", module_file, "--show", "99",
+                                "--compact", "--checkpoint", cp, "--resume")
+        assert code == 0
+        assert resumed == fresh
+        manifest = json.loads((tmp_path / "c.ckpt.manifest.json").read_text())
+        assert manifest["store"] == {"kind": "compact"}
+
+    def test_compact_workers_identical_to_serial(self, module_file):
+        _, serial = run_cli("check", module_file, "--invariant", "TooSmall",
+                            "--compact")
+        code, parallel = run_cli("check", module_file, "--invariant",
+                                 "TooSmall", "--compact", "--workers", "2")
+        assert code == 1
+        assert parallel == serial
+
+
+class TestUsageErrorPaths:
+    """Broken inputs exit 2 with an actionable one-line error -- never a
+    traceback, never a silent fallback (the CheckpointError audit)."""
+
+    def test_resume_with_missing_checkpoint_file(self, module_file,
+                                                 tmp_path):
+        for extra in ((), ("--compact",)):
+            code, text = run_cli("check", module_file, "--checkpoint",
+                                 str(tmp_path / "nope.ckpt"), "--resume",
+                                 *extra)
+            assert code == 2
+            assert "error: cannot resume" in text
+            assert "does not exist" in text
+
+    def test_resume_with_corrupt_checkpoint(self, module_file, tmp_path):
+        bad = tmp_path / "bad.ckpt"
+        bad.write_text("{not json")
+        for extra in ((), ("--compact",)):
+            code, text = run_cli("check", module_file, "--checkpoint",
+                                 str(bad), "--resume", *extra)
+            assert code == 2
+            assert "error:" in text and "unreadable checkpoint" in text
+            assert "Traceback" not in text
+
+    def test_resume_with_non_object_checkpoint(self, module_file, tmp_path):
+        bad = tmp_path / "list.ckpt"
+        bad.write_text("[1, 2, 3]")
+        code, text = run_cli("explore", module_file, "--checkpoint",
+                             str(bad), "--resume")
+        assert code == 2
+        assert "not a JSON object" in text
+
+    def test_resume_with_wrong_format_checkpoint(self, module_file,
+                                                 tmp_path):
+        bad = tmp_path / "foreign.ckpt"
+        bad.write_text(json.dumps({"format": "something-else"}))
+        code, text = run_cli("check", module_file, "--checkpoint",
+                             str(bad), "--resume")
+        assert code == 2
+        assert "error:" in text
+
+    def test_cross_engine_resume_is_exit_two_both_ways(self, module_file,
+                                                       tmp_path):
+        full_cp = str(tmp_path / "full.ckpt")
+        compact_cp = str(tmp_path / "compact.ckpt")
+        assert run_cli("explore", module_file, "--checkpoint",
+                       full_cp)[0] == 0
+        assert run_cli("explore", module_file, "--checkpoint", compact_cp,
+                       "--compact")[0] == 0
+        code, text = run_cli("explore", module_file, "--checkpoint",
+                             full_cp, "--resume", "--compact")
+        assert code == 2
+        assert "full-state engine" in text
+        code, text = run_cli("explore", module_file, "--checkpoint",
+                             compact_cp, "--resume")
+        assert code == 2
+        assert "compact engine" in text
+
+    def test_spill_dir_pointing_at_a_file(self, module_file):
+        # tests may run as root, where permission bits don't block -- an
+        # existing regular file is the portable "unusable directory"
+        code, text = run_cli("check", module_file, "--store", "spill",
+                             "--spill-dir", module_file)
+        assert code == 2
+        assert "error: --spill-dir" in text
+        assert "not a writable directory" in text
+
+    def test_spill_dir_under_a_file_prefix(self, module_file):
+        code, text = run_cli("check", module_file, "--store", "spill",
+                             "--spill-dir", module_file + "/sub")
+        assert code == 2
+        assert "not a writable directory" in text
+
+    def test_compact_excludes_por(self, module_file):
+        code, text = run_cli("check", module_file, "--compact", "--por")
+        assert code == 2
+        assert "mutually exclusive" in text
+
+    def test_compact_excludes_spill_store(self, module_file, tmp_path):
+        code, text = run_cli("check", module_file, "--compact",
+                             "--store", "spill", "--spill-dir",
+                             str(tmp_path / "spill"))
+        assert code == 2
+        assert "--store spill" in text
+
+    def test_compact_excludes_temporal_properties(self, module_file):
+        code, text = run_cli("check", module_file, "--compact",
+                             "--property", "Progress")
+        assert code == 2
+        assert "temporal properties" in text
+
+    def test_explore_has_no_property_flag_so_compact_is_fine(
+            self, module_file):
+        code, _ = run_cli("explore", module_file, "--compact")
+        assert code == 0
