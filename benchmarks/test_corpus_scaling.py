@@ -1,0 +1,119 @@
+"""PERF/acceptance: engine throughput on the distributed-protocol corpus.
+
+The corpus instances the ISSUE prescribes -- ``Paxos(3,3,1)`` (three
+acceptors, three ballots) and ``Mutex(3, maxClock=4)`` -- both exceed
+10^4 reachable states, far past the queue-chain family, so they are the
+standing workload every engine scales against.  Exploration is bounded
+at a fixed state budget and each engine is timed to the budget (the
+instances run to hundreds of thousands of states; rate, not completion,
+is the measurement), giving states/sec for
+
+* the full serial engine (the reference semantics),
+* partial-order reduction (``--por``; same budget of *reduced* states),
+* the compact fingerprint-only engine (``--compact``), serial and at
+  ``workers=min(cores, 4)``.
+
+Unlike the queue chain -- whose heavyweight states make compact ~5x
+faster in a straight serial race -- the corpus states are dozens of
+small booleans, so compact's serial edge is modest (~1.2-1.4x) and the
+acceptance bar leans on what the compact engine uniquely offers here:
+fingerprint-only retention scales across workers where the full graph
+cannot.  Parallel compact must be **>= 3x** the serial full engine on
+both protocols, which is why the measurement is core-gated like the
+other perf benchmarks.  Set ``REPRO_BENCH_STATS_JSON`` to write the
+compact run's stats snapshot (CI uploads it as an artifact).  Rows are
+recorded in EXPERIMENTS.md.
+"""
+
+import os
+from time import perf_counter
+
+import pytest
+
+from repro.checker import (
+    ExploreStats,
+    ReductionConfig,
+    StateSpaceExplosion,
+    explore,
+    explore_compact,
+)
+from repro.systems.mutex import LamportMutex
+from repro.systems.paxos import Paxos
+
+from conftest import report
+
+BUDGET = 20_000  # states explored per timed run
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover
+        return os.cpu_count() or 1
+
+
+def _timed_to_budget(run) -> float:
+    """Wall time for *run* to intern BUDGET states (it must overflow)."""
+    start = perf_counter()
+    with pytest.raises(StateSpaceExplosion):
+        run()
+    return perf_counter() - start
+
+
+CORPUS = [
+    pytest.param("Paxos(3,3,1)",
+                 lambda: Paxos(3, 3, 1).complete_spec(), id="paxos-3-3-1"),
+    pytest.param("Mutex(3, maxClock=4)",
+                 lambda: LamportMutex(3, 4).complete_spec(),
+                 id="mutex-3-4"),
+]
+
+
+@pytest.mark.parametrize("label, make_spec", CORPUS)
+def test_corpus_engine_scaling(label, make_spec):
+    cores = _usable_cores()
+    if cores < 4:
+        pytest.skip(f"parallel-compact half of the measurement needs 4+ "
+                    f"usable cores, found {cores}; CI runs it on 4+")
+    workers = min(cores, 4)
+    spec = make_spec()
+
+    t_full = _timed_to_budget(
+        lambda: explore(spec, max_states=BUDGET))
+    t_por = _timed_to_budget(
+        lambda: explore(spec, max_states=BUDGET,
+                        reduction=ReductionConfig(())))
+    t_compact1 = _timed_to_budget(
+        lambda: explore_compact(spec, max_states=BUDGET))
+    stats = ExploreStats()
+    t_compact = _timed_to_budget(
+        lambda: explore_compact(spec, max_states=BUDGET, workers=workers,
+                                stats=stats))
+
+    ratio = t_full / t_compact
+    assert ratio >= 3.0, (
+        f"{label}: compact engine ({workers} workers) ran {ratio:.2f}x "
+        f"the serial full engine (full {t_full:.3f}s, compact "
+        f"{t_compact:.3f}s to {BUDGET} states); the acceptance bar is "
+        f">= 3x"
+    )
+
+    stats_json = os.environ.get("REPRO_BENCH_STATS_JSON")
+    if stats_json:
+        suffix = label.split("(")[0].lower()
+        path = stats_json.replace(".json", f"-{suffix}.json") \
+            if stats_json.endswith(".json") else f"{stats_json}-{suffix}"
+        with open(path, "w") as handle:
+            handle.write(stats.to_json(indent=2) + "\n")
+
+    report(f"corpus scaling, {label}, budget={BUDGET} states", [
+        ["full engine", f"{t_full:.3f} s "
+                        f"({BUDGET / t_full:,.0f} states/s)"],
+        ["por", f"{t_por:.3f} s ({BUDGET / t_por:,.0f} states/s)"],
+        ["compact, serial", f"{t_compact1:.3f} s "
+                            f"({BUDGET / t_compact1:,.0f} states/s)"],
+        [f"compact, {workers} workers",
+         f"{t_compact:.3f} s ({BUDGET / t_compact:,.0f} states/s)"],
+        ["compact speedup", f"{ratio:.2f}x"],
+        ["collision bound", f"{stats.collision_probability_bound:.3g}"],
+    ])

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Single-decree Paxos, proved safe as a composition of open systems.
+
+The walkthrough the protocol corpus is built around:
+
+* each proposer and each acceptor is its own component with an `E ⊳ M`
+  assume/guarantee spec -- the environment assumption says only that
+  input message bits rise monotonically, one at a time;
+* the message channel is a *separate* component that owns the `lost`
+  bits: loss is a monotone drop action, duplication is the fact that
+  receives never consume a message;
+* the Composition Theorem discharges agreement from the per-device
+  obligations, so the proof survives adding the lossy channel to the
+  device list unchanged -- safety is fault-oblivious;
+* liveness is not: with no fairness on the channel, a behavior where
+  every prepare is eaten is a legal fair lasso and `◇ decided` fails,
+  which the checker exhibits.
+
+Run:  python examples/paxos_certificate.py
+"""
+
+from repro.checker import check_invariant, check_temporal_implication, explore
+from repro.fmt import pretty_spec
+from repro.systems.paxos import Paxos, v1a, v2a
+
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72 + "\n")
+
+
+def main() -> None:
+    system = Paxos(acceptors=2, ballots=2, values=2)
+
+    banner("The components (one proposer, one acceptor)")
+    print(pretty_spec(system.proposers[1].spec))
+    print()
+    print(pretty_spec(system.acceptor_procs[0].spec))
+
+    banner("Closed system: agreement holds, the broken variant does not")
+    graph = explore(system.complete_spec())
+    check_invariant(graph, system.agreement(), name="Agreement").expect_ok()
+    print(f"  [OK] Agreement on all {graph.state_count} reachable states")
+
+    broken = Paxos(2, 2, 2, broken=True)  # 2a skips the vote-carry rule
+    result = check_invariant(explore(broken.complete_spec()),
+                             broken.agreement(), name="Agreement")
+    assert not result.ok
+    print("\n  without the phase-2a value rule, two values get chosen:")
+    print()
+    print(result.counterexample.render())
+
+    banner("Agreement by the Composition Theorem")
+    certificate = system.composition_theorem().verify()
+    print(certificate.render())
+    certificate.expect_ok()
+
+    banner("The same certificate with a lossy channel in the device list")
+    lossy = Paxos(2, 2, 2, droppable=(v1a(1), v2a(1, 0)))
+    lossy_certificate = lossy.composition_theorem().verify()
+    print(lossy_certificate.render())
+    lossy_certificate.expect_ok()
+
+    banner("Liveness is not fault-oblivious")
+    check_temporal_implication(
+        system.complete_spec(), system.eventually_decides(),
+        name="◇ decided (lossless)",
+    ).expect_ok()
+    print("  [OK] lossless: WF on proposers and acceptors decides")
+
+    stalled = Paxos(2, 2, 2, droppable=(v1a(0), v1a(1)))
+    result = check_temporal_implication(
+        stalled.complete_spec(), stalled.eventually_decides(),
+        name="◇ decided (prepares droppable)",
+    )
+    assert not result.ok and result.counterexample.is_lasso
+    print("\n  with every prepare droppable, the channel (no fairness)")
+    print("  eats them forever -- a legal fair lasso:")
+    print()
+    print(result.counterexample.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -187,6 +187,19 @@ def _compile(expr: Expr) -> List[Branch]:
     return [Branch({}, [expr])]
 
 
+_EXPAND_CAP = 512
+
+#: one expansion level peels one opaque conjunct, so a product of k
+#: component specs (certificate products conjoin every device plus the
+#: Disjoint spec) needs about k levels before its branches determine
+#: every primed variable
+_EXPAND_DEPTH = 8
+
+#: total refined sub-plans per SuccessorPlan; past this, remaining free
+#: variables fall back to domain enumeration (same successors, same order)
+_EXPAND_TOTAL = 65536
+
+
 class _BranchPlan:
     """One branch of a :class:`SuccessorPlan`: the per-state work of
     :class:`Branch`, with everything that depends only on the universe and
@@ -200,14 +213,30 @@ class _BranchPlan:
       computed post-value must equal the pre-state value, or the branch
       contributes nothing for this state;
     * ``free_names``/``free_values`` -- the undetermined frame variables
-      and their domain value tuples, enumerated by product.
+      and their domain value tuples, enumerated by product;
+    * ``pre_constraints``/``step_constraints`` -- the residual constraints
+      split by whether they mention primed variables: a prime-free
+      constraint depends only on the pre-state, so it is evaluated once
+      per (state, branch) *before* any candidate is assembled, killing
+      disabled branches for the price of one guard evaluation;
+    * ``expanded`` -- when the branch has free variables but one of its
+      opaque constraints compiles into sub-branches that determine them
+      (the shape the ``_BRANCH_BUDGET`` cutoff in :func:`_compile`
+      produces for large component products), the refined sub-plans.
+      Successors are then generated from the sub-plans and emitted in the
+      free-variable *domain-product order* -- exactly the sequence the
+      unexpanded enumeration would have produced, so node numbering and
+      every downstream golden artifact are unchanged; the expansion is a
+      pure optimisation replacing domain enumeration with evaluation.
     """
 
     __slots__ = ("bindings", "checks", "fixed_bound", "free_names",
-                 "free_values", "constraints")
+                 "free_values", "free_index", "free_needed",
+                 "pre_constraints", "step_constraints", "expanded")
 
     def __init__(self, branch: Branch, universe: "Universe",
-                 relevant: Sequence[str]):
+                 relevant: Sequence[str], depth: int = 0,
+                 budget: Optional[List[int]] = None):
         self.bindings: Tuple[Tuple[str, Expr, object], ...] = tuple(
             (name, expr, universe.domain(name))
             for name, expr in branch.bindings.items()
@@ -227,7 +256,83 @@ class _BranchPlan:
         self.free_values: Tuple[Tuple[object, ...], ...] = tuple(
             tuple(universe.domain(name).values()) for name in free
         )
-        self.constraints: Tuple[Expr, ...] = tuple(branch.constraints)
+        self.free_index: Tuple[Dict[object, int], ...] = tuple(
+            {value: idx for idx, value in enumerate(values)}
+            for values in self.free_values
+        )
+        constraints = tuple(branch.constraints)
+        self.pre_constraints: Tuple[Expr, ...] = tuple(
+            c for c in constraints if not c.primed_vars()
+        )
+        self.step_constraints: Tuple[Expr, ...] = tuple(
+            c for c in constraints if c.primed_vars()
+        )
+        mentioned: set = set()
+        for c in self.step_constraints:
+            mentioned |= c.primed_vars()
+        self.free_needed: Tuple[int, ...] = tuple(
+            idx for idx, name in enumerate(self.free_names)
+            if name in mentioned
+        )
+        self.expanded: Optional[Tuple["_BranchPlan", ...]] = None
+        if free and depth < _EXPAND_DEPTH:
+            self.expanded = self._expand(branch, universe, relevant, depth,
+                                         budget)
+
+    def _expand(self, branch: Branch, universe: "Universe",
+                relevant: Sequence[str], depth: int,
+                budget: Optional[List[int]]) -> Optional[Tuple["_BranchPlan", ...]]:
+        """Refine this branch through the opaque constraint whose own
+        compiled sub-branches determine the most free variables."""
+        free_set = set(self.free_names)
+        best: Optional[Tuple[int, Expr, List[Branch]]] = None
+        for constraint in branch.constraints:
+            if not constraint.primed_vars():
+                continue  # a guard determines nothing
+            sub = _compile(constraint)
+            if not 0 < len(sub) <= _EXPAND_CAP:
+                continue
+            coverage = min(
+                (len(free_set & set(s.bindings)) for s in sub), default=0
+            )
+            if coverage < 1:
+                continue
+            if best is None or coverage > best[0]:
+                best = (coverage, constraint, sub)
+        if best is None:
+            return None
+        _coverage, chosen, sub = best
+        if budget is not None:
+            if budget[0] < len(sub):
+                return None  # plan-table cap: fall back to enumeration
+            budget[0] -= len(sub)
+        rest = Branch(
+            branch.bindings,
+            [c for c in branch.constraints if c is not chosen],
+            list(branch.binding_checks),
+        )
+        return tuple(
+            _BranchPlan(_merge(rest, sub_branch), universe, relevant,
+                        depth + 1, budget)
+            for sub_branch in sub
+        )
+
+    @property
+    def constraints(self) -> Tuple[Expr, ...]:
+        """All residual constraints (the pre/step split re-joined) --
+        consumed by the packed engine, which does its own splitting.  A
+        packed plan built from an *expanded* branch falls back to free
+        enumeration, which emits survivors in domain-product order: the
+        identical sequence the expansion produces."""
+        return self.pre_constraints + self.step_constraints
+
+    def rank(self, candidate: "State") -> Tuple[int, ...]:
+        """The candidate's position in this branch's free-variable
+        domain-product enumeration order."""
+        return tuple(
+            index[candidate[name]]
+            for name, index in zip(self.free_names, self.free_index)
+        )
 
 
 class SuccessorPlan:
@@ -252,8 +357,9 @@ class SuccessorPlan:
             self.relevant = tuple(
                 name for name in universe.variables if name in wanted
             )
+        budget = [_EXPAND_TOTAL]
         self.branch_plans: Tuple[_BranchPlan, ...] = tuple(
-            _BranchPlan(branch, universe, self.relevant)
+            _BranchPlan(branch, universe, self.relevant, budget=budget)
             for branch in compiled.branches
         )
 
@@ -264,70 +370,155 @@ class SuccessorPlan:
         env0 = Env(state)
         pre = state._map  # direct dict access: skip the Mapping ABC
         for plan in self.branch_plans:
-            determined: Dict[str, object] = {}
-            alive = True
-            for name, expr, domain in plan.bindings:
-                try:
-                    value = expr.eval(env0)
-                except EvalError:
-                    alive = False  # binding unevaluable => branch disabled
-                    break
-                if value not in domain:
-                    alive = False  # post-value escapes the domain
-                    break
-                determined[name] = value
-            if not alive:
+            if plan.expanded is not None:
+                # refined sub-plans replace free-domain enumeration; emit
+                # in the domain-product order the enumeration would use
+                collected: Dict[State, Tuple[int, ...]] = {}
+                for sub_plan in plan.expanded:
+                    for candidate in self._candidates(sub_plan, state,
+                                                      env0, pre):
+                        if candidate not in collected:
+                            collected[candidate] = plan.rank(candidate)
+                for candidate in sorted(collected, key=collected.get):
+                    if candidate not in seen:
+                        seen.add(candidate)
+                        yield candidate
                 continue
-            for name, expr in plan.checks:
-                try:
-                    if expr.eval(env0) != determined[name]:
-                        alive = False
-                        break
-                except EvalError:
-                    alive = False
-                    break
-            if not alive:
-                continue
-            for name in plan.fixed_bound:
-                if determined[name] != pre[name]:
-                    alive = False  # out-of-frame variable must not change
-                    break
-            if not alive:
-                continue
+            for candidate in self._candidates(plan, state, env0, pre):
+                if candidate not in seen:
+                    seen.add(candidate)
+                    yield candidate
 
-            base: Dict[str, object] = dict(pre)
-            base.update(determined)
-            if not plan.free_names:
-                candidate = State._trusted(base)
-                if self._constraints_hold(plan, state, candidate):
-                    if candidate not in seen:
-                        seen.add(candidate)
-                        yield candidate
-                continue
-            names = plan.free_names
-            for combo in itertools.product(*plan.free_values):
-                for name, value in zip(names, combo):
-                    base[name] = value
-                candidate = State._trusted(dict(base))
-                if self._constraints_hold(plan, state, candidate):
-                    if candidate not in seen:
-                        seen.add(candidate)
-                        yield candidate
+    def _candidates(self, plan: _BranchPlan, state: State, env0: Env,
+                    pre: Dict[str, object]) -> Iterator[State]:
+        """One branch's passing candidates, in its free-variable
+        domain-product order (sub-plan results re-ranked by the caller)."""
+        for constraint in plan.pre_constraints:
+            try:
+                if not constraint.holds(env0):
+                    return
+            except EvalError:
+                return  # unevaluable guard on this state: branch disabled
+        determined: Dict[str, object] = {}
+        for name, expr, domain in plan.bindings:
+            try:
+                value = expr.eval(env0)
+            except EvalError:
+                return  # binding unevaluable => branch disabled
+            if value not in domain:
+                return  # post-value escapes the domain
+            determined[name] = value
+        for name, expr in plan.checks:
+            try:
+                if expr.eval(env0) != determined[name]:
+                    return
+            except EvalError:
+                return
+        for name in plan.fixed_bound:
+            if determined[name] != pre[name]:
+                return  # out-of-frame variable must not change
+
+        base: Dict[str, object] = dict(pre)
+        base.update(determined)
+        if plan.expanded is not None:
+            collected: Dict[State, Tuple[int, ...]] = {}
+            for sub_plan in plan.expanded:
+                for candidate in self._candidates(sub_plan, state, env0, pre):
+                    if candidate not in collected:
+                        collected[candidate] = plan.rank(candidate)
+            for candidate in sorted(collected, key=collected.get):
+                yield candidate
+            return
+        if not plan.free_names:
+            candidate = State._trusted(base)
+            if self._constraints_hold(plan, state, candidate):
+                yield candidate
+            return
+        names = plan.free_names
+        for combo in itertools.product(*plan.free_values):
+            for name, value in zip(names, combo):
+                base[name] = value
+            candidate = State._trusted(dict(base))
+            if self._constraints_hold(plan, state, candidate):
+                yield candidate
 
     @staticmethod
     def _constraints_hold(plan: _BranchPlan, state: State,
                           candidate: State) -> bool:
-        if not plan.constraints:
+        if not plan.step_constraints:
             return True
         env = Env(state, candidate)
         try:
-            return all(c.holds(env) for c in plan.constraints)
+            return all(c.holds(env) for c in plan.step_constraints)
         except EvalError:
             return False  # a type error on this candidate: not a step
 
     def enabled(self, state: State) -> bool:
-        for _ in self.successors(state):
-            return True
+        """The paper's ENABLED: does *some* post-state make a step?
+
+        Existence needs one witness, not the enumeration
+        :meth:`successors` performs: a free variable that no step
+        constraint mentions can take any in-domain value, so it is pinned
+        (to its pre-state value) rather than enumerated.  This is what
+        makes ``ENABLED <N_i>_{v_i}`` queries on a many-component product
+        tractable -- the other components' variables are free-but-
+        unconstrained there, and enumerating them would be exponential in
+        the number of components."""
+        env0 = Env(state)
+        pre = state._map
+        return any(self._branch_enabled(plan, state, env0, pre)
+                   for plan in self.branch_plans)
+
+    def _branch_enabled(self, plan: _BranchPlan, state: State, env0: Env,
+                        pre: Dict[str, object]) -> bool:
+        for constraint in plan.pre_constraints:
+            try:
+                if not constraint.holds(env0):
+                    return False
+            except EvalError:
+                return False
+        determined: Dict[str, object] = {}
+        for name, expr, domain in plan.bindings:
+            try:
+                value = expr.eval(env0)
+            except EvalError:
+                return False
+            if value not in domain:
+                return False
+            determined[name] = value
+        for name, expr in plan.checks:
+            try:
+                if expr.eval(env0) != determined[name]:
+                    return False
+            except EvalError:
+                return False
+        for name in plan.fixed_bound:
+            if determined[name] != pre[name]:
+                return False
+        if plan.expanded is not None:
+            return any(self._branch_enabled(sub, state, env0, pre)
+                       for sub in plan.expanded)
+        base: Dict[str, object] = dict(pre)
+        base.update(determined)
+        if not plan.free_names:
+            return self._constraints_hold(plan, state, State._trusted(base))
+        needed = set(plan.free_needed)
+        for idx, name in enumerate(plan.free_names):
+            if idx in needed:
+                continue
+            if name not in pre or pre[name] not in plan.free_index[idx]:
+                base[name] = plan.free_values[idx][0]
+        if not needed:
+            return self._constraints_hold(plan, state,
+                                          State._trusted(base))
+        needed_names = [plan.free_names[i] for i in plan.free_needed]
+        needed_values = [plan.free_values[i] for i in plan.free_needed]
+        for combo in itertools.product(*needed_values):
+            for name, value in zip(needed_names, combo):
+                base[name] = value
+            if self._constraints_hold(plan, state,
+                                      State._trusted(dict(base))):
+                return True
         return False
 
 

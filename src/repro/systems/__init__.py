@@ -1,4 +1,4 @@
-"""Example systems from the paper (and one extra open system).
+"""Example systems from the paper, plus the distributed-protocol corpus.
 
 * :mod:`~repro.systems.circuit` -- the two-process circuit of Figure 1 and
   the introduction's two motivating examples (safety circularity works,
@@ -10,5 +10,180 @@
   and the ingredients of the Figure 9 composition proof;
 * :mod:`~repro.systems.arbiter` -- a mutual-exclusion arbiter with two
   clients, a second end-to-end application of the Composition Theorem
-  exercising strong fairness.
+  exercising strong fairness;
+* :mod:`~repro.systems.mutex` -- Lamport's distributed mutual-exclusion
+  algorithm ("Time, Clocks"), N processes over handshake channels,
+  decomposed per the A/G method;
+* :mod:`~repro.systems.paxos` -- single-decree Paxos with a lossy/
+  duplicating message channel as its own component.
+
+The protocol corpus is also reachable from the CLI without writing a
+module file: ``repro check @mutex:n=2,clock=3 --invariant MutualExclusion``
+resolves through :func:`bundled_module`, which adapts an instance into
+the :class:`~repro.parser.module.TLAModule` interface the CLI drives
+(``spec`` / ``expr`` / ``formula`` / ``get`` / ``definitions``).
 """
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..kernel.expr import Expr
+from ..kernel.values import Domain
+from ..spec import Spec
+from ..temporal.formulas import TemporalFormula, to_tf
+
+
+class BundledModule:
+    """A bundled protocol instance wearing the ``TLAModule`` interface.
+
+    Unlike a parsed module, the definitions are already elaborated
+    objects -- canonical :class:`~repro.spec.Spec` values for specs,
+    :class:`~repro.kernel.expr.Expr` for invariants, temporal formulas
+    for properties -- so :meth:`spec` hands them out directly instead of
+    pattern-matching a formula.
+    """
+
+    def __init__(self, name: str, definitions: Dict[str, object]):
+        self.name = name
+        self.definitions = definitions
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.definitions
+
+    def get(self, name: str) -> object:
+        try:
+            return self.definitions[name]
+        except KeyError:
+            raise KeyError(
+                f"bundled module {self.name!r} has no definition {name!r} "
+                f"(defined: {', '.join(sorted(self.definitions)) or 'none'})"
+            ) from None
+
+    def expr(self, name: str) -> Expr:
+        value = self.get(name)
+        if not isinstance(value, Expr):
+            raise TypeError(f"{name!r} is not an expression: {value!r}")
+        return value
+
+    def formula(self, name: str) -> TemporalFormula:
+        value = self.get(name)
+        if isinstance(value, (Domain, Spec)):
+            raise TypeError(f"{name!r} is not a temporal formula: {value!r}")
+        return to_tf(value)
+
+    def spec(self, name: str = "Spec", label: Optional[str] = None) -> Spec:
+        value = self.get(name)
+        if not isinstance(value, Spec):
+            raise TypeError(f"{name!r} is not a spec: {value!r}")
+        if label:
+            return Spec(label, value.init, value.next_action, value.sub,
+                        value.universe, value.fairness)
+        return value
+
+    def __repr__(self) -> str:
+        return (f"BundledModule({self.name!r}, "
+                f"definitions={sorted(self.definitions)})")
+
+
+def _parse_params(text: str) -> Dict[str, str]:
+    """``"n=3,clock=4,broken"`` -> ``{"n": "3", "clock": "4",
+    "broken": ""}`` (a bare key is a flag)."""
+    params: Dict[str, str] = {}
+    for part in filter(None, text.split(",")):
+        key, _, value = part.partition("=")
+        params[key.strip()] = value.strip()
+    return params
+
+
+def _int_param(params: Dict[str, str], key: str, default: int) -> int:
+    raw = params.pop(key, None)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"parameter {key}={raw!r} is not an integer") \
+            from None
+
+
+def _flag_param(params: Dict[str, str], key: str) -> bool:
+    raw = params.pop(key, None)
+    if raw is None:
+        return False
+    if raw in ("", "1", "true", "yes"):
+        return True
+    if raw in ("0", "false", "no"):
+        return False
+    raise ValueError(f"parameter {key}={raw!r} is not a flag "
+                     f"(use {key} or {key}=true/false)")
+
+
+def _make_mutex(params: Dict[str, str]) -> BundledModule:
+    from .mutex import DEFAULT_MAX_CLOCK, DEFAULT_N, LamportMutex
+
+    n = _int_param(params, "n", DEFAULT_N)
+    clock = _int_param(params, "clock", DEFAULT_MAX_CLOCK)
+    broken = _flag_param(params, "broken")
+    if params:
+        raise ValueError(f"unknown mutex parameter(s): "
+                         f"{', '.join(sorted(params))} "
+                         f"(known: n, clock, broken)")
+    system = LamportMutex(n, clock, broken=broken)
+    return BundledModule(f"mutex[n={n},clock={clock}"
+                         + (",broken" if broken else "") + "]", {
+        "Spec": system.complete_spec(),
+        "Conjunction": system.conjunction_spec(),
+        "MutualExclusion": system.mutual_exclusion(),
+        "SomeoneEnters": system.someone_enters(),
+        "Progress1": system.progress(1),
+    })
+
+
+def _make_paxos(params: Dict[str, str]) -> BundledModule:
+    from .paxos import (
+        DEFAULT_ACCEPTORS,
+        DEFAULT_BALLOTS,
+        DEFAULT_VALUES,
+        Paxos,
+    )
+
+    acceptors = _int_param(params, "acceptors", DEFAULT_ACCEPTORS)
+    ballots = _int_param(params, "ballots", DEFAULT_BALLOTS)
+    values = _int_param(params, "values", DEFAULT_VALUES)
+    broken = _flag_param(params, "broken")
+    drop_all = _flag_param(params, "droppable")
+    if params:
+        raise ValueError(f"unknown paxos parameter(s): "
+                         f"{', '.join(sorted(params))} (known: acceptors, "
+                         f"ballots, values, droppable, broken)")
+    system = Paxos(acceptors, ballots, values,
+                   droppable="all" if drop_all else None, broken=broken)
+    return BundledModule(f"paxos[acceptors={acceptors},ballots={ballots},"
+                         f"values={values}"
+                         + (",droppable" if drop_all else "")
+                         + (",broken" if broken else "") + "]", {
+        "Spec": system.complete_spec(),
+        "Conjunction": system.conjunction_spec(),
+        "Agreement": system.agreement(),
+        "NoDecision": system.no_decision(),
+        "EventuallyDecides": system.eventually_decides(),
+    })
+
+
+#: registry of CLI-addressable protocol instances: ``@name:key=val,...``
+BUNDLED: Dict[str, Callable[[Dict[str, str]], BundledModule]] = {
+    "mutex": _make_mutex,
+    "paxos": _make_paxos,
+}
+
+
+def bundled_module(ref: str) -> BundledModule:
+    """Resolve ``"mutex:n=3,clock=4"`` (no leading ``@``) to a module."""
+    name, _, param_text = ref.partition(":")
+    try:
+        factory = BUNDLED[name]
+    except KeyError:
+        raise KeyError(f"no bundled system {name!r} "
+                       f"(bundled: {', '.join(sorted(BUNDLED))})") from None
+    return factory(_parse_params(param_text))

@@ -1,0 +1,494 @@
+"""Lamport's distributed mutual-exclusion algorithm as open systems.
+
+The algorithm of "Time, Clocks, and the Ordering of Events in a
+Distributed System" (CACM 1978), in the explicit-ack variant that the
+TLA+ ``LamportMutex`` module checks with TLC: ``N`` processes exchange
+``req``/``ack``/``rel`` messages over point-to-point FIFO channels and
+order critical-section entry by ``(timestamp, pid)`` priority.
+
+Channels reuse the paper's Figure-2 two-phase handshake verbatim: the
+directed channel ``i -> j`` is a handshake channel whose ``snd`` wires
+belong to process ``i`` and whose ``ack`` wire belongs to process ``j``
+-- single-slot, hence trivially FIFO.  Per the A/G method, every process
+is an ``E ⊳ M`` component:
+
+* process ``i`` **owns** (outputs) its ``cs_i`` flag, the snd wires of
+  its outgoing channels, and the ack wires of its incoming channels;
+  its clock, request timestamp, request-queue knowledge and send
+  obligations are internal;
+* its **assumption** ``E_i`` is only that the other processes drive the
+  shared wires per the handshake discipline (a safety property in
+  canonical form, like the arbiter's grant/request protocols);
+* mutual exclusion ``□ at-most-one cs_i`` is discharged by the
+  Composition Theorem, ``G ∧ ⋀_i (E_i ⊳ P_i) ⇒ (TRUE ⊳ Mutex)``,
+  never by trusting a single monolithic check
+  (:meth:`LamportMutex.composition_theorem`).
+
+Clocks are bounded the way TLC's ``ClockConstraint`` bounds them, but as
+an action guard: a receive that would push ``max(clk, t) + 1`` past
+``maxClock`` is *disabled* rather than capped.  Capping would merge
+distinct timestamps and (unlike the guard) can actually violate mutual
+exclusion; disabling merely truncates behaviors, so safety verdicts are
+exact while liveness beyond the bound is forfeited -- the standard TLC
+trade.  ``broken=True`` removes the ``(timestamp, pid)`` priority guard
+from the enter action (acks alone decide), which admits the canonical
+two-processes-in-CS violation used by the golden-trace hunts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence, Tuple
+
+from ..kernel.action import unchanged
+from ..kernel.expr import (
+    And,
+    Arith,
+    Cmp,
+    Const,
+    Eq,
+    Exists,
+    Expr,
+    Fn,
+    Not,
+    Or,
+    TupleExpr,
+    Var,
+)
+from ..kernel.state import Universe
+from ..kernel.values import BIT, FiniteDomain, interval
+from ..spec import Component, Spec, conjoin, weak_fairness
+from ..temporal.formulas import Eventually, LeadsTo, StatePred, TemporalFormula
+from ..core.agspec import AGSpec
+from ..core.disjoint import DisjointSpec
+from .handshake import (
+    ack,
+    channel_universe,
+    cinit,
+    pending,
+    send,
+    sig,
+    snd_vars,
+    val,
+)
+
+DEFAULT_N = 2
+DEFAULT_MAX_CLOCK = 3
+
+#: message constants -- tuples so one channel domain carries all three kinds
+ACK_MSG: Tuple[str, ...] = ("ack",)
+REL_MSG: Tuple[str, ...] = ("rel",)
+
+
+def req_msg(stamp: int) -> Tuple[str, int]:
+    return ("req", stamp)
+
+
+def message_domain(max_clock: int) -> FiniteDomain:
+    """Every message a channel can carry: ``ack``, ``rel``, ``req(t)``."""
+    return FiniteDomain([ACK_MSG, REL_MSG]
+                        + [req_msg(t) for t in range(1, max_clock + 1)])
+
+
+def chan(src: int, dst: int) -> str:
+    """The directed handshake channel from *src* to *dst*."""
+    return f"c{src}_{dst}"
+
+
+def clk(i: int) -> Var:
+    return Var(f"clk{i}")
+
+
+def own_req(i: int) -> Var:
+    """Process *i*'s outstanding request timestamp (0 = none)."""
+    return Var(f"req{i}")
+
+
+def cs(i: int) -> Var:
+    return Var(f"cs{i}")
+
+
+def known_req(i: int, j: int) -> Var:
+    """The timestamp of *j*'s request as known to *i* (0 = none)."""
+    return Var(f"lr{i}_{j}")
+
+
+def acked(i: int, j: int) -> Var:
+    """Has *j* acknowledged *i*'s current request?"""
+    return Var(f"ak{i}_{j}")
+
+
+def send_obl(i: int, j: int) -> Var:
+    """*i*'s pending broadcast to *j*: 0 = none, 1 = req, 2 = rel."""
+    return Var(f"so{i}_{j}")
+
+
+def ack_obl(i: int, j: int) -> Var:
+    """*i* still owes *j* an ack for *j*'s request."""
+    return Var(f"ao{i}_{j}")
+
+
+def _step(guards: Sequence[Expr], updates: Dict[str, Expr], owned: Sequence[str],
+          framed: Sequence[str] = ()) -> Expr:
+    """One interleaving action: guards, primed updates, frame of the rest.
+
+    *framed* names owned variables already constrained by a guard
+    conjunct (the handshake ``send``/``ack`` macros constrain all three
+    channel wires themselves)."""
+    conjuncts: List[Expr] = list(guards)
+    for name, expr in updates.items():
+        conjuncts.append(Eq(Var(name).prime(), expr))
+    rest = [n for n in owned if n not in updates and n not in framed]
+    if rest:
+        conjuncts.append(unchanged(rest))
+    return And(*conjuncts)
+
+
+def _priority_lt(stamp: Expr, i: int, other_stamp: Expr, j: int) -> Expr:
+    """``(stamp, i) < (other_stamp, j)`` lexicographically; ``i``/``j``
+    are compile-time pids, so the tie-break folds into <= vs <."""
+    op = "<=" if i < j else "<"
+    return Cmp(op, stamp, other_stamp)
+
+
+class MutexProcess:
+    """Process *pid* of the N-process Lamport mutex, as a component."""
+
+    def __init__(self, n: int, pid: int, max_clock: int, broken: bool = False):
+        if n < 2:
+            raise ValueError("the mutex needs at least 2 processes")
+        if max_clock < 2:
+            raise ValueError("maxClock must be >= 2 (one receive must fit)")
+        self.n = n
+        self.pid = pid
+        self.max_clock = max_clock
+        self.broken = broken
+        self.others: Tuple[int, ...] = tuple(
+            j for j in range(1, n + 1) if j != pid)
+        self.name = f"P{pid}"
+
+        msg = message_domain(max_clock)
+        i = pid
+
+        self.outputs: Tuple[str, ...] = (f"cs{i}",)
+        for j in self.others:
+            self.outputs += snd_vars(chan(i, j))       # outgoing sends
+        for j in self.others:
+            self.outputs += (f"{chan(j, i)}.ack",)     # incoming acks
+        self.internals: Tuple[str, ...] = (f"clk{i}", f"req{i}")
+        for j in self.others:
+            self.internals += (f"lr{i}_{j}", f"ak{i}_{j}",
+                               f"so{i}_{j}", f"ao{i}_{j}")
+        self.inputs: Tuple[str, ...] = ()
+        for j in self.others:
+            self.inputs += snd_vars(chan(j, i))        # their sends to me
+        for j in self.others:
+            self.inputs += (f"{chan(i, j)}.ack",)      # their acks of mine
+
+        universe = Universe({
+            f"cs{i}": BIT,
+            f"clk{i}": interval(1, max_clock),
+            f"req{i}": interval(0, max_clock),
+        })
+        for j in self.others:
+            universe = universe.merge(Universe({
+                f"lr{i}_{j}": interval(0, max_clock),
+                f"ak{i}_{j}": BIT,
+                f"so{i}_{j}": FiniteDomain([0, 1, 2]),
+                f"ao{i}_{j}": BIT,
+            }))
+            universe = universe.merge(channel_universe(chan(i, j), msg))
+            universe = universe.merge(channel_universe(chan(j, i), msg))
+        self.universe = universe
+
+        owned = self.outputs + self.internals
+
+        # -- initial condition: idle, clock 1, own channels quiescent -------
+        init_parts: List[Expr] = [
+            Eq(cs(i), 0), Eq(clk(i), 1), Eq(own_req(i), 0)]
+        for j in self.others:
+            init_parts += [
+                Eq(known_req(i, j), 0), Eq(acked(i, j), 0),
+                Eq(send_obl(i, j), 0), Eq(ack_obl(i, j), 0),
+                # channel init is the sender's obligation (paper, A.3)
+                cinit(chan(i, j)), Eq(val(chan(i, j)), Const(ACK_MSG)),
+            ]
+        self.init = And(*init_parts)
+
+        # -- actions --------------------------------------------------------
+        self.actions: List[Tuple[str, Expr]] = []
+
+        # Request: stamp a new request with the current clock and oblige a
+        # req broadcast; forbidden while a previous rel is still pending so
+        # the single-slot FIFO delivers rel before the fresh req.
+        self.actions.append(("request", _step(
+            [Eq(own_req(i), 0), Eq(cs(i), 0)]
+            + [Eq(send_obl(i, j), 0) for j in self.others],
+            dict({f"req{i}": clk(i)},
+                 **{f"so{i}_{j}": Const(1) for j in self.others}),
+            owned,
+        )))
+
+        for j in self.others:
+            c_out, c_in = chan(i, j), chan(j, i)
+            # SendReq / SendRel / SendAck: drain one obligation per step.
+            self.actions.append((f"send_req_{j}", _step(
+                [Eq(send_obl(i, j), 1),
+                 send(TupleExpr(Const("req"), own_req(i)), c_out)],
+                {f"so{i}_{j}": Const(0)},
+                owned, framed=(f"{c_out}.sig", f"{c_out}.val"),
+            )))
+            self.actions.append((f"send_rel_{j}", _step(
+                [Eq(send_obl(i, j), 2), send(Const(REL_MSG), c_out)],
+                {f"so{i}_{j}": Const(0)},
+                owned, framed=(f"{c_out}.sig", f"{c_out}.val"),
+            )))
+            # An ack must never overtake an unsent request on the same
+            # channel: Lamport's entry rule is only sound if j's own
+            # request reaches i before any ack j sends afterwards (FIFO).
+            # A pending rel may be reordered with an ack -- a stale
+            # known-request only delays entry, never admits it.
+            self.actions.append((f"send_ack_{j}", _step(
+                [Eq(ack_obl(i, j), 1), Not(Eq(send_obl(i, j), 1)),
+                 send(Const(ACK_MSG), c_out)],
+                {f"ao{i}_{j}": Const(0)},
+                owned, framed=(f"{c_out}.sig", f"{c_out}.val"),
+            )))
+
+            # ReceiveReq(t): Lamport clock update max(clk, t) + 1, bounded
+            # by disabling (never capping) at maxClock; record the request
+            # and owe an ack.
+            for t in range(1, max_clock + 1):
+                bumped = Arith("+", Fn("Max", clk(i), Const(t)), Const(1))
+                self.actions.append((f"recv_req_{j}_t{t}", _step(
+                    [pending(c_in), Eq(val(c_in), Const(req_msg(t))),
+                     Cmp("<=", bumped, Const(max_clock)), ack(c_in)],
+                    {f"clk{i}": bumped,
+                     f"lr{i}_{j}": Const(t),
+                     f"ao{i}_{j}": Const(1)},
+                    owned, framed=(f"{c_in}.ack",),
+                )))
+            self.actions.append((f"recv_ack_{j}", _step(
+                [pending(c_in), Eq(val(c_in), Const(ACK_MSG)), ack(c_in)],
+                {f"ak{i}_{j}": Const(1)},
+                owned, framed=(f"{c_in}.ack",),
+            )))
+            self.actions.append((f"recv_rel_{j}", _step(
+                [pending(c_in), Eq(val(c_in), Const(REL_MSG)), ack(c_in)],
+                {f"lr{i}_{j}": Const(0)},
+                owned, framed=(f"{c_in}.ack",),
+            )))
+
+        # Enter: all acks in, and -- unless broken -- (req_i, i) beats every
+        # known competing request.
+        self.actions.append(("enter", _step(
+            [Eq(cs(i), 0), Cmp(">", own_req(i), 0)] + self.enter_guards(),
+            {f"cs{i}": Const(1)},
+            owned,
+        )))
+
+        # Exit: leave, clear the request and oblige the rel broadcast.
+        self.actions.append(("exit", _step(
+            [Eq(cs(i), 1)],
+            dict({f"cs{i}": Const(0), f"req{i}": Const(0)},
+                 **{f"so{i}_{j}": Const(2) for j in self.others},
+                 **{f"ak{i}_{j}": Const(0) for j in self.others}),
+            owned,
+        )))
+
+        self.next_action: Expr = Or(*[action for _, action in self.actions])
+        self.component = Component(
+            self.name,
+            outputs=self.outputs,
+            internals=self.internals,
+            inputs=self.inputs,
+            init=self.init,
+            next_action=self.next_action,
+            universe=self.universe,
+            fairness=[weak_fairness(self.outputs + self.internals,
+                                    self.next_action)],
+        )
+
+    def enter_guards(self) -> List[Expr]:
+        """Acks from everyone plus Lamport's priority comparison (the
+        guard the ``broken`` variant drops)."""
+        i = self.pid
+        guards: List[Expr] = [Eq(acked(i, j), 1) for j in self.others]
+        if not self.broken:
+            for j in self.others:
+                guards.append(Or(
+                    Eq(known_req(i, j), 0),
+                    _priority_lt(own_req(i), i, known_req(i, j), j),
+                ))
+        return guards
+
+    @property
+    def spec(self) -> Spec:
+        return self.component.spec
+
+    def __repr__(self) -> str:
+        return (f"MutexProcess(pid={self.pid}, n={self.n}, "
+                f"maxClock={self.max_clock}"
+                + (", broken" if self.broken else "") + ")")
+
+
+class LamportMutex:
+    """The N-process instance: components, assumptions, goal, theorem."""
+
+    def __init__(self, n: int = DEFAULT_N, max_clock: int = DEFAULT_MAX_CLOCK,
+                 broken: bool = False):
+        self.n = n
+        self.max_clock = max_clock
+        self.broken = broken
+        self.processes: List[MutexProcess] = [
+            MutexProcess(n, pid, max_clock, broken=broken)
+            for pid in range(1, n + 1)
+        ]
+        # the interleaving condition G: outputs of distinct processes never
+        # change in the same step
+        self.disjoint = DisjointSpec([p.outputs for p in self.processes])
+        universe = self.processes[0].universe
+        for proc in self.processes[1:]:
+            universe = universe.merge(proc.universe)
+        self.universe = universe
+        self._label = (f"LamportMutex(N={n}, maxClock={max_clock}"
+                       + (", broken" if broken else "") + ")")
+
+    # -- complete (closed) system ------------------------------------------
+
+    def complete_spec(self) -> Spec:
+        """The closed system in interleaved-disjunct form (the shape of
+        the paper's Figure 8 ``ICDQ``): each disjunct is one process step
+        framing every other process's variables.  Same reachable graph
+        story as conjoining the components with ``G``, but it compiles to
+        one successor branch per process action instead of a product of
+        component squares -- this is the spec every test and benchmark
+        harness explores."""
+        disjuncts: List[Expr] = []
+        for proc in self.processes:
+            others: Tuple[str, ...] = ()
+            for other in self.processes:
+                if other.pid != proc.pid:
+                    others += other.component.sub
+            disjuncts.append(And(proc.next_action, unchanged(others)))
+        return Spec(
+            self._label,
+            And(*[proc.init for proc in self.processes]),
+            Or(*disjuncts),
+            tuple(v for proc in self.processes for v in proc.component.sub),
+            self.universe,
+            [weak_fairness(proc.component.sub, proc.next_action)
+             for proc in self.processes],
+        )
+
+    def conjunction_spec(self) -> Spec:
+        """The same closed system as ``G ∧ ⋀_i IP_i`` -- literally the
+        conjunction of the component specs with the interleaving
+        condition, the form the Composition Theorem products use."""
+        specs = [proc.spec for proc in self.processes]
+        g_vars = [v for t in self.disjoint.tuples for v in t]
+        specs.append(self.disjoint.spec(self.universe.restrict(g_vars)))
+        return conjoin(specs, name=self._label)
+
+    # -- properties ---------------------------------------------------------
+
+    def mutual_exclusion(self) -> Expr:
+        """State predicate: at most one process in its critical section."""
+        pairs = itertools.combinations(range(1, self.n + 1), 2)
+        return And(*[Not(And(Eq(cs(i), 1), Eq(cs(j), 1)))
+                     for i, j in pairs])
+
+    def someone_enters(self) -> TemporalFormula:
+        """``◇(∃i : cs_i = 1)``: the first round always completes.
+
+        Holds under the per-process WF conditions for maxClock >= 3; at
+        maxClock = 2 the bound already disables the receives the first
+        contended round needs, leaving a fair message-shuffling lasso in
+        which nobody ever enters -- the same truncation artifact as
+        :meth:`progress`, one notch earlier."""
+        return Eventually(StatePred(
+            Or(*[Eq(cs(i), 1) for i in range(1, self.n + 1)])))
+
+    def progress(self, pid: int) -> TemporalFormula:
+        """``req_i > 0 ~> cs_i = 1`` -- *fails* at the clock bound, the
+        TLC-style truncation artifact documented in the module docstring."""
+        return LeadsTo(StatePred(Cmp(">", own_req(pid), 0)),
+                       StatePred(Eq(cs(pid), 1)))
+
+    # -- assumption/guarantee decomposition ---------------------------------
+
+    def environment_spec(self, pid: int) -> Spec:
+        """``E_pid``: the other processes drive the shared wires per the
+        two-phase handshake discipline -- nothing about message content."""
+        msg = message_domain(self.max_clock)
+        sub: Tuple[str, ...] = ()
+        for j in self.processes[pid - 1].others:
+            sub += snd_vars(chan(j, pid))
+        for j in self.processes[pid - 1].others:
+            sub += (f"{chan(pid, j)}.ack",)
+
+        universe = Universe({})
+        init_parts: List[Expr] = []
+        disjuncts: List[Expr] = []
+        for j in self.processes[pid - 1].others:
+            c_in, c_out = chan(j, pid), chan(pid, j)
+            universe = universe.merge(channel_universe(c_in, msg))
+            universe = universe.merge(channel_universe(c_out, msg))
+            init_parts += [cinit(c_in), Eq(val(c_in), Const(ACK_MSG))]
+            in_wires = snd_vars(c_in)
+            out_wire = (f"{c_out}.ack",)
+            disjuncts.append(And(
+                Exists("v", msg, send(Var("v"), c_in)),
+                unchanged([w for w in sub if w not in in_wires]),
+            ))
+            disjuncts.append(And(
+                ack(c_out),
+                unchanged([w for w in sub if w not in out_wire]),
+            ))
+        return Spec(
+            f"HandshakeEnv({pid})",
+            And(*init_parts),
+            Or(*disjuncts),
+            sub,
+            universe,
+        )
+
+    def ag_specs(self) -> List[AGSpec]:
+        """``E_i ⊳ P_i`` for every process."""
+        return [
+            AGSpec(f"E{proc.pid} ⊳ P{proc.pid}",
+                   assumption=self.environment_spec(proc.pid),
+                   guarantee=proc.component)
+            for proc in self.processes
+        ]
+
+    def mutex_goal_spec(self) -> Spec:
+        """The goal guarantee in canonical safety form: at most one
+        process in CS, preserved by every step."""
+        now = self.mutual_exclusion()
+        return Spec(
+            "Mutex",
+            now,
+            now.prime(),
+            tuple(f"cs{i}" for i in range(1, self.n + 1)),
+            Universe({f"cs{i}": BIT for i in range(1, self.n + 1)}),
+        )
+
+    def mutex_goal(self) -> AGSpec:
+        return AGSpec("mutex", assumption=None, guarantee=self.mutex_goal_spec())
+
+    def composition_theorem(self, max_states: int = 500_000):
+        """``G ∧ ⋀_i (E_i ⊳ P_i) ⇒ (TRUE ⊳ Mutex)`` -- the certificate
+        that discharges mutual exclusion component-wise."""
+        from ..core.composition import CompositionTheorem
+
+        return CompositionTheorem(
+            self.ag_specs(),
+            self.mutex_goal(),
+            disjoint=self.disjoint,
+            name=self._label,
+            max_states=max_states,
+        )
+
+    def __repr__(self) -> str:
+        return self._label

@@ -1,0 +1,588 @@
+"""Single-decree Paxos as open systems, with a lossy/duplicating channel.
+
+The synod protocol of "The Part-Time Parliament", in the per-ballot
+formulation the TLA+ ``Paxos`` module checks with TLC: proposer ``b``
+runs ballot ``b`` (phase 1a/2a), ``A`` acceptors answer (phase 1b/2b),
+and a value is *chosen* once a majority quorum votes for it in one
+ballot.
+
+**The message model.**  TLC's Paxos keeps one set-valued ``msgs``
+history variable; that single variable's domain is the powerset of all
+messages, which no packed codec or Disjoint footprint can work with.
+Here the history is exploded into one *sent* bit per possible message --
+``s1a_b``, ``s1b_b_a_m_w``, ``s2a_b_v``, ``s2b_b_a_v`` -- owned by the
+process that sends it and rising monotonically ``0 -> 1``.  Receiving
+reads a bit without consuming it, so **duplication** is inherent; **loss**
+is its own component, the channel, which owns a monotone ``lost`` bit
+per droppable message and may set it any time after the send, after
+which every receive of that message is disabled forever.  The droppable
+set is a parameter (``None``, ``"all"``, or explicit message-variable
+names), so fault-injection tests can schedule loss however they like.
+
+Per the A/G method every process is an ``E ⊳ M`` component: a proposer
+owns its 1a/2a bits and assumes only that its 1b inputs (and their loss
+bits) rise one at a time; an acceptor owns its 1b/2b bits and assumes
+the same of the 1a/2a bits; the channel guarantees unconditionally
+(``E = TRUE``) that a ``lost`` bit rises only after the matching send.
+Agreement -- no two quorums choose different values -- is discharged by
+the Composition Theorem, ``G ∧ ⋀ (E_i ⊳ M_i) ⇒ (TRUE ⊳ Agreement)``,
+never by trusting a single monolithic check.
+
+``broken=True`` removes both ballot-discipline guards (acceptors accept
+2a messages from stale ballots, proposers ignore the highest 1b vote
+when picking a value), which admits the canonical two-values-chosen
+agreement violation used by the golden-trace hunts (needs ``ballots >= 2``
+and ``values >= 2``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from functools import reduce
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..kernel.action import unchanged
+from ..kernel.expr import (
+    And,
+    Arith,
+    Cmp,
+    Const,
+    Eq,
+    Expr,
+    Fn,
+    IfThenElse,
+    Not,
+    Or,
+    Var,
+)
+from ..kernel.state import Universe
+from ..kernel.values import BIT, FiniteDomain, interval
+from ..spec import Component, Spec, conjoin, weak_fairness
+from ..temporal.formulas import Eventually, StatePred, TemporalFormula
+from ..core.agspec import AGSpec
+from ..core.disjoint import DisjointSpec
+
+DEFAULT_ACCEPTORS = 3
+DEFAULT_BALLOTS = 2
+DEFAULT_VALUES = 2
+
+#: the "no vote yet" marker used for ballots and values alike
+NONE = -1
+
+
+def _i(x: int) -> str:
+    """Render an index for a variable name (-1 as ``n``)."""
+    return "n" if x < 0 else str(x)
+
+
+def v1a(b: int) -> str:
+    """The 1a ("prepare") message of ballot *b*."""
+    return f"s1a_{b}"
+
+
+def v1b(b: int, a: int, m: int, w: int) -> str:
+    """Acceptor *a*'s 1b ("promise") for ballot *b*, reporting its
+    highest vote as ballot *m*, value *w* (both ``-1`` if none)."""
+    return f"s1b_{b}_{a}_{_i(m)}_{_i(w)}"
+
+
+def v2a(b: int, v: int) -> str:
+    """The 2a ("accept!") message of ballot *b* proposing value *v*."""
+    return f"s2a_{b}_{v}"
+
+
+def v2b(b: int, a: int, v: int) -> str:
+    """Acceptor *a*'s 2b ("accepted") vote for value *v* in ballot *b*."""
+    return f"s2b_{b}_{a}_{v}"
+
+
+def lost_var(message: str) -> str:
+    return f"lost_{message}"
+
+
+def vote_pairs(ballot: int, values: int) -> List[Tuple[int, int]]:
+    """The (maxVBal, maxVal) reports a 1b of *ballot* can carry: no vote
+    yet, or a vote in any earlier ballot."""
+    return [(NONE, NONE)] + [(m, w) for m in range(ballot)
+                             for w in range(values)]
+
+
+def _bit_sum(names: Sequence[str]) -> Expr:
+    return reduce(lambda x, y: Arith("+", x, y), [Var(n) for n in names])
+
+
+def _rise(name: str, sub: Sequence[str]) -> Expr:
+    """One monotone bit flips ``0 -> 1``; everything else in *sub* holds."""
+    return And(
+        Eq(Var(name), 0),
+        Eq(Var(name).prime(), 1),
+        unchanged([x for x in sub if x != name]),
+    )
+
+
+def _step(guards: Sequence[Expr], updates: Dict[str, Expr],
+          owned: Sequence[str]) -> Expr:
+    conjuncts: List[Expr] = list(guards)
+    for name, expr in updates.items():
+        conjuncts.append(Eq(Var(name).prime(), expr))
+    rest = [n for n in owned if n not in updates]
+    if rest:
+        conjuncts.append(unchanged(rest))
+    return And(*conjuncts)
+
+
+class PaxosProposer:
+    """Proposer of ballot *b*: phase 1a, counting 1b promises, phase 2a."""
+
+    def __init__(self, ballot: int, acceptors: int, values: int,
+                 droppable: Iterable[str] = (), broken: bool = False):
+        self.ballot = ballot
+        self.acceptors = acceptors
+        self.values = values
+        self.broken = broken
+        self.name = f"Proposer{ballot}"
+        b = ballot
+        quorum = acceptors // 2 + 1
+        droppable = set(droppable)
+
+        pb = Var(f"pb{b}")  # the highest (ballot, value) vote seen in 1b's
+        self.outputs: Tuple[str, ...] = (v1a(b),) + tuple(
+            v2a(b, v) for v in range(values))
+        self.internals: Tuple[str, ...] = tuple(
+            f"pr{b}_{a}" for a in range(acceptors)) + (f"pb{b}",)
+        self.inputs: Tuple[str, ...] = tuple(
+            v1b(b, a, m, w)
+            for a in range(acceptors) for m, w in vote_pairs(b, values))
+        self.inputs += tuple(lost_var(x) for x in self.inputs
+                             if x in droppable)
+
+        pb_domain = FiniteDomain(vote_pairs(b, values))
+        universe = Universe(dict(
+            {name: BIT for name in self.outputs},
+            **{name: BIT for name in self.inputs},
+            **{f"pr{b}_{a}": BIT for a in range(acceptors)},
+        ))
+        universe = universe.merge(Universe({f"pb{b}": pb_domain}))
+        self.universe = universe
+
+        owned = self.outputs + self.internals
+        self.init = And(
+            *[Eq(Var(name), 0) for name in self.outputs],
+            *[Eq(Var(f"pr{b}_{a}"), 0) for a in range(acceptors)],
+            Eq(pb, Const((NONE, NONE))),
+        )
+
+        self.actions: List[Tuple[str, Expr]] = []
+        self.actions.append(("phase1a", _step(
+            [Eq(Var(v1a(b)), 0)], {v1a(b): Const(1)}, owned)))
+
+        for a in range(acceptors):
+            for m, w in vote_pairs(b, values):
+                bit = v1b(b, a, m, w)
+                guards = [Eq(Var(f"pr{b}_{a}"), 0), Eq(Var(bit), 1)]
+                if bit in droppable:
+                    guards.append(Eq(Var(lost_var(bit)), 0))
+                updates: Dict[str, Expr] = {f"pr{b}_{a}": Const(1)}
+                if m != NONE:
+                    # keep the highest-ballot vote seen so far
+                    updates[f"pb{b}"] = IfThenElse(
+                        Cmp(">", Const(m), Fn("Nth", pb, Const(1))),
+                        Const((m, w)), pb)
+                self.actions.append((
+                    f"recv1b_{a}_{_i(m)}_{_i(w)}",
+                    _step(guards, updates, owned)))
+
+        promised = _bit_sum([f"pr{b}_{a}" for a in range(acceptors)])
+        for v in range(values):
+            guards = [Eq(Var(v2a(b, x)), 0) for x in range(values)]
+            guards.append(Cmp(">=", promised, quorum))
+            if not broken:
+                # Paxos's crux: a quorum reported no votes, or v is the
+                # value of the highest-ballot vote reported
+                guards.append(Or(
+                    Eq(pb, Const((NONE, NONE))),
+                    Eq(Fn("Nth", pb, Const(2)), v),
+                ))
+            self.actions.append((f"phase2a_{v}", _step(
+                guards, {v2a(b, v): Const(1)}, owned)))
+
+        self.next_action: Expr = Or(*[action for _, action in self.actions])
+        self.component = Component(
+            self.name,
+            outputs=self.outputs,
+            internals=self.internals,
+            inputs=self.inputs,
+            init=self.init,
+            next_action=self.next_action,
+            universe=self.universe,
+            fairness=[weak_fairness(owned, self.next_action)],
+        )
+
+    @property
+    def spec(self) -> Spec:
+        return self.component.spec
+
+    def __repr__(self) -> str:
+        return f"PaxosProposer(ballot={self.ballot})"
+
+
+class PaxosAcceptor:
+    """Acceptor *aid*: promises (1b) and votes (2b) under the
+    highest-ballot discipline ``maxBal``/``maxVBal``/``maxVal``."""
+
+    def __init__(self, aid: int, ballots: int, acceptors: int, values: int,
+                 droppable: Iterable[str] = (), broken: bool = False):
+        self.aid = aid
+        self.ballots = ballots
+        self.values = values
+        self.broken = broken
+        self.name = f"Acceptor{aid}"
+        a = aid
+        droppable = set(droppable)
+
+        mb = Var(f"mb{a}")  # maxBal: highest ballot seen
+        vb = Var(f"vb{a}")  # maxVBal: highest ballot voted in
+        vv = Var(f"vv{a}")  # maxVal: the value of that vote
+
+        self.outputs: Tuple[str, ...] = tuple(
+            v1b(b, a, m, w)
+            for b in range(ballots) for m, w in vote_pairs(b, values))
+        self.outputs += tuple(
+            v2b(b, a, v) for b in range(ballots) for v in range(values))
+        self.internals: Tuple[str, ...] = (f"mb{a}", f"vb{a}", f"vv{a}")
+        self.inputs: Tuple[str, ...] = tuple(
+            v1a(b) for b in range(ballots)) + tuple(
+            v2a(b, v) for b in range(ballots) for v in range(values))
+        self.inputs += tuple(lost_var(x) for x in self.inputs
+                             if x in droppable)
+
+        universe = Universe(dict(
+            {name: BIT for name in self.outputs},
+            **{name: BIT for name in self.inputs},
+        ))
+        universe = universe.merge(Universe({
+            f"mb{a}": interval(NONE, ballots - 1),
+            f"vb{a}": interval(NONE, ballots - 1),
+            f"vv{a}": interval(NONE, values - 1),
+        }))
+        self.universe = universe
+
+        owned = self.outputs + self.internals
+        self.init = And(
+            *[Eq(Var(name), 0) for name in self.outputs],
+            Eq(mb, NONE), Eq(vb, NONE), Eq(vv, NONE),
+        )
+
+        self.actions: List[Tuple[str, Expr]] = []
+        for b in range(ballots):
+            # Phase1b: answer a fresh prepare, reporting the current vote
+            # (one action per report the state could carry)
+            for m, w in vote_pairs(b, values):
+                guards = [Eq(Var(v1a(b)), 1),
+                          Cmp(">", Const(b), mb),
+                          Eq(vb, m), Eq(vv, w)]
+                if v1a(b) in droppable:
+                    guards.append(Eq(Var(lost_var(v1a(b))), 0))
+                self.actions.append((
+                    f"recv1a_{b}_{_i(m)}_{_i(w)}",
+                    _step(guards,
+                          {f"mb{a}": Const(b),
+                           v1b(b, a, m, w): Const(1)},
+                          owned)))
+            # Phase2b: vote for the ballot's 2a proposal
+            for v in range(values):
+                guards = [Eq(Var(v2a(b, v)), 1)]
+                if not broken:
+                    guards.append(Cmp(">=", Const(b), mb))
+                if v2a(b, v) in droppable:
+                    guards.append(Eq(Var(lost_var(v2a(b, v))), 0))
+                updates: Dict[str, Expr] = {
+                    f"vb{a}": Const(b), f"vv{a}": Const(v),
+                    v2b(b, a, v): Const(1)}
+                if not broken:
+                    updates[f"mb{a}"] = Const(b)
+                self.actions.append((f"recv2a_{b}_{v}",
+                                     _step(guards, updates, owned)))
+
+        self.next_action: Expr = Or(*[action for _, action in self.actions])
+        self.component = Component(
+            self.name,
+            outputs=self.outputs,
+            internals=self.internals,
+            inputs=self.inputs,
+            init=self.init,
+            next_action=self.next_action,
+            universe=self.universe,
+            fairness=[weak_fairness(owned, self.next_action)],
+        )
+
+    @property
+    def spec(self) -> Spec:
+        return self.component.spec
+
+    def __repr__(self) -> str:
+        return f"PaxosAcceptor(aid={self.aid})"
+
+
+class PaxosChannel:
+    """The lossy message fabric: owns one monotone ``lost`` bit per
+    droppable message and may raise it any time after the send.  No
+    fairness -- the channel may also never lose anything.  Duplication
+    needs no action at all: receives read sent bits without consuming
+    them."""
+
+    def __init__(self, droppable: Sequence[str]):
+        if not droppable:
+            raise ValueError("a channel with nothing to drop has no state; "
+                             "omit the component instead")
+        self.droppable: Tuple[str, ...] = tuple(droppable)
+        self.name = "Channel"
+
+        self.outputs: Tuple[str, ...] = tuple(
+            lost_var(m) for m in self.droppable)
+        self.inputs: Tuple[str, ...] = self.droppable
+        self.universe = Universe(dict(
+            {name: BIT for name in self.outputs},
+            **{name: BIT for name in self.inputs},
+        ))
+
+        owned = self.outputs
+        self.init = And(*[Eq(Var(name), 0) for name in self.outputs])
+        self.actions: List[Tuple[str, Expr]] = [
+            (f"drop_{message}", _step(
+                [Eq(Var(message), 1), Eq(Var(lost_var(message)), 0)],
+                {lost_var(message): Const(1)},
+                owned))
+            for message in self.droppable
+        ]
+        self.next_action: Expr = Or(*[action for _, action in self.actions])
+        self.component = Component(
+            self.name,
+            outputs=self.outputs,
+            internals=(),
+            inputs=self.inputs,
+            init=self.init,
+            next_action=self.next_action,
+            universe=self.universe,
+        )
+
+    @property
+    def spec(self) -> Spec:
+        return self.component.spec
+
+    def __repr__(self) -> str:
+        return f"PaxosChannel(droppable={len(self.droppable)})"
+
+
+class Paxos:
+    """The instance: proposers 0..B-1, acceptors 0..A-1, optional lossy
+    channel; assumptions, goal, certificate, closed system."""
+
+    def __init__(self, acceptors: int = DEFAULT_ACCEPTORS,
+                 ballots: int = DEFAULT_BALLOTS,
+                 values: int = DEFAULT_VALUES,
+                 droppable: Union[None, str, Iterable[str]] = None,
+                 broken: bool = False):
+        if acceptors < 1 or ballots < 1 or values < 1:
+            raise ValueError("need at least 1 acceptor, ballot, and value")
+        self.acceptors = acceptors
+        self.ballots = ballots
+        self.values = values
+        self.broken = broken
+        self.quorum = acceptors // 2 + 1
+
+        if droppable is None:
+            dropset: Tuple[str, ...] = ()
+        elif droppable == "all":
+            dropset = tuple(self.message_vars())
+        else:
+            dropset = tuple(droppable)
+            unknown = set(dropset) - set(self.message_vars())
+            if unknown:
+                raise ValueError(f"unknown droppable messages: "
+                                 f"{sorted(unknown)}")
+        self.droppable = dropset
+
+        self.proposers: List[PaxosProposer] = [
+            PaxosProposer(b, acceptors, values, droppable=dropset,
+                          broken=broken)
+            for b in range(ballots)
+        ]
+        self.acceptor_procs: List[PaxosAcceptor] = [
+            PaxosAcceptor(a, ballots, acceptors, values, droppable=dropset,
+                          broken=broken)
+            for a in range(acceptors)
+        ]
+        self.channel: Optional[PaxosChannel] = (
+            PaxosChannel(dropset) if dropset else None)
+        self.components = (
+            self.proposers + self.acceptor_procs
+            + ([self.channel] if self.channel else []))
+
+        self.disjoint = DisjointSpec(
+            [c.outputs for c in self.components])
+        universe = self.components[0].universe
+        for comp in self.components[1:]:
+            universe = universe.merge(comp.universe)
+        self.universe = universe
+        drop_label = ("" if not dropset
+                      else f", droppable={'all' if len(dropset) == len(self.message_vars()) else len(dropset)}")
+        self._label = (f"Paxos(A={acceptors}, B={ballots}, V={values}"
+                       + drop_label + (", broken" if broken else "") + ")")
+
+    # -- the message vocabulary ---------------------------------------------
+
+    def message_vars(self) -> List[str]:
+        """Every sent-bit variable, in a stable order."""
+        out: List[str] = []
+        for b in range(self.ballots):
+            out.append(v1a(b))
+        for b in range(self.ballots):
+            for a in range(self.acceptors):
+                for m, w in vote_pairs(b, self.values):
+                    out.append(v1b(b, a, m, w))
+        for b in range(self.ballots):
+            for v in range(self.values):
+                out.append(v2a(b, v))
+        for b in range(self.ballots):
+            for a in range(self.acceptors):
+                for v in range(self.values):
+                    out.append(v2b(b, a, v))
+        return out
+
+    # -- complete (closed) system -------------------------------------------
+
+    def complete_spec(self) -> Spec:
+        """The closed system in interleaved-disjunct form (Figure 8's
+        ``ICDQ`` shape): one disjunct per component step, framing every
+        other component's variables."""
+        disjuncts: List[Expr] = []
+        comps = self.components
+        for comp in comps:
+            others: Tuple[str, ...] = ()
+            for other in comps:
+                if other is not comp:
+                    others += other.component.sub
+            disjuncts.append(And(comp.next_action, unchanged(others)))
+        fairness = [weak_fairness(comp.component.sub, comp.next_action)
+                    for comp in comps if comp.component.fairness]
+        return Spec(
+            self._label,
+            And(*[comp.init for comp in comps]),
+            Or(*disjuncts),
+            tuple(v for comp in comps for v in comp.component.sub),
+            self.universe,
+            fairness,
+        )
+
+    def conjunction_spec(self) -> Spec:
+        """The same closed system as ``G ∧ ⋀ M_i`` -- the conjunction the
+        Composition Theorem products use."""
+        specs = [comp.spec for comp in self.components]
+        g_vars = [v for t in self.disjoint.tuples for v in t]
+        specs.append(self.disjoint.spec(self.universe.restrict(g_vars)))
+        return conjoin(specs, name=self._label)
+
+    # -- properties ----------------------------------------------------------
+
+    def chosen(self, ballot: int, value: int) -> Expr:
+        """A quorum of acceptors voted for *value* in *ballot*."""
+        votes = [v2b(ballot, a, value) for a in range(self.acceptors)]
+        return Cmp(">=", _bit_sum(votes), self.quorum)
+
+    def agreement(self) -> Expr:
+        """No two quorums choose different values (in any ballots)."""
+        conflicts: List[Expr] = []
+        for b1, v1_ in itertools.product(range(self.ballots),
+                                         range(self.values)):
+            for b2, v2_ in itertools.product(range(self.ballots),
+                                             range(self.values)):
+                if (b1, v1_) < (b2, v2_) and v1_ != v2_:
+                    conflicts.append(
+                        Not(And(self.chosen(b1, v1_), self.chosen(b2, v2_))))
+        if not conflicts:
+            return Const(True)  # a single value cannot disagree
+        return And(*conflicts)
+
+    def decided(self) -> Expr:
+        """Some value is chosen in some ballot."""
+        return Or(*[self.chosen(b, v)
+                    for b in range(self.ballots)
+                    for v in range(self.values)])
+
+    def no_decision(self) -> Expr:
+        """``¬decided`` -- the deliberately *violated* invariant whose
+        counterexample trace is a full run of the protocol."""
+        return Not(self.decided())
+
+    def eventually_decides(self) -> TemporalFormula:
+        """``◇ decided``: holds under the component WF conditions when
+        nothing is droppable; fails (the channel is unfair) as soon as
+        the messages of every ballot can be lost."""
+        return Eventually(StatePred(self.decided()))
+
+    # -- assumption/guarantee decomposition -----------------------------------
+
+    def _rising_env(self, name: str, bits: Sequence[str],
+                    universe: Universe) -> Spec:
+        """The canonical monotone environment: the given input bits rise
+        ``0 -> 1`` one at a time, and nothing else happens to them."""
+        return Spec(
+            name,
+            And(*[Eq(Var(x), 0) for x in bits]),
+            Or(*[_rise(x, bits) for x in bits]),
+            tuple(bits),
+            universe.restrict(bits),
+        )
+
+    def environment_spec(self, comp: Union[PaxosProposer, PaxosAcceptor]) -> Spec:
+        return self._rising_env(
+            f"RisingEnv({comp.name})", comp.inputs, comp.universe)
+
+    def ag_specs(self) -> List[AGSpec]:
+        """``E_i ⊳ M_i`` for every proposer and acceptor, plus the
+        channel's unconditional ``TRUE ⊳ Channel``."""
+        devices = [
+            AGSpec(f"E({comp.name}) ⊳ {comp.name}",
+                   assumption=self.environment_spec(comp),
+                   guarantee=comp.component)
+            for comp in self.proposers + self.acceptor_procs
+        ]
+        if self.channel is not None:
+            devices.append(AGSpec("TRUE ⊳ Channel", assumption=None,
+                                  guarantee=self.channel.component))
+        return devices
+
+    def agreement_goal_spec(self) -> Spec:
+        """Agreement in canonical safety form over the 2b vote bits."""
+        now = self.agreement()
+        sub = tuple(v2b(b, a, v)
+                    for b in range(self.ballots)
+                    for a in range(self.acceptors)
+                    for v in range(self.values))
+        return Spec(
+            "Agreement",
+            now,
+            now.prime(),
+            sub,
+            Universe({name: BIT for name in sub}),
+        )
+
+    def agreement_goal(self) -> AGSpec:
+        return AGSpec("agreement", assumption=None,
+                      guarantee=self.agreement_goal_spec())
+
+    def composition_theorem(self, max_states: int = 500_000):
+        """``G ∧ ⋀ (E_i ⊳ M_i) ⇒ (TRUE ⊳ Agreement)``."""
+        from ..core.composition import CompositionTheorem
+
+        return CompositionTheorem(
+            self.ag_specs(),
+            self.agreement_goal(),
+            disjoint=self.disjoint,
+            name=self._label,
+            max_states=max_states,
+        )
+
+    def __repr__(self) -> str:
+        return self._label

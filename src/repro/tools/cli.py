@@ -81,6 +81,15 @@ from ..parser import TLAModule, load_module
 
 
 def _load(path: str) -> TLAModule:
+    """A module by file path, or a bundled protocol by ``@`` reference.
+
+    ``@mutex:n=3,clock=4`` / ``@paxos:acceptors=3,broken`` resolve
+    through :func:`repro.systems.bundled_module` -- no module file
+    needed, so every corpus instance is scriptable from the shell."""
+    if path.startswith("@"):
+        from ..systems import bundled_module
+
+        return bundled_module(path[1:])
     with open(path) as handle:
         return load_module(handle.read())
 
@@ -443,6 +452,8 @@ def cmd_pretty(args: argparse.Namespace, out) -> int:
 
         if isinstance(value, Domain):
             print(f"{name} == {value!r}", file=out)
+        elif hasattr(value, "next_action"):  # a bundled canonical Spec
+            print(f"{name} == {value!r}", file=out)
         else:
             print(f"{name} == {pretty(value, unicode=args.unicode)}", file=out)
     return 0
@@ -614,7 +625,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     check = sub.add_parser("check", help="explore and check a module")
-    check.add_argument("module", help="path to a mini-TLA module file")
+    check.add_argument("module",
+                       help="path to a mini-TLA module file, or "
+                            "@name:key=val,... for a bundled protocol "
+                            "(e.g. @mutex:n=2,clock=3 or "
+                            "@paxos:acceptors=3,broken)")
     check.add_argument("--spec", default="Spec", help="spec definition name")
     check.add_argument("--invariant", action="append",
                        help="state-predicate definition to check (repeatable)")

@@ -33,6 +33,8 @@ from repro.systems.handshake import (
     ready,
     send,
 )
+from repro.systems.mutex import LamportMutex
+from repro.systems.paxos import Paxos
 from repro.systems.queue import DEFAULT_MSG, complete_queue
 
 
@@ -98,6 +100,19 @@ def _circuit_eventually_one(spec, graph, stats):
         name="circuit-eventually-one", run_stats=stats)
 
 
+def _mutex_broken_exclusion(spec, graph, stats):
+    # the broken variant drops the timestamp-priority guard, so both
+    # processes sit in their critical sections by state ~12
+    return check_invariant(graph, LamportMutex(2, 2).mutual_exclusion(),
+                           name="mutex-mutual-exclusion", run_stats=stats)
+
+
+def _paxos_broken_agreement(spec, graph, stats):
+    # without the ballot discipline, two quorums choose different values
+    return check_invariant(graph, Paxos(2, 2, 2).agreement(),
+                           name="paxos-agreement", run_stats=stats)
+
+
 CASES: List[SystemCase] = [
     SystemCase("queue", lambda: complete_queue(2), _queue_overfull, "finite"),
     SystemCase("arbiter", lambda: composed_system(strong=False),
@@ -106,6 +121,12 @@ CASES: List[SystemCase] = [
                "finite"),
     SystemCase("circuit", composed_processes, _circuit_eventually_one,
                "lasso"),
+    SystemCase("mutex",
+               lambda: LamportMutex(2, 2, broken=True).complete_spec(),
+               _mutex_broken_exclusion, "finite"),
+    SystemCase("paxos",
+               lambda: Paxos(2, 2, 2, broken=True).complete_spec(),
+               _paxos_broken_agreement, "finite"),
 ]
 
 CASE_PARAMS = [pytest.param(case, id=case.id) for case in CASES]

@@ -95,6 +95,7 @@ class TestExamplesRun:
 
     @pytest.mark.parametrize("module_name", [
         "quickstart", "queue_composition", "arbiter", "mini_tla",
+        "paxos_certificate",
     ])
     def test_example(self, module_name, capsys):
         import importlib.util

@@ -1,0 +1,111 @@
+"""Property-based fault-model tests for the Paxos message channel.
+
+The channel component (see :mod:`repro.systems.paxos`) models loss as a
+monotone ``lost`` bit per droppable message and duplication as
+non-consuming receives.  Safety must be *fault-oblivious*: agreement is
+a property of the ballot discipline, not of which messages arrive, so
+
+* randomized loss schedules -- seeded random droppable subsets, which
+  let the channel interleave drops arbitrarily with protocol steps --
+  never violate agreement (hypothesis-style loop over seeds, no
+  external dependency);
+* making every message droppable still satisfies agreement, while
+  ``◇ decided`` correctly *fails* (the channel has no fairness: a
+  behavior where it eats every prepare is a legal fair lasso);
+* with no loss at all, weak fairness on proposers and acceptors is
+  enough for ``◇ decided`` to hold.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.checker import check_invariant, check_temporal_implication, explore
+from repro.systems.paxos import Paxos
+
+SEEDS = range(10)
+
+
+def random_droppable(seed: int, acceptors: int = 2, ballots: int = 2,
+                     values: int = 2, max_drops: int = 4):
+    """A seeded random subset of the instance's message vocabulary."""
+    rng = random.Random(seed)
+    vocabulary = Paxos(acceptors, ballots, values).message_vars()
+    count = rng.randint(1, max_drops)
+    return tuple(rng.sample(vocabulary, count))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_random_loss_schedule_never_violates_agreement(seed):
+    droppable = random_droppable(seed)
+    system = Paxos(2, 2, 2, droppable=droppable)
+    graph = explore(system.complete_spec())
+    result = check_invariant(graph, system.agreement(),
+                             name=f"agreement-seed{seed}")
+    assert result.ok, (f"seed {seed} (droppable={droppable}): "
+                       f"message loss broke agreement")
+
+
+def test_dropping_every_observable_message_satisfies_agreement():
+    # every message some process *reads* is droppable; 2b vote bits are
+    # excluded only because nothing consumes them -- chosen() counts the
+    # votes cast, so losing a 2b on the wire is unobservable and would
+    # only inflate the state space
+    base = Paxos(2, 2, 2)
+    droppable = [m for m in base.message_vars()
+                 if not m.startswith("s2b_")]
+    system = Paxos(2, 2, 2, droppable=droppable)
+    graph = explore(system.complete_spec())
+    assert check_invariant(graph, system.agreement(),
+                           name="agreement-all-dropped").ok
+
+
+def test_dropping_literally_every_message_satisfies_agreement():
+    # the unabridged "all" on a single-ballot instance, 2b bits included
+    system = Paxos(2, 1, 2, droppable="all")
+    graph = explore(system.complete_spec())
+    assert check_invariant(graph, system.agreement(),
+                           name="agreement-all").ok
+
+
+def test_liveness_holds_without_loss():
+    system = Paxos(2, 2, 2)
+    result = check_temporal_implication(
+        system.complete_spec(), system.eventually_decides(),
+        name="decides-lossless")
+    assert result.ok
+
+
+def test_liveness_correctly_fails_when_prepares_can_be_lost():
+    # dropping both 1a messages stalls the protocol forever; with no
+    # fairness on the channel that lasso is fair, so ◇decided fails
+    from repro.systems.paxos import v1a
+
+    system = Paxos(2, 2, 2, droppable=(v1a(0), v1a(1)))
+    result = check_temporal_implication(
+        system.complete_spec(), system.eventually_decides(),
+        name="decides-lossy")
+    assert not result.ok
+    assert result.counterexample is not None
+    assert result.counterexample.is_lasso
+
+
+def test_receives_do_not_consume_messages():
+    # duplication: a received message stays on the wire.  In every
+    # reachable state where some acceptor has answered ballot 1's
+    # prepare (mb >= 1), the 1a bit is still set -- the receive read it
+    # without consuming it, so re-delivery to the other acceptor (or a
+    # duplicate delivery yielding a stutter) remains possible.
+    from repro.systems.paxos import v1a
+
+    graph = explore(Paxos(2, 2, 2).complete_spec())
+    witnessed = False
+    for state in graph.states:
+        if state["mb0"] >= 1 or state["mb1"] >= 1:
+            # ballot 1 was answered, yet its prepare is still in flight
+            assert state[v1a(1)] == 1
+        if state["mb0"] == 1 and state["mb1"] == 1:
+            witnessed = True  # both acceptors received the same prepare
+    assert witnessed, "no state shows the same 1a delivered twice"

@@ -1,0 +1,148 @@
+"""Unit tests for single-decree Paxos with the lossy channel component.
+
+Agreement discharged by the Composition Theorem certificate (with and
+without the channel in the device list), the broken variant's
+violation, the exploded per-message state vocabulary, and the channel
+component's construction rules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checker import check_invariant, explore
+from repro.systems.paxos import (
+    NONE,
+    Paxos,
+    PaxosChannel,
+    lost_var,
+    v1a,
+    v1b,
+    v2a,
+    v2b,
+    vote_pairs,
+)
+
+
+class TestVocabulary:
+    def test_vote_pairs_enumerate_earlier_ballots(self):
+        assert vote_pairs(0, 2) == [(NONE, NONE)]
+        assert vote_pairs(2, 2) == [(NONE, NONE), (0, 0), (0, 1),
+                                    (1, 0), (1, 1)]
+
+    def test_message_vars_are_stable_and_complete(self):
+        system = Paxos(2, 2, 2)
+        vocabulary = system.message_vars()
+        assert vocabulary == Paxos(2, 2, 2).message_vars()
+        assert v1a(0) in vocabulary
+        assert v1b(1, 0, 0, 1) in vocabulary
+        assert v2a(1, 1) in vocabulary
+        assert v2b(0, 1, 0) in vocabulary
+        assert len(vocabulary) == len(set(vocabulary))
+
+    def test_unknown_droppable_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown droppable"):
+            Paxos(2, 2, 2, droppable=("no_such_message",))
+
+    def test_channel_requires_something_to_drop(self):
+        with pytest.raises(ValueError, match="nothing to drop"):
+            PaxosChannel(())
+
+    def test_no_droppable_means_no_channel_component(self):
+        assert Paxos(2, 2, 2).channel is None
+        assert Paxos(2, 2, 2, droppable="all").channel is not None
+
+
+class TestClosedSystem:
+    def test_instance_size_and_agreement(self):
+        system = Paxos(2, 2, 2)
+        graph = explore(system.complete_spec())
+        assert graph.state_count == 300
+        assert check_invariant(graph, system.agreement()).ok
+
+    def test_broken_variant_violates_agreement(self):
+        system = Paxos(2, 2, 2, broken=True)
+        graph = explore(system.complete_spec())
+        assert graph.state_count == 572
+        result = check_invariant(graph, system.agreement())
+        assert not result.ok
+        assert not result.counterexample.is_lasso
+
+    def test_no_decision_is_the_violated_hunt(self):
+        # ¬decided is deliberately false: its counterexample trace is a
+        # complete successful run of the protocol
+        system = Paxos(2, 2, 2)
+        graph = explore(system.complete_spec())
+        result = check_invariant(graph, system.no_decision())
+        assert not result.ok
+
+    def test_conjunction_form_reaches_the_same_states(self):
+        system = Paxos(2, 2, 2)
+        icdq = explore(system.complete_spec())
+        conj = explore(system.conjunction_spec())
+        assert conj.state_count == icdq.state_count
+        assert set(conj.states) == set(icdq.states)
+
+    def test_single_value_agreement_is_trivial(self):
+        from repro.kernel.expr import Const
+
+        system = Paxos(2, 2, 1)
+        assert isinstance(system.agreement(), Const)
+
+    def test_loss_only_shrinks_nothing_but_adds_states(self):
+        plain = explore(Paxos(2, 1, 1).complete_spec())
+        lossy = explore(Paxos(2, 1, 1, droppable="all").complete_spec())
+        assert lossy.state_count > plain.state_count
+        # every lossless state is still reachable when loss is possible
+        lossless_vars = set(plain.universe.variables)
+        lossy_projected = {
+            tuple(sorted((k, v) for k, v in state.items()
+                         if k in lossless_vars))
+            for state in lossy.states
+        }
+        for state in plain.states:
+            assert tuple(sorted(state.items())) in lossy_projected
+
+
+class TestDecomposition:
+    def test_component_ownership_is_disjoint(self):
+        system = Paxos(3, 2, 2, droppable="all")
+        owned = [set(c.outputs) for c in system.components]
+        for index, left in enumerate(owned):
+            for right in owned[index + 1:]:
+                assert not (left & right)
+
+    def test_channel_owns_exactly_the_lost_bits(self):
+        system = Paxos(2, 2, 2, droppable=(v1a(0), v2a(1, 0)))
+        assert set(system.channel.outputs) == {
+            lost_var(v1a(0)), lost_var(v2a(1, 0))}
+
+    def test_ag_specs_shapes(self):
+        system = Paxos(2, 2, 2, droppable=(v1a(0),))
+        devices = system.ag_specs()
+        # 2 proposers + 2 acceptors with rising-input assumptions,
+        # plus the unconditional channel
+        assert len(devices) == 5
+        assert sum(1 for d in devices if d.assumption is None) == 1
+
+    def test_environments_are_valid_specs(self):
+        system = Paxos(2, 2, 2)
+        for comp in system.proposers + system.acceptor_procs:
+            env = system.environment_spec(comp)
+            assert explore(env).state_count > 0
+
+
+class TestCompositionCertificate:
+    def test_agreement_is_proved_compositionally(self):
+        certificate = Paxos(2, 2, 2).composition_theorem().verify()
+        assert certificate.ok
+
+    def test_lossy_certificate_includes_the_channel_device(self):
+        system = Paxos(2, 2, 2, droppable=(v1a(1), v2a(1, 0)))
+        certificate = system.composition_theorem().verify()
+        assert certificate.ok
+
+    def test_broken_variant_fails_the_certificate(self):
+        certificate = Paxos(2, 2, 2,
+                            broken=True).composition_theorem().verify()
+        assert not certificate.ok

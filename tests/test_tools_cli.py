@@ -532,3 +532,69 @@ class TestUsageErrorPaths:
             self, module_file):
         code, _ = run_cli("explore", module_file, "--compact")
         assert code == 0
+
+
+class TestBundledModules:
+    """The @name:key=val,... surface over the protocol corpus."""
+
+    def test_mutex_ok_instance(self):
+        code, text = run_cli("check", "@mutex:n=2,clock=2",
+                             "--invariant", "MutualExclusion")
+        assert code == 0
+        assert "135 states" in text
+        assert "[OK] MutualExclusion" in text
+
+    def test_mutex_broken_instance_violates(self):
+        code, text = run_cli("check", "@mutex:n=2,clock=2,broken",
+                             "--invariant", "MutualExclusion")
+        assert code == 1
+        assert "cs1" in text  # the rendered trace shows both CS flags
+
+    def test_paxos_defaults_and_liveness(self):
+        code, text = run_cli("check", "@paxos",
+                             "--invariant", "Agreement",
+                             "--property", "EventuallyDecides")
+        assert code == 0
+        assert "[OK] Agreement" in text
+        assert "[OK] EventuallyDecides" in text
+
+    def test_paxos_broken_agreement_fails(self):
+        code, text = run_cli("check", "@paxos:broken",
+                             "--invariant", "Agreement")
+        assert code == 1
+
+    def test_bundled_compact_matches_full_output(self):
+        ref_code, ref_text = run_cli("check", "@mutex:n=2,clock=2",
+                                     "--invariant", "MutualExclusion")
+        code, text = run_cli("check", "@mutex:n=2,clock=2", "--compact",
+                             "--invariant", "MutualExclusion")
+        assert (code, text) == (ref_code, ref_text)
+
+    def test_bundled_por_same_verdict(self):
+        code, text = run_cli("check", "@mutex:n=2,clock=2,broken", "--por",
+                             "--invariant", "MutualExclusion")
+        assert code == 1
+
+    def test_unknown_bundled_name_is_exit_two(self):
+        code, text = run_cli("check", "@nope")
+        assert code == 2
+        assert "no bundled system" in text
+
+    def test_unknown_parameter_is_exit_two(self):
+        code, text = run_cli("check", "@mutex:frobnicate=3")
+        assert code == 2
+        assert "unknown mutex parameter" in text
+
+    def test_bad_parameter_value_is_exit_two(self):
+        code, text = run_cli("check", "@paxos:ballots=many")
+        assert code == 2
+        assert "not an integer" in text
+
+    def test_explore_and_trace_work_on_bundled(self):
+        code, text = run_cli("explore", "@paxos:acceptors=2", "--show", "1")
+        assert code == 0
+        assert "states:" in text
+        code, text = run_cli("trace", "@mutex:n=2,clock=2", "--steps", "3",
+                             "--seed", "11")
+        assert code == 0
+        assert "clk1" in text
