@@ -1,0 +1,112 @@
+"""PERF/acceptance: distributed exploration scales across worker nodes.
+
+The distributed coordinator (DESIGN.md section 4i) ships the two
+per-state hot spots -- successor enumeration and fingerprinting -- to
+the worker nodes and keeps only the serial in-order merge for itself,
+so adding nodes must buy real throughput: a 4-worker run of the
+droppable-messages Paxos instance under a 20k-state budget must reach
+**>= 2x** the states/sec of the same run on a single worker node,
+while landing on the bit-for-bit identical explosion point and
+:class:`~repro.checker.digest.GraphDigest`.
+
+Unlike the compact-vs-full ratio (same process, machine-independent),
+this one measures actual parallel hardware: 4 worker processes plus
+the coordinator need at least 4 usable cores before the comparison
+means anything, so the measurement is core-gated exactly like the POR
+and compact benchmarks.  Set ``REPRO_BENCH_STATS_JSON`` to also write
+the 4-worker run's machine-readable stats snapshot (CI uploads it as
+an artifact).
+"""
+
+import os
+from time import perf_counter
+
+import pytest
+
+from repro.checker import (
+    ExploreStats,
+    StateSpaceExplosion,
+    explore_compact,
+    explore_distributed,
+    spawn_local_workers,
+)
+from repro.systems import bundled_module
+
+from conftest import report
+
+BUDGET = 20_000
+REF = "paxos:acceptors=3,ballots=3,droppable"
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover
+        return os.cpu_count() or 1
+
+
+def _timed_explosion(fn):
+    """Run *fn* to its budget explosion; return (seconds, digest)."""
+    t0 = perf_counter()
+    with pytest.raises(StateSpaceExplosion) as exc:
+        fn()
+    elapsed = perf_counter() - t0
+    graph = exc.value.graph
+    assert graph.state_count == BUDGET
+    return elapsed, graph.digest()
+
+
+def test_distributed_scaling_on_paxos_budget():
+    cores = _usable_cores()
+    if cores < 4:
+        pytest.skip(f"4 worker nodes cannot run in parallel on {cores} "
+                    f"usable core(s); CI runs this on 4+")
+    spec = bundled_module(REF).spec("Spec")
+
+    t_serial, serial_digest = _timed_explosion(
+        lambda: explore_compact(spec, max_states=BUDGET))
+
+    # heartbeat=None: on a saturated box the health monitor can misread
+    # a merely-slow worker as hung, and a rebalance mid-measurement
+    # would poison the timing (the digest would still be right)
+    with spawn_local_workers(4) as pool:
+        t_one, one_digest = _timed_explosion(
+            lambda: explore_distributed(spec, pool.urls[:1],
+                                        max_states=BUDGET,
+                                        heartbeat=None))
+        stats = ExploreStats()
+        t_four, four_digest = _timed_explosion(
+            lambda: explore_distributed(spec, pool.urls[:4],
+                                        max_states=BUDGET, stats=stats,
+                                        heartbeat=None))
+
+    # identity first: a fast wrong answer is worthless
+    assert one_digest == serial_digest
+    assert four_digest == serial_digest
+    assert stats.node_losses == 0
+
+    # write the artifact before the ratio gate: a failing run's stats
+    # are exactly the ones worth inspecting
+    stats_json = os.environ.get("REPRO_BENCH_STATS_JSON")
+    if stats_json:
+        with open(stats_json, "w") as handle:
+            handle.write(stats.to_json(indent=2) + "\n")
+
+    ratio = t_one / t_four
+    assert ratio >= 2.0, (
+        f"4 worker nodes ran {ratio:.2f}x one node "
+        f"({BUDGET} states: 1 node {t_one:.3f}s, 4 nodes {t_four:.3f}s); "
+        f"the acceptance bar is >= 2x"
+    )
+
+    report(f"distributed scaling, {REF}, budget {BUDGET}", [
+        ["states", BUDGET],
+        ["serial compact", f"{t_serial:.3f} s "
+                           f"({BUDGET / t_serial:,.0f} states/s)"],
+        ["1 worker node", f"{t_one:.3f} s "
+                          f"({BUDGET / t_one:,.0f} states/s)"],
+        ["4 worker nodes", f"{t_four:.3f} s "
+                           f"({BUDGET / t_four:,.0f} states/s)"],
+        ["speedup", f"{ratio:.2f}x"],
+        ["graph digest", four_digest[:16] + "..."],
+    ])

@@ -115,6 +115,7 @@ def save_checkpoint(
     stats: Optional[ExploreStats] = None,
     reduction: Optional[Dict[str, object]] = None,
     store: Optional[Dict[str, object]] = None,
+    extra: Optional[Dict[str, object]] = None,
 ) -> None:
     """Atomically snapshot a run at a BFS level boundary.
 
@@ -164,19 +165,25 @@ def save_checkpoint(
         "reduction": reduction,
         "store": store,
     }
+    if extra:
+        # additional top-level sections (the distributed coordinator's
+        # level manifest); load_checkpoint keeps them readable on
+        # Checkpoint.payload and otherwise ignores them
+        payload.update(extra)
     _atomic_write_json(path, payload)
 
 
 class Checkpoint:
     """A loaded checkpoint: validated metadata plus graph reconstruction."""
 
-    __slots__ = ("path", "spec_name", "max_states", "workers",
+    __slots__ = ("path", "payload", "spec_name", "max_states", "workers",
                  "checkpoint_every", "depth", "levels", "elapsed_seconds",
                  "frontier", "stats_snapshot", "reduction_config",
                  "store_config", "_graph_data", "_spec_pickle")
 
     def __init__(self, path: str, payload: Dict[str, object]):
         self.path = path
+        self.payload = payload
         if payload.get("format") != CHECKPOINT_FORMAT:
             raise CheckpointError(
                 f"{path}: not a {CHECKPOINT_FORMAT} file "
@@ -367,33 +374,43 @@ def resume(
         ReductionConfig(tuple(reduction_cfg.get("observed_vars", ())))
         if reduction_cfg is not None else None)
 
-    graph = loaded.restore_graph(spec, max_states=max_states,
-                                 store=build_store(store_cfg))
-    if stats is not None and loaded.stats_snapshot:
-        stats.restore(loaded.stats_snapshot)
-    target = path if checkpoint is _SAME_PATH else checkpoint
-    every = loaded.checkpoint_every if checkpoint_every is None \
-        else checkpoint_every
-    worker_count = loaded.workers if workers is None else workers
-    if worker_count == 0:
-        from .parallel import default_workers
-        worker_count = default_workers()
-    from .explorer import _resolve_reducer
-    reducer = _resolve_reducer(spec, reducer_config, stats)
-    if worker_count <= 1:
-        from .explorer import _drive
-        return _drive(spec, graph, list(loaded.frontier),
-                      depth=loaded.depth, levels=loaded.levels,
-                      elapsed_before=loaded.elapsed_seconds, stats=stats,
-                      checkpoint=target, checkpoint_every=every,
-                      reducer=reducer)
-    from .parallel import _drive_parallel
-    return _drive_parallel(spec, graph, list(loaded.frontier),
-                           depth=loaded.depth, levels=loaded.levels,
-                           elapsed_before=loaded.elapsed_seconds, stats=stats,
-                           checkpoint=target, checkpoint_every=every,
-                           workers=worker_count, worker_timeout=worker_timeout,
-                           fault_hook=fault_hook, reducer=reducer)
+    run_store = build_store(store_cfg)
+    # close the store we just built on any error path: a resume that
+    # explodes (or crashes) never hands the graph back, so this is the
+    # only chance to release a spill store's mmap/file handles
+    try:
+        graph = loaded.restore_graph(spec, max_states=max_states,
+                                     store=run_store)
+        if stats is not None and loaded.stats_snapshot:
+            stats.restore(loaded.stats_snapshot)
+        target = path if checkpoint is _SAME_PATH else checkpoint
+        every = loaded.checkpoint_every if checkpoint_every is None \
+            else checkpoint_every
+        worker_count = loaded.workers if workers is None else workers
+        if worker_count == 0:
+            from .parallel import default_workers
+            worker_count = default_workers()
+        from .explorer import _resolve_reducer
+        reducer = _resolve_reducer(spec, reducer_config, stats)
+        if worker_count <= 1:
+            from .explorer import _drive
+            return _drive(spec, graph, list(loaded.frontier),
+                          depth=loaded.depth, levels=loaded.levels,
+                          elapsed_before=loaded.elapsed_seconds, stats=stats,
+                          checkpoint=target, checkpoint_every=every,
+                          reducer=reducer)
+        from .parallel import _drive_parallel
+        return _drive_parallel(spec, graph, list(loaded.frontier),
+                               depth=loaded.depth, levels=loaded.levels,
+                               elapsed_before=loaded.elapsed_seconds,
+                               stats=stats,
+                               checkpoint=target, checkpoint_every=every,
+                               workers=worker_count,
+                               worker_timeout=worker_timeout,
+                               fault_hook=fault_hook, reducer=reducer)
+    except BaseException:
+        run_store.close()
+        raise
 
 
 # -- run manifests -----------------------------------------------------------

@@ -144,6 +144,31 @@ class CompactGraph:
 
     # -- interning -----------------------------------------------------------
 
+    def _intern_new(self, packed: int, parent: int,
+                    fingerprint: Optional[int] = None) -> int:
+        """Append a known-to-be-new packed state: budget check, node-id
+        assignment, and digest accounting -- the part of :meth:`intern`
+        that does *not* touch the ``visited`` map.  The distributed
+        coordinator calls this directly (its visited set lives on the
+        worker nodes), so budget behaviour and the node digest stream
+        stay one code path across engines."""
+        node = len(self.packed)
+        if self.max_states is not None and node >= self.max_states:
+            label = f"exploring {self.name!r} " if self.name else "exploration "
+            exc = StateSpaceExplosion(
+                f"{label}exceeded the state budget of "
+                f"{self.max_states} states")
+            exc.graph = self
+            raise exc
+        self.packed.append(packed)
+        self.parent.append(parent)
+        if parent < 0:
+            self.init_nodes.append(node)
+        if fingerprint is None:
+            fingerprint = self.codec.fingerprint(packed)
+        self._digest.absorb_node(fingerprint, parent)
+        return node
+
     def intern(self, packed: int, parent: int) -> Tuple[int, bool]:
         """Intern a packed state; returns ``(node_id, is_new)``.
 
@@ -155,23 +180,13 @@ class CompactGraph:
         node = self.visited.get(packed)
         if node is not None:
             return node, False
-        node = len(self.packed)
-        if self.max_states is not None and node >= self.max_states:
-            label = f"exploring {self.name!r} " if self.name else "exploration "
-            raise StateSpaceExplosion(
-                f"{label}exceeded the state budget of "
-                f"{self.max_states} states")
-        self.visited[packed] = node
-        self.packed.append(packed)
-        self.parent.append(parent)
-        if parent < 0:
-            self.init_nodes.append(node)
         fingerprint = self.codec.fingerprint(packed)
+        node = self._intern_new(packed, parent, fingerprint)
+        self.visited[packed] = node
         if fingerprint in self._fingerprints:
             self._collisions += 1
         else:
             self._fingerprints.add(fingerprint)
-        self._digest.absorb_node(fingerprint, parent)
         return node, True
 
     def merge_successors(self, src: int,
@@ -521,6 +536,7 @@ def save_compact_checkpoint(
     workers: int = 1,
     checkpoint_every: int = 1,
     stats: Optional[ExploreStats] = None,
+    extra: Optional[Dict[str, object]] = None,
 ) -> None:
     """Atomically snapshot a compact run at a BFS level boundary.
 
@@ -528,6 +544,10 @@ def save_compact_checkpoint(
     can verify the packing layout still matches the spec) and the live
     digest accumulator -- edge structure is not retained, so the digest
     stream *must* survive the round trip rather than be recomputed.
+    ``extra`` merges additional top-level sections into the payload (the
+    distributed coordinator records its level manifest there); resume
+    ignores sections it does not know, so such snapshots stay resumable
+    single-machine.
     """
     payload = {
         "format": CHECKPOINT_FORMAT,
@@ -554,29 +574,46 @@ def save_compact_checkpoint(
         "frontier": list(frontier),
         "stats": stats.as_dict() if stats is not None else None,
     }
+    if extra:
+        payload.update(extra)
     _atomic_write_json(path, payload)
 
 
-def resume_compact(
+class CompactResume:
+    """A compact checkpoint reloaded into live run state: the rebuilt
+    graph plus the loop counters :func:`_drive_compact` needs.  Shared by
+    :func:`resume_compact` and the distributed coordinator's crash-resume
+    (which re-drives the same state through its own merge loop)."""
+
+    __slots__ = ("spec", "graph", "frontier", "depth", "levels",
+                 "elapsed_seconds", "workers", "checkpoint_every", "payload")
+
+    def __init__(self, spec: Spec, graph: CompactGraph, frontier: List[int],
+                 depth: int, levels: int, elapsed_seconds: float,
+                 workers: int, checkpoint_every: int,
+                 payload: Dict[str, object]):
+        self.spec = spec
+        self.graph = graph
+        self.frontier = frontier
+        self.depth = depth
+        self.levels = levels
+        self.elapsed_seconds = elapsed_seconds
+        self.workers = workers
+        self.checkpoint_every = checkpoint_every
+        self.payload = payload
+
+
+def load_compact_checkpoint(
     path: str,
     spec: Optional[Spec] = None,
-    *,
-    workers: Optional[int] = None,
     max_states: Optional[int] = None,
     stats: Optional[ExploreStats] = None,
-    checkpoint: object = _SAME_PATH,
-    checkpoint_every: Optional[int] = None,
-    worker_timeout: Optional[float] = None,
-    fault_hook: Optional[Callable] = None,
-) -> CompactGraph:
-    """Continue a compact exploration from a checkpoint, bit-for-bit.
-
-    Mirrors :func:`repro.checker.checkpoint.resume` (same defaults, same
-    keep-checkpointing-to-the-same-path behaviour) for compact
-    snapshots.  A full-engine snapshot is rejected with a clear
-    :class:`CheckpointError` rather than misread, as is a snapshot whose
-    packed layout no longer matches the spec's domain enumeration.
-    """
+) -> CompactResume:
+    """Reload a compact snapshot into a live :class:`CompactGraph` plus
+    the BFS loop counters, verifying format/version/mode/codec layout.
+    This is the load half of :func:`resume_compact`; the raw payload is
+    kept on the result so callers can read extra sections (the
+    distributed level manifest)."""
     payload = _read_checkpoint_payload(path)
     if payload.get("format") != CHECKPOINT_FORMAT:
         raise CheckpointError(
@@ -660,13 +697,42 @@ def resume_compact(
 
     if stats is not None and payload.get("stats"):
         stats.restore(payload["stats"])
+    return CompactResume(spec, graph, frontier, depth=depth, levels=levels,
+                         elapsed_seconds=elapsed, workers=stored_workers,
+                         checkpoint_every=stored_every, payload=payload)
+
+
+def resume_compact(
+    path: str,
+    spec: Optional[Spec] = None,
+    *,
+    workers: Optional[int] = None,
+    max_states: Optional[int] = None,
+    stats: Optional[ExploreStats] = None,
+    checkpoint: object = _SAME_PATH,
+    checkpoint_every: Optional[int] = None,
+    worker_timeout: Optional[float] = None,
+    fault_hook: Optional[Callable] = None,
+) -> CompactGraph:
+    """Continue a compact exploration from a checkpoint, bit-for-bit.
+
+    Mirrors :func:`repro.checker.checkpoint.resume` (same defaults, same
+    keep-checkpointing-to-the-same-path behaviour) for compact
+    snapshots.  A full-engine snapshot is rejected with a clear
+    :class:`CheckpointError` rather than misread, as is a snapshot whose
+    packed layout no longer matches the spec's domain enumeration.
+    """
+    loaded = load_compact_checkpoint(path, spec, max_states=max_states,
+                                     stats=stats)
     target = path if checkpoint is _SAME_PATH else checkpoint
-    every = stored_every if checkpoint_every is None else checkpoint_every
-    worker_count = stored_workers if workers is None else workers
+    every = loaded.checkpoint_every if checkpoint_every is None \
+        else checkpoint_every
+    worker_count = loaded.workers if workers is None else workers
     if worker_count == 0:
         worker_count = default_workers()
-    return _drive_compact(spec, graph, frontier, depth=depth, levels=levels,
-                          elapsed_before=elapsed, stats=stats,
+    return _drive_compact(loaded.spec, loaded.graph, loaded.frontier,
+                          depth=loaded.depth, levels=loaded.levels,
+                          elapsed_before=loaded.elapsed_seconds, stats=stats,
                           checkpoint=target, checkpoint_every=every,
                           workers=worker_count,
                           worker_timeout=worker_timeout,

@@ -1,0 +1,1074 @@
+"""Distributed BFS exploration across worker machines, bit-for-bit.
+
+:func:`explore_distributed` runs the level-synchronous BFS of
+:func:`~repro.checker.explorer.explore` with the expensive halves --
+successor enumeration and (in compact mode) the visited set -- spread
+over remote **worker nodes** (:mod:`repro.service.worker`, the ``repro
+worker`` process), while the coordinator merges every level strictly in
+frontier order.  The result is *the same graph*, bit for bit: node
+numbering, BFS parents, edge counts, budget behaviour, and the streaming
+:class:`~repro.checker.digest.GraphDigest` all match a single-machine
+run -- for any worker count, any request interleaving, and any history
+of node failures.  ``tests/test_distributed_differential.py`` asserts
+this against the serial, parallel, and compact engines for every
+bundled system; ``tests/test_distributed_faults.py`` re-asserts it under
+killed workers, hung workers, dropped/duplicated wire messages, and
+coordinator crash-resume.
+
+Sharding model
+--------------
+
+The 64-bit fingerprint space is split once, at run start, into one
+contiguous **pristine range** per worker.  In compact mode each worker
+*owns* the visited-set partition for its ranges: the coordinator keeps
+only the node-ordered ``packed`` / ``parent`` columns (enough to
+regenerate traces and to checkpoint) and never holds a packed->node map.
+A BFS level is four phases:
+
+1. **expand** -- frontier sources are shipped to the owner of their
+   fingerprint; workers stream back per-source successor batches
+   (NDJSON), in compact mode together with each successor's
+   fingerprint -- fingerprinting is the dominant per-state cost, and
+   shipping it to the workers is what makes it scale with the node
+   count (the coordinator only ever *looks up* fingerprints it was
+   told).  Expansion is pure, so re-sending sources is always safe.
+2. **lookup** -- the level's unique successor values are sent to the
+   owners of their fingerprints, which answer with the node ids their
+   partition already knows.  Pure.
+3. **merge** -- the coordinator walks sources in frontier order and
+   interns new states exactly as the serial engine would (same budget
+   check, same digest stream, same edge dedup); this phase is local and
+   serial, which is the whole determinism argument.
+4. **adopt** -- newly interned (packed, node) pairs are pushed to the
+   owners of their fingerprints.  Idempotent, so duplicated or retried
+   adopts cannot skew the partitions.
+
+In full-state mode workers are stateless expanders over portable state
+rows and the coordinator dedups locally through its
+:class:`~repro.checker.graph.StateGraph` -- phase 2 and 4 vanish.
+
+Failure model
+-------------
+
+Transport errors are the fault signal: every wire operation is retried a
+few times (absorbing injected/transient drops -- see
+:class:`~repro.service.wire.NetFaultPlan`), and a node whose link keeps
+failing is declared **lost**.  A heartbeat monitor thread polls
+``/healthz`` and aborts the in-flight link of a node that stops
+answering, so a *hung* worker (as opposed to a dead one) also surfaces
+as a transport error instead of blocking the run.  On a loss the
+coordinator moves the dead node's pristine ranges to the survivors with
+the fewest ranges (ties to the lowest index), rebuilds the orphaned
+visited partitions from its own packed column (re-**adopt**), and
+re-ships only the still-unanswered sources of the current level
+(bounded re-expansion).  Because ranges only ever change *owner* --
+never shape -- the per-level partition counts recorded in checkpoints
+and goldens are identical with and without failures.
+
+Durability: with ``checkpoint=`` the coordinator snapshots every
+``checkpoint_every`` levels using the engine's native checkpoint format
+plus a ``"distributed"`` section (pristine ranges, per-level partition
+counts).  Compact snapshots are therefore *also* plain compact
+checkpoints: :func:`~repro.checker.compact.resume_compact` can finish
+them on one machine, and :func:`resume_distributed` can finish a
+single-machine snapshot on a cluster.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..kernel.packed import CompactUnsupported, PackedPlan
+from ..kernel.state import State
+from ..spec import Spec
+from ..service.wire import NetFaultPlan, ProtocolError, WorkerLink
+from .checkpoint import (
+    _SAME_PATH,
+    _read_checkpoint_payload,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .compact import (
+    COMPACT_CHECKPOINT_MODE,
+    CompactGraph,
+    _finish_compact,
+    load_compact_checkpoint,
+    save_compact_checkpoint,
+)
+from .explorer import _seed_graph, initial_states
+from .graph import StateGraph
+from .parallel import WorkerFailure
+from .stats import ExploreStats
+
+__all__ = [
+    "explore_distributed",
+    "resume_distributed",
+    "partition_ranges",
+    "range_index",
+    "LocalWorkerPool",
+    "spawn_local_workers",
+    "WorkerFailure",
+    "NetFaultPlan",
+]
+
+_FP_SPACE = 1 << 64
+
+# transport attempts per wire operation before a node is declared lost;
+# absorbs NetFaultPlan drops and real transient hiccups alike
+_WIRE_ATTEMPTS = 3
+
+# consecutive failed health probes before the monitor aborts a node's link
+_HEARTBEAT_MISSES = 2
+
+
+def partition_ranges(workers: int) -> List[Tuple[int, int]]:
+    """The pristine N-way split of the 64-bit fingerprint space:
+    contiguous half-open ranges, remainder folded into the last one.
+    Fixed for the lifetime of a run -- rebalancing moves whole ranges
+    between owners, never reshapes them -- so everything keyed on range
+    index (partition counts, goldens) is fault-independent."""
+    if workers < 1:
+        raise ValueError(f"need at least one worker, got {workers}")
+    width = _FP_SPACE // workers
+    return [(i * width, (i + 1) * width if i < workers - 1 else _FP_SPACE)
+            for i in range(workers)]
+
+
+def range_index(fingerprint: int, ranges: Sequence[Tuple[int, int]]) -> int:
+    """Which pristine range owns *fingerprint* (uniform-width math, no
+    scan; the last range absorbs the division remainder)."""
+    width = ranges[0][1] - ranges[0][0]
+    return min(fingerprint // width, len(ranges) - 1)
+
+
+class _NodeLost(Exception):
+    """Internal control flow: a worker node stopped answering."""
+
+    def __init__(self, node: "_Node", cause: BaseException):
+        super().__init__(f"worker node {node.index} ({node.url}) lost: "
+                         f"{cause}")
+        self.node = node
+        self.cause = cause
+
+
+class _Node:
+    """Coordinator-side handle for one worker node."""
+
+    __slots__ = ("index", "url", "link", "alive", "suspect", "misses",
+                 "collisions")
+
+    def __init__(self, index: int, url: str,
+                 timeout: Optional[float], fault: Optional[NetFaultPlan]):
+        self.index = index
+        self.url = url
+        self.link = WorkerLink(url, timeout=timeout, fault=fault)
+        self.alive = True
+        self.suspect = False  # heartbeat verdict; confirmed on next op
+        self.misses = 0
+        self.collisions = 0  # partition fp-collision total (from /adopt)
+
+
+class _HeartbeatMonitor(threading.Thread):
+    """Polls ``/healthz`` on every live node; a node that misses
+    ``_HEARTBEAT_MISSES`` consecutive probes gets its link aborted, which
+    turns any blocked coordinator read into an immediate transport error
+    (the signal the fault machinery keys on).  Probes use their own
+    short-lived links so they can never interfere with run traffic."""
+
+    def __init__(self, nodes: List[_Node], interval: float):
+        super().__init__(daemon=True, name="repro-heartbeat")
+        self._nodes = nodes
+        self._interval = interval
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def run(self) -> None:
+        timeout = max(self._interval, 0.25)
+        while not self._stop.wait(self._interval):
+            for node in self._nodes:
+                if not node.alive or node.suspect:
+                    continue
+                probe = WorkerLink(node.url, timeout=timeout)
+                try:
+                    probe.get("/healthz")
+                    node.misses = 0
+                except (OSError, ProtocolError):
+                    node.misses += 1
+                finally:
+                    probe.close()
+                if node.misses >= _HEARTBEAT_MISSES:
+                    node.suspect = True
+                    node.link.abort()
+
+
+class _Coordinator:
+    """One distributed run: nodes, range ownership, and the four-phase
+    level loop.  Engine-specific behaviour (payload encoding, the merge
+    itself, checkpoint format) is parameterised by ``engine``."""
+
+    def __init__(self, spec: Spec, urls: Sequence[str], engine: str,
+                 stats: Optional[ExploreStats],
+                 heartbeat: Optional[float],
+                 worker_timeout: Optional[float],
+                 net_fault: Optional[NetFaultPlan],
+                 fault_hook: Optional[Callable],
+                 ranges: Optional[List[Tuple[int, int]]] = None):
+        if not urls:
+            raise ValueError("explore_distributed needs at least one "
+                             "worker URL")
+        self.spec = spec
+        self.engine = engine
+        self.stats = stats
+        self.nodes = [_Node(i, url, worker_timeout, net_fault)
+                      for i, url in enumerate(urls)]
+        # pristine ranges: one per *initial* worker; ownership starts 1:1
+        # (or round-robin when resuming onto a different cluster size)
+        self.ranges = ranges if ranges is not None \
+            else partition_ranges(len(self.nodes))
+        self.owner = [i % len(self.nodes) for i in range(len(self.ranges))]
+        self.level_partitions: List[List[int]] = []
+        self._fault_pickle = (
+            base64.b64encode(pickle.dumps(
+                fault_hook, protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
+            if fault_hook is not None else None)
+        self._spec_pickle = base64.b64encode(
+            pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+        ).decode("ascii")
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, len(self.nodes)),
+            thread_name_prefix="repro-dist")
+        self._monitor: Optional[_HeartbeatMonitor] = None
+        self._heartbeat = heartbeat
+        self.idle = 0.0
+        if stats is not None:
+            for node in self.nodes:
+                stats.record_node_label(node.index, node.url)
+        # engine-specific fingerprint of a wire payload
+        if engine == "compact":
+            self._plan = PackedPlan(spec)
+            self._codec = self._plan.codec
+
+    def start(self) -> None:
+        if self._heartbeat is not None:
+            self._monitor = _HeartbeatMonitor(self.nodes, self._heartbeat)
+            self._monitor.start()
+
+    def close(self) -> None:
+        if self._monitor is not None:
+            self._monitor.stop()
+            self._monitor = None
+        for node in self.nodes:
+            node.link.close()
+        self._pool.shutdown(wait=False)
+
+    # -- node bookkeeping -----------------------------------------------------
+
+    def alive_nodes(self) -> List[_Node]:
+        return [node for node in self.nodes if node.alive]
+
+    def owner_node(self, ridx: int) -> _Node:
+        return self.nodes[self.owner[ridx]]
+
+    def _owned_ranges(self, node: _Node) -> List[Tuple[int, int]]:
+        return [self.ranges[i] for i, w in enumerate(self.owner)
+                if w == node.index]
+
+    def _with_retries(self, node: _Node, attempt: Callable[[], object]):
+        """Run one wire operation, absorbing up to ``_WIRE_ATTEMPTS``
+        transport failures (injected drops, transient resets).  A node
+        already flagged by the heartbeat, or one that exhausts the
+        attempts, is reported as lost."""
+        last: Optional[BaseException] = None
+        for _ in range(_WIRE_ATTEMPTS):
+            if not node.alive:
+                raise _NodeLost(node, last or ConnectionError("node dead"))
+            try:
+                return attempt()
+            except (OSError, ConnectionError) as exc:
+                last = exc
+                if self.stats is not None:
+                    self.stats.record_retry("wire")
+                if node.suspect:
+                    break
+        raise _NodeLost(node, last or ConnectionError("unknown"))
+
+    def _on_loss(self, node: _Node, packed_column: Optional[List[int]],
+                 fingerprint_of_node: Callable[[int], int]) -> None:
+        """Declare *node* dead and move its pristine ranges to the
+        survivors with the fewest ranges (ties to the lowest index).  In
+        compact mode the orphaned visited partitions are rebuilt on the
+        new owners from the coordinator's packed column -- complete by
+        construction, because every interned node is in that column."""
+        if not node.alive:
+            return
+        node.alive = False
+        node.link.abort()
+        if self.stats is not None:
+            self.stats.record_node_loss()
+        survivors = self.alive_nodes()
+        if not survivors:
+            raise WorkerFailure(
+                f"all {len(self.nodes)} worker nodes were lost; the last "
+                f"to go was node {node.index} ({node.url})")
+        orphaned = [i for i, w in enumerate(self.owner)
+                    if w == node.index]
+        if not orphaned:
+            return
+        loads = {n.index: sum(1 for w in self.owner if w == n.index)
+                 for n in survivors}
+        moved: Dict[int, List[int]] = {}
+        for ridx in orphaned:
+            target = min(survivors,
+                         key=lambda n: (loads[n.index], n.index))
+            self.owner[ridx] = target.index
+            loads[target.index] += 1
+            moved.setdefault(target.index, []).append(ridx)
+        if self.stats is not None:
+            self.stats.record_rebalance(len(orphaned))
+        if packed_column is None:  # full mode: nothing to re-adopt
+            return
+        # rebuild the orphaned partitions on their new owners
+        by_node = {n.index: n for n in self.nodes}
+        for target_index, ridxs in moved.items():
+            target = by_node[target_index]
+            taken = set(ridxs)
+            entries = []
+            for node_id, packed in enumerate(packed_column):
+                if range_index(fingerprint_of_node(packed),
+                               self.ranges) in taken:
+                    entries.append([packed, node_id])
+            try:
+                self._with_retries(target, lambda t=target, e=entries: (
+                    t.link.post("/ranges",
+                                {"ranges": self._owned_ranges(t)}),
+                    self._record_adopt(
+                        t, t.link.post("/adopt", {"entries": e})),
+                ))
+            except _NodeLost as lost:
+                # the rescue target died too: recurse, which re-moves
+                # these ranges (and the target's own) to the remaining
+                # survivors
+                self._on_loss(lost.node, packed_column, fingerprint_of_node)
+
+    def _record_adopt(self, node: _Node, response: Dict) -> Dict:
+        node.collisions = int(response.get("collisions", node.collisions))
+        return response
+
+    # -- generic fan-out phase ------------------------------------------------
+
+    def _fan_out(self, groups: Callable[[], Dict[int, object]],
+                 op: Callable[[_Node, object], None],
+                 on_loss: Callable[[_Node], None]) -> None:
+        """Run ``op(node, item)`` concurrently for the node->item map
+        *groups* produces, handling losses (rebalance + regroup) until
+        the map comes back empty.  *groups* must shrink as ops succeed
+        (ops record results and consume their inputs), so re-grouping
+        after a loss only re-ships unanswered work."""
+        while True:
+            grouped = groups()
+            if not grouped:
+                return
+            by_node = {n.index: n for n in self.nodes}
+            wait_from = perf_counter()
+            futures = {
+                self._pool.submit(op, by_node[index], item): by_node[index]
+                for index, item in grouped.items()
+            }
+            lost: List[_NodeLost] = []
+            for future in as_completed(futures):
+                try:
+                    future.result()
+                except _NodeLost as exc:
+                    lost.append(exc)
+            self.idle += perf_counter() - wait_from
+            for exc in lost:
+                on_loss(exc.node)
+
+    # -- wire phases ----------------------------------------------------------
+
+    def load_workers(self, adopt_column: Optional[List[int]] = None,
+                     fingerprint: Optional[Callable[[int], int]] = None
+                     ) -> None:
+        """(Re)initialise every node for this run; on a resume,
+        *adopt_column* rebuilds each node's visited partition from the
+        checkpointed packed column."""
+        pending = {node.index: node for node in self.nodes if node.alive}
+
+        def op(node: _Node, _item: object) -> None:
+            payload = {"spec_pickle": self._spec_pickle,
+                       "engine": self.engine,
+                       "worker": node.index,
+                       "ranges": self._owned_ranges(node)}
+            if self._fault_pickle is not None:
+                payload["fault_pickle"] = self._fault_pickle
+            self._with_retries(
+                node, lambda: node.link.post("/load", payload))
+            if adopt_column is not None:
+                owned = {i for i, w in enumerate(self.owner)
+                         if w == node.index}
+                entries = [[packed, node_id]
+                           for node_id, packed in enumerate(adopt_column)
+                           if range_index(fingerprint(packed),
+                                          self.ranges) in owned]
+                if entries:
+                    self._with_retries(node, lambda: self._record_adopt(
+                        node, node.link.post("/adopt",
+                                             {"entries": entries})))
+            pending.pop(node.index, None)
+
+        self._fan_out(
+            lambda: {i: n for i, n in pending.items() if n.alive},
+            op,
+            lambda node: self._on_loss(node, adopt_column,
+                                       fingerprint or (lambda fp: fp)))
+
+    def expand_level(self, level: int,
+                     sources: List[Tuple[int, object]],
+                     fingerprints: List[int],
+                     results: Dict[int, List[object]],
+                     packed_column: Optional[List[int]],
+                     fingerprint: Callable[[int], int],
+                     fps_out: Optional[Dict[int, List[int]]] = None) -> None:
+        """Phase 1: ship each (pos, payload) source to the owner of its
+        fingerprint; collect per-source successor batches into
+        *results* (and, when *fps_out* is given, the worker-computed
+        successor fingerprints).  Streamed per source, so a node that
+        dies mid-level only costs its unanswered sources (bounded
+        re-expansion)."""
+        pending: Dict[int, object] = {pos: payload
+                                      for pos, payload in sources}
+
+        def groups() -> Dict[int, List[Tuple[int, object]]]:
+            grouped: Dict[int, List[Tuple[int, object]]] = {}
+            for pos, payload in pending.items():
+                owner = self.owner[range_index(fingerprints[pos],
+                                               self.ranges)]
+                grouped.setdefault(owner, []).append((pos, payload))
+            return grouped
+
+    # one attempt = one /expand of that node's *still unanswered* share;
+    # answered positions leave `pending` as their lines stream in
+        def op(node: _Node, items: List[Tuple[int, object]]) -> None:
+            def attempt() -> None:
+                remaining = [[pos, payload] for pos, payload in items
+                             if pos in pending]
+                if not remaining:
+                    return
+                answered = 0
+                successors = 0
+                tail = None
+                for line in node.link.post_stream(
+                        "/expand", {"level": level, "sources": remaining}):
+                    if "pos" in line:
+                        pos = int(line["pos"])
+                        succ = line["succ"]
+                        results[pos] = succ
+                        if fps_out is not None:
+                            fps_out[pos] = line.get("fps") or []
+                        if pending.pop(pos, None) is not None:
+                            answered += 1
+                            successors += len(succ)
+                    elif "done" in line:
+                        tail = line
+                if tail is None:
+                    raise ConnectionError("expand stream truncated")
+                if self.stats is not None and answered:
+                    self.stats.record_worker_batch(
+                        node.index, sources=answered,
+                        successors=successors,
+                        busy_seconds=float(tail.get("busy", 0.0)))
+
+            try:
+                self._with_retries(node, attempt)
+            except _NodeLost:
+                still = sum(1 for pos, _p in items if pos in pending)
+                if self.stats is not None and still:
+                    self.stats.record_reshipped(still)
+                raise
+
+        self._fan_out(groups, op,
+                      lambda node: self._on_loss(node, packed_column,
+                                                 fingerprint))
+
+    def lookup_level(self, values_by_range: Dict[int, List[int]],
+                     known: Dict[int, int],
+                     packed_column: List[int],
+                     fingerprint: Callable[[int], int]) -> None:
+        """Phase 2 (compact): ask each owner which of the level's unique
+        successor values its partition has already seen."""
+        pending = dict(values_by_range)
+
+        def groups() -> Dict[int, List[int]]:
+            grouped: Dict[int, List[int]] = {}
+            for ridx in pending:
+                grouped.setdefault(self.owner[ridx], []).append(ridx)
+            return grouped
+
+        def op(node: _Node, ridxs: List[int]) -> None:
+            def attempt() -> None:
+                todo = [r for r in ridxs if r in pending]
+                if not todo:
+                    return
+                values: List[int] = []
+                for r in todo:
+                    values.extend(pending[r])
+                response = node.link.post("/lookup", {"values": values})
+                nodes = response.get("nodes") or []
+                if len(nodes) != len(values):
+                    raise ConnectionError("lookup response misaligned")
+                for value, node_id in zip(values, nodes):
+                    if node_id >= 0:
+                        known[value] = node_id
+                for r in todo:
+                    pending.pop(r, None)
+
+            self._with_retries(node, attempt)
+
+        self._fan_out(groups, op,
+                      lambda node: self._on_loss(node, packed_column,
+                                                 fingerprint))
+
+    def adopt_level(self, entries_by_range: Dict[int, List[List[int]]],
+                    packed_column: List[int],
+                    fingerprint: Callable[[int], int]) -> None:
+        """Phase 4 (compact): push the level's newly interned states to
+        the owners of their fingerprints.  Idempotent on the worker, so
+        retries and duplicates are harmless."""
+        pending = dict(entries_by_range)
+
+        def groups() -> Dict[int, List[int]]:
+            grouped: Dict[int, List[int]] = {}
+            for ridx in pending:
+                grouped.setdefault(self.owner[ridx], []).append(ridx)
+            return grouped
+
+        def op(node: _Node, ridxs: List[int]) -> None:
+            def attempt() -> None:
+                todo = [r for r in ridxs if r in pending]
+                if not todo:
+                    return
+                entries: List[List[int]] = []
+                for r in todo:
+                    entries.extend(pending[r])
+                self._record_adopt(
+                    node, node.link.post("/adopt", {"entries": entries}))
+                for r in todo:
+                    pending.pop(r, None)
+
+            self._with_retries(node, attempt)
+
+        self._fan_out(groups, op,
+                      lambda node: self._on_loss(node, packed_column,
+                                                 fingerprint))
+
+    # -- run summary ----------------------------------------------------------
+
+    def partition_collisions(self) -> int:
+        return sum(node.collisions for node in self.nodes if node.alive)
+
+    def distributed_section(self) -> Dict[str, object]:
+        """The ``"distributed"`` checkpoint section: everything a resume
+        (or a golden) needs that the engine checkpoint does not carry."""
+        return {"distributed": {
+            "worker_urls": [node.url for node in self.nodes],
+            "ranges": [[lo, hi] for lo, hi in self.ranges],
+            "level_partitions": [list(row) for row in self.level_partitions],
+        }}
+
+
+# -- compact-mode drive -------------------------------------------------------
+
+
+def _drive_distributed_compact(
+    coord: _Coordinator,
+    graph: CompactGraph,
+    frontier: List[int],
+    depth: int,
+    levels: int,
+    elapsed_before: float,
+    stats: Optional[ExploreStats],
+    checkpoint: Optional[str],
+    checkpoint_every: int,
+    seed_adopt: bool,
+    fp_of: Dict[int, int],
+) -> CompactGraph:
+    """The compact distributed level loop.  Mirrors
+    :func:`repro.checker.compact._drive_compact` exactly at every point
+    that feeds the graph -- intern order, edge dedup, digest stream,
+    budget check, ``record_level`` placement -- so the resulting graph
+    is bit-for-bit the single-machine compact graph.
+
+    *fp_of* maps every packed value in the coordinator's column (and,
+    as levels proceed, every successor value the workers report) to its
+    fingerprint.  The callers seed it for the starting column; from
+    then on the workers compute every new fingerprint (the per-state
+    hot spot) and the coordinator only looks them up -- which is why
+    adding worker nodes actually speeds the run up."""
+    start = perf_counter()
+    spec = coord.spec
+    packed_column = graph.packed
+    ranges = coord.ranges
+    fingerprint = fp_of.__getitem__
+
+    def partition_counts(new_packed: List[int]) -> List[int]:
+        counts = [0] * len(ranges)
+        for value in new_packed:
+            counts[range_index(fp_of[value], ranges)] += 1
+        return counts
+
+    if seed_adopt:
+        # ship the seed partition (the initial states interned by the
+        # caller) to its owners, and record it as the level-0 row
+        seed_entries: Dict[int, List[List[int]]] = {}
+        for node_id, packed in enumerate(packed_column):
+            ridx = range_index(fp_of[packed], ranges)
+            seed_entries.setdefault(ridx, []).append([packed, node_id])
+        coord.adopt_level(seed_entries, packed_column, fingerprint)
+        coord.level_partitions.append(partition_counts(list(packed_column)))
+
+    while frontier:
+        level = levels
+        # phase 1: expand, sharded by source fingerprint; the workers
+        # also hand back each successor's fingerprint
+        src_fps = [fp_of[packed_column[src]] for src in frontier]
+        results: Dict[int, List[int]] = {}
+        succ_fps: Dict[int, List[int]] = {}
+        coord.expand_level(
+            level,
+            [(pos, packed_column[src]) for pos, src in enumerate(frontier)],
+            src_fps, results, packed_column, fingerprint,
+            fps_out=succ_fps)
+        # phase 2: dedup query for the level's unique successor values
+        unique: Dict[int, int] = {}
+        for pos in range(len(frontier)):
+            fps = succ_fps[pos]
+            for i, value in enumerate(results[pos]):
+                if value not in unique:
+                    fp_of[value] = fps[i]
+                    unique[value] = range_index(fps[i], ranges)
+        values_by_range: Dict[int, List[int]] = {}
+        for value, ridx in unique.items():
+            values_by_range.setdefault(ridx, []).append(value)
+        known: Dict[int, int] = {}
+        coord.lookup_level(values_by_range, known, packed_column,
+                           fingerprint)
+        # phase 3: serial merge in frontier order -- the one code path
+        # shared with the single-machine engine (CompactGraph._intern_new
+        # does the budget check and the node-digest stream)
+        level_new: Dict[int, int] = {}
+        new_packed: List[int] = []
+        next_frontier: List[int] = []
+        for pos, src in enumerate(frontier):
+            dsts: List[int] = []
+            seen: set = set()
+            for value in results[pos]:
+                node = known.get(value)
+                if node is None:
+                    node = level_new.get(value)
+                if node is None:
+                    node = graph._intern_new(value, src, fp_of[value])
+                    level_new[value] = node
+                    new_packed.append(value)
+                    next_frontier.append(node)
+                if node != src and node not in seen:
+                    seen.add(node)
+                    dsts.append(node)
+            graph._edge_count += len(dsts)
+            graph._digest.absorb_edges(src, dsts)
+        # phase 4: push the new states to their owners
+        entries_by_range: Dict[int, List[List[int]]] = {}
+        for value, node in level_new.items():
+            ridx = range_index(fp_of[value], ranges)
+            entries_by_range.setdefault(ridx, []).append([value, node])
+        if entries_by_range:
+            coord.adopt_level(entries_by_range, packed_column, fingerprint)
+        coord.level_partitions.append(partition_counts(new_packed))
+        if stats is not None:
+            stats.record_level(len(frontier), graph)
+        frontier = next_frontier
+        levels += 1
+        if frontier:
+            depth += 1
+        if checkpoint is not None and (
+                not frontier or levels % checkpoint_every == 0):
+            save_compact_checkpoint(
+                checkpoint, spec, graph, frontier, depth, levels,
+                elapsed_seconds=elapsed_before + perf_counter() - start,
+                workers=len(coord.nodes), checkpoint_every=checkpoint_every,
+                stats=stats, extra=coord.distributed_section())
+    graph._collisions = coord.partition_collisions()
+    _finish_compact(graph, stats, depth,
+                    elapsed_before + perf_counter() - start)
+    if stats is not None:
+        stats.record_parallel(len(coord.nodes), coord.idle)
+    graph.partition_ranges = list(coord.ranges)
+    graph.level_partitions = [list(row) for row in coord.level_partitions]
+    return graph
+
+
+# -- full-mode drive ----------------------------------------------------------
+
+
+def _drive_distributed_full(
+    coord: _Coordinator,
+    graph: StateGraph,
+    frontier: List[int],
+    depth: int,
+    levels: int,
+    elapsed_before: float,
+    stats: Optional[ExploreStats],
+    checkpoint: Optional[str],
+    checkpoint_every: int,
+    record_seed_row: bool,
+) -> StateGraph:
+    """The full-state distributed level loop: workers are stateless
+    expanders over portable rows, the coordinator merges through
+    :meth:`StateGraph.merge_batch` in frontier order -- the exact serial
+    semantics, so the graph matches :func:`explore` bit for bit."""
+    start = perf_counter()
+    spec = coord.spec
+    states = graph.states
+    merge_batch = graph.merge_batch
+    ranges = coord.ranges
+
+    def partition_counts(nodes: List[int]) -> List[int]:
+        counts = [0] * len(ranges)
+        for node in nodes:
+            counts[range_index(states[node].fingerprint(), ranges)] += 1
+        return counts
+
+    if record_seed_row:
+        coord.level_partitions.append(
+            partition_counts(list(range(graph.state_count))))
+
+    while frontier:
+        level = levels
+        src_fps = [states[src].fingerprint() for src in frontier]
+        results: Dict[int, List[object]] = {}
+        coord.expand_level(
+            level,
+            [(pos, states[src].to_portable())
+             for pos, src in enumerate(frontier)],
+            src_fps, results, None, lambda fp: fp)
+        next_frontier: List[int] = []
+        new_nodes: List[int] = []
+        for pos, src in enumerate(frontier):
+            successors = [State.from_portable(row) for row in results[pos]]
+            fresh = merge_batch(src, successors)
+            next_frontier.extend(fresh)
+            new_nodes.extend(fresh)
+        coord.level_partitions.append(partition_counts(new_nodes))
+        if stats is not None:
+            stats.record_level(len(frontier), graph)
+        frontier = next_frontier
+        levels += 1
+        if frontier:
+            depth += 1
+        if checkpoint is not None and (
+                not frontier or levels % checkpoint_every == 0):
+            save_checkpoint(
+                checkpoint, spec, graph, frontier, depth, levels,
+                elapsed_seconds=elapsed_before + perf_counter() - start,
+                workers=len(coord.nodes), checkpoint_every=checkpoint_every,
+                stats=stats, store=graph.store.config(),
+                extra=coord.distributed_section())
+    if stats is not None:
+        stats.record_explore(graph, depth,
+                             elapsed_before + perf_counter() - start)
+        stats.record_parallel(len(coord.nodes), coord.idle)
+    graph.partition_ranges = list(coord.ranges)
+    graph.level_partitions = [list(row) for row in coord.level_partitions]
+    return graph
+
+
+# -- public API ---------------------------------------------------------------
+
+
+def _resolve_engine(spec: Spec, engine: str) -> str:
+    if engine == "auto":
+        try:
+            PackedPlan(spec)
+            return "compact"
+        except CompactUnsupported:
+            return "full"
+    if engine not in ("compact", "full"):
+        raise ValueError(f"engine must be 'auto', 'compact', or 'full', "
+                         f"got {engine!r}")
+    return engine
+
+
+def explore_distributed(
+    spec: Spec,
+    workers: Sequence[str],
+    max_states: int = 200_000,
+    engine: str = "auto",
+    stats: Optional[ExploreStats] = None,
+    checkpoint: Optional[str] = None,
+    checkpoint_every: int = 1,
+    heartbeat: Optional[float] = 2.0,
+    worker_timeout: Optional[float] = None,
+    net_fault: Optional[NetFaultPlan] = None,
+    fault_hook: Optional[Callable] = None,
+):
+    """Explore ``Init ∧ □[N]_v`` across the worker nodes at *workers*
+    (URLs of running ``repro worker`` processes).
+
+    Returns the same graph a single-machine run would -- a
+    :class:`~repro.checker.compact.CompactGraph` when the spec supports
+    packed encoding (or ``engine="compact"`` forces it), else a full
+    :class:`~repro.checker.graph.StateGraph` -- with identical node
+    numbering, parents, edges, digests, and
+    :class:`~repro.checker.graph.StateSpaceExplosion` behaviour for any
+    worker count and failure history.  The run survives worker loss as
+    long as one node stays up; the coordinator itself is made durable
+    with ``checkpoint=`` + :func:`resume_distributed`.
+
+    ``heartbeat`` is the health-probe interval in seconds (``None``
+    disables the monitor -- then only ``worker_timeout`` bounds a hung
+    node); ``worker_timeout`` caps each wire operation.  ``net_fault``
+    (a :class:`~repro.service.wire.NetFaultPlan`) and ``fault_hook`` (a
+    picklable callable shipped to every worker, invoked per ``/expand``)
+    are the chaos-test seams; leave both ``None`` in production.
+    """
+    resolved = _resolve_engine(spec, engine)
+    coord = _Coordinator(spec, list(workers), resolved, stats,
+                         heartbeat, worker_timeout, net_fault, fault_hook)
+    try:
+        coord.start()
+        coord.load_workers()
+        if resolved == "compact":
+            graph = CompactGraph(spec, coord._plan, max_states=max_states)
+            encode = coord._codec.encode
+            fp = coord._codec.fingerprint
+            seen: Dict[int, int] = {}
+            frontier: List[int] = []
+            fp_of: Dict[int, int] = {}  # seeded here; workers fill the rest
+            for state in initial_states(spec.init, spec.universe):
+                value = encode(state)
+                if value in seen:
+                    continue
+                fpv = fp(value)
+                node = graph._intern_new(value, -1, fpv)
+                seen[value] = node
+                fp_of[value] = fpv
+                frontier.append(node)
+            if stats is not None:
+                stats.engine = "compact"
+            return _drive_distributed_compact(
+                coord, graph, frontier, depth=0, levels=0,
+                elapsed_before=0.0, stats=stats, checkpoint=checkpoint,
+                checkpoint_every=checkpoint_every, seed_adopt=True,
+                fp_of=fp_of)
+        graph, frontier = _seed_graph(spec, max_states)
+        return _drive_distributed_full(
+            coord, graph, frontier, depth=0, levels=0, elapsed_before=0.0,
+            stats=stats, checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every, record_seed_row=True)
+    finally:
+        coord.close()
+
+
+def resume_distributed(
+    path: str,
+    workers: Sequence[str],
+    spec: Optional[Spec] = None,
+    *,
+    max_states: Optional[int] = None,
+    stats: Optional[ExploreStats] = None,
+    checkpoint: object = _SAME_PATH,
+    checkpoint_every: Optional[int] = None,
+    heartbeat: Optional[float] = 2.0,
+    worker_timeout: Optional[float] = None,
+    net_fault: Optional[NetFaultPlan] = None,
+    fault_hook: Optional[Callable] = None,
+):
+    """Continue a checkpointed run on the cluster at *workers*,
+    bit-for-bit -- whether the snapshot came from a distributed
+    coordinator (its ``"distributed"`` section restores the pristine
+    ranges and the partition-count manifest) or from a single-machine
+    run (fresh ranges are cut for the current cluster).  Compact and
+    full snapshots are dispatched to the matching engine automatically.
+
+    The worker partitions are rebuilt from the snapshot's own state
+    columns, so resuming does not require the original workers -- any
+    cluster (any size, fresh processes) continues the run.
+    """
+    payload = _read_checkpoint_payload(path)
+    section = payload.get("distributed") or {}
+    stored_ranges = [
+        (int(lo), int(hi)) for lo, hi in section.get("ranges", [])
+    ] or None
+    stored_partitions = [list(map(int, row))
+                         for row in section.get("level_partitions", [])]
+    target = path if checkpoint is _SAME_PATH else checkpoint
+
+    if payload.get("mode") == COMPACT_CHECKPOINT_MODE:
+        loaded = load_compact_checkpoint(path, spec, max_states=max_states,
+                                         stats=stats)
+        every = loaded.checkpoint_every if checkpoint_every is None \
+            else checkpoint_every
+        coord = _Coordinator(loaded.spec, list(workers), "compact", stats,
+                             heartbeat, worker_timeout, net_fault,
+                             fault_hook, ranges=stored_ranges)
+        coord.level_partitions = stored_partitions
+        # fingerprint the snapshot column once; everything discovered
+        # after this point is fingerprinted by the workers
+        fp = coord._codec.fingerprint
+        fp_of = {packed: fp(packed) for packed in loaded.graph.packed}
+        try:
+            coord.start()
+            coord.load_workers(adopt_column=loaded.graph.packed,
+                               fingerprint=fp_of.__getitem__)
+            # the coordinator column is authoritative; the local visited
+            # map now lives on the workers
+            loaded.graph.visited = {}
+            return _drive_distributed_compact(
+                coord, loaded.graph, loaded.frontier, depth=loaded.depth,
+                levels=loaded.levels,
+                elapsed_before=loaded.elapsed_seconds, stats=stats,
+                checkpoint=target, checkpoint_every=every, seed_adopt=False,
+                fp_of=fp_of)
+        finally:
+            coord.close()
+
+    loaded = load_checkpoint(path)
+    run_spec = spec if spec is not None else loaded.load_spec()
+    every = loaded.checkpoint_every if checkpoint_every is None \
+        else checkpoint_every
+    coord = _Coordinator(run_spec, list(workers), "full", stats,
+                         heartbeat, worker_timeout, net_fault, fault_hook,
+                         ranges=stored_ranges)
+    coord.level_partitions = stored_partitions
+    try:
+        coord.start()
+        coord.load_workers()
+        graph = loaded.restore_graph(run_spec, max_states=max_states)
+        if stats is not None and loaded.stats_snapshot:
+            stats.restore(loaded.stats_snapshot)
+        return _drive_distributed_full(
+            coord, graph, list(loaded.frontier), depth=loaded.depth,
+            levels=loaded.levels, elapsed_before=loaded.elapsed_seconds,
+            stats=stats, checkpoint=target, checkpoint_every=every,
+            record_seed_row=False)
+    finally:
+        coord.close()
+
+
+# -- localhost worker fleets --------------------------------------------------
+
+
+class LocalWorkerPool:
+    """A fleet of localhost ``repro worker`` subprocesses, for tests and
+    the quickstart demo.  ``urls`` feed straight into
+    :func:`explore_distributed`; :meth:`kill` SIGKILLs one worker (the
+    chaos tests' node-loss lever); the pool is a context manager that
+    terminates everything on exit."""
+
+    def __init__(self, processes: List[subprocess.Popen], urls: List[str],
+                 directory: str, owns_directory: bool):
+        self.processes = processes
+        self.urls = urls
+        self.directory = directory
+        self._owns_directory = owns_directory
+
+    def kill(self, index: int) -> None:
+        """SIGKILL worker *index* (no shutdown handshake -- the
+        coordinator must discover the loss through the wire)."""
+        self.processes[index].kill()
+        self.processes[index].wait()
+
+    def alive(self) -> List[int]:
+        return [i for i, proc in enumerate(self.processes)
+                if proc.poll() is None]
+
+    def terminate(self) -> None:
+        for proc in self.processes:
+            if proc.poll() is None:
+                proc.kill()
+        for proc in self.processes:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                pass
+        if self._owns_directory:
+            shutil.rmtree(self.directory, ignore_errors=True)
+
+    def __enter__(self) -> "LocalWorkerPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.terminate()
+
+
+def spawn_local_workers(count: int, directory: Optional[str] = None,
+                        startup_timeout: float = 30.0) -> LocalWorkerPool:
+    """Launch *count* ``repro worker`` subprocesses on ephemeral
+    localhost ports and wait until all endpoint files appear."""
+    if count < 1:
+        raise ValueError(f"need at least one worker, got {count}")
+    owns = directory is None
+    directory = directory or tempfile.mkdtemp(prefix="repro-workers-")
+    import repro
+
+    src_root = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    processes: List[subprocess.Popen] = []
+    endpoint_files: List[str] = []
+    try:
+        for i in range(count):
+            endpoint = os.path.join(directory, f"worker-{i}.json")
+            try:
+                os.unlink(endpoint)
+            except FileNotFoundError:
+                pass
+            endpoint_files.append(endpoint)
+            log = open(os.path.join(directory, f"worker-{i}.log"), "w")
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro", "worker",
+                 "--host", "127.0.0.1", "--port", "0",
+                 "--endpoint-file", endpoint],
+                stdout=log, stderr=subprocess.STDOUT, env=env)
+            log.close()  # the child holds its own handle
+            processes.append(proc)
+        urls: List[str] = []
+        deadline = time.monotonic() + startup_timeout
+        for i, endpoint in enumerate(endpoint_files):
+            while True:
+                if processes[i].poll() is not None:
+                    raise RuntimeError(
+                        f"worker {i} exited with code "
+                        f"{processes[i].returncode} before coming up "
+                        f"(see {directory}/worker-{i}.log)")
+                if os.path.exists(endpoint):
+                    with open(endpoint) as handle:
+                        urls.append(json.load(handle)["url"])
+                    break
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"worker {i} did not come up within "
+                        f"{startup_timeout}s")
+                time.sleep(0.02)
+    except BaseException:
+        for proc in processes:
+            if proc.poll() is None:
+                proc.kill()
+        if owns:
+            shutil.rmtree(directory, ignore_errors=True)
+        raise
+    return LocalWorkerPool(processes, urls, directory, owns_directory=owns)

@@ -233,8 +233,16 @@ def explore(
     """
     start = perf_counter()
     reducer = _resolve_reducer(spec, reduction, stats)
-    graph, frontier = _seed_graph(spec, max_states, store=store)
-    return _drive(spec, graph, frontier, depth=0, levels=0,
-                  elapsed_before=0.0, stats=stats, checkpoint=checkpoint,
-                  checkpoint_every=checkpoint_every, start=start,
-                  reducer=reducer)
+    # on any error (budget explosion included) close the caller's store:
+    # exceptions escape with the graph unreachable to the caller, so this
+    # is the only place a spilled run's mmap/file handles get released
+    try:
+        graph, frontier = _seed_graph(spec, max_states, store=store)
+        return _drive(spec, graph, frontier, depth=0, levels=0,
+                      elapsed_before=0.0, stats=stats, checkpoint=checkpoint,
+                      checkpoint_every=checkpoint_every, start=start,
+                      reducer=reducer)
+    except BaseException:
+        if store is not None:
+            store.close()
+        raise

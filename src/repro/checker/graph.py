@@ -27,7 +27,16 @@ EdgeFilter = Callable[[int, int], bool]
 
 
 class StateSpaceExplosion(Exception):
-    """Exploration exceeded the configured state budget."""
+    """Exploration exceeded the configured state budget.
+
+    When the budget is hit by a live exploration (rather than a restore
+    precondition), the partially built graph is attached as ``.graph``:
+    every engine raises at the identical insertion point, so two
+    budget-capped runs can still be compared state-for-state and
+    digest-for-digest at the explosion boundary.
+    """
+
+    graph: Optional[object] = None
 
 
 def _accept_all_nodes(_node: int) -> bool:
@@ -141,9 +150,11 @@ class StateGraph:
         node = len(self.states)
         if self.max_states is not None and node >= self.max_states:
             label = f"exploring {self.name!r} " if self.name else "exploration "
-            raise StateSpaceExplosion(
+            exc = StateSpaceExplosion(
                 f"{label}exceeded the state budget of {self.max_states} states"
             )
+            exc.graph = self
+            raise exc
         self._append(state)
         self.succ.append([node])  # stutter self-loop
         self._succ_sets.append({node})

@@ -503,11 +503,19 @@ def explore_parallel(
                        reduction=reduction, store=store)
     start = perf_counter()
     reducer = _resolve_reducer(spec, reduction, stats)
-    graph, frontier = _seed_graph(spec, max_states, store=store)
-    return _drive_parallel(spec, graph, frontier, depth=0, levels=0,
-                           elapsed_before=0.0, stats=stats,
-                           checkpoint=checkpoint,
-                           checkpoint_every=checkpoint_every,
-                           workers=workers, worker_timeout=worker_timeout,
-                           fault_hook=fault_hook, start=start,
-                           reducer=reducer)
+    # mirror explore(): a store handed in by the caller is closed on any
+    # error path (explosion, WorkerFailure, interrupt) -- the graph never
+    # reaches the caller then, so nobody else can release the handles
+    try:
+        graph, frontier = _seed_graph(spec, max_states, store=store)
+        return _drive_parallel(spec, graph, frontier, depth=0, levels=0,
+                               elapsed_before=0.0, stats=stats,
+                               checkpoint=checkpoint,
+                               checkpoint_every=checkpoint_every,
+                               workers=workers, worker_timeout=worker_timeout,
+                               fault_hook=fault_hook, start=start,
+                               reducer=reducer)
+    except BaseException:
+        if store is not None:
+            store.close()
+        raise

@@ -71,6 +71,15 @@ class StateStore:
 
     kind = "abstract"
 
+    #: True once :meth:`close` ran; a closed store must not be used.
+    closed = False
+
+    def __enter__(self) -> "StateStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
     def prepare(self, variables: Sequence[str]) -> None:
         """Bind the store to a universe's variable order (idempotent)."""
 
@@ -105,7 +114,15 @@ class StateStore:
         """Flush any buffered writes (checkpoint boundary hook)."""
 
     def close(self) -> None:
-        """Release file handles; the store must not be used afterwards."""
+        """Release file handles; the store must not be used afterwards.
+
+        Idempotent.  The explorers call this on *every* error path (not
+        just on success), so an exploded or crashed spill run never
+        leaks its mmap'd index or file handles -- required for
+        Windows-style strict unlink semantics and for
+        ``-W error::ResourceWarning`` runs.
+        """
+        self.closed = True
 
 
 class MemoryStateStore(StateStore):
@@ -342,6 +359,7 @@ class SpillStateStore(StateStore):
                 handle.close()
             except OSError:  # pragma: no cover - double close
                 pass
+        self.closed = True
 
 
 def build_store(config: Optional[Dict[str, object]]) -> StateStore:

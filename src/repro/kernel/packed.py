@@ -118,7 +118,8 @@ class PackedCodec:
     """
 
     __slots__ = ("universe", "variables", "shift", "width", "codes",
-                 "values", "bits", "_fp_prefix", "_fp_words")
+                 "values", "bits", "_fp_prefix", "_fp_words", "_fp_seed",
+                 "_fp_table")
 
     def __init__(self, universe: Universe, max_domain: int = MAX_DOMAIN_SIZE):
         self.universe = universe
@@ -165,6 +166,13 @@ class PackedCodec:
             except TypeError as exc:
                 raise CompactUnsupported(str(exc)) from None
             self._fp_words[name] = per_code
+        # flattened fingerprint plan: the prefix fold is constant, and
+        # each variable contributes one (shift, mask, words-per-code) row
+        self._fp_seed = _fold(_FNV_OFFSET, self._fp_prefix)
+        self._fp_table = tuple(
+            (self.shift[name], (1 << self.width[name]) - 1,
+             self._fp_words[name])
+            for name in self.variables)
 
     def mask_of(self, names: Iterable[str]) -> int:
         """The packed-int mask covering *names* (unknown names ignored)."""
@@ -187,12 +195,18 @@ class PackedCodec:
             for name in self.variables})
 
     def fingerprint(self, packed: int) -> int:
-        """``State.fingerprint()`` of the decoded state, without decoding."""
-        h = _fold(_FNV_OFFSET, self._fp_prefix)
-        for name in self.variables:
-            code = (packed >> self.shift[name]) \
-                & ((1 << self.width[name]) - 1)
-            h = _fold(h, self._fp_words[name][code])
+        """``State.fingerprint()`` of the decoded state, without decoding.
+
+        Hot path of the compact and distributed engines (every routing
+        and dedup decision starts here), so the per-variable fold is
+        flattened into one loop over a precomputed ``(shift, mask,
+        words-per-code)`` table instead of per-variable dict lookups and
+        ``_fold`` calls.  The fold sequence -- and therefore every
+        fingerprint, digest, and golden -- is unchanged."""
+        h = self._fp_seed
+        for shift, mask, per_code in self._fp_table:
+            for word in per_code[(packed >> shift) & mask]:
+                h = ((h ^ word) * _FNV_PRIME) & _MASK64
         return h
 
     def signature(self) -> str:

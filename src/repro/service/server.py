@@ -39,23 +39,11 @@ from typing import Dict, Optional, Tuple
 
 from ..parser import ParseError
 from .jobs import CheckRequest, JobManager, QueueFull
+from .wire import HttpError, read_body, read_head, send_json
 
 __all__ = ["CheckService", "BackgroundServer", "run_server"]
 
-_MAX_BODY = 16 * 1024 * 1024  # a module source larger than this is a typo
 _STREAM_POLL_SECONDS = 0.05
-
-
-class _HttpError(Exception):
-    def __init__(self, status: int, message: str):
-        super().__init__(message)
-        self.status = status
-
-
-_REASONS = {200: "OK", 201: "Created", 204: "No Content",
-            400: "Bad Request", 404: "Not Found",
-            405: "Method Not Allowed", 413: "Payload Too Large",
-            429: "Too Many Requests", 500: "Internal Server Error"}
 
 
 class CheckService:
@@ -88,21 +76,21 @@ class CheckService:
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
         try:
-            method, path, headers = await self._read_head(reader)
+            method, path, headers = await read_head(reader)
             if headers.get("expect", "").lower() == "100-continue":
                 writer.write(b"HTTP/1.1 100 Continue\r\n\r\n")
                 await writer.drain()
-            body = await self._read_body(reader, headers)
+            body = await read_body(reader, headers)
             await self._route(method, path, body, writer)
-        except _HttpError as exc:
-            await self._send_json(writer, exc.status, {"error": str(exc)})
+        except HttpError as exc:
+            await send_json(writer, exc.status, {"error": str(exc)})
         except (ConnectionError, asyncio.IncompleteReadError,
                 asyncio.TimeoutError):
             pass  # client went away; nothing to answer
         except Exception as exc:  # never kill the accept loop
             try:
-                await self._send_json(writer, 500,
-                                      {"error": f"{type(exc).__name__}: {exc}"})
+                await send_json(writer, 500,
+                                {"error": f"{type(exc).__name__}: {exc}"})
             except ConnectionError:
                 pass
         finally:
@@ -111,51 +99,21 @@ class CheckService:
             except Exception:
                 pass
 
-    async def _read_head(
-        self, reader: asyncio.StreamReader
-    ) -> Tuple[str, str, Dict[str, str]]:
-        request_line = await reader.readline()
-        parts = request_line.decode("latin-1").split()
-        if len(parts) != 3:
-            raise _HttpError(400, "malformed request line")
-        method, path = parts[0].upper(), parts[1]
-        headers: Dict[str, str] = {}
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            if b":" in line:
-                key, value = line.decode("latin-1").split(":", 1)
-                headers[key.strip().lower()] = value.strip()
-        return method, path, headers
-
-    async def _read_body(self, reader: asyncio.StreamReader,
-                         headers: Dict[str, str]) -> bytes:
-        try:
-            length = int(headers.get("content-length", "0"))
-        except ValueError:
-            raise _HttpError(400, "bad Content-Length") from None
-        if length > _MAX_BODY:
-            raise _HttpError(413, f"body larger than {_MAX_BODY} bytes")
-        if length <= 0:
-            return b""
-        return await reader.readexactly(length)
-
     async def _route(self, method: str, path: str, body: bytes,
                      writer: asyncio.StreamWriter) -> None:
         path = path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/healthz" and method == "GET":
-            await self._send_json(writer, 200, self.manager.health())
+            await send_json(writer, 200, self.manager.health())
             return
         if path == "/jobs":
             if method == "POST":
                 await self._submit(body, writer)
                 return
             if method == "GET":
-                await self._send_json(writer, 200, {
+                await send_json(writer, 200, {
                     "jobs": [job.to_dict() for job in self.manager.jobs()]})
                 return
-            raise _HttpError(405, f"{method} not allowed on {path}")
+            raise HttpError(405, f"{method} not allowed on {path}")
         if path.startswith("/jobs/"):
             rest = path[len("/jobs/"):]
             if rest.endswith("/events"):
@@ -164,45 +122,45 @@ class CheckService:
                 job_id, tail = rest, ""
             job = self.manager.get(job_id)
             if job is None:
-                raise _HttpError(404, f"no such job {job_id!r}")
+                raise HttpError(404, f"no such job {job_id!r}")
             if tail == "events" and method == "GET":
                 await self._stream_events(job, writer)
                 return
             if tail == "" and method == "GET":
-                await self._send_json(writer, 200, job.to_dict())
+                await send_json(writer, 200, job.to_dict())
                 return
             if tail == "" and method == "DELETE":
                 job, accepted = self.manager.cancel(job_id)
-                await self._send_json(writer, 200, {
+                await send_json(writer, 200, {
                     "id": job_id, "accepted": accepted, "state": job.state})
                 return
-            raise _HttpError(405, f"{method} not allowed on {path}")
-        raise _HttpError(404, f"no route for {method} {path}")
+            raise HttpError(405, f"{method} not allowed on {path}")
+        raise HttpError(404, f"no route for {method} {path}")
 
     async def _submit(self, body: bytes,
                       writer: asyncio.StreamWriter) -> None:
         try:
             payload = json.loads(body.decode("utf-8") or "null")
         except (UnicodeDecodeError, ValueError):
-            raise _HttpError(400, "body is not valid JSON") from None
+            raise HttpError(400, "body is not valid JSON") from None
         try:
             request = CheckRequest.from_dict(payload)
         except ValueError as exc:
-            raise _HttpError(400, str(exc)) from None
+            raise HttpError(400, str(exc)) from None
         try:
             job, disposition = self.manager.submit(request)
         except QueueFull as exc:
-            await self._send_json(
+            await send_json(
                 writer, 429,
                 {"error": str(exc), "retry_after": exc.retry_after},
                 extra_headers={"Retry-After": str(int(exc.retry_after + 0.5))})
             return
         except (ParseError, ValueError) as exc:  # fails to parse/elaborate
-            raise _HttpError(400, str(exc)) from None
+            raise HttpError(400, str(exc)) from None
         except KeyError as exc:  # unknown spec/invariant/property name
-            raise _HttpError(400, str(exc)) from None
+            raise HttpError(400, str(exc)) from None
         status = 201 if disposition == "created" else 200
-        await self._send_json(writer, status, {
+        await send_json(writer, status, {
             "job": job.to_dict(), "disposition": disposition})
 
     async def _stream_events(self, job, writer: asyncio.StreamWriter) -> None:
@@ -222,20 +180,6 @@ class CheckService:
             if job.terminal and sent >= len(job.events):
                 return
             await asyncio.sleep(_STREAM_POLL_SECONDS)
-
-    async def _send_json(self, writer: asyncio.StreamWriter, status: int,
-                         payload: Dict[str, object],
-                         extra_headers: Optional[Dict[str, str]] = None
-                         ) -> None:
-        body = json.dumps(payload).encode("utf-8")
-        head = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-                "Content-Type: application/json",
-                f"Content-Length: {len(body)}",
-                "Connection: close"]
-        for key, value in (extra_headers or {}).items():
-            head.append(f"{key}: {value}")
-        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
-        await writer.drain()
 
 
 def _write_endpoint_file(state_dir: str, service: CheckService) -> str:

@@ -65,6 +65,7 @@ from ..checker import (
     check_invariant,
     check_invariant_compact,
     check_temporal_implication,
+    digest_of_graph,
     explore_compact,
     explore_parallel,
     manifest_path_for,
@@ -340,51 +341,56 @@ def cmd_check(args: argparse.Namespace, out) -> int:
     except (CheckpointError, CompactUnsupported) as exc:
         print(f"error: {exc}", file=out)
         return 2
-    if getattr(graph, "reduction_used", False) and any(
-            not check_invariant(graph, expr, name=name).ok
-            for name, expr in inv_exprs):
-        # a reduced run may reach the violating state along a different
-        # shortest path; re-explore the full graph so the reported trace
-        # is the canonical POR-off counterexample (the verdict itself is
-        # already guaranteed identical by the ample conditions)
-        print("note: violation found under reduction; re-exploring the "
-              "full graph for the canonical counterexample", file=out)
-        graph = explore_parallel(spec, max_states=args.max_states,
-                                 workers=args.workers, stats=stats)
-    # edge_count is real N-edges; the stutter self-loops (one per node)
-    # are reported separately so the N-edge count is not inflated
-    print(f"{label}: {graph.state_count} states, "
-          f"{graph.edge_count} edges (+{graph.stutter_count} stutter)",
-          file=out)
-    ok = True
-    first_cex: Optional[Counterexample] = None
-    run_invariant = check_invariant_compact if args.compact \
-        else check_invariant
-    for name, expr in inv_exprs:
-        result = run_invariant(graph, expr, name=name, run_stats=stats)
-        if first_cex is None and result.counterexample is not None:
-            first_cex = result.counterexample
-        ok = _report(result, out) and ok
-    for name in args.property or ():
-        from ..checker.liveness import premises_of_spec
+    try:
+        if getattr(graph, "reduction_used", False) and any(
+                not check_invariant(graph, expr, name=name).ok
+                for name, expr in inv_exprs):
+            # a reduced run may reach the violating state along a different
+            # shortest path; re-explore the full graph so the reported trace
+            # is the canonical POR-off counterexample (the verdict itself is
+            # already guaranteed identical by the ample conditions)
+            print("note: violation found under reduction; re-exploring the "
+                  "full graph for the canonical counterexample", file=out)
+            _close_store(graph)
+            graph = explore_parallel(spec, max_states=args.max_states,
+                                     workers=args.workers, stats=stats)
+        # edge_count is real N-edges; the stutter self-loops (one per node)
+        # are reported separately so the N-edge count is not inflated
+        print(f"{label}: {graph.state_count} states, "
+              f"{graph.edge_count} edges (+{graph.stutter_count} stutter)",
+              file=out)
+        ok = True
+        first_cex: Optional[Counterexample] = None
+        run_invariant = check_invariant_compact if args.compact \
+            else check_invariant
+        for name, expr in inv_exprs:
+            result = run_invariant(graph, expr, name=name, run_stats=stats)
+            if first_cex is None and result.counterexample is not None:
+                first_cex = result.counterexample
+            ok = _report(result, out) and ok
+        for name in args.property or ():
+            from ..checker.liveness import premises_of_spec
 
-        result = check_temporal_implication(
-            graph, module.formula(name),
-            premises=premises_of_spec(spec), name=name, run_stats=stats)
-        if first_cex is None and result.counterexample is not None:
-            first_cex = result.counterexample
-        ok = _report(result, out) and ok
-    if not (args.invariant or args.property):
-        print("(no --invariant/--property given: exploration only)", file=out)
-    if args.stats and stats is not None:
-        print(stats.summary(), file=out)
-    _maybe_manifest(args, label, perf_counter() - start,
-                    "ok" if ok else "violation", graph=graph,
-                    counterexample=first_cex, stats=stats,
-                    reduction=reduction)
-    _write_stats_json(args, stats)
-    _close_store(graph)
-    return 0 if ok else 1
+            result = check_temporal_implication(
+                graph, module.formula(name),
+                premises=premises_of_spec(spec), name=name, run_stats=stats)
+            if first_cex is None and result.counterexample is not None:
+                first_cex = result.counterexample
+            ok = _report(result, out) and ok
+        if not (args.invariant or args.property):
+            print("(no --invariant/--property given: exploration only)",
+                  file=out)
+        if args.stats and stats is not None:
+            print(stats.summary(), file=out)
+        _maybe_manifest(args, label, perf_counter() - start,
+                        "ok" if ok else "violation", graph=graph,
+                        counterexample=first_cex, stats=stats,
+                        reduction=reduction)
+        _write_stats_json(args, stats)
+        return 0 if ok else 1
+    finally:
+        # release spill-store handles even when a check raises mid-way
+        _close_store(graph)
 
 
 def cmd_explore(args: argparse.Namespace, out) -> int:
@@ -408,23 +414,25 @@ def cmd_explore(args: argparse.Namespace, out) -> int:
     except (CheckpointError, CompactUnsupported) as exc:
         print(f"error: {exc}", file=out)
         return 2
-    _maybe_manifest(args, label, perf_counter() - start, "ok", graph=graph,
-                    stats=stats, reduction=reduction)
-    print(f"{label}:", file=out)
-    print(f"  states: {graph.state_count}", file=out)
-    print(f"  edges:  {graph.edge_count} (+{graph.stutter_count} stutter)",
-          file=out)
-    print(f"  initial states: {len(graph.init_nodes)}", file=out)
-    shown = min(args.show, graph.state_count)
-    if shown:
-        print(f"  first {shown} state(s):", file=out)
-        for node in range(shown):
-            print(f"    {graph.states[node]!r}", file=out)
-    if args.stats and stats is not None:
-        print(stats.summary(indent="  "), file=out)
-    _write_stats_json(args, stats)
-    _close_store(graph)
-    return 0
+    try:
+        _maybe_manifest(args, label, perf_counter() - start, "ok",
+                        graph=graph, stats=stats, reduction=reduction)
+        print(f"{label}:", file=out)
+        print(f"  states: {graph.state_count}", file=out)
+        print(f"  edges:  {graph.edge_count} (+{graph.stutter_count} stutter)",
+              file=out)
+        print(f"  initial states: {len(graph.init_nodes)}", file=out)
+        shown = min(args.show, graph.state_count)
+        if shown:
+            print(f"  first {shown} state(s):", file=out)
+            for node in range(shown):
+                print(f"    {graph.states[node]!r}", file=out)
+        if args.stats and stats is not None:
+            print(stats.summary(indent="  "), file=out)
+        _write_stats_json(args, stats)
+        return 0
+    finally:
+        _close_store(graph)
 
 
 def cmd_trace(args: argparse.Namespace, out) -> int:
@@ -540,6 +548,92 @@ def cmd_cancel(args: argparse.Namespace, out) -> int:
           f"{'accepted' if outcome['accepted'] else 'rejected'} "
           f"(state={outcome['state']})", file=out)
     return 0 if outcome["accepted"] else 1
+
+
+def cmd_worker(args: argparse.Namespace, out) -> int:
+    from ..service.worker import run_worker
+
+    return run_worker(host=args.host, port=args.port,
+                      endpoint_file=args.endpoint_file, out=out)
+
+
+def cmd_coordinate(args: argparse.Namespace, out) -> int:
+    from ..checker.distributed import (
+        explore_distributed,
+        resume_distributed,
+        spawn_local_workers,
+    )
+
+    if bool(args.spawn) == bool(args.worker_at):
+        print("error: give exactly one of --spawn N (launch localhost "
+              "workers) or --worker-at URL (repeatable; already-running "
+              "repro worker processes)", file=out)
+        return 2
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint PATH "
+              "(the snapshot to continue from)", file=out)
+        return 2
+    if args.resume and not os.path.exists(args.checkpoint):
+        print(f"error: cannot resume: checkpoint file "
+              f"{args.checkpoint!r} does not exist", file=out)
+        return 2
+    module = _load(args.module)
+    spec = module.spec(args.spec)
+    label = f"{module.name}!{args.spec}"
+    stats = _want_stats(args)
+    start = perf_counter()
+    pool = spawn_local_workers(args.spawn) if args.spawn else None
+    urls = list(pool.urls) if pool is not None else list(args.worker_at)
+    # manifest bookkeeping reuses the check/explore helper, which reads
+    # these engine flags off the namespace
+    args.workers = len(urls)
+    args.store = None
+    try:
+        try:
+            if args.resume:
+                graph = resume_distributed(
+                    args.checkpoint, urls, spec,
+                    max_states=args.max_states, stats=stats,
+                    checkpoint_every=args.checkpoint_every,
+                    heartbeat=args.heartbeat,
+                    worker_timeout=args.worker_timeout)
+            else:
+                graph = explore_distributed(
+                    spec, urls, max_states=args.max_states,
+                    engine=args.engine, stats=stats,
+                    checkpoint=args.checkpoint,
+                    checkpoint_every=args.checkpoint_every,
+                    heartbeat=args.heartbeat,
+                    worker_timeout=args.worker_timeout)
+        except StateSpaceExplosion as exc:
+            args.compact = getattr(exc, "graph", None) is not None \
+                and not hasattr(exc.graph, "store")
+            _maybe_manifest(args, label, perf_counter() - start,
+                            "explosion", stats=stats, error=str(exc))
+            _write_stats_json(args, stats)
+            raise
+        except (CheckpointError, CompactUnsupported) as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+    finally:
+        if pool is not None:
+            pool.terminate()
+    try:
+        args.compact = not hasattr(graph, "store")
+        _maybe_manifest(args, label, perf_counter() - start, "ok",
+                        graph=graph, stats=stats)
+        digest = graph.digest() if hasattr(graph, "digest") \
+            else digest_of_graph(graph)
+        print(f"{label}: {graph.state_count} states, "
+              f"{graph.edge_count} edges (+{graph.stutter_count} stutter) "
+              f"across {len(urls)} worker node(s)", file=out)
+        print(f"  digest: {digest}", file=out)
+        if args.stats and stats is not None:
+            print(stats.summary(indent="  "), file=out)
+        _write_stats_json(args, stats)
+        return 0
+    finally:
+        _close_store(graph)
 
 
 def _add_durability_flags(sub: argparse.ArgumentParser) -> None:
@@ -727,6 +821,69 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--timeout", type=float, default=600.0,
                        help="per-read stream timeout in seconds")
     watch.set_defaults(func=cmd_watch)
+
+    worker = sub.add_parser(
+        "worker", help="run a distributed-exploration worker node (owns a "
+                       "visited-set partition; driven by repro coordinate)")
+    worker.add_argument("--host", default="127.0.0.1")
+    worker.add_argument("--port", type=int, default=0,
+                        help="TCP port (default 0 = pick an ephemeral port, "
+                             "recorded in --endpoint-file)")
+    worker.add_argument("--endpoint-file", default=None, metavar="PATH",
+                        help="write {host, port, url, pid} JSON here once "
+                             "listening (how spawners discover the port)")
+    worker.set_defaults(func=cmd_worker)
+
+    coord = sub.add_parser(
+        "coordinate",
+        help="explore a module across worker nodes; the resulting graph "
+             "(numbering, digest, traces) is bit-for-bit the "
+             "single-machine run")
+    coord.add_argument("module",
+                       help="module file or @name:key=val,... bundled "
+                            "protocol reference")
+    coord.add_argument("--spec", default="Spec")
+    coord.add_argument("--spawn", type=_positive_int, default=None,
+                       metavar="N",
+                       help="launch N localhost worker processes for this "
+                            "run (mutually exclusive with --worker-at)")
+    coord.add_argument("--worker-at", action="append", metavar="URL",
+                       help="URL of an already-running repro worker "
+                            "(repeatable; one per node)")
+    coord.add_argument("--engine", choices=("auto", "compact", "full"),
+                       default="auto",
+                       help="exploration engine: auto picks compact "
+                            "(fingerprint-only partitions on the workers) "
+                            "when the spec supports packed encoding, else "
+                            "full (stateless expander workers)")
+    coord.add_argument("--max-states", type=_positive_int, default=200_000,
+                       help="hard budget on interned states (default "
+                            "200000)")
+    coord.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="snapshot the run at BFS level boundaries; the "
+                            "snapshot is also a valid single-machine "
+                            "checkpoint")
+    coord.add_argument("--checkpoint-every", type=_positive_int, default=1,
+                       metavar="N")
+    coord.add_argument("--resume", action="store_true",
+                       help="continue the --checkpoint snapshot on this "
+                            "cluster (any size; workers need not be the "
+                            "original ones)")
+    coord.add_argument("--heartbeat", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="health-probe interval for detecting hung "
+                            "workers (default 2.0)")
+    coord.add_argument("--worker-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="cap each wire operation to a worker; a node "
+                            "that exceeds it is treated as lost and its "
+                            "ranges move to the survivors")
+    coord.add_argument("--stats", action="store_true",
+                       help="print exploration statistics, including "
+                            "per-node throughput and loss/rebalance "
+                            "counters")
+    coord.add_argument("--stats-json", default=None, metavar="PATH")
+    coord.set_defaults(func=cmd_coordinate)
 
     cancel = sub.add_parser("cancel", help="cancel a queued or running job")
     cancel.add_argument("job", help="job id (from repro submit)")

@@ -18,7 +18,13 @@ from typing import Callable, List, Optional
 
 import pytest
 
-from repro.checker import ExploreStats, StateGraph, check_invariant
+from repro.checker import (
+    CompactGraph,
+    ExploreStats,
+    StateGraph,
+    check_invariant,
+    check_invariant_compact,
+)
 from repro.checker.liveness import check_temporal_implication, premises_of_spec
 from repro.checker.results import CheckResult
 from repro.kernel.expr import And, Cmp, Exists, Len, Or, Var
@@ -73,10 +79,18 @@ class SystemCase:
         return f"SystemCase({self.id!r}, kind={self.kind!r})"
 
 
+def _check_invariant(graph, expr, name, stats):
+    """Invariant check dispatched on the graph flavour, so the same case
+    table drives the full, compact, and distributed engines."""
+    run = check_invariant_compact if isinstance(graph, CompactGraph) \
+        else check_invariant
+    return run(graph, expr, name=name, run_stats=stats)
+
+
 def _queue_overfull(spec, graph, stats):
     # the 2-place queue does reach length 2: capacity <= 1 is violated
-    return check_invariant(graph, Cmp("<=", Len(Var("q")), 1),
-                           name="queue-capacity-1", run_stats=stats)
+    return _check_invariant(graph, Cmp("<=", Len(Var("q")), 1),
+                            "queue-capacity-1", stats)
 
 
 def _arbiter_starvation(spec, graph, stats):
@@ -89,8 +103,8 @@ def _arbiter_starvation(spec, graph, stats):
 
 def _handshake_never_pending(spec, graph, stats):
     # "the channel is always ready" is false the moment anything is sent
-    return check_invariant(graph, ready("c"), name="handshake-always-ready",
-                           run_stats=stats)
+    return _check_invariant(graph, ready("c"), "handshake-always-ready",
+                            stats)
 
 
 def _circuit_eventually_one(spec, graph, stats):
@@ -103,14 +117,14 @@ def _circuit_eventually_one(spec, graph, stats):
 def _mutex_broken_exclusion(spec, graph, stats):
     # the broken variant drops the timestamp-priority guard, so both
     # processes sit in their critical sections by state ~12
-    return check_invariant(graph, LamportMutex(2, 2).mutual_exclusion(),
-                           name="mutex-mutual-exclusion", run_stats=stats)
+    return _check_invariant(graph, LamportMutex(2, 2).mutual_exclusion(),
+                            "mutex-mutual-exclusion", stats)
 
 
 def _paxos_broken_agreement(spec, graph, stats):
     # without the ballot discipline, two quorums choose different values
-    return check_invariant(graph, Paxos(2, 2, 2).agreement(),
-                           name="paxos-agreement", run_stats=stats)
+    return _check_invariant(graph, Paxos(2, 2, 2).agreement(),
+                            "paxos-agreement", stats)
 
 
 CASES: List[SystemCase] = [

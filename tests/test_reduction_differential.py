@@ -369,3 +369,66 @@ def test_decompose_is_pure():
     assert [c.writes for c in first.classes] == [c.writes
                                                  for c in second.classes]
     assert first.dep == second.dep
+
+
+# ---------------------------------------------------------------------------
+# store lifecycle: every error path releases the spill files
+# ---------------------------------------------------------------------------
+
+
+def test_spill_store_closed_when_serial_run_explodes(tmp_path):
+    """Regression: a budget explosion used to leak the spill store's
+    mmap'd fingerprint index and data handles (the graph escapes only
+    via the exception, so nobody could close it).  The explorer now
+    closes the caller's store on every error path."""
+    store = spill_store(tmp_path, hot_capacity=8)
+    with pytest.raises(StateSpaceExplosion):
+        explore(complete_queue(2), max_states=10, store=store)
+    assert store.closed
+
+
+def test_spill_store_closed_when_parallel_run_explodes(tmp_path):
+    store = spill_store(tmp_path, hot_capacity=8)
+    with pytest.raises(StateSpaceExplosion):
+        explore_parallel(complete_queue(2), workers=2, max_states=10,
+                         store=store)
+    assert store.closed
+
+
+def test_spill_store_closed_when_resume_validation_fails(tmp_path):
+    """A refused resume (mismatched config assertion) must not leak the
+    store it built for the attempt."""
+    spec = complete_queue(2)
+    path = str(tmp_path / "run.ckpt")
+    graph = explore(spec, checkpoint=path,
+                    store=spill_store(tmp_path, name="first"))
+    graph.store.close()
+    with pytest.raises(CheckpointError):
+        # the checkpoint records spill; asserting mem must be refused
+        resume(path, spec, store={"kind": "mem"})
+
+
+def test_spill_store_is_a_context_manager(tmp_path):
+    with spill_store(tmp_path, hot_capacity=8) as store:
+        graph = explore(complete_queue(2), store=store)
+        assert graph.state_count == explore(complete_queue(2)).state_count
+    assert store.closed
+    store.close()  # idempotent
+
+
+def test_exploded_spill_run_is_resource_warning_clean(tmp_path):
+    """The strict-unlink discipline: after an explosion the spill files
+    can be removed immediately, and garbage collection raises no
+    ResourceWarning for abandoned handles."""
+    import gc
+    import warnings
+
+    store = spill_store(tmp_path, hot_capacity=8, name="strict")
+    with pytest.raises(StateSpaceExplosion):
+        explore(complete_queue(2), max_states=10, store=store)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", ResourceWarning)
+        del store
+        gc.collect()
+    for leftover in (tmp_path / "strict").iterdir():
+        leftover.unlink()  # strict unlink: no open handle blocks this
