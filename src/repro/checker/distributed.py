@@ -90,7 +90,8 @@ from concurrent.futures import ThreadPoolExecutor, as_completed
 from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..kernel.packed import CompactUnsupported, PackedPlan
+from ..kernel import packed
+from ..kernel.packed import PackedPlan
 from ..kernel.state import State
 from ..spec import Spec
 from ..service.wire import NetFaultPlan, ProtocolError, WorkerLink
@@ -800,11 +801,7 @@ def _drive_distributed_full(
 
 def _resolve_engine(spec: Spec, engine: str) -> str:
     if engine == "auto":
-        try:
-            PackedPlan(spec)
-            return "compact"
-        except CompactUnsupported:
-            return "full"
+        return "compact" if packed.supports(spec) else "full"
     if engine not in ("compact", "full"):
         raise ValueError(f"engine must be 'auto', 'compact', or 'full', "
                          f"got {engine!r}")

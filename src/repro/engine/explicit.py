@@ -1,0 +1,105 @@
+"""The explicit-state engine behind the :class:`~repro.engine.Engine`
+protocol.
+
+This is a thin adapter: all the machinery (serial and parallel BFS,
+the compact fingerprint-only engine, the distributed coordinator)
+already exists in :mod:`repro.checker`; this class folds those modes
+behind the engine protocol so callers pick *an engine* first and *a
+mode* second.  Unlike the symbolic engine its verdicts are definitive:
+exhaustive exploration yields HOLDS or VIOLATION, never UNKNOWN.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..checker import (
+    CompactGraph,
+    ExploreStats,
+    check_invariant,
+    check_invariant_compact,
+    explore_compact,
+    explore_parallel,
+)
+from ..checker.distributed import explore_distributed
+from ..kernel.expr import Expr
+from .result import HOLDS, VIOLATION, EngineResult
+
+__all__ = ["ExplicitEngine"]
+
+
+class ExplicitEngine:
+    """Exhaustive BFS in one of the existing modes.
+
+    ``mode`` selects the path: ``"serial"`` / ``"parallel"`` (the full
+    dict-backed graph; serial is parallel with one worker), ``"compact"``
+    (fingerprint-only exploration with on-demand trace regeneration),
+    or ``"distributed"`` (requires ``nodes``, a sequence of worker
+    URLs).  Every mode produces bit-for-bit identical graphs, so the
+    verdicts and traces are mode-independent by construction.
+    """
+
+    name = "explicit"
+
+    def __init__(self, mode: str = "serial", max_states: int = 200_000,
+                 workers: int = 1,
+                 nodes: Sequence[str] = ()) -> None:
+        if mode not in ("serial", "parallel", "compact", "distributed"):
+            raise ValueError(f"unknown explicit mode {mode!r}")
+        if mode == "distributed" and not nodes:
+            raise ValueError("distributed mode needs worker node URLs")
+        self.mode = mode
+        self.max_states = max_states
+        self.workers = workers
+        self.nodes = tuple(nodes)
+
+    # -- exploration ---------------------------------------------------------
+
+    def _explore(self, spec, stats: Optional[ExploreStats]):
+        if self.mode == "compact":
+            return explore_compact(spec, max_states=self.max_states,
+                                   workers=self.workers, stats=stats)
+        if self.mode == "distributed":
+            return explore_distributed(spec, self.nodes,
+                                       max_states=self.max_states,
+                                       stats=stats)
+        return explore_parallel(spec, max_states=self.max_states,
+                                workers=self.workers, stats=stats)
+
+    @staticmethod
+    def _check(graph, invariant: Expr, name: Optional[str],
+               stats: Optional[ExploreStats]):
+        if isinstance(graph, CompactGraph):
+            return check_invariant_compact(graph, invariant, name=name,
+                                           run_stats=stats)
+        return check_invariant(graph, invariant, name=name, run_stats=stats)
+
+    # -- protocol ------------------------------------------------------------
+
+    def check_invariant(self, spec, invariant: Expr,
+                        name: Optional[str] = None,
+                        stats: Optional[ExploreStats] = None) -> EngineResult:
+        if stats is None:
+            stats = ExploreStats()
+        graph = self._explore(spec, stats)
+        result = self._check(graph, invariant, name, stats)
+        verdict = HOLDS if result.ok else VIOLATION
+        return EngineResult(result.name, verdict, self.name,
+                            counterexample=result.counterexample,
+                            stats=stats, notes=tuple(result.notes))
+
+    def check_obligations(
+        self, spec, obligations: Iterable[Tuple[str, Expr]],
+    ) -> List[EngineResult]:
+        """Check every invariant obligation over ONE exploration."""
+        stats = ExploreStats()
+        graph = self._explore(spec, stats)
+        out = []
+        for obligation_name, expr in obligations:
+            result = self._check(graph, expr, obligation_name, stats)
+            verdict = HOLDS if result.ok else VIOLATION
+            out.append(EngineResult(result.name, verdict, self.name,
+                                    counterexample=result.counterexample,
+                                    stats=stats,
+                                    notes=tuple(result.notes)))
+        return out

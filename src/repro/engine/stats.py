@@ -1,0 +1,178 @@
+"""Solver-side statistics for the bounded symbolic engine.
+
+:class:`SolveStats` is the symbolic twin of
+:class:`~repro.checker.stats.ExploreStats`: one mutable bag of counters
+threaded through translation and solving, with the same reporting
+surface (``summary()`` / ``format()`` / ``as_dict()`` / ``to_json()``)
+so the CLI's ``--stats`` / ``--stats-json`` flags and the service's
+result cache treat both engines uniformly.  Where the explicit engine
+counts states and edges, the symbolic engine counts CNF variables and
+clauses (per unrolling depth) and CDCL decisions/conflicts/propagations.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["SolveStats"]
+
+
+class SolveStats:
+    """Counters for one bounded-model-checking run.
+
+    ``record_depth`` appends one row per unrolling depth *k* (the CNF
+    size at that depth, the solver effort, the verdict, and wall time),
+    mirroring ``ExploreStats.record_level``'s per-level table.
+    """
+
+    __slots__ = ("engine", "backend", "variables", "clauses", "decisions",
+                 "conflicts", "propagations", "learned_clauses", "restarts",
+                 "max_depth", "result_depth", "depths", "phases",
+                 "translate_seconds", "solve_seconds")
+
+    def __init__(self) -> None:
+        self.engine = "symbolic"
+        self.backend = "cdcl"
+        self.variables = 0          # CNF variables at the deepest unrolling
+        self.clauses = 0            # CNF clauses at the deepest unrolling
+        self.decisions = 0
+        self.conflicts = 0
+        self.propagations = 0
+        self.learned_clauses = 0
+        self.restarts = 0
+        self.max_depth = -1         # deepest frame actually solved
+        self.result_depth: Optional[int] = None  # depth of the SAT frame
+        self.depths: List[Dict[str, object]] = []
+        self.phases: Dict[str, float] = {}
+        self.translate_seconds = 0.0
+        self.solve_seconds = 0.0
+
+    # -- recording -----------------------------------------------------------
+
+    def record_depth(self, depth: int, variables: int, clauses: int,
+                     verdict: str, seconds: float) -> None:
+        """One row per BMC depth: CNF size, solver outcome, wall time."""
+        self.max_depth = max(self.max_depth, depth)
+        self.variables = max(self.variables, variables)
+        self.clauses = max(self.clauses, clauses)
+        self.depths.append({
+            "depth": depth,
+            "variables": variables,
+            "clauses": clauses,
+            "verdict": verdict,
+            "seconds": seconds,
+        })
+
+    def record_solver(self, decisions: int, conflicts: int,
+                      propagations: int, learned: int,
+                      restarts: int) -> None:
+        """Accumulate one solver invocation's effort counters."""
+        self.decisions += decisions
+        self.conflicts += conflicts
+        self.propagations += propagations
+        self.learned_clauses += learned
+        self.restarts += restarts
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a named phase; repeated names accumulate (same contract
+        as ``ExploreStats.phase``)."""
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = perf_counter() - start
+            self.phases[name] = self.phases.get(name, 0.0) + elapsed
+            if name == "translate":
+                self.translate_seconds += elapsed
+            elif name == "solve":
+                self.solve_seconds += elapsed
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phases.values())
+
+    @property
+    def conflicts_per_sec(self) -> float:
+        if self.solve_seconds <= 0.0:
+            return 0.0
+        return self.conflicts / self.solve_seconds
+
+    # -- reporting -----------------------------------------------------------
+
+    def format(self, indent: str = "") -> str:
+        """The headline block -- symbolic counterpart of
+        ``ExploreStats.format``."""
+        lines = [
+            f"{indent}engine: symbolic ({self.backend} backend)",
+            f"{indent}cnf: {self.variables:,} vars, {self.clauses:,} "
+            f"clauses at depth {max(self.max_depth, 0)}",
+            f"{indent}solver: {self.decisions:,} decisions, "
+            f"{self.conflicts:,} conflicts, {self.propagations:,} "
+            f"propagations, {self.learned_clauses:,} learned, "
+            f"{self.restarts} restarts",
+        ]
+        if self.phases:
+            parts = ", ".join(f"{name} {secs:.3f}s"
+                              for name, secs in sorted(self.phases.items()))
+            lines.append(f"{indent}phases: {parts} "
+                         f"(total {self.total_seconds:.3f}s)")
+        return "\n".join(lines)
+
+    def summary(self, indent: str = "") -> str:
+        """:meth:`format` plus the per-depth table -- what ``--stats``
+        prints for a symbolic run."""
+        lines = [self.format(indent)]
+        if self.result_depth is not None:
+            lines.append(f"{indent}violation found at depth "
+                         f"{self.result_depth}")
+        if self.depths:
+            lines.append(
+                f"{indent}per-depth: "
+                f"{'depth':>5} {'vars':>9} {'clauses':>9} "
+                f"{'verdict':>8} {'seconds':>9}")
+            for row in self.depths:
+                lines.append(
+                    f"{indent}           "
+                    f"{row['depth']:>5} {row['variables']:>9,} "
+                    f"{row['clauses']:>9,} {row['verdict']:>8} "
+                    f"{row['seconds']:>9.3f}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, object]:
+        """A plain-dict snapshot with stable keys (machine consumption,
+        service result documents, ``--stats-json``)."""
+        return {
+            "engine": self.engine,
+            "backend": self.backend,
+            "variables": self.variables,
+            "clauses": self.clauses,
+            "decisions": self.decisions,
+            "conflicts": self.conflicts,
+            "propagations": self.propagations,
+            "learned_clauses": self.learned_clauses,
+            "restarts": self.restarts,
+            "max_depth": self.max_depth,
+            "result_depth": self.result_depth,
+            "depths": [dict(row) for row in self.depths],
+            "phases": dict(self.phases),
+            "translate_seconds": self.translate_seconds,
+            "solve_seconds": self.solve_seconds,
+            "total_seconds": self.total_seconds,
+            "conflicts_per_sec": self.conflicts_per_sec,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The :meth:`as_dict` snapshot as canonical (sorted-key) JSON --
+        same contract as ``ExploreStats.to_json``."""
+        return json.dumps(self.as_dict(), sort_keys=True, indent=indent)
+
+    def __repr__(self) -> str:
+        return (f"SolveStats(vars={self.variables}, clauses={self.clauses}, "
+                f"decisions={self.decisions}, conflicts={self.conflicts}, "
+                f"max_depth={self.max_depth})")

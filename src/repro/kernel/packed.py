@@ -41,7 +41,7 @@ from __future__ import annotations
 import itertools
 import json
 from hashlib import sha256
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from .action import compile_action
 from .expr import And, Env, Equiv, EvalError, Expr, Implies, Not, Or
@@ -55,7 +55,8 @@ from .state import (
     value_to_portable,
 )
 
-__all__ = ["CompactUnsupported", "PackedCodec", "PackedPlan"]
+__all__ = ["CompactUnsupported", "PackedCodec", "PackedPlan",
+           "support_problem", "supports"]
 
 #: Refuse to enumerate domains larger than this when building a codec --
 #: the code table would dwarf the states it is meant to compress.
@@ -224,6 +225,37 @@ class PackedCodec:
         }
         blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
         return sha256(blob.encode("utf-8")).hexdigest()
+
+
+# -- supportability probe -----------------------------------------------------
+#
+# CompactUnsupported is raised only while building the codec, so whether a
+# spec can be packed is a pure function of its universe.  Callers that gate
+# an engine choice on packability (the service's --compact fallback, the
+# distributed coordinator's engine auto-selection, the symbolic translator)
+# share this probe instead of constructing a throwaway plan and catching.
+
+
+def support_problem(spec_or_universe) -> Optional[str]:
+    """Why the packed engines cannot represent this spec, or ``None``.
+
+    Accepts a :class:`~repro.spec.Spec` or a bare universe.  Returns a
+    human-readable reason string when packing is impossible (empty or
+    oversized domains, unfingerprintable values, no variables) and
+    ``None`` when :class:`PackedCodec` can be built.
+    """
+    universe = getattr(spec_or_universe, "universe", spec_or_universe)
+    try:
+        PackedCodec(universe)
+    except CompactUnsupported as exc:
+        return str(exc)
+    return None
+
+
+def supports(spec_or_universe) -> bool:
+    """True when the packed engines (compact, symbolic) can represent
+    this spec's universe."""
+    return support_problem(spec_or_universe) is None
 
 
 # -- guard trees --------------------------------------------------------------

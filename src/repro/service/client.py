@@ -99,10 +99,18 @@ class ServiceClient:
                max_states: int = 200_000, por: bool = False,
                compact: bool = False, workers: int = 1,
                checkpoint_every: int = 1,
-               level_delay: float = 0.0) -> Dict[str, object]:
+               level_delay: float = 0.0,
+               engine: str = "explicit",
+               depth: Optional[int] = None) -> Dict[str, object]:
         """POST /jobs.  Returns ``{"job": {...}, "disposition": ...}``;
-        raises :class:`QueueFullError` on backpressure."""
-        return self._request("POST", "/jobs", body={
+        raises :class:`QueueFullError` on backpressure.
+
+        ``engine``/``depth`` select the checking engine (symbolic
+        requests bound-check to ``depth``); the defaults are omitted
+        from the body so requests stay compatible with servers that
+        predate the field.
+        """
+        body: Dict[str, object] = {
             "module_source": module_source,
             "spec": spec,
             "invariants": list(invariants),
@@ -113,7 +121,12 @@ class ServiceClient:
             "workers": workers,
             "checkpoint_every": checkpoint_every,
             "level_delay": level_delay,
-        })
+        }
+        if engine != "explicit":
+            body["engine"] = engine
+        if depth is not None:
+            body["depth"] = depth
+        return self._request("POST", "/jobs", body=body)
 
     def job(self, job_id: str) -> Dict[str, object]:
         return self._request("GET", f"/jobs/{job_id}")

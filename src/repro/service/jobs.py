@@ -47,7 +47,6 @@ from typing import Dict, List, Optional, Tuple
 
 from ..checker import (
     CompactGraph,
-    CompactUnsupported,
     ExploreStats,
     ReductionConfig,
     check_invariant,
@@ -62,7 +61,7 @@ from ..checker import (
 from ..checker.checkpoint import counterexample_to_portable, resume
 from ..checker.graph import StateGraph, StateSpaceExplosion
 from ..checker.results import CheckResult
-from ..kernel.packed import PackedCodec
+from ..kernel import packed
 from ..parser import load_module
 from .cache import ResultCache, canonical_fingerprint
 
@@ -77,8 +76,10 @@ __all__ = [
 ]
 
 # verdicts that are pure functions of the request and therefore cacheable;
-# "failed" (an exception) is deliberately not -- it may be environmental
-_CACHEABLE_VERDICTS = ("ok", "violation", "explosion")
+# "failed" (an exception) is deliberately not -- it may be environmental.
+# "unknown" (symbolic, no violation within the bound) is a pure function
+# of (module, invariants, depth) -- the depth is part of the cache key
+_CACHEABLE_VERDICTS = ("ok", "violation", "explosion", "unknown")
 
 _TERMINAL_STATES = ("done", "failed", "cancelled")
 
@@ -105,12 +106,19 @@ class CheckRequest:
     """One check submission: a module plus what to verify and how.
 
     ``module_source``/``spec``/``invariants``/``properties``/
-    ``max_states``/``por``/``compact`` are *semantic* -- they address
-    the result in the cache.  ``workers``, ``checkpoint_every``, and ``level_delay``
+    ``max_states``/``por``/``compact``/``engine``/``depth`` are
+    *semantic* -- they address the result in the cache.  ``workers``,
+    ``checkpoint_every``, and ``level_delay``
     are execution-only: the engine produces the identical graph and
     verdict for any value (``level_delay`` merely sleeps between BFS
     levels -- a pacing knob so demos and tests can watch or interrupt
     toy modules that would otherwise finish in microseconds).
+
+    ``engine`` selects the checking engine: ``"explicit"`` (default)
+    explores exhaustively; ``"symbolic"`` bounded-model-checks to
+    ``depth`` steps (a clean run's verdict is ``"unknown"``, never
+    ``"ok"``).  ``depth`` is only meaningful -- and only part of the
+    cache key -- with the symbolic engine.
     """
 
     module_source: str
@@ -123,10 +131,12 @@ class CheckRequest:
     workers: int = 1
     checkpoint_every: int = 1
     level_delay: float = 0.0
+    engine: str = "explicit"
+    depth: Optional[int] = None
 
     _FIELDS = ("module_source", "spec", "invariants", "properties",
                "max_states", "por", "compact", "workers",
-               "checkpoint_every", "level_delay")
+               "checkpoint_every", "level_delay", "engine", "depth")
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "CheckRequest":
@@ -174,6 +184,27 @@ class CheckRequest:
         if compact and por:
             raise ValueError("compact and por are mutually exclusive: the "
                              "compact engine has no reduction machinery")
+        engine = payload.get("engine", "explicit")
+        if engine not in ("explicit", "symbolic"):
+            raise ValueError("engine must be 'explicit' or 'symbolic'")
+        depth = payload.get("depth")
+        if depth is not None and (not isinstance(depth, int)
+                                  or isinstance(depth, bool) or depth < 1):
+            raise ValueError("depth must be an integer >= 1")
+        if depth is not None and engine != "symbolic":
+            raise ValueError("depth is the symbolic unrolling bound; it "
+                             "requires engine='symbolic'")
+        if engine == "symbolic":
+            for flag, active in (("por", por), ("compact", compact),
+                                 ("properties", bool(names("properties")))):
+                if active:
+                    raise ValueError(
+                        f"engine='symbolic' is incompatible with {flag}: "
+                        f"bounded model checking never builds the state "
+                        f"graph that option configures")
+            if not names("invariants"):
+                raise ValueError("engine='symbolic' needs at least one "
+                                 "invariant to bound-check")
         return cls(
             module_source=module_source,
             spec=spec,
@@ -185,6 +216,8 @@ class CheckRequest:
             workers=bounded_int("workers", 1, 0),
             checkpoint_every=bounded_int("checkpoint_every", 1, 1),
             level_delay=float(level_delay),
+            engine=engine,
+            depth=depth,
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -199,18 +232,34 @@ class CheckRequest:
             "workers": self.workers,
             "checkpoint_every": self.checkpoint_every,
             "level_delay": self.level_delay,
+            "engine": self.engine,
+            "depth": self.depth,
         }
 
     def semantic_config(self) -> Dict[str, object]:
         """The slice of the request that can change the result -- the
-        cache key covers exactly this (plus module source and spec)."""
-        return {
+        cache key covers exactly this (plus module source and spec).
+
+        ``engine`` is always part of the key: an explicit "ok" and a
+        symbolic "unknown" are different answers to the same module.
+        ``depth`` joins it only for the symbolic engine, where it bounds
+        the search; for the explicit engine it cannot change the result
+        and must not fragment the cache.
+        """
+        config: Dict[str, object] = {
             "invariants": list(self.invariants),
             "properties": list(self.properties),
             "max_states": self.max_states,
             "por": self.por,
             "compact": self.compact,
+            "engine": self.engine,
         }
+        if self.engine == "symbolic":
+            from ..engine import DEFAULT_DEPTH
+
+            config["depth"] = (self.depth if self.depth is not None
+                               else DEFAULT_DEPTH)
+        return config
 
     def fingerprint(self) -> str:
         return canonical_fingerprint(self.module_source, self.spec,
@@ -249,12 +298,11 @@ def _explore_for(request: CheckRequest, spec, stats: ExploreStats,
     resuming = (resume_from_checkpoint and checkpoint is not None
                 and os.path.exists(checkpoint))
     if compact_active:
-        try:
-            PackedCodec(spec.universe)
-        except CompactUnsupported as exc:
+        problem = packed.support_problem(spec)
+        if problem is not None:
             compact_active = False
             notes.append(f"compact engine unavailable for this spec "
-                         f"({exc}); ran the full engine")
+                         f"({problem}); ran the full engine")
     if compact_active:
         if resuming:
             return resume_compact(
@@ -275,6 +323,60 @@ def _explore_for(request: CheckRequest, spec, stats: ExploreStats,
         stats=stats, checkpoint=checkpoint,
         checkpoint_every=request.checkpoint_every,
         reduction=reduction)
+
+
+def _symbolic_result(request: CheckRequest, spec, label: str,
+                     inv_exprs, notes: List[str]) -> Optional[Dict[str, object]]:
+    """Run a symbolic request to a result document, or ``None`` when the
+    spec cannot be translated (the caller falls back to the explicit
+    engine -- the note explaining why is already appended).
+
+    The document's verdict is ``"violation"`` when any invariant has a
+    counterexample within the bound, else ``"unknown"`` -- never
+    ``"ok"``, because a bounded pass proves nothing about deeper states.
+    There are no BFS levels, so symbolic jobs emit no ``level`` events
+    and run to completion once started (cancellation takes effect only
+    while queued).
+    """
+    from ..engine import (
+        DEFAULT_DEPTH,
+        VIOLATION,
+        SolveStats,
+        SymbolicEngine,
+        SymbolicUnsupported,
+    )
+
+    depth = request.depth if request.depth is not None else DEFAULT_DEPTH
+    engine = SymbolicEngine(depth=depth)
+    stats = SolveStats()
+    checks: List[Dict[str, object]] = []
+    no_violation = True
+    try:
+        for name, expr in inv_exprs:
+            res = engine.check_invariant(spec, expr, name=name, stats=stats)
+            checks.append({
+                "kind": "invariant",
+                "name": res.name,
+                "ok": res.ok,  # always False: VIOLATION or UNKNOWN
+                "verdict": res.verdict,
+                "summary": res.summary(),
+                "counterexample": (
+                    counterexample_to_portable(res.counterexample)
+                    if res.counterexample is not None else None),
+            })
+            no_violation = no_violation and res.verdict != VIOLATION
+    except SymbolicUnsupported as exc:
+        notes.append(f"symbolic engine unavailable for this spec "
+                     f"({exc}); ran the full explicit engine")
+        return None
+    return {
+        "verdict": "unknown" if no_violation else "violation",
+        "label": label, "checks": checks,
+        "states": None, "edges": None, "stutter": None,
+        "graph_digest": None, "notes": notes, "error": None,
+        "engine": "symbolic", "depth": depth,
+        "stats": stats.as_dict(),
+    }
 
 
 def _check_record(kind: str, res: CheckResult) -> Dict[str, object]:
@@ -309,6 +411,12 @@ def run_check(
         stats = ExploreStats()
     inv_exprs = [(name, module.expr(name)) for name in request.invariants]
     notes: List[str] = []
+    if request.engine == "symbolic":
+        document = _symbolic_result(request, spec, label, inv_exprs, notes)
+        if document is not None:
+            return document
+        # translation unsupported: fall through to the explicit engine
+        # (the note saying so is already in ``notes``)
     por_active = request.por
     if request.por and request.properties:
         por_active = False

@@ -123,7 +123,52 @@ def _spill_dir_problem(path: str) -> Optional[str]:
     return None
 
 
+def _symbolic_flags_error(args: argparse.Namespace, out) -> bool:
+    """Reject flag combinations the symbolic engine cannot honour.
+
+    The bounded symbolic engine solves a CNF unrolling: there is no
+    state graph, so every knob that shapes or persists the explicit
+    exploration is meaningless with it -- refused loudly rather than
+    silently ignored."""
+    engine = getattr(args, "engine", "explicit")
+    if engine != "symbolic":
+        if getattr(args, "depth", None) is not None:
+            print("error: --depth is the symbolic unrolling bound; it "
+                  "requires --engine symbolic", file=out)
+            return True
+        if getattr(args, "backend", "cdcl") != "cdcl":
+            print("error: --backend selects the symbolic engine's SAT "
+                  "solver; it requires --engine symbolic", file=out)
+            return True
+        return False
+    for flag, active in (
+            ("--por", bool(args.por)),
+            ("--compact", bool(args.compact)),
+            ("--store spill", args.store == "spill"),
+            ("--property", bool(getattr(args, "property", None))),
+            ("--checkpoint", bool(args.checkpoint)),
+            ("--resume", bool(args.resume)),
+            ("--worker-timeout", args.worker_timeout is not None),
+            ("--workers", args.workers != 1),
+    ):
+        if active:
+            print(f"error: --engine symbolic is incompatible with {flag}: "
+                  f"bounded model checking solves a CNF unrolling and "
+                  f"never builds the state graph those flags configure "
+                  f"(drop {flag} or use --engine explicit)", file=out)
+            return True
+    if not getattr(args, "invariant", None):
+        print("error: --engine symbolic needs at least one --invariant: "
+              "the CNF encodes 'reach a state violating the invariant "
+              "within --depth steps', so there is nothing to solve "
+              "without one", file=out)
+        return True
+    return False
+
+
 def _durability_error(args: argparse.Namespace, out) -> bool:
+    if _symbolic_flags_error(args, out):
+        return True
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint PATH "
               "(the snapshot to continue from)", file=out)
@@ -310,9 +355,59 @@ def _maybe_manifest(
     )
 
 
+def _cmd_check_symbolic(args: argparse.Namespace, out) -> int:
+    """Bounded symbolic checking: one CNF unrolling per invariant.
+
+    Exit codes: 0 when no violation was found within the bound (this
+    includes UNKNOWN -- the run says so explicitly, because a bounded
+    pass is not a proof), 1 for a violation, 2 when the spec cannot be
+    translated or the requested SAT backend is unavailable.
+    """
+    from ..engine import (
+        DEFAULT_DEPTH,
+        VIOLATION,
+        BackendUnavailable,
+        SolveStats,
+        SymbolicEngine,
+        SymbolicUnsupported,
+    )
+
+    module = _load(args.module)
+    spec = module.spec(args.spec)
+    label = f"{module.name}!{args.spec}"
+    obligations = [(name, module.expr(name)) for name in args.invariant]
+    depth = args.depth if args.depth is not None else DEFAULT_DEPTH
+    engine = SymbolicEngine(depth=depth, backend=args.backend)
+    stats = SolveStats() if (args.stats or args.stats_json) else None
+    print(f"{label}: bounded symbolic check to depth {depth} "
+          f"({args.backend} backend)", file=out)
+    ok = True
+    try:
+        for name, expr in obligations:
+            result = engine.check_invariant(spec, expr, name=name,
+                                            stats=stats)
+            print(result.summary(), file=out)
+            if result.counterexample is not None:
+                print(result.counterexample.render(), file=out)
+            ok = ok and result.verdict != VIOLATION
+    except SymbolicUnsupported as exc:
+        print(f"error: the symbolic engine cannot translate this spec "
+              f"({exc}); rerun with --engine explicit", file=out)
+        return 2
+    except BackendUnavailable as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    if args.stats and stats is not None:
+        print(stats.summary(), file=out)
+    _write_stats_json(args, stats)
+    return 0 if ok else 1
+
+
 def cmd_check(args: argparse.Namespace, out) -> int:
     if _durability_error(args, out):
         return 2
+    if getattr(args, "engine", "explicit") == "symbolic":
+        return _cmd_check_symbolic(args, out)
     module = _load(args.module)
     spec = module.spec(args.spec)
     label = f"{module.name}!{args.spec}"
@@ -475,6 +570,8 @@ def _terminal_exit_code(record: dict) -> int:
         verdict = result.get("verdict")
         if verdict == "ok":
             return 0
+        if verdict == "unknown":
+            return 0  # symbolic: no violation within the bound (not a proof)
         if verdict == "violation":
             return 1
         return 2  # explosion / anything unexpected
@@ -504,7 +601,8 @@ def cmd_submit(args: argparse.Namespace, out) -> int:
             properties=args.property or (),
             max_states=args.max_states, por=bool(args.por),
             compact=bool(args.compact),
-            workers=args.workers, level_delay=args.level_delay)
+            workers=args.workers, level_delay=args.level_delay,
+            engine=args.engine, depth=args.depth)
     except QueueFullError as exc:
         print(f"error: {exc} (retry in ~{exc.retry_after:g}s)", file=out)
         return 3
@@ -729,6 +827,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="state-predicate definition to check (repeatable)")
     check.add_argument("--property", action="append",
                        help="temporal definition to check (repeatable)")
+    check.add_argument("--engine", choices=("explicit", "symbolic"),
+                       default="explicit",
+                       help="checking engine: 'explicit' (default) "
+                            "explores the state graph exhaustively and "
+                            "proves invariants; 'symbolic' solves a "
+                            "CNF unrolling to --depth steps (finds deep "
+                            "bugs without enumerating states, but a "
+                            "clean run is UNKNOWN, not a proof)")
+    check.add_argument("--depth", type=_positive_int, default=None,
+                       metavar="K",
+                       help="symbolic unrolling bound: search for a "
+                            "violation within K steps of an initial "
+                            "state (default 10; requires --engine "
+                            "symbolic)")
+    check.add_argument("--backend", choices=("cdcl", "z3"),
+                       default="cdcl",
+                       help="SAT backend for --engine symbolic: 'cdcl' "
+                            "(default) is the built-in stdlib solver; "
+                            "'z3' uses the z3 package when installed")
     _add_engine_flags(check)
     _add_durability_flags(check)
     _add_scaling_flags(check)
@@ -795,6 +912,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "(same semantics as repro check --compact; "
                              "auto-disabled server-side when temporal "
                              "properties need the full graph)")
+    submit.add_argument("--engine", choices=("explicit", "symbolic"),
+                        default="explicit",
+                        help="checking engine (same semantics as repro "
+                             "check --engine; symbolic verdicts are "
+                             "'violation' or 'unknown', cached under a "
+                             "key that includes the engine and depth)")
+    submit.add_argument("--depth", type=_positive_int, default=None,
+                        metavar="K",
+                        help="symbolic unrolling bound (requires "
+                             "--engine symbolic)")
     submit.add_argument("--level-delay", type=float, default=0.0,
                         metavar="SECONDS",
                         help="pace the exploration: sleep this long after "

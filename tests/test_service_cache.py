@@ -63,6 +63,29 @@ class TestFingerprint:
         b = canonical_fingerprint("m", "Spec", {"b": 2, "a": 1})
         assert a == b
 
+    def test_engine_changes_the_key(self):
+        # an explicit "ok" and a symbolic "unknown" answer the same
+        # module differently; the cache must never conflate them
+        assert fp(engine="symbolic") != fp()
+
+    def test_depth_changes_the_key_for_symbolic(self):
+        assert fp(engine="symbolic", depth=5) != fp(engine="symbolic",
+                                                    depth=6)
+
+    def test_default_depth_is_normalised_into_the_key(self):
+        # "symbolic, depth unspecified" and "symbolic at the default
+        # depth" are the same request and must share one cache entry
+        from repro.engine import DEFAULT_DEPTH
+
+        assert fp(engine="symbolic") == fp(engine="symbolic",
+                                           depth=DEFAULT_DEPTH)
+
+    def test_depth_never_fragments_the_explicit_cache(self):
+        # the explicit engine ignores depth, so it must not address the
+        # result (a stray depth on an explicit request is rejected at
+        # the request boundary; this guards the key derivation itself)
+        assert fp(depth=5) == fp()
+
     def test_invariant_order_matters(self):
         # the CLI runs checks in the order given; the report differs
         a = CheckRequest(module_source=COUNTER_TLA,
