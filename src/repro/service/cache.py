@@ -1,4 +1,4 @@
-"""Content-addressed result cache for the checking service.
+"""Content-addressed result caches for the checking service.
 
 A check is a pure function of (module source, spec name, semantic check
 configuration): the explorer is deterministic for any worker count, the
@@ -8,25 +8,38 @@ makes content addressing sound -- the cache key never has to mention
 *how* a result was computed (workers, checkpoint cadence, pacing), only
 *what* was asked.
 
-:func:`canonical_fingerprint` hashes the canonical JSON rendering of the
-request; :class:`ResultCache` stores one JSON document per fingerprint
-(verdict, per-check results with portable counterexample traces, the
-:meth:`~repro.checker.stats.ExploreStats.as_dict` summary, and a graph
-digest) under ``<dir>/<fp>.json``, with an in-memory layer in front so a
-warm hit costs one dict lookup.  Writes are atomic
-(write-temp-then-rename), so a crash mid-``put`` never leaves a torn
-entry for a later server to trust.
+Two stores share that key and one counter/summary surface:
+
+* :class:`ResultCache` -- the flat single-directory store (PR 5), now
+  with an optional ``max_entries`` LRU bound so a long-lived server no
+  longer grows without limit, an ``evictions`` counter, and
+  ``summary()``/``to_json()`` in the :class:`~repro.checker.stats
+  .ExploreStats` style so a hit-rate or eviction-storm regression is
+  visible in one line.
+* :class:`ShardedResultCache` -- the multi-process store: entries land
+  in ``shard-XX/`` directories keyed by the fingerprint's first byte,
+  bounded per shard by entry count and bytes, with eviction serialised
+  by a per-shard ``flock`` so N pre-forked server processes can write
+  concurrently without double-unlinking or unbounded growth.  Reads are
+  lock-free (writes are atomic rename) and bump the entry's mtime, so
+  eviction order is least-recently-*used*, not least-recently-written.
+  Entries written by the flat layout are still found (legacy fallback),
+  so an upgraded server keeps its warm cache.
+
+Writes are atomic (write-temp-then-rename), so a crash mid-``put``
+never leaves a torn entry for a later server to trust.
 """
 
 from __future__ import annotations
 
+import fcntl
 import hashlib
 import json
 import os
 import tempfile
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
-__all__ = ["canonical_fingerprint", "ResultCache"]
+__all__ = ["canonical_fingerprint", "ResultCache", "ShardedResultCache"]
 
 
 def canonical_fingerprint(module_source: str, spec: str,
@@ -47,22 +60,80 @@ def canonical_fingerprint(module_source: str, spec: str,
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-class ResultCache:
+def _atomic_write_json(directory: str, path: str,
+                       document: Dict[str, object]) -> None:
+    fd, tmp_path = tempfile.mkstemp(prefix=".put-", suffix=".tmp",
+                                    dir=directory)
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(document, handle, separators=(",", ":"))
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+class _CacheCounters:
+    """The shared hit/miss/eviction accounting + summary surface."""
+
+    def __init__(self,
+                 on_event: Optional[Callable[[str, int], None]] = None):
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._on_event = on_event
+
+    def _record(self, kind: str, amount: int = 1) -> None:
+        setattr(self, kind, getattr(self, kind) + amount)
+        if self._on_event is not None:
+            self._on_event(kind, amount)
+
+    def counters(self) -> Dict[str, int]:
+        """Health counters for ``/healthz`` and ``/metrics``."""
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "entries": len(self)}
+
+    def __len__(self) -> int:  # pragma: no cover - subclasses override
+        raise NotImplementedError
+
+    def summary(self, indent: str = "") -> str:
+        """One human line, ExploreStats-style: hit rate + pressure."""
+        lookups = self.hits + self.misses
+        rate = (100.0 * self.hits / lookups) if lookups else 0.0
+        return (f"{indent}result cache: {len(self)} entries, "
+                f"{self.hits} hits / {self.misses} misses "
+                f"({rate:.1f}% hit rate), {self.evictions} evictions")
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Machine-readable twin of :meth:`summary`."""
+        return json.dumps(self.counters(), indent=indent, sort_keys=True)
+
+
+class ResultCache(_CacheCounters):
     """Fingerprint -> result-document store, disk-backed and crash-safe.
 
     ``directory=None`` keeps the cache purely in memory (useful for
     tests and embedding); otherwise every :meth:`put` also lands as
     ``<directory>/<fp>.json`` and a fresh process re-reads entries
-    lazily on :meth:`get`.
+    lazily on :meth:`get`.  ``max_entries`` bounds the store: past it,
+    the least-recently-used entries (by disk mtime when disk-backed,
+    insertion order in memory) are evicted and counted.
     """
 
-    def __init__(self, directory: Optional[str] = None):
+    def __init__(self, directory: Optional[str] = None,
+                 max_entries: Optional[int] = None,
+                 on_event: Optional[Callable[[str, int], None]] = None):
+        super().__init__(on_event)
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.directory = directory
+        self.max_entries = max_entries
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
         self._memory: Dict[str, Dict[str, object]] = {}
-        self.hits = 0
-        self.misses = 0
 
     def _path(self, fingerprint: str) -> str:
         assert self.directory is not None
@@ -71,6 +142,8 @@ class ResultCache:
     def get(self, fingerprint: str) -> Optional[Dict[str, object]]:
         """The cached result document, or None.  Counts hits/misses."""
         entry = self._memory.get(fingerprint)
+        if entry is not None and self._memory.pop(fingerprint, None) is not None:
+            self._memory[fingerprint] = entry  # re-insert: LRU recency
         if entry is None and self.directory is not None:
             try:
                 with open(self._path(fingerprint)) as handle:
@@ -79,30 +152,54 @@ class ResultCache:
                 entry = None  # absent or torn-by-external-meddling: a miss
             else:
                 self._memory[fingerprint] = entry
+                try:  # recency for mtime-ordered eviction
+                    os.utime(self._path(fingerprint))
+                except OSError:
+                    pass
         if entry is None:
-            self.misses += 1
+            self._record("misses")
             return None
-        self.hits += 1
+        self._record("hits")
         return entry
 
     def put(self, fingerprint: str, result: Dict[str, object]) -> None:
         """Store a result document (atomically, when disk-backed)."""
         self._memory[fingerprint] = result
-        if self.directory is None:
+        if self.directory is not None:
+            _atomic_write_json(self.directory, self._path(fingerprint),
+                               result)
+        self._evict()
+
+    def _evict(self) -> None:
+        if self.max_entries is None:
             return
-        path = self._path(fingerprint)
-        fd, tmp_path = tempfile.mkstemp(
-            prefix=fingerprint[:16] + ".", suffix=".tmp", dir=self.directory)
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(result, handle, separators=(",", ":"))
-            os.replace(tmp_path, path)
-        except BaseException:
+        if self.directory is None:
+            while len(self._memory) > self.max_entries:
+                oldest = next(iter(self._memory))
+                del self._memory[oldest]
+                self._record("evictions")
+            return
+        entries: List[Tuple[float, str]] = []
+        for name in os.listdir(self.directory):
+            if not name.endswith(".json"):
+                continue
             try:
-                os.unlink(tmp_path)
+                entries.append(
+                    (os.path.getmtime(os.path.join(self.directory, name)),
+                     name[:-5]))
             except OSError:
-                pass
-            raise
+                continue
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            return
+        entries.sort()
+        for _mtime, fingerprint in entries[:excess]:
+            try:
+                os.unlink(self._path(fingerprint))
+            except OSError:
+                continue
+            self._memory.pop(fingerprint, None)
+            self._record("evictions")
 
     def __contains__(self, fingerprint: str) -> bool:
         if fingerprint in self._memory:
@@ -117,7 +214,193 @@ class ResultCache:
                    if name.endswith(".json")}
         return len(on_disk | set(self._memory))
 
+
+class ShardedResultCache(_CacheCounters):
+    """The multi-process cache: fingerprint-sharded, LRU-bounded.
+
+    The first fingerprint byte picks one of ``shards`` directories, so
+    eviction scans touch ~1/shards of the population and concurrent
+    writers in different shards never contend.  Per-shard bounds are the
+    global ``max_entries``/``max_bytes`` split evenly (rounded up) --
+    SHA-256 fingerprints spread uniformly, so the global bound holds to
+    within a shard's worth of slack.  Eviction runs under a per-shard
+    ``flock`` (two processes may both see a full shard; the lock makes
+    one of them evict and the other find it already done -- a concurrent
+    unlink is tolerated, not double-counted).
+    """
+
+    def __init__(self, directory: str, shards: int = 16,
+                 max_entries: Optional[int] = 4096,
+                 max_bytes: Optional[int] = None,
+                 memory_entries: int = 256,
+                 on_event: Optional[Callable[[str, int], None]] = None):
+        super().__init__(on_event)
+        if shards < 1 or shards > 256:
+            raise ValueError(f"shards must be in 1..256, got {shards}")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if memory_entries < 0:
+            raise ValueError(
+                f"memory_entries must be >= 0, got {memory_entries}")
+        self.directory = os.path.abspath(directory)
+        self.shards = shards
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.memory_entries = memory_entries
+        os.makedirs(self.directory, exist_ok=True)
+        self._memory: Dict[str, Dict[str, object]] = {}
+
+    # -- layout --------------------------------------------------------------
+
+    def _shard_dir(self, fingerprint: str) -> str:
+        shard = int(fingerprint[:2], 16) % self.shards
+        return os.path.join(self.directory, f"shard-{shard:02x}")
+
+    def _path(self, fingerprint: str) -> str:
+        return os.path.join(self._shard_dir(fingerprint),
+                            fingerprint + ".json")
+
+    def _legacy_path(self, fingerprint: str) -> str:
+        return os.path.join(self.directory, fingerprint + ".json")
+
+    def _shard_lock(self, shard_dir: str):
+        handle = open(os.path.join(shard_dir, ".lock"), "a")
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        return handle
+
+    # -- the store -----------------------------------------------------------
+
+    def _remember(self, fingerprint: str,
+                  entry: Dict[str, object]) -> None:
+        if self.memory_entries == 0:
+            return
+        self._memory.pop(fingerprint, None)
+        self._memory[fingerprint] = entry
+        while len(self._memory) > self.memory_entries:
+            self._memory.pop(next(iter(self._memory)))
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        entry = self._memory.get(fingerprint)
+        if entry is not None:
+            self._remember(fingerprint, entry)  # refresh recency
+            self._record("hits")
+            return entry
+        for path in (self._path(fingerprint),
+                     self._legacy_path(fingerprint)):
+            try:
+                with open(path) as handle:
+                    entry = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            self._remember(fingerprint, entry)
+            try:
+                os.utime(path)  # LRU recency for the evictor
+            except OSError:
+                pass
+            self._record("hits")
+            return entry
+        self._record("misses")
+        return None
+
+    def put(self, fingerprint: str, result: Dict[str, object]) -> None:
+        shard_dir = self._shard_dir(fingerprint)
+        os.makedirs(shard_dir, exist_ok=True)
+        _atomic_write_json(shard_dir, self._path(fingerprint), result)
+        self._remember(fingerprint, result)
+        self._evict_shard(shard_dir)
+
+    def _shard_bound(self, total: Optional[int]) -> Optional[int]:
+        if total is None:
+            return None
+        return max(1, -(-total // self.shards))  # ceil division
+
+    def _evict_shard(self, shard_dir: str) -> None:
+        entry_bound = self._shard_bound(self.max_entries)
+        byte_bound = self._shard_bound(self.max_bytes)
+        if entry_bound is None and byte_bound is None:
+            return
+        lock = self._shard_lock(shard_dir)
+        try:
+            entries: List[Tuple[float, int, str]] = []
+            total_bytes = 0
+            for name in os.listdir(shard_dir):
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    info = os.stat(path)
+                except OSError:
+                    continue
+                entries.append((info.st_mtime, info.st_size, name[:-5]))
+                total_bytes += info.st_size
+            over_entries = (len(entries) - entry_bound
+                            if entry_bound is not None else 0)
+            over_bytes = (total_bytes - byte_bound
+                          if byte_bound is not None else 0)
+            if over_entries <= 0 and over_bytes <= 0:
+                return
+            entries.sort()  # oldest mtime first: least recently used
+            evicted = 0
+            for mtime, size, fingerprint in entries:
+                if over_entries <= 0 and over_bytes <= 0:
+                    break
+                try:
+                    os.unlink(os.path.join(shard_dir,
+                                           fingerprint + ".json"))
+                except OSError:
+                    continue  # a sibling got there first
+                self._memory.pop(fingerprint, None)
+                over_entries -= 1
+                over_bytes -= size
+                evicted += 1
+            if evicted:
+                self._record("evictions", evicted)
+        finally:
+            fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
+            lock.close()
+
+    # -- views ---------------------------------------------------------------
+
+    def _iter_entry_paths(self) -> List[str]:
+        paths = []
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return paths
+        for name in names:
+            full = os.path.join(self.directory, name)
+            if name.startswith("shard-") and os.path.isdir(full):
+                try:
+                    paths.extend(os.path.join(full, entry)
+                                 for entry in os.listdir(full)
+                                 if entry.endswith(".json"))
+                except OSError:
+                    continue
+            elif name.endswith(".json"):
+                paths.append(full)  # legacy flat entries still count
+        return paths
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return (fingerprint in self._memory
+                or os.path.exists(self._path(fingerprint))
+                or os.path.exists(self._legacy_path(fingerprint)))
+
+    def __len__(self) -> int:
+        return len(self._iter_entry_paths())
+
+    def total_bytes(self) -> int:
+        total = 0
+        for path in self._iter_entry_paths():
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                continue
+        return total
+
     def counters(self) -> Dict[str, int]:
-        """Health counters for ``/healthz``."""
-        return {"hits": self.hits, "misses": self.misses,
-                "entries": len(self)}
+        counters = super().counters()
+        counters["bytes"] = self.total_bytes()
+        counters["shards"] = self.shards
+        return counters

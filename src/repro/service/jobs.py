@@ -28,11 +28,24 @@ per-job state machine::
   checkpoint on disk, is persisted, and a restarted manager resumes it
   bit-for-bit via :func:`repro.checker.checkpoint.resume` -- same
   verdict, same trace, same graph digest.
+* **Multi-tenancy and fair dispatch** -- submissions carry a tenant
+  name; :mod:`repro.service.scheduler` rate-limits and bounds each
+  tenant and dispatches deficit-round-robin so no tenant starves the
+  rest.  429s carry the rejected tenant's own Retry-After.
+* **Durability and fleet awareness** -- every transition is appended to
+  the :mod:`repro.service.journal` (so *queued* jobs survive SIGKILL,
+  re-admitted exactly once even with N pre-forked sibling processes on
+  one state dir) and mirrored into the :mod:`repro.service.metrics`
+  registry (so ``GET /metrics`` reconciles with the journal:
+  admitted == completed + failed + cancelled + in-flight).  Jobs owned
+  by a sibling process are readable (and cancellable, via a flag file
+  the owner polls at level boundaries) through the shared state dir.
 
 Everything the manager needs to survive a restart lives under its
 ``state_dir``: ``jobs/<id>.json`` records, ``jobs/<id>.events.ndjson``
-event logs, ``jobs/<id>.ckpt`` exploration checkpoints, and ``cache/``
-result documents.
+event logs, ``jobs/<id>.ckpt`` exploration checkpoints, ``journal/``
+the durable queue, ``metrics/`` per-process metric snapshots, and
+``cache/`` the sharded result store.
 """
 
 from __future__ import annotations
@@ -42,7 +55,7 @@ import json
 import os
 import time
 import uuid
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..checker import (
@@ -63,13 +76,24 @@ from ..checker.graph import StateGraph, StateSpaceExplosion
 from ..checker.results import CheckResult
 from ..kernel import packed
 from ..parser import load_module
-from .cache import ResultCache, canonical_fingerprint
+from .cache import ShardedResultCache, canonical_fingerprint
+from .journal import JobJournal, pid_alive
+from .metrics import MetricsDir, MetricsRegistry
+from .scheduler import (
+    DEFAULT_TENANT,
+    FairScheduler,
+    QueueFull,
+    TenantPolicy,
+    TenantThrottled,
+    valid_tenant,
+)
 
 __all__ = [
     "CheckRequest",
     "Job",
     "JobManager",
     "QueueFull",
+    "TenantThrottled",
     "JobCancelled",
     "run_check",
     "graph_digest",
@@ -82,15 +106,6 @@ __all__ = [
 _CACHEABLE_VERDICTS = ("ok", "violation", "explosion", "unknown")
 
 _TERMINAL_STATES = ("done", "failed", "cancelled")
-
-
-class QueueFull(Exception):
-    """The pending queue is at its admission limit; retry later."""
-
-    def __init__(self, retry_after: float):
-        super().__init__(
-            f"job queue is full; retry in ~{retry_after:g}s")
-        self.retry_after = retry_after
 
 
 class JobCancelled(Exception):
@@ -496,11 +511,13 @@ class Job:
     """One submission moving through the service's state machine."""
 
     def __init__(self, job_id: str, request: CheckRequest,
-                 fingerprint: str, checkpoint_path: Optional[str] = None):
+                 fingerprint: str, checkpoint_path: Optional[str] = None,
+                 tenant: str = DEFAULT_TENANT):
         self.id = job_id
         self.request = request
         self.fingerprint = fingerprint
         self.checkpoint_path = checkpoint_path
+        self.tenant = tenant
         self.state = "queued"
         self.cache_hit = False
         self.resume = False          # continue from checkpoint when run
@@ -513,6 +530,9 @@ class Job:
         self.events: List[Dict[str, object]] = []
         self.cancel_requested = False
         self.interrupt_requested = False
+        # the manager wires this to an append into <id>.events.ndjson so
+        # watchers in sibling processes can follow the stream live
+        self.event_sink = None
 
     @property
     def terminal(self) -> bool:
@@ -527,11 +547,14 @@ class Job:
         }
         record.update(fields)
         self.events.append(record)
+        if self.event_sink is not None:
+            self.event_sink(record)
 
     def to_dict(self, with_request: bool = False) -> Dict[str, object]:
         payload: Dict[str, object] = {
             "id": self.id,
             "state": self.state,
+            "tenant": self.tenant,
             "fingerprint": self.fingerprint,
             "cache_hit": self.cache_hit,
             "resume": self.resume,
@@ -555,11 +578,25 @@ class JobManager:
     exploration itself runs on executor threads, reporting back only
     through the job's event list and the level-listener control flow.
     ``pool_size`` bounds concurrent explorations, ``queue_limit`` the
-    jobs waiting in ``queued`` (admission control).
+    jobs waiting in ``queued`` (global admission control), and
+    ``tenant_policy`` the per-tenant quotas and rates enforced within
+    it.  Dispatch is deficit-round-robin across tenants.
+
+    The manager is fleet-aware: N processes (``repro serve --procs N``)
+    may each run one manager over a shared ``state_dir``.  The journal
+    arbitrates job ownership (exactly-once re-admission after SIGKILL),
+    the metrics directory merges per-process snapshots for a fleet-wide
+    ``/metrics``, the sharded cache serialises eviction per shard, and
+    jobs owned by a sibling stay readable -- and cancellable, via a flag
+    file the owner polls at level boundaries -- through the shared
+    files (:meth:`job_record`, :meth:`job_events`, :meth:`cancel_any`).
     """
 
     def __init__(self, state_dir: str, pool_size: int = 2,
-                 queue_limit: int = 16):
+                 queue_limit: int = 16,
+                 tenant_policy: Optional[TenantPolicy] = None,
+                 cache_max_entries: Optional[int] = 4096,
+                 cache_max_bytes: Optional[int] = None):
         if pool_size < 1:
             raise ValueError(f"pool_size must be >= 1, got {pool_size}")
         if queue_limit < 1:
@@ -569,57 +606,157 @@ class JobManager:
         self.queue_limit = queue_limit
         self.jobs_dir = os.path.join(self.state_dir, "jobs")
         os.makedirs(self.jobs_dir, exist_ok=True)
-        self.cache = ResultCache(os.path.join(self.state_dir, "cache"))
+        self.journal = JobJournal(os.path.join(self.state_dir, "journal"))
+        self.registry = MetricsRegistry()
+        self.metrics_dir = MetricsDir(
+            os.path.join(self.state_dir, "metrics"), self.registry)
+        self._init_metrics()
+        self.cache = ShardedResultCache(
+            os.path.join(self.state_dir, "cache"),
+            max_entries=cache_max_entries, max_bytes=cache_max_bytes,
+            on_event=self._cache_event)
+        self.scheduler = FairScheduler(tenant_policy)
         self._jobs: Dict[str, Job] = {}
         self._inflight: Dict[str, str] = {}  # fingerprint -> live job id
-        self._queue: Optional[asyncio.Queue] = None
+        self._wake: Optional[asyncio.Event] = None
         self._runners: List[asyncio.Task] = []
         self._accepting = False
         self._interrupting = False
+        self._stopping = False
         self._recent_runtimes: List[float] = []
         self.started_at = time.time()
+
+    def _init_metrics(self) -> None:
+        reg = self.registry
+        self._m_admitted = reg.counter(
+            "repro_jobs_admitted_total",
+            "Submissions admitted (queued, or served from cache)",
+            ("tenant",))
+        self._m_completed = reg.counter(
+            "repro_jobs_completed_total",
+            "Jobs finished with a verdict", ("tenant", "verdict"))
+        self._m_failed = reg.counter(
+            "repro_jobs_failed_total",
+            "Jobs that raised instead of producing a verdict", ("tenant",))
+        self._m_cancelled = reg.counter(
+            "repro_jobs_cancelled_total", "Jobs cancelled", ("tenant",))
+        self._m_rejected = reg.counter(
+            "repro_jobs_rejected_total",
+            "Submissions rejected with 429", ("tenant", "reason"))
+        self._m_coalesced = reg.counter(
+            "repro_jobs_coalesced_total",
+            "Submissions coalesced onto an identical live job", ("tenant",))
+        self._m_engine = reg.counter(
+            "repro_engine_jobs_total", "Completed jobs per engine",
+            ("engine",))
+        self._m_cache = {
+            kind: reg.counter(f"repro_cache_{kind}_total",
+                              f"Result cache {kind}")
+            for kind in ("hits", "misses", "evictions")}
+        self._m_queue_depth = reg.gauge(
+            "repro_queue_depth", "Jobs waiting in the queue")
+        self._m_running = reg.gauge(
+            "repro_jobs_running", "Jobs currently executing")
+        self._m_latency = reg.histogram(
+            "repro_job_latency_seconds",
+            "Submit-to-finish latency per tenant", ("tenant",))
+
+    def _cache_event(self, kind: str, amount: int) -> None:
+        self._m_cache[kind].default.inc(amount)
 
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> None:
-        """Load persisted jobs (requeueing interrupted ones) and start
-        the runner pool."""
-        self._queue = asyncio.Queue()
+        """Load persisted jobs (claiming orphaned ones through the
+        journal, exactly once across sibling processes) and start the
+        runner pool."""
+        self._wake = asyncio.Event()
         self._accepting = True
         self._interrupting = False
+        self._stopping = False
         self._recover()
+        self._set_gauges()
+        self._flush_metrics()
         loop = asyncio.get_running_loop()
         self._runners = [loop.create_task(self._runner())
                          for _ in range(self.pool_size)]
 
     def _recover(self) -> None:
-        """Reload ``jobs/*.json``; anything non-terminal goes back to the
-        queue, resuming from its checkpoint when one survives."""
-        for name in sorted(os.listdir(self.jobs_dir)):
-            if not name.endswith(".json"):
-                continue
-            path = os.path.join(self.jobs_dir, name)
-            try:
-                with open(path) as handle:
-                    record = json.load(handle)
-                job = self._job_from_record(record)
-            except (OSError, ValueError, KeyError):
-                continue  # torn or foreign file: not a job we can run
-            self._jobs[job.id] = job
-            if job.state in ("queued", "running"):
-                job.state = "queued"
-                job.resume = bool(job.checkpoint_path
-                                  and os.path.exists(job.checkpoint_path))
-                job.emit("requeued", resume=job.resume)
+        """Reload persisted jobs under the journal lock.
+
+        ``jobs/*.json`` records are authoritative for job content; the
+        journal fold is authoritative for *ownership*.  A non-terminal
+        job whose journal owner is a live sibling process is left alone
+        (it is that sibling's to run); one whose owner is dead -- or is
+        this very process, restarting in place -- is claimed by
+        appending a ``claimed`` record while still holding the lock, so
+        exactly one recovering process re-admits it.  Jobs that exist
+        only in the journal (the owner died between the ``submitted``
+        append and its first record write) are rebuilt from the request
+        stored in the journal line itself."""
+        with self.journal.lock():
+            folded = self.journal.replay()
+            own = os.getpid()
+
+            def foreign(entry: Optional[Dict[str, object]]) -> bool:
+                if entry is None:
+                    return False
+                owner = entry.get("owner")
+                return owner != own and pid_alive(owner)
+
+            for name in sorted(os.listdir(self.jobs_dir)):
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(self.jobs_dir, name)
+                try:
+                    with open(path) as handle:
+                        record = json.load(handle)
+                    job = self._job_from_record(record)
+                except (OSError, ValueError, KeyError):
+                    continue  # torn or foreign file: not a job we can run
+                if not job.terminal and foreign(folded.get(job.id)):
+                    continue  # a live sibling owns it
+                self._jobs[job.id] = job
+                if job.state in ("queued", "running"):
+                    job.state = "queued"
+                    job.resume = bool(job.checkpoint_path
+                                      and os.path.exists(job.checkpoint_path))
+                    job.emit("requeued", resume=job.resume)
+                    self.journal.append_locked("claimed", job.id,
+                                               tenant=job.tenant)
+                    self._inflight[job.fingerprint] = job.id
+                    self._persist(job)
+                    self.scheduler.push(job.tenant, job.id)
+            for job_id, entry in sorted(folded.items()):
+                if (job_id in self._jobs
+                        or entry.get("state") not in ("queued", "running")
+                        or foreign(entry)
+                        or not isinstance(entry.get("request"), dict)):
+                    continue
+                try:
+                    request = CheckRequest.from_dict(entry["request"])
+                except ValueError:
+                    continue
+                tenant = entry.get("tenant") or DEFAULT_TENANT
+                job = Job(job_id, request,
+                          entry.get("fingerprint") or request.fingerprint(),
+                          checkpoint_path=os.path.join(
+                              self.jobs_dir, job_id + ".ckpt"),
+                          tenant=tenant)
+                self._wire_sink(job)
+                job.resume = os.path.exists(job.checkpoint_path)
+                job.emit("requeued", resume=job.resume, source="journal")
+                self.journal.append_locked("claimed", job_id, tenant=tenant)
+                self._jobs[job_id] = job
                 self._inflight[job.fingerprint] = job.id
                 self._persist(job)
-                assert self._queue is not None
-                self._queue.put_nowait(job.id)
+                self.scheduler.push(tenant, job_id)
 
     def _job_from_record(self, record: Dict[str, object]) -> Job:
         request = CheckRequest.from_dict(record["request"])
         job = Job(str(record["id"]), request, str(record["fingerprint"]),
-                  checkpoint_path=record.get("checkpoint"))
+                  checkpoint_path=record.get("checkpoint"),
+                  tenant=str(record.get("tenant") or DEFAULT_TENANT))
         job.state = str(record["state"])
         job.cache_hit = bool(record.get("cache_hit", False))
         job.resume = bool(record.get("resume", False))
@@ -636,32 +773,50 @@ class JobManager:
                     line = line.strip()
                     if line:
                         job.events.append(json.loads(line))
+        self._wire_sink(job)
         return job
 
     async def shutdown(self) -> None:
         """Graceful drain: stop admissions, interrupt running jobs at
         their next level boundary (they fall back to ``queued`` with a
-        checkpoint), keep queued jobs persisted, stop the runners."""
+        checkpoint), keep queued jobs persisted, stop the runners, and
+        compact the journal with a final metrics snapshot (the service's
+        run manifest)."""
         self._accepting = False
         self._interrupting = True
-        assert self._queue is not None
-        for _ in self._runners:
-            self._queue.put_nowait(None)
+        self._stopping = True
+        if self._wake is not None:
+            self._wake.set()
         if self._runners:
             await asyncio.gather(*self._runners, return_exceptions=True)
         self._runners = []
+        self._set_gauges()
+        try:
+            self._flush_metrics()
+            self.journal.compact(
+                extra={"metrics": self.registry.snapshot()})
+        except OSError:  # pragma: no cover - a full disk must not wedge
+            pass
 
     # -- submission / querying ----------------------------------------------
 
-    def submit(self, request: CheckRequest) -> Tuple[Job, str]:
-        """Admit one request.  Returns ``(job, disposition)`` where
-        disposition is ``"created"`` (fresh job queued), ``"cached"``
-        (verdict served from the result cache; the job is born ``done``
-        with ``cache_hit=True``), or ``"coalesced"`` (an identical job
-        is already queued/running; the caller shares it).  Raises
-        :class:`QueueFull` past the admission limit and ``ValueError``
-        for requests that cannot parse/elaborate."""
+    def submit(self, request: CheckRequest,
+               tenant: str = DEFAULT_TENANT) -> Tuple[Job, str]:
+        """Admit one request for *tenant*.  Returns ``(job, disposition)``
+        where disposition is ``"created"`` (fresh job queued),
+        ``"cached"`` (verdict served from the result cache; the job is
+        born ``done`` with ``cache_hit=True``), or ``"coalesced"`` (an
+        identical job is already queued/running; the caller shares it).
+        Raises :class:`QueueFull` past the shared admission limit,
+        :class:`TenantThrottled` past the tenant's own rate/bounds (cache
+        hits and coalesced submissions are never charged -- they queue
+        nothing), and ``ValueError`` for requests that cannot
+        parse/elaborate."""
+        if not valid_tenant(tenant):
+            raise ValueError(
+                "tenant must be 1-64 characters of [A-Za-z0-9._-]")
         if not self._accepting:
+            self._m_rejected.labels(tenant=tenant, reason="draining").inc()
             raise QueueFull(retry_after=self._retry_after())
         # eager validation: a module that cannot parse or a spec that
         # does not exist fails now (HTTP 400), not minutes later
@@ -676,10 +831,11 @@ class JobManager:
             live = self._jobs.get(live_id)
             if live is not None and not live.terminal:
                 live.coalesced += 1
+                self._m_coalesced.labels(tenant=tenant).inc()
                 return live, "coalesced"
         cached = self.cache.get(fingerprint)
         if cached is not None:
-            job = self._new_job(request, fingerprint)
+            job = self._new_job(request, fingerprint, tenant)
             job.cache_hit = True
             job.state = "done"
             job.finished = time.time()
@@ -687,16 +843,43 @@ class JobManager:
             job.emit("done", verdict=cached.get("verdict"), cache_hit=True)
             self._jobs[job.id] = job
             self._persist(job)
+            verdict = str(cached.get("verdict"))
+            self._m_admitted.labels(tenant=tenant).inc()
+            self._m_completed.labels(tenant=tenant, verdict=verdict).inc()
+            self._m_latency.labels(tenant=tenant).observe(
+                job.finished - job.created)
+            with self.journal.lock():
+                # both lines under one lock: the journal never shows a
+                # cache-served job as admitted-but-unaccounted
+                self.journal.append_locked(
+                    "submitted", job.id, tenant=tenant,
+                    fingerprint=fingerprint, cached=True)
+                self.journal.append_locked("done", job.id, verdict=verdict)
+            self._flush_metrics()
             return job, "cached"
         if self._queued_count() >= self.queue_limit:
+            self._m_rejected.labels(tenant=tenant,
+                                    reason="queue_full").inc()
             raise QueueFull(retry_after=self._retry_after())
-        job = self._new_job(request, fingerprint)
-        job.emit("queued")
+        try:
+            self.scheduler.admit(tenant)
+        except TenantThrottled as exc:
+            self._m_rejected.labels(tenant=tenant, reason=exc.reason).inc()
+            raise
+        job = self._new_job(request, fingerprint, tenant)
+        job.emit("queued", tenant=tenant)
         self._jobs[job.id] = job
         self._inflight[fingerprint] = job.id
+        self._m_admitted.labels(tenant=tenant).inc()
+        self.journal.append("submitted", job.id, tenant=tenant,
+                            fingerprint=fingerprint,
+                            request=request.to_dict())
         self._persist(job)
-        assert self._queue is not None
-        self._queue.put_nowait(job.id)
+        self.scheduler.push(tenant, job.id)
+        self._set_gauges()
+        self._flush_metrics()
+        if self._wake is not None:
+            self._wake.set()
         return job, "created"
 
     def get(self, job_id: str) -> Optional[Job]:
@@ -706,8 +889,9 @@ class JobManager:
         return sorted(self._jobs.values(), key=lambda job: job.created)
 
     def cancel(self, job_id: str) -> Tuple[Optional[Job], bool]:
-        """Cancel a job: immediate for ``queued``, cooperative (next BFS
-        level boundary) for ``running``.  Returns (job, accepted)."""
+        """Cancel a job this process owns: immediate for ``queued``,
+        cooperative (next BFS level boundary) for ``running``.  Returns
+        (job, accepted)."""
         job = self._jobs.get(job_id)
         if job is None:
             return None, False
@@ -716,7 +900,12 @@ class JobManager:
             job.finished = time.time()
             job.emit("cancelled", while_state="queued")
             self._inflight.pop(job.fingerprint, None)
+            self.scheduler.forget(job.tenant, job.id)
+            self.journal.append("cancelled", job.id, tenant=job.tenant)
+            self._m_cancelled.labels(tenant=job.tenant).inc()
             self._persist(job)
+            self._set_gauges()
+            self._flush_metrics()
             return job, True
         if job.state == "running":
             job.cancel_requested = True
@@ -731,24 +920,146 @@ class JobManager:
         return {
             "status": "ok" if self._accepting else "draining",
             "uptime_seconds": round(time.time() - self.started_at, 3),
+            "pid": os.getpid(),
             "pool_size": self.pool_size,
             "queue_limit": self.queue_limit,
             "queued": self._queued_count(),
             "jobs": counts,
             "cache": self.cache.counters(),
+            "tenants": len(self.scheduler.tenants_view()),
+            "journal_bytes": self.journal.log_size(),
         }
+
+    def tenants(self) -> Dict[str, Dict[str, object]]:
+        """Per-tenant scheduler state for ``GET /tenants``."""
+        return self.scheduler.tenants_view()
+
+    def metrics_text(self) -> str:
+        """The fleet-wide Prometheus exposition for ``GET /metrics``."""
+        self._set_gauges()
+        return self.metrics_dir.render()
+
+    # -- cross-process views (jobs owned by sibling processes) ---------------
+
+    def job_record(self, job_id: str) -> Optional[Dict[str, object]]:
+        """This job's wire record, whether we own it or a sibling
+        process on the same state dir does (disk read-through)."""
+        job = self._jobs.get(job_id)
+        if job is not None:
+            return job.to_dict()
+        return self._disk_record(job_id)
+
+    def job_events(self, job_id: str,
+                   start: int = 0) -> Optional[List[Dict[str, object]]]:
+        """Events from *start*, served from memory for owned jobs and
+        from the append-only events file for a sibling's."""
+        job = self._jobs.get(job_id)
+        if job is not None:
+            return job.events[start:]
+        if self._disk_record(job_id) is None:
+            return None
+        events: List[Dict[str, object]] = []
+        try:
+            with open(self._events_path(job_id)) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        try:
+                            events.append(json.loads(line))
+                        except ValueError:
+                            continue  # torn tail of a concurrent append
+        except OSError:
+            pass
+        return events[start:]
+
+    def list_records(self) -> List[Dict[str, object]]:
+        """Every job on the state dir: ours from memory, siblings' from
+        their persisted records."""
+        records = {job.id: job.to_dict() for job in self._jobs.values()}
+        try:
+            names = sorted(os.listdir(self.jobs_dir))
+        except OSError:
+            names = []
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            job_id = name[: -len(".json")]
+            if job_id in records:
+                continue
+            record = self._disk_record(job_id)
+            if record is not None:
+                records[job_id] = record
+        return sorted(records.values(),
+                      key=lambda r: (r.get("created") or 0, r.get("id", "")))
+
+    def cancel_any(self, job_id: str
+                   ) -> Tuple[Optional[Dict[str, object]], bool]:
+        """Cancel a job wherever it lives: directly when owned, via a
+        ``jobs/<id>.cancel`` flag file -- polled by the owner at its next
+        level boundary, and before it starts a queued job -- when a
+        sibling owns it."""
+        job, accepted = self.cancel(job_id)
+        if job is not None:
+            return job.to_dict(), accepted
+        record = self._disk_record(job_id)
+        if record is None:
+            return None, False
+        if record.get("state") in ("queued", "running"):
+            try:
+                with open(self._cancel_flag_path(job_id), "w") as handle:
+                    handle.write(str(round(time.time(), 4)))
+            except OSError:
+                return record, False
+            return record, True
+        return record, False
+
+    def _disk_record(self, job_id: str) -> Optional[Dict[str, object]]:
+        path = os.path.join(self.jobs_dir, job_id + ".json")
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        record.pop("request", None)   # wire shape of Job.to_dict()
+        record.pop("checkpoint", None)
+        return record
 
     # -- internals -----------------------------------------------------------
 
-    def _new_job(self, request: CheckRequest, fingerprint: str) -> Job:
+    def _new_job(self, request: CheckRequest, fingerprint: str,
+                 tenant: str = DEFAULT_TENANT) -> Job:
         job_id = uuid.uuid4().hex[:12]
-        return Job(job_id, request, fingerprint,
-                   checkpoint_path=os.path.join(self.jobs_dir,
-                                                job_id + ".ckpt"))
+        job = Job(job_id, request, fingerprint,
+                  checkpoint_path=os.path.join(self.jobs_dir,
+                                               job_id + ".ckpt"),
+                  tenant=tenant)
+        self._wire_sink(job)
+        return job
+
+    def _wire_sink(self, job: Job) -> None:
+        """Events append to ``jobs/<id>.events.ndjson`` as they happen,
+        so a sibling process's watcher follows the stream live."""
+        path = self._events_path(job.id)
+
+        def sink(record: Dict[str, object]) -> None:
+            try:
+                with open(path, "a") as handle:
+                    handle.write(
+                        json.dumps(record, separators=(",", ":")) + "\n")
+            except OSError:  # pragma: no cover - events are best-effort
+                pass
+
+        job.event_sink = sink
 
     def _queued_count(self) -> int:
         return sum(1 for job in self._jobs.values()
                    if job.state == "queued")
+
+    def _running_count(self) -> int:
+        return sum(1 for job in self._jobs.values()
+                   if job.state == "running")
 
     def _retry_after(self) -> float:
         """Backpressure hint: roughly how long until a queue slot frees
@@ -758,12 +1069,28 @@ class JobManager:
         estimate = self._queued_count() * mean / self.pool_size
         return round(max(1.0, estimate), 1)
 
+    def _set_gauges(self) -> None:
+        self._m_queue_depth.default.set(self._queued_count())
+        self._m_running.default.set(self._running_count())
+
+    def _flush_metrics(self) -> None:
+        try:
+            self.metrics_dir.flush()
+        except OSError:  # pragma: no cover - a full disk must not wedge
+            pass
+
     def _events_path(self, job_id: str) -> str:
         return os.path.join(self.jobs_dir, job_id + ".events.ndjson")
 
+    def _cancel_flag_path(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, job_id + ".cancel")
+
+    def _cancel_flagged(self, job: Job) -> bool:
+        return os.path.exists(self._cancel_flag_path(job.id))
+
     def _persist(self, job: Job) -> None:
-        """Write the job record and its event log (atomic rename for the
-        record, the durable source of truth across restarts)."""
+        """Write the job record atomically (the durable source of truth
+        across restarts; events append separately as they are emitted)."""
         record = job.to_dict(with_request=True)
         record["checkpoint"] = job.checkpoint_path
         path = os.path.join(self.jobs_dir, job.id + ".json")
@@ -771,27 +1098,56 @@ class JobManager:
         with open(tmp, "w") as handle:
             json.dump(record, handle, separators=(",", ":"))
         os.replace(tmp, path)
-        with open(self._events_path(job.id), "w") as handle:
-            for event in list(job.events):
-                handle.write(json.dumps(event, separators=(",", ":")) + "\n")
+
+    async def _next_job(self) -> Optional[Tuple[str, str]]:
+        """The next (tenant, job_id) the DRR scheduler dispatches, or
+        ``None`` when the manager is stopping.  Waits when nothing is
+        dispatchable (empty queues, or every queued tenant at its
+        in-flight cap)."""
+        assert self._wake is not None
+        while True:
+            if self._stopping:
+                return None
+            self._wake.clear()
+            item = self.scheduler.pop()
+            if item is not None:
+                return item
+            await self._wake.wait()
 
     async def _runner(self) -> None:
-        """One pool slot: take queued jobs and execute them on a thread."""
-        assert self._queue is not None
+        """One pool slot: take scheduled jobs and execute them on a
+        thread, journaling and mirroring every transition to metrics."""
         loop = asyncio.get_running_loop()
         while True:
-            job_id = await self._queue.get()
-            if job_id is None:
+            item = await self._next_job()
+            if item is None:
                 return
+            tenant, job_id = item
             job = self._jobs.get(job_id)
-            if job is None or job.state != "queued":
-                continue  # cancelled while queued
-            if self._interrupting:
-                continue  # draining: stays queued and persisted
+            if job is None or job.state != "queued" or self._interrupting:
+                # cancelled while queued, or draining (stays persisted)
+                self.scheduler.release(tenant, completed=False)
+                continue
+            if self._cancel_flagged(job):
+                # a sibling process flagged this job before we started it
+                job.cancel_requested = True
+                job.state = "cancelled"
+                job.finished = time.time()
+                job.emit("cancelled", while_state="queued", via="flag")
+                self._inflight.pop(job.fingerprint, None)
+                self.journal.append("cancelled", job.id, tenant=tenant)
+                self._m_cancelled.labels(tenant=tenant).inc()
+                self.scheduler.release(tenant, completed=False)
+                self._finish(job)
+                continue
             job.state = "running"
             job.started = time.time()
-            job.emit("started", resume=job.resume, workers=job.request.workers)
+            job.emit("started", resume=job.resume,
+                     workers=job.request.workers)
+            self.journal.append("started", job.id, tenant=tenant)
             self._persist(job)
+            self._set_gauges()
+            self._flush_metrics()
             began = time.monotonic()
             try:
                 result = await loop.run_in_executor(
@@ -802,6 +1158,9 @@ class JobManager:
                 job.emit("cancelled", while_state="running")
                 self._inflight.pop(job.fingerprint, None)
                 self._remove_checkpoint(job)
+                self.journal.append("cancelled", job.id, tenant=tenant)
+                self._m_cancelled.labels(tenant=tenant).inc()
+                self.scheduler.release(tenant, completed=False)
             except _JobInterrupted:
                 # graceful shutdown: back to queued, checkpoint on disk;
                 # the next manager on this state_dir resumes it
@@ -809,6 +1168,8 @@ class JobManager:
                 job.resume = bool(job.checkpoint_path
                                   and os.path.exists(job.checkpoint_path))
                 job.emit("interrupted", resume=job.resume)
+                self.journal.append("requeued", job.id, tenant=tenant)
+                self.scheduler.release(tenant, completed=False)
             except Exception as exc:  # surface executor errors as verdicts
                 job.state = "failed"
                 job.finished = time.time()
@@ -816,21 +1177,51 @@ class JobManager:
                 job.emit("failed", error=job.error)
                 self._inflight.pop(job.fingerprint, None)
                 self._remove_checkpoint(job)
+                self.journal.append("failed", job.id, tenant=tenant,
+                                    error=job.error)
+                self._m_failed.labels(tenant=tenant).inc()
+                self._m_latency.labels(tenant=tenant).observe(
+                    job.finished - job.created)
+                self.scheduler.release(tenant, completed=False)
             else:
                 job.state = "done"
                 job.finished = time.time()
                 job.result = result
-                if result.get("verdict") in _CACHEABLE_VERDICTS:
+                verdict = result.get("verdict")
+                if verdict in _CACHEABLE_VERDICTS:
                     self.cache.put(job.fingerprint, result)
                 self._recent_runtimes.append(time.monotonic() - began)
                 del self._recent_runtimes[:-16]
-                job.emit("done", verdict=result.get("verdict"),
+                job.emit("done", verdict=verdict,
                          cache_hit=False,
                          states=result.get("states"),
                          edges=result.get("edges"))
                 self._inflight.pop(job.fingerprint, None)
                 self._remove_checkpoint(job)
-            self._persist(job)
+                self.journal.append("done", job.id, tenant=tenant,
+                                    verdict=verdict)
+                self._m_completed.labels(tenant=tenant,
+                                         verdict=str(verdict)).inc()
+                self._m_engine.labels(
+                    engine=result.get("engine", "explicit")).inc()
+                self._m_latency.labels(tenant=tenant).observe(
+                    job.finished - job.created)
+                self.scheduler.release(tenant, completed=True)
+            self._finish(job)
+
+    def _finish(self, job: Job) -> None:
+        """Persist a transition and wake dispatchers (a release may have
+        unblocked a tenant at its in-flight cap)."""
+        self._persist(job)
+        if job.terminal:
+            try:
+                os.unlink(self._cancel_flag_path(job.id))
+            except OSError:
+                pass
+        self._set_gauges()
+        self._flush_metrics()
+        if self._wake is not None:
+            self._wake.set()
 
     def _remove_checkpoint(self, job: Job) -> None:
         if not job.checkpoint_path:
@@ -842,11 +1233,14 @@ class JobManager:
 
     def _execute(self, job: Job) -> Dict[str, object]:
         """Thread body: run the check, streaming level events and
-        honouring cancel/interrupt flags at level boundaries."""
+        honouring cancel/interrupt flags at level boundaries.  The
+        cancel check also polls the job's flag file, the path by which
+        a sibling process cancels a job it does not own."""
         stats = ExploreStats()
 
         def on_level(level: int, row: Dict[str, int]) -> None:
-            if job.cancel_requested:
+            if job.cancel_requested or self._cancel_flagged(job):
+                job.cancel_requested = True
                 raise JobCancelled()
             if self._interrupting or job.interrupt_requested:
                 raise _JobInterrupted()

@@ -1,0 +1,241 @@
+"""Append-only job journal: the service's durable queue of record.
+
+Per-job ``jobs/<id>.json`` records (PR 5) already survive a graceful
+drain, but they are one process's private bookkeeping: after a SIGKILL
+nothing says *which* jobs the dead process still owed, and with N
+pre-forked server processes over one state directory nothing stops two
+survivors from both re-admitting the same queued job.  The journal fixes
+both with the classic recipe:
+
+* **Append-only NDJSON log** (``journal/journal.ndjson``): every job
+  transition -- ``submitted`` (with the full request, so the journal is
+  self-contained), ``started``, ``requeued``, ``done``/``failed``/
+  ``cancelled``, and recovery ``claimed`` records -- is one JSON line
+  appended under an ``flock``.  A SIGKILL can at worst tear the final
+  line; :meth:`JobJournal.replay` tolerates exactly that (a torn
+  *middle* line would mean filesystem corruption and is skipped with a
+  count).
+* **Snapshot compaction** (``journal/snapshot.json``): replay folds the
+  log into one record per job id; :meth:`JobJournal.compact` persists
+  that fold (plus an optional extra blob -- the service embeds a
+  metrics snapshot) and truncates the log, so the journal's size tracks
+  the *live* job population, not service uptime.
+* **Idempotent replay, exactly-once claims**: replay is keyed by job
+  id -- re-applying any suffix of the log is a no-op on the folded
+  state.  Recovery runs under the journal lock: a process that wants to
+  re-admit an orphaned (queued/running, owner dead) job first appends
+  ``claimed`` with its own pid; the next process's replay sees a live
+  owner and leaves the job alone.  That is what makes "queued jobs
+  survive SIGKILL and are re-admitted exactly once" hold across any mix
+  of restarts and pre-forked siblings.
+
+Lock discipline: ``flock`` on ``journal/.lock`` serialises appends,
+compaction, and recovery across processes.  Appends hold it for one
+``write``; recovery holds it across replay-then-claim (the only
+read-modify-write).
+"""
+
+from __future__ import annotations
+
+import fcntl
+import json
+import os
+import tempfile
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["JobJournal", "pid_alive"]
+
+# kinds that transfer ownership to the appending process
+_OWNING_KINDS = ("submitted", "claimed", "started")
+# kinds after which a job sits in the queue again
+_TERMINAL_KINDS = ("done", "failed", "cancelled")
+
+
+def pid_alive(pid: Optional[int]) -> bool:
+    if not pid:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - alive, different user
+        return True
+    except OSError:  # pragma: no cover
+        return False
+    return True
+
+
+class JobJournal:
+    """One state directory's journal (safe for N concurrent processes)."""
+
+    def __init__(self, directory: str):
+        self.directory = os.path.abspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.log_path = os.path.join(self.directory, "journal.ndjson")
+        self.snapshot_path = os.path.join(self.directory, "snapshot.json")
+        self._lock_path = os.path.join(self.directory, ".lock")
+        self.torn_lines = 0
+
+    # -- locking -------------------------------------------------------------
+
+    @contextmanager
+    def lock(self) -> Iterator[None]:
+        """The cross-process journal lock (flock; reentrancy not needed:
+        appends inside a locked recovery use the unlocked writer)."""
+        with open(self._lock_path, "a") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    # -- writing -------------------------------------------------------------
+
+    def append(self, kind: str, job_id: str, **fields: object) -> None:
+        """Append one transition under the lock (one line, one write)."""
+        with self.lock():
+            self.append_locked(kind, job_id, **fields)
+
+    def append_locked(self, kind: str, job_id: str,
+                      **fields: object) -> None:
+        """Append while the caller already holds :meth:`lock`."""
+        record: Dict[str, object] = {
+            "kind": kind, "job": job_id, "pid": os.getpid(),
+            "t": round(time.time(), 4),
+        }
+        record.update(fields)
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        with open(self.log_path, "a") as handle:
+            handle.write(line)
+
+    # -- reading -------------------------------------------------------------
+
+    def _iter_log(self) -> Iterator[Dict[str, object]]:
+        try:
+            with open(self.log_path, "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            return
+        lines = raw.split(b"\n")
+        for index, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                # a torn final line is the expected SIGKILL residue;
+                # anything earlier is corruption we skip but count
+                self.torn_lines += 1
+
+    def replay(self) -> Dict[str, Dict[str, object]]:
+        """Fold snapshot + log into one record per job id::
+
+            {job_id: {"state", "tenant", "owner", "request",
+                      "fingerprint", "verdict", "counts": {kind: n},
+                      "claims": [...], "first_t", "last_t"}}
+
+        ``owner`` is the pid of the last process that took
+        responsibility for the job (submitted / claimed / started);
+        recovery treats a non-terminal job with a dead owner as
+        orphaned.
+        """
+        jobs: Dict[str, Dict[str, object]] = {}
+        try:
+            with open(self.snapshot_path) as handle:
+                snapshot = json.load(handle)
+            jobs = {job_id: dict(record) for job_id, record
+                    in snapshot.get("jobs", {}).items()}
+        except (OSError, ValueError):
+            pass
+        for entry in self._iter_log():
+            job_id = entry.get("job")
+            kind = entry.get("kind")
+            if not isinstance(job_id, str) or not isinstance(kind, str):
+                continue
+            record = jobs.setdefault(job_id, {
+                "state": None, "tenant": None, "owner": None,
+                "request": None, "fingerprint": None, "verdict": None,
+                "counts": {}, "claims": [], "first_t": entry.get("t"),
+            })
+            counts = record.setdefault("counts", {})
+            counts[kind] = counts.get(kind, 0) + 1
+            record["last_t"] = entry.get("t")
+            if kind in _OWNING_KINDS:
+                record["owner"] = entry.get("pid")
+            if kind == "submitted":
+                record["state"] = "queued"
+                record["tenant"] = entry.get("tenant", record["tenant"])
+                record["fingerprint"] = entry.get(
+                    "fingerprint", record["fingerprint"])
+                if entry.get("request") is not None:
+                    record["request"] = entry["request"]
+            elif kind == "started":
+                record["state"] = "running"
+            elif kind == "requeued":
+                record["state"] = "queued"
+            elif kind == "claimed":
+                record["state"] = "queued"
+                record.setdefault("claims", []).append(
+                    {"pid": entry.get("pid"), "t": entry.get("t")})
+            elif kind in _TERMINAL_KINDS:
+                record["state"] = kind
+                if entry.get("verdict") is not None:
+                    record["verdict"] = entry["verdict"]
+        return jobs
+
+    def orphans(self, jobs: Optional[Dict[str, Dict[str, object]]] = None
+                ) -> List[str]:
+        """Job ids that are non-terminal with no live owner -- the set a
+        recovering process may claim (call under :meth:`lock`)."""
+        jobs = self.replay() if jobs is None else jobs
+        own = os.getpid()
+        return [job_id for job_id, record in sorted(jobs.items())
+                if record.get("state") in ("queued", "running")
+                and (record.get("owner") == own
+                     or not pid_alive(record.get("owner")))]
+
+    # -- compaction ----------------------------------------------------------
+
+    def compact(self, extra: Optional[Dict[str, object]] = None,
+                drop_terminal_older_than: Optional[float] = None) -> int:
+        """Fold the log into ``snapshot.json`` and truncate it.  Returns
+        the number of job records retained.  *extra* is persisted
+        verbatim in the snapshot (the service stores a metrics snapshot
+        there, its run-manifest twin).  Terminal records older than
+        *drop_terminal_older_than* seconds are aged out."""
+        with self.lock():
+            jobs = self.replay()
+            if drop_terminal_older_than is not None:
+                horizon = time.time() - drop_terminal_older_than
+                jobs = {job_id: record for job_id, record in jobs.items()
+                        if record.get("state") not in _TERMINAL_KINDS
+                        or (record.get("last_t") or 0) >= horizon}
+            snapshot: Dict[str, object] = {
+                "version": 1, "t": round(time.time(), 4), "jobs": jobs,
+            }
+            if extra:
+                snapshot["extra"] = extra
+            fd, tmp = tempfile.mkstemp(prefix=".snapshot-", suffix=".tmp",
+                                       dir=self.directory)
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(snapshot, handle, separators=(",", ":"))
+                os.replace(tmp, self.snapshot_path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            with open(self.log_path, "w"):
+                pass  # truncate: its contents are folded into the snapshot
+            return len(jobs)
+
+    def log_size(self) -> int:
+        try:
+            return os.path.getsize(self.log_path)
+        except OSError:
+            return 0

@@ -1,0 +1,300 @@
+"""Per-tenant quotas and fair dispatch for the checking service.
+
+The job manager used to run one global FIFO behind one global admission
+limit, so a single tenant submitting 10³ checks would occupy every queue
+slot and every pool thread while everyone else collected 429s.  This
+module splits that into three layers, all per tenant (tenants arrive as
+the ``X-Repro-Tenant`` header / ``repro submit --tenant``):
+
+* **Rate limiting** -- a :class:`TokenBucket` per tenant (``rate``
+  tokens/second, ``burst`` capacity).  A submission with no token is
+  rejected with :class:`TenantThrottled`, whose ``retry_after`` is
+  derived from *that tenant's own bucket* -- exactly when their next
+  token lands, not a global guess -- and surfaces as ``429`` +
+  ``Retry-After``.
+* **Bounds** -- ``max_queued`` caps one tenant's share of the queue and
+  ``max_inflight`` their concurrently running jobs, so the global
+  ``queue_limit``/pool stay available to everyone else.
+* **Fair dispatch** -- :class:`FairScheduler` keeps one FIFO per tenant
+  and serves them deficit-round-robin: each visit grants a tenant
+  ``quantum`` deficit, dispatching a job costs one unit, and a tenant
+  at its in-flight cap is skipped without accruing deficit.  With unit
+  job costs this degenerates to strict round robin over the active
+  tenants -- the property the load test asserts is that one tenant's
+  10³ submissions keep every other tenant's throughput within 2x of
+  fair share.
+
+The scheduler is event-loop-confined state (no locks): the manager
+calls it only from the asyncio thread.  :class:`QueueFull` lives here
+(re-exported by :mod:`repro.service.jobs` for compatibility) so
+:class:`TenantThrottled` can subclass it and every 429 path is one
+``except QueueFull``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+__all__ = ["QueueFull", "TenantThrottled", "TenantPolicy", "TokenBucket",
+           "FairScheduler", "DEFAULT_TENANT", "valid_tenant"]
+
+DEFAULT_TENANT = "default"
+
+_TENANT_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-")
+
+
+def valid_tenant(name: object) -> bool:
+    """Tenant names travel in headers, journal lines, and metric labels,
+    so they are restricted to 1-64 chars of [A-Za-z0-9._-]."""
+    return (isinstance(name, str) and 0 < len(name) <= 64
+            and set(name) <= _TENANT_CHARS)
+
+
+class QueueFull(Exception):
+    """The pending queue is at its admission limit; retry later."""
+
+    def __init__(self, retry_after: float):
+        super().__init__(
+            f"job queue is full; retry in ~{retry_after:g}s")
+        self.retry_after = retry_after
+
+
+class TenantThrottled(QueueFull):
+    """One tenant hit its own quota (not the shared queue limit).
+
+    ``reason`` is a machine-readable code (``"rate"`` or ``"queue"``;
+    it becomes a metrics label), ``detail`` the human sentence.
+    """
+
+    def __init__(self, tenant: str, reason: str, retry_after: float,
+                 detail: str = ""):
+        Exception.__init__(
+            self, f"tenant {tenant!r} {detail or reason}; retry in "
+                  f"~{retry_after:g}s")
+        self.retry_after = retry_after
+        self.tenant = tenant
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """The quota every tenant gets (uniform; ``None`` disables a knob).
+
+    The defaults are fully permissive so embedded/test managers behave
+    exactly like the pre-tenant service; ``repro serve`` exposes each
+    knob as a flag.
+    """
+
+    rate: Optional[float] = None        # admissions per second
+    burst: int = 8                      # bucket capacity
+    max_inflight: Optional[int] = None  # concurrently running jobs
+    max_queued: Optional[int] = None    # jobs waiting in the queue
+
+    def __post_init__(self):
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        for name in ("max_inflight", "max_queued"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+
+
+class TokenBucket:
+    """The classic leaky meter: ``rate`` tokens/second up to ``burst``."""
+
+    def __init__(self, rate: float, burst: int,
+                 clock: Callable[[], float] = time.monotonic):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    def try_take(self) -> bool:
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def retry_after(self) -> float:
+        """Seconds until this bucket holds a whole token again."""
+        self._refill()
+        if self._tokens >= 1.0:
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+
+class _TenantState:
+    __slots__ = ("name", "queue", "bucket", "deficit", "inflight",
+                 "admitted", "dispatched", "completed", "throttled")
+
+    def __init__(self, name: str, bucket: Optional[TokenBucket]):
+        self.name = name
+        self.queue: Deque[str] = deque()
+        self.bucket = bucket
+        self.deficit = 0.0
+        self.inflight = 0
+        self.admitted = 0
+        self.dispatched = 0
+        self.completed = 0
+        self.throttled = 0
+
+
+class FairScheduler:
+    """Deficit-round-robin dispatch over per-tenant FIFOs."""
+
+    def __init__(self, policy: Optional[TenantPolicy] = None,
+                 quantum: float = 1.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if quantum <= 0:
+            raise ValueError(f"quantum must be positive, got {quantum}")
+        self.policy = policy or TenantPolicy()
+        self.quantum = quantum
+        self._clock = clock
+        self._tenants: Dict[str, _TenantState] = {}
+        self._active: Deque[str] = deque()  # tenants with queued jobs
+
+    def _state(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            bucket = None
+            if self.policy.rate is not None:
+                bucket = TokenBucket(self.policy.rate, self.policy.burst,
+                                     clock=self._clock)
+            state = _TenantState(tenant, bucket)
+            self._tenants[tenant] = state
+        return state
+
+    # -- admission -----------------------------------------------------------
+
+    def admit(self, tenant: str) -> None:
+        """Charge one admission against *tenant*'s quota; raises
+        :class:`TenantThrottled` when their bucket is dry or their queue
+        share is spent.  Cache hits and coalesced submissions are never
+        charged (the manager only calls this when real work will queue).
+        """
+        state = self._state(tenant)
+        if self.policy.max_queued is not None \
+                and len(state.queue) >= self.policy.max_queued:
+            state.throttled += 1
+            raise TenantThrottled(
+                tenant, "queue",
+                retry_after=max(1.0, float(len(state.queue))),
+                detail=f"has {len(state.queue)} queued jobs "
+                       f"(max {self.policy.max_queued})")
+        if state.bucket is not None and not state.bucket.try_take():
+            state.throttled += 1
+            raise TenantThrottled(
+                tenant, "rate",
+                retry_after=round(max(0.1, state.bucket.retry_after()), 3),
+                detail="is rate-limited")
+        state.admitted += 1
+
+    # -- queue ---------------------------------------------------------------
+
+    def push(self, tenant: str, job_id: str) -> None:
+        state = self._state(tenant)
+        state.queue.append(job_id)
+        if tenant not in self._active:
+            self._active.append(tenant)
+
+    def pop(self) -> Optional[Tuple[str, str]]:
+        """The next (tenant, job_id) under DRR, or None when every
+        queued tenant is at its in-flight cap (or nothing is queued)."""
+        skipped: List[str] = []
+        result: Optional[Tuple[str, str]] = None
+        for _ in range(len(self._active)):
+            tenant = self._active.popleft()
+            state = self._tenants[tenant]
+            if not state.queue:
+                state.deficit = 0.0
+                continue
+            if self.policy.max_inflight is not None \
+                    and state.inflight >= self.policy.max_inflight:
+                # no deficit while capped: fairness is about offered
+                # service, and this tenant cannot accept any
+                skipped.append(tenant)
+                continue
+            state.deficit += self.quantum
+            if state.deficit >= 1.0:
+                state.deficit -= 1.0
+                job_id = state.queue.popleft()
+                state.inflight += 1
+                state.dispatched += 1
+                if state.queue:
+                    self._active.append(tenant)
+                else:
+                    state.deficit = 0.0
+                result = (tenant, job_id)
+                break
+            self._active.append(tenant)
+        # capped tenants stay active (behind whoever we just served) so
+        # a release() can immediately dispatch them
+        self._active.extend(skipped)
+        return result
+
+    def release(self, tenant: str, completed: bool = True) -> None:
+        """A dispatched job left its running slot."""
+        state = self._state(tenant)
+        if state.inflight > 0:
+            state.inflight -= 1
+        if completed:
+            state.completed += 1
+
+    def forget(self, tenant: str, job_id: str) -> bool:
+        """Drop a queued job (cancellation while queued)."""
+        state = self._tenants.get(tenant)
+        if state is None:
+            return False
+        try:
+            state.queue.remove(job_id)
+        except ValueError:
+            return False
+        return True
+
+    # -- views ---------------------------------------------------------------
+
+    def depth(self) -> int:
+        return sum(len(s.queue) for s in self._tenants.values())
+
+    def inflight(self) -> int:
+        return sum(s.inflight for s in self._tenants.values())
+
+    def tenants_view(self) -> Dict[str, Dict[str, object]]:
+        """Operator-facing state for ``GET /tenants``."""
+        view: Dict[str, Dict[str, object]] = {}
+        for name, state in sorted(self._tenants.items()):
+            entry: Dict[str, object] = {
+                "queued": len(state.queue),
+                "inflight": state.inflight,
+                "deficit": round(state.deficit, 6),
+                "admitted": state.admitted,
+                "dispatched": state.dispatched,
+                "completed": state.completed,
+                "throttled": state.throttled,
+            }
+            if state.bucket is not None:
+                entry["tokens"] = round(state.bucket.tokens, 3)
+                entry["rate"] = state.bucket.rate
+            view[name] = entry
+        return view

@@ -1,18 +1,24 @@
 """Stdlib-only asyncio HTTP front end for the checking service.
 
-Routes (all JSON in, JSON out)::
+Routes (JSON in, JSON out, except ``/metrics``)::
 
     GET    /healthz          liveness + queue/cache counters
-    POST   /jobs             submit a CheckRequest body
+    GET    /metrics          fleet-wide Prometheus text exposition
+    GET    /tenants          per-tenant scheduler state
+    POST   /jobs             submit a CheckRequest body (the submitting
+                             tenant rides in ``X-Repro-Tenant``)
                              -> 201 created / 200 cached-or-coalesced
-                             -> 400 invalid / 429 full (Retry-After)
-    GET    /jobs             all jobs, oldest first
+                             -> 400 invalid / 429 throttled-or-full
+                                (Retry-After from the tenant's bucket)
+    GET    /jobs             all jobs on the state dir, oldest first
+                             (including sibling processes' jobs)
     GET    /jobs/<id>        one job's metadata + result
     GET    /jobs/<id>/events NDJSON stream: buffered events replayed,
                              then live-followed until the job is
                              terminal (the connection then closes)
     DELETE /jobs/<id>        cancel (immediate when queued, cooperative
-                             at the next BFS level when running)
+                             at the next BFS level when running; jobs
+                             owned by a sibling process are flagged)
 
 The server is deliberately minimal HTTP/1.1 (``Connection: close``, one
 request per connection): it exists so ``curl`` and the bundled
@@ -23,8 +29,16 @@ point -- it writes a ``server.json`` endpoint file into the state
 directory (so scripts can discover an ephemeral port) and turns
 SIGTERM/SIGINT into a graceful drain: running jobs checkpoint at their
 next BFS level and are resumed by the next server on the same state
-directory.  :class:`BackgroundServer` runs the whole stack on a daemon
-thread for tests and embedding.
+directory.
+
+``procs > 1`` pre-forks that many worker processes, each running the
+full manager+server stack over the shared state directory.  Every child
+binds the same port with ``SO_REUSEPORT`` (the kernel load-balances
+accepts); on platforms without it the parent binds one listening socket
+that the children inherit (the kernel serialises their accepts).  The
+journal, metrics directory, and sharded cache are the cross-process
+seams that make this safe.  :class:`BackgroundServer` runs the whole
+stack on a daemon thread for tests and embedding.
 """
 
 from __future__ import annotations
@@ -33,17 +47,20 @@ import asyncio
 import json
 import os
 import signal
+import socket
 import sys
 import threading
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..parser import ParseError
-from .jobs import CheckRequest, JobManager, QueueFull
-from .wire import HttpError, read_body, read_head, send_json
+from .jobs import CheckRequest, JobManager, QueueFull, TenantThrottled
+from .scheduler import DEFAULT_TENANT, TenantPolicy
+from .wire import HttpError, read_body, read_head, send_json, send_text
 
 __all__ = ["CheckService", "BackgroundServer", "run_server"]
 
 _STREAM_POLL_SECONDS = 0.05
+_PARENT_POLL_SECONDS = 1.0
 
 
 class CheckService:
@@ -56,9 +73,20 @@ class CheckService:
         self.port = port  # 0 = ephemeral; start() fills the real one in
         self._server: Optional[asyncio.AbstractServer] = None
 
-    async def start(self) -> None:
-        self._server = await asyncio.start_server(
-            self._handle, self.host, self.port)
+    async def start(self, sock: Optional[socket.socket] = None,
+                    reuse_port: bool = False) -> None:
+        """Begin accepting: on a fresh bind, on an inherited listening
+        *sock* (pre-fork fallback), or -- with *reuse_port* -- on our own
+        ``SO_REUSEPORT`` member of a shared port group."""
+        if sock is not None:
+            self._server = await asyncio.start_server(self._handle,
+                                                      sock=sock)
+        elif reuse_port:
+            self._server = await asyncio.start_server(
+                self._handle, self.host, self.port, reuse_port=True)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def stop(self) -> None:
@@ -81,7 +109,7 @@ class CheckService:
                 writer.write(b"HTTP/1.1 100 Continue\r\n\r\n")
                 await writer.drain()
             body = await read_body(reader, headers)
-            await self._route(method, path, body, writer)
+            await self._route(method, path, headers, body, writer)
         except HttpError as exc:
             await send_json(writer, exc.status, {"error": str(exc)})
         except (ConnectionError, asyncio.IncompleteReadError,
@@ -99,19 +127,27 @@ class CheckService:
             except Exception:
                 pass
 
-    async def _route(self, method: str, path: str, body: bytes,
+    async def _route(self, method: str, path: str,
+                     headers: Dict[str, str], body: bytes,
                      writer: asyncio.StreamWriter) -> None:
         path = path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/healthz" and method == "GET":
             await send_json(writer, 200, self.manager.health())
             return
+        if path == "/metrics" and method == "GET":
+            await send_text(writer, 200, self.manager.metrics_text())
+            return
+        if path == "/tenants" and method == "GET":
+            await send_json(writer, 200,
+                            {"tenants": self.manager.tenants()})
+            return
         if path == "/jobs":
             if method == "POST":
-                await self._submit(body, writer)
+                await self._submit(headers, body, writer)
                 return
             if method == "GET":
-                await send_json(writer, 200, {
-                    "jobs": [job.to_dict() for job in self.manager.jobs()]})
+                await send_json(writer, 200,
+                                {"jobs": self.manager.list_records()})
                 return
             raise HttpError(405, f"{method} not allowed on {path}")
         if path.startswith("/jobs/"):
@@ -120,25 +156,27 @@ class CheckService:
                 job_id, tail = rest[:-len("/events")], "events"
             else:
                 job_id, tail = rest, ""
-            job = self.manager.get(job_id)
-            if job is None:
+            record = self.manager.job_record(job_id)
+            if record is None:
                 raise HttpError(404, f"no such job {job_id!r}")
             if tail == "events" and method == "GET":
-                await self._stream_events(job, writer)
+                await self._stream_events(job_id, writer)
                 return
             if tail == "" and method == "GET":
-                await send_json(writer, 200, job.to_dict())
+                await send_json(writer, 200, record)
                 return
             if tail == "" and method == "DELETE":
-                job, accepted = self.manager.cancel(job_id)
+                record, accepted = self.manager.cancel_any(job_id)
                 await send_json(writer, 200, {
-                    "id": job_id, "accepted": accepted, "state": job.state})
+                    "id": job_id, "accepted": accepted,
+                    "state": record.get("state") if record else None})
                 return
             raise HttpError(405, f"{method} not allowed on {path}")
         raise HttpError(404, f"no route for {method} {path}")
 
-    async def _submit(self, body: bytes,
+    async def _submit(self, headers: Dict[str, str], body: bytes,
                       writer: asyncio.StreamWriter) -> None:
+        tenant = headers.get("x-repro-tenant", DEFAULT_TENANT)
         try:
             payload = json.loads(body.decode("utf-8") or "null")
         except (UnicodeDecodeError, ValueError):
@@ -148,11 +186,14 @@ class CheckService:
         except ValueError as exc:
             raise HttpError(400, str(exc)) from None
         try:
-            job, disposition = self.manager.submit(request)
+            job, disposition = self.manager.submit(request, tenant=tenant)
         except QueueFull as exc:
+            payload = {"error": str(exc), "retry_after": exc.retry_after}
+            if isinstance(exc, TenantThrottled):
+                payload["tenant"] = exc.tenant
+                payload["reason"] = exc.reason
             await send_json(
-                writer, 429,
-                {"error": str(exc), "retry_after": exc.retry_after},
+                writer, 429, payload,
                 extra_headers={"Retry-After": str(int(exc.retry_after + 0.5))})
             return
         except (ParseError, ValueError) as exc:  # fails to parse/elaborate
@@ -163,7 +204,8 @@ class CheckService:
         await send_json(writer, status, {
             "job": job.to_dict(), "disposition": disposition})
 
-    async def _stream_events(self, job, writer: asyncio.StreamWriter) -> None:
+    async def _stream_events(self, job_id: str,
+                             writer: asyncio.StreamWriter) -> None:
         writer.write(b"HTTP/1.1 200 OK\r\n"
                      b"Content-Type: application/x-ndjson\r\n"
                      b"Cache-Control: no-store\r\n"
@@ -171,23 +213,42 @@ class CheckService:
         await writer.drain()
         sent = 0
         while True:
-            # events is append-only, so reading by index races with nothing
-            while sent < len(job.events):
-                line = json.dumps(job.events[sent], separators=(",", ":"))
-                writer.write(line.encode("utf-8") + b"\n")
-                sent += 1
+            job = self.manager.get(job_id)
+            if job is not None:
+                # our job: events is append-only in memory, so reading
+                # by index races with nothing
+                while sent < len(job.events):
+                    line = json.dumps(job.events[sent],
+                                      separators=(",", ":"))
+                    writer.write(line.encode("utf-8") + b"\n")
+                    sent += 1
+                terminal, drained = job.terminal, sent >= len(job.events)
+            else:
+                # a sibling process's job: follow its append-only
+                # events file through the shared state dir
+                batch = self.manager.job_events(job_id, sent) or []
+                for event in batch:
+                    line = json.dumps(event, separators=(",", ":"))
+                    writer.write(line.encode("utf-8") + b"\n")
+                    sent += 1
+                record = self.manager.job_record(job_id)
+                terminal = record is None or record.get("state") in (
+                    "done", "failed", "cancelled")
+                drained = not batch
             await writer.drain()
-            if job.terminal and sent >= len(job.events):
+            if terminal and drained:
                 return
             await asyncio.sleep(_STREAM_POLL_SECONDS)
 
 
-def _write_endpoint_file(state_dir: str, service: CheckService) -> str:
+def _write_endpoint_file(state_dir: str, host: str, port: int,
+                         procs: int = 1) -> str:
     """Drop ``server.json`` into the state dir so scripts can discover
     an ephemeral port (the smoke tests bind port 0)."""
     path = os.path.join(state_dir, "server.json")
-    payload = {"host": service.host, "port": service.port,
-               "url": service.url, "pid": os.getpid()}
+    payload = {"host": host, "port": port,
+               "url": f"http://{host}:{port}", "pid": os.getpid(),
+               "procs": procs}
     tmp = path + ".tmp"
     with open(tmp, "w") as handle:
         json.dump(payload, handle)
@@ -195,24 +256,33 @@ def _write_endpoint_file(state_dir: str, service: CheckService) -> str:
     return path
 
 
-def run_server(state_dir: str, host: str = "127.0.0.1", port: int = 8123,
-               pool_size: int = 2, queue_limit: int = 16,
-               out=None) -> int:
-    """The ``repro serve`` body: run until SIGTERM/SIGINT, then drain
+def _serve_one(state_dir: str, host: str, port: int, pool_size: int,
+               queue_limit: int, tenant_policy: Optional[TenantPolicy],
+               out, sock: Optional[socket.socket] = None,
+               reuse_port: bool = False, procs: int = 1,
+               write_endpoint: bool = True,
+               parent_pid: Optional[int] = None) -> int:
+    """One process's serve loop: run until SIGTERM/SIGINT, then drain
     gracefully (running jobs checkpoint and requeue; a later server on
-    the same *state_dir* resumes them)."""
-    out = out if out is not None else sys.stdout
+    the same *state_dir* resumes them).  Forked children also pass
+    *parent_pid*: SIGKILL on the supervisor cannot be relayed, so each
+    child watches for re-parenting and drains itself rather than serve
+    on as an unsupervised orphan."""
 
     async def _amain() -> None:
         manager = JobManager(state_dir, pool_size=pool_size,
-                             queue_limit=queue_limit)
+                             queue_limit=queue_limit,
+                             tenant_policy=tenant_policy)
         await manager.start()
         service = CheckService(manager, host=host, port=port)
-        await service.start()
-        _write_endpoint_file(manager.state_dir, service)
-        print(f"repro service: listening on {service.url} "
-              f"(state in {manager.state_dir}, pool {pool_size}, "
-              f"queue limit {queue_limit})", file=out, flush=True)
+        await service.start(sock=sock, reuse_port=reuse_port)
+        if write_endpoint:
+            _write_endpoint_file(manager.state_dir, service.host,
+                                 service.port, procs=procs)
+        print(f"repro service: pid {os.getpid()} listening on "
+              f"{service.url} (state in {manager.state_dir}, "
+              f"pool {pool_size}, queue limit {queue_limit})",
+              file=out, flush=True)
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGTERM, signal.SIGINT):
@@ -220,15 +290,122 @@ def run_server(state_dir: str, host: str = "127.0.0.1", port: int = 8123,
                 loop.add_signal_handler(signum, stop.set)
             except (NotImplementedError, RuntimeError):  # pragma: no cover
                 signal.signal(signum, lambda *_args: stop.set())
+
+        async def _watch_parent() -> None:
+            while os.getppid() == parent_pid:
+                await asyncio.sleep(_PARENT_POLL_SECONDS)
+            print(f"repro service: pid {os.getpid()} lost its supervisor "
+                  f"(pid {parent_pid}); draining", file=out, flush=True)
+            stop.set()
+
+        watchdog = (asyncio.get_running_loop().create_task(_watch_parent())
+                    if parent_pid is not None else None)
         await stop.wait()
-        print("repro service: draining (running jobs checkpoint at their "
-              "next level)", file=out, flush=True)
+        if watchdog is not None:
+            watchdog.cancel()
+        print(f"repro service: pid {os.getpid()} draining (running jobs "
+              f"checkpoint at their next level)", file=out, flush=True)
         await service.stop()
         await manager.shutdown()
-        print("repro service: shut down cleanly", file=out, flush=True)
+        print(f"repro service: pid {os.getpid()} shut down cleanly",
+              file=out, flush=True)
 
     asyncio.run(_amain())
     return 0
+
+
+def _probe_reuseport(host: str, port: int) -> int:
+    """Resolve port 0 to a concrete port for a SO_REUSEPORT group (every
+    member must bind the same number).  The momentary bind-then-close
+    leaves a tiny window in which another process could take the port;
+    pre-forked children fail loudly on bind if that ever happens."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+        return sock.getsockname()[1]
+    finally:
+        sock.close()
+
+
+def run_server(state_dir: str, host: str = "127.0.0.1", port: int = 8123,
+               pool_size: int = 2, queue_limit: int = 16,
+               procs: int = 1,
+               tenant_policy: Optional[TenantPolicy] = None,
+               out=None) -> int:
+    """The ``repro serve`` body.  ``procs == 1`` serves in this process;
+    ``procs > 1`` pre-forks that many full manager+server stacks over
+    the shared state directory, each binding the port with
+    ``SO_REUSEPORT`` (falling back to one parent-bound socket the
+    children inherit).  The parent relays SIGTERM/SIGINT to the children
+    and waits for them to drain."""
+    out = out if out is not None else sys.stdout
+    if procs < 1:
+        raise ValueError(f"procs must be >= 1, got {procs}")
+    if procs == 1:
+        return _serve_one(state_dir, host, port, pool_size, queue_limit,
+                          tenant_policy, out)
+
+    inherited: Optional[socket.socket] = None
+    reuse_port = hasattr(socket, "SO_REUSEPORT")
+    if reuse_port:
+        if port == 0:
+            port = _probe_reuseport(host, port)
+    else:  # pragma: no cover - platform without SO_REUSEPORT
+        inherited = socket.create_server((host, port), backlog=128)
+        port = inherited.getsockname()[1]
+    state_dir = os.path.abspath(state_dir)
+    os.makedirs(state_dir, exist_ok=True)
+    _write_endpoint_file(state_dir, host, port, procs=procs)
+
+    supervisor = os.getpid()
+    children: List[int] = []
+    for _index in range(procs):
+        pid = os.fork()
+        if pid == 0:
+            code = 1
+            try:
+                code = _serve_one(state_dir, host, port, pool_size,
+                                  queue_limit, tenant_policy, out,
+                                  sock=inherited, reuse_port=reuse_port,
+                                  procs=procs, write_endpoint=False,
+                                  parent_pid=supervisor)
+            except BaseException:  # noqa: BLE001 - child must not unwind
+                pass
+            finally:
+                os._exit(code)
+        children.append(pid)
+    if inherited is not None:  # pragma: no cover - fallback path
+        inherited.close()
+
+    def relay(signum: int, _frame: object) -> None:
+        for child in children:
+            try:
+                os.kill(child, signum)
+            except ProcessLookupError:
+                pass
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, relay)
+    print(f"repro service: parent pid {os.getpid()} supervising "
+          f"{procs} processes on http://{host}:{port}", file=out,
+          flush=True)
+    code = 0
+    remaining = set(children)
+    while remaining:
+        try:
+            pid, status = os.wait()
+        except InterruptedError:  # a relayed signal; keep waiting
+            continue
+        except ChildProcessError:  # pragma: no cover
+            break
+        remaining.discard(pid)
+        child_code = os.waitstatus_to_exitcode(status)
+        if child_code != 0:
+            code = 1
+    print(f"repro service: all {procs} processes exited", file=out,
+          flush=True)
+    return code
 
 
 class BackgroundServer:
@@ -243,8 +420,10 @@ class BackgroundServer:
     """
 
     def __init__(self, state_dir: str, host: str = "127.0.0.1",
-                 port: int = 0, pool_size: int = 2, queue_limit: int = 16):
-        self._args = (state_dir, host, port, pool_size, queue_limit)
+                 port: int = 0, pool_size: int = 2, queue_limit: int = 16,
+                 tenant_policy: Optional[TenantPolicy] = None):
+        self._args = (state_dir, host, port, pool_size, queue_limit,
+                      tenant_policy)
         self.manager: Optional[JobManager] = None
         self.service: Optional[CheckService] = None
         self.url: Optional[str] = None
@@ -287,10 +466,12 @@ class BackgroundServer:
             self._ready.set()
 
     async def _amain(self) -> None:
-        state_dir, host, port, pool_size, queue_limit = self._args
+        (state_dir, host, port, pool_size, queue_limit,
+         tenant_policy) = self._args
         try:
             self.manager = JobManager(state_dir, pool_size=pool_size,
-                                      queue_limit=queue_limit)
+                                      queue_limit=queue_limit,
+                                      tenant_policy=tenant_policy)
             await self.manager.start()
             self.service = CheckService(self.manager, host=host, port=port)
             await self.service.start()

@@ -39,7 +39,8 @@ from urllib.parse import urlsplit
 
 __all__ = [
     "MAX_BODY", "REASONS", "HttpError", "read_head", "read_body",
-    "send_json", "ProtocolError", "WorkerLink", "NetFaultPlan",
+    "send_json", "send_text", "ProtocolError", "WorkerLink",
+    "NetFaultPlan",
 ]
 
 MAX_BODY = 16 * 1024 * 1024  # a body larger than this is a typo
@@ -107,6 +108,20 @@ async def send_json(writer: asyncio.StreamWriter, status: int,
             "Connection: close"]
     for key, value in (extra_headers or {}).items():
         head.append(f"{key}: {value}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+    await writer.drain()
+
+
+async def send_text(writer: asyncio.StreamWriter, status: int, text: str,
+                    content_type: str = "text/plain; version=0.0.4; "
+                                        "charset=utf-8") -> None:
+    """Write a complete ``Connection: close`` plain-text response (the
+    default content type is the Prometheus exposition format's)."""
+    body = text.encode("utf-8")
+    head = [f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            "Connection: close"]
     writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
     await writer.drain()
 

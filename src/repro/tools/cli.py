@@ -14,11 +14,18 @@ machine-readable :meth:`~repro.checker.stats.ExploreStats.to_json`
 snapshot next to the human ``--stats`` summary.
 
 Service verbs (see :mod:`repro.service`): ``repro serve`` runs the
-checking service (async job server + content-addressed result cache);
-``repro submit`` posts a module to it, ``repro watch`` streams a job's
-NDJSON progress events, ``repro cancel`` cancels one.  SIGTERM on the
-server checkpoints running jobs; restarting it on the same state
-directory resumes them to the identical verdict and trace.
+checking service (async job server + durable journal + sharded result
+cache), optionally pre-forked across ``--procs N`` processes sharing
+one port and state directory, with per-tenant quotas via
+``--tenant-rate``/``--tenant-burst``/``--tenant-max-inflight``/
+``--tenant-queue-limit``.  ``repro submit --tenant NAME`` posts a
+module to it (retrying 429s with Retry-After-honouring backoff),
+``repro watch`` streams a job's NDJSON progress events, ``repro
+cancel`` cancels one, and ``repro admin metrics|jobs|tenants --at URL``
+inspects a running service.  SIGTERM on the server checkpoints running
+jobs; restarting it on the same state directory resumes them to the
+identical verdict and trace, and queued jobs are re-admitted from the
+journal exactly once even after SIGKILL.
 
 Durable runs: ``check`` and ``explore`` accept ``--checkpoint PATH`` to
 snapshot the exploration atomically every ``--checkpoint-every`` BFS
@@ -581,11 +588,20 @@ def _terminal_exit_code(record: dict) -> int:
 
 
 def cmd_serve(args: argparse.Namespace, out) -> int:
+    from ..service.scheduler import TenantPolicy
     from ..service.server import run_server
 
+    policy = None
+    if (args.tenant_rate is not None or args.tenant_max_inflight is not None
+            or args.tenant_queue_limit is not None):
+        policy = TenantPolicy(rate=args.tenant_rate,
+                              burst=args.tenant_burst,
+                              max_inflight=args.tenant_max_inflight,
+                              max_queued=args.tenant_queue_limit)
     return run_server(state_dir=args.state_dir, host=args.host,
                       port=args.port, pool_size=args.pool_size,
-                      queue_limit=args.queue_limit, out=out)
+                      queue_limit=args.queue_limit, procs=args.procs,
+                      tenant_policy=policy, out=out)
 
 
 def cmd_submit(args: argparse.Namespace, out) -> int:
@@ -593,7 +609,8 @@ def cmd_submit(args: argparse.Namespace, out) -> int:
 
     with open(args.module) as handle:
         source = handle.read()
-    client = ServiceClient(args.server)
+    client = ServiceClient(args.server, tenant=args.tenant,
+                           retries=args.retries)
     try:
         payload = client.submit(
             source, spec=args.spec,
@@ -646,6 +663,55 @@ def cmd_cancel(args: argparse.Namespace, out) -> int:
           f"{'accepted' if outcome['accepted'] else 'rejected'} "
           f"(state={outcome['state']})", file=out)
     return 0 if outcome["accepted"] else 1
+
+
+def cmd_admin(args: argparse.Namespace, out) -> int:
+    """Operator's window onto a running service: ``repro admin
+    metrics|jobs|tenants --at URL``."""
+    from ..service.client import ServiceClient
+
+    client = ServiceClient(args.at)
+    if args.what == "metrics":
+        print(client.metrics(), file=out, end="")
+        return 0
+    if args.what == "tenants":
+        tenants = client.tenants()
+        if args.as_json:
+            print(json.dumps(tenants, indent=2, sort_keys=True), file=out)
+            return 0
+        if not tenants:
+            # scheduler state is per process; with --procs N the answer
+            # depends on which process took the connection
+            print("no tenants yet on the answering process "
+                  "(fleet-wide counters: repro admin metrics)", file=out)
+            return 0
+        print(f"{'tenant':<20} {'queued':>6} {'inflight':>8} "
+              f"{'admitted':>8} {'completed':>9} {'throttled':>9}",
+              file=out)
+        for name, entry in tenants.items():
+            print(f"{name:<20} {entry['queued']:>6} {entry['inflight']:>8} "
+                  f"{entry['admitted']:>8} {entry['completed']:>9} "
+                  f"{entry['throttled']:>9}", file=out)
+        return 0
+    # args.what == "jobs"
+    records = client.list_jobs()
+    if args.as_json:
+        print(json.dumps(records, indent=2), file=out)
+        return 0
+    if not records:
+        print("no jobs", file=out)
+        return 0
+    print(f"{'id':<14} {'tenant':<14} {'state':<10} {'verdict':<10} "
+          f"{'cache':<5} {'coalesced':>9}", file=out)
+    for record in records:
+        result = record.get("result") or {}
+        print(f"{record.get('id', '?'):<14} "
+              f"{record.get('tenant', 'default'):<14} "
+              f"{record.get('state', '?'):<10} "
+              f"{str(result.get('verdict') or '-'):<10} "
+              f"{'yes' if record.get('cache_hit') else 'no':<5} "
+              f"{record.get('coalesced', 0):>9}", file=out)
+    return 0
 
 
 def cmd_worker(args: argparse.Namespace, out) -> int:
@@ -891,6 +957,26 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="admission limit on queued jobs; submissions "
                             "beyond it get 429 + Retry-After (default 16)")
+    serve.add_argument("--procs", type=_positive_int, default=1, metavar="N",
+                       help="pre-fork N server processes sharing the port "
+                            "(SO_REUSEPORT) and the state directory "
+                            "(default 1)")
+    serve.add_argument("--tenant-rate", type=float, default=None,
+                       metavar="PER_SECOND",
+                       help="per-tenant admission rate (token bucket); "
+                            "unset = unlimited")
+    serve.add_argument("--tenant-burst", type=_positive_int, default=8,
+                       metavar="N",
+                       help="per-tenant token-bucket burst capacity "
+                            "(default 8; only meaningful with "
+                            "--tenant-rate)")
+    serve.add_argument("--tenant-max-inflight", type=_positive_int,
+                       default=None, metavar="N",
+                       help="per-tenant cap on concurrently running jobs")
+    serve.add_argument("--tenant-queue-limit", type=_positive_int,
+                       default=None, metavar="N",
+                       help="per-tenant cap on queued jobs (within the "
+                            "global --queue-limit)")
     serve.set_defaults(func=cmd_serve)
 
     submit = sub.add_parser(
@@ -929,6 +1015,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "changes the result)")
     submit.add_argument("--server", default="http://127.0.0.1:8123",
                         metavar="URL")
+    submit.add_argument("--tenant", default=None, metavar="NAME",
+                        help="submit as this tenant (rides the "
+                             "X-Repro-Tenant header; rate limits, queue "
+                             "shares, and fair scheduling are per tenant)")
+    submit.add_argument("--retries", type=int, default=4, metavar="N",
+                        help="retry a 429 up to N times, honouring the "
+                             "server's Retry-After with capped backoff + "
+                             "jitter (default 4; 0 = fail fast)")
     submit.add_argument("--wait", action="store_true",
                         help="block until the job finishes and exit like "
                              "repro check (0 ok, 1 violation, 2 error, "
@@ -1017,6 +1111,22 @@ def build_parser() -> argparse.ArgumentParser:
     cancel.add_argument("--server", default="http://127.0.0.1:8123",
                         metavar="URL")
     cancel.set_defaults(func=cmd_cancel)
+
+    admin = sub.add_parser(
+        "admin", help="inspect a running service: Prometheus metrics, the "
+                      "job table, or per-tenant scheduler state")
+    admin.add_argument("what", choices=("metrics", "jobs", "tenants"),
+                       help="metrics = the /metrics text exposition; jobs "
+                            "= every job on the state dir; tenants = "
+                            "queue/in-flight/quota state per tenant")
+    admin.add_argument("--at", default="http://127.0.0.1:8123",
+                       metavar="URL", help="service URL (default "
+                                           "http://127.0.0.1:8123)")
+    admin.add_argument("--json", dest="as_json", action="store_true",
+                       help="print raw JSON instead of the table "
+                            "(ignored for metrics, which is always the "
+                            "Prometheus text format)")
+    admin.set_defaults(func=cmd_admin)
 
     return parser
 

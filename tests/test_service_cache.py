@@ -1,10 +1,18 @@
 """Content-addressed cache layer: fingerprint soundness (semantic knobs
-address the result, execution-only knobs never do) and ResultCache
-persistence/atomicity/counters."""
+address the result, execution-only knobs never do), ResultCache
+persistence/atomicity/counters, LRU eviction with ExploreStats-style
+summaries, and the sharded multi-process store."""
 
 import json
+import os
 
-from repro.service.cache import ResultCache, canonical_fingerprint
+import pytest
+
+from repro.service.cache import (
+    ResultCache,
+    ShardedResultCache,
+    canonical_fingerprint,
+)
 from repro.service.jobs import CheckRequest
 
 COUNTER_TLA = """
@@ -103,7 +111,8 @@ class TestResultCache:
         assert cache.get("deadbeef") == {"verdict": "ok"}
         assert "deadbeef" in cache
         assert len(cache) == 1
-        assert cache.counters() == {"hits": 1, "misses": 1, "entries": 1}
+        assert cache.counters() == {"hits": 1, "misses": 1,
+                                    "evictions": 0, "entries": 1}
 
     def test_disk_persistence_across_instances(self, tmp_path):
         directory = str(tmp_path / "cache")
@@ -128,3 +137,132 @@ class TestResultCache:
         files = list(tmp_path.glob("cache/*"))
         assert [f.name for f in files] == ["aa.json"]  # no .tmp leftovers
         assert json.loads(files[0].read_text()) == {"verdict": "ok"}
+
+
+class TestEvictionStats:
+    def test_memory_lru_eviction_counts(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("aa", {"n": 1})
+        cache.put("bb", {"n": 2})
+        cache.put("cc", {"n": 3})
+        assert cache.evictions == 1
+        assert len(cache) == 2
+        assert cache.get("aa") is None  # the oldest went
+        assert cache.get("cc") == {"n": 3}
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("aa", {"n": 1})
+        cache.put("bb", {"n": 2})
+        cache.get("aa")             # aa is now the most recently used
+        cache.put("cc", {"n": 3})
+        assert cache.get("bb") is None  # bb was LRU, not aa
+        assert cache.get("aa") == {"n": 1}
+
+    def test_disk_eviction_by_mtime(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"), max_entries=2)
+        for n, name in enumerate(("aa", "bb", "cc")):
+            cache.put(name, {"n": n})
+            os.utime(tmp_path / "cache" / (name + ".json"),
+                     (1000.0 + n, 1000.0 + n))
+        cache.put("dd", {"n": 3})
+        assert cache.evictions >= 2
+        assert not (tmp_path / "cache" / "aa.json").exists()
+        assert (tmp_path / "cache" / "dd.json").exists()
+
+    def test_summary_and_to_json_expose_eviction_pressure(self):
+        cache = ResultCache(max_entries=1)
+        cache.get("aa")             # miss
+        cache.put("aa", {"n": 1})
+        cache.get("aa")             # hit
+        cache.put("bb", {"n": 2})   # evicts aa
+        line = cache.summary(indent="  ")
+        assert line.startswith("  result cache: 1 entries")
+        assert "1 hits / 1 misses (50.0% hit rate)" in line
+        assert "1 evictions" in line
+        assert json.loads(cache.to_json()) == {
+            "hits": 1, "misses": 1, "evictions": 1, "entries": 1}
+
+    def test_on_event_feeds_external_counters(self):
+        seen = []
+        cache = ResultCache(max_entries=1,
+                            on_event=lambda kind, n: seen.append((kind, n)))
+        cache.get("aa")
+        cache.put("aa", {"n": 1})
+        cache.put("bb", {"n": 2})
+        assert ("misses", 1) in seen
+        assert ("evictions", 1) in seen
+
+
+class TestShardedResultCache:
+    def test_roundtrip_lands_in_a_shard(self, tmp_path):
+        cache = ShardedResultCache(str(tmp_path / "cache"), shards=4)
+        fingerprint = "ab" * 32
+        cache.put(fingerprint, {"verdict": "ok"})
+        shard = int("ab", 16) % 4
+        assert (tmp_path / "cache" / f"shard-{shard:02x}"
+                / (fingerprint + ".json")).exists()
+        assert cache.get(fingerprint) == {"verdict": "ok"}
+
+    def test_cold_process_reads_what_another_wrote(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        ShardedResultCache(directory).put("cd" * 32, {"states": 7})
+        second = ShardedResultCache(directory)
+        assert second.get("cd" * 32) == {"states": 7}
+        assert second.hits == 1
+
+    def test_legacy_flat_entries_still_hit(self, tmp_path):
+        directory = tmp_path / "cache"
+        directory.mkdir()
+        fingerprint = "ef" * 32
+        (directory / (fingerprint + ".json")).write_text(
+            json.dumps({"verdict": "ok"}))
+        cache = ShardedResultCache(str(directory))
+        assert cache.get(fingerprint) == {"verdict": "ok"}
+        assert fingerprint in cache
+        assert len(cache) == 1
+
+    def test_entry_bound_evicts_lru_within_shard(self, tmp_path):
+        # one shard, so the global bound is exactly the shard bound
+        cache = ShardedResultCache(str(tmp_path / "cache"), shards=1,
+                                   max_entries=2, memory_entries=0)
+        shard = tmp_path / "cache" / "shard-00"
+        for n, prefix in enumerate(("aa", "bb", "cc")):
+            fingerprint = prefix * 32
+            cache.put(fingerprint, {"n": n})
+            os.utime(shard / (fingerprint + ".json"),
+                     (1000.0 + n, 1000.0 + n))
+        cache.put("dd" * 32, {"n": 3})
+        assert cache.evictions >= 2
+        assert not (shard / ("aa" * 32 + ".json")).exists()
+        assert cache.get("dd" * 32) == {"n": 3}
+
+    def test_byte_bound_evicts(self, tmp_path):
+        cache = ShardedResultCache(str(tmp_path / "cache"), shards=1,
+                                   max_entries=None, max_bytes=64,
+                                   memory_entries=0)
+        shard = tmp_path / "cache" / "shard-00"
+        cache.put("aa" * 32, {"blob": "x" * 50})
+        os.utime(shard / ("aa" * 32 + ".json"), (1000.0, 1000.0))
+        cache.put("bb" * 32, {"blob": "y" * 50})
+        assert cache.evictions >= 1
+        assert cache.total_bytes() <= 64
+
+    def test_counters_include_bytes_and_shards(self, tmp_path):
+        cache = ShardedResultCache(str(tmp_path / "cache"), shards=8)
+        cache.put("aa" * 32, {"n": 1})
+        counters = cache.counters()
+        assert counters["entries"] == 1
+        assert counters["shards"] == 8
+        assert counters["bytes"] > 0
+        assert "evictions" in counters
+
+    def test_rejects_nonsense(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardedResultCache(str(tmp_path), shards=0)
+        with pytest.raises(ValueError):
+            ShardedResultCache(str(tmp_path), max_entries=0)
+        with pytest.raises(ValueError):
+            ShardedResultCache(str(tmp_path), max_bytes=0)
+        with pytest.raises(ValueError):
+            ShardedResultCache(str(tmp_path), memory_entries=-1)

@@ -154,7 +154,9 @@ class TestHttpSurface:
     def test_backpressure_is_429_with_retry_after(self, tmp_path):
         with BackgroundServer(str(tmp_path / "svc"), pool_size=1,
                               queue_limit=1) as background:
-            client = ServiceClient(background.url)
+            # retries=0: this test asserts the raw 429, not the
+            # client-side backoff (covered in test_service_client_retry)
+            client = ServiceClient(background.url, retries=0)
             running = client.submit(CHAIN_TLA, invariants=["Bound"],
                                     level_delay=0.05)["job"]
             wait_until(

@@ -1,0 +1,164 @@
+"""Unit tests for the append-only job journal: replay folding, torn
+final lines (the SIGKILL residue), orphan detection, the exactly-once
+claim protocol, and snapshot compaction."""
+
+import json
+import os
+
+from repro.service.journal import JobJournal, pid_alive
+
+DEAD_PID = 999999999  # beyond pid_max on any Linux
+
+
+def journal_for(tmp_path):
+    return JobJournal(str(tmp_path / "journal"))
+
+
+class TestReplay:
+    def test_lifecycle_folds_to_one_record(self, tmp_path):
+        journal = journal_for(tmp_path)
+        journal.append("submitted", "job-1", tenant="alice",
+                       fingerprint="f" * 16, request={"spec": "Spec"})
+        journal.append("started", "job-1")
+        journal.append("done", "job-1", verdict="ok")
+        jobs = journal.replay()
+        assert set(jobs) == {"job-1"}
+        record = jobs["job-1"]
+        assert record["state"] == "done"
+        assert record["tenant"] == "alice"
+        assert record["verdict"] == "ok"
+        assert record["request"] == {"spec": "Spec"}
+        assert record["owner"] == os.getpid()
+        assert record["counts"] == {"submitted": 1, "started": 1, "done": 1}
+
+    def test_replay_is_idempotent_under_reapplied_suffix(self, tmp_path):
+        journal = journal_for(tmp_path)
+        journal.append("submitted", "job-1", tenant="a")
+        journal.append("started", "job-1")
+        first = journal.replay()
+        # duplicate the whole log (a replayed suffix): the fold keyed by
+        # job id reaches the same state, only the counts change
+        with open(journal.log_path) as handle:
+            lines = handle.read()
+        with open(journal.log_path, "a") as handle:
+            handle.write(lines)
+        second = journal.replay()
+        assert second["job-1"]["state"] == first["job-1"]["state"]
+        assert second["job-1"]["owner"] == first["job-1"]["owner"]
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        journal = journal_for(tmp_path)
+        journal.append("submitted", "job-1", tenant="a")
+        journal.append("submitted", "job-2", tenant="a")
+        with open(journal.log_path, "a") as handle:
+            handle.write('{"kind": "done", "job": "job-2", "verd')
+        jobs = journal.replay()
+        assert jobs["job-2"]["state"] == "queued"  # torn write lost
+        assert journal.torn_lines == 1
+
+    def test_requeued_returns_running_job_to_queue(self, tmp_path):
+        journal = journal_for(tmp_path)
+        journal.append("submitted", "job-1", tenant="a")
+        journal.append("started", "job-1")
+        journal.append("requeued", "job-1")
+        assert journal.replay()["job-1"]["state"] == "queued"
+
+
+class TestOrphans:
+    def test_dead_owner_is_orphaned(self, tmp_path):
+        journal = journal_for(tmp_path)
+        journal.append("submitted", "job-1", tenant="a")
+        jobs = journal.replay()
+        jobs["job-1"]["owner"] = DEAD_PID
+        assert journal.orphans(jobs) == ["job-1"]
+
+    def test_own_pid_is_claimable(self, tmp_path):
+        # an in-process manager restart: same pid, jobs must be re-owned
+        journal = journal_for(tmp_path)
+        journal.append("submitted", "job-1", tenant="a")
+        assert journal.orphans() == ["job-1"]
+
+    def test_live_foreign_owner_is_left_alone(self, tmp_path):
+        journal = journal_for(tmp_path)
+        journal.append("submitted", "job-1", tenant="a")
+        jobs = journal.replay()
+        jobs["job-1"]["owner"] = os.getppid() or 1  # alive, not us
+        assert journal.orphans(jobs) == []
+
+    def test_terminal_jobs_are_never_orphans(self, tmp_path):
+        journal = journal_for(tmp_path)
+        journal.append("submitted", "job-1", tenant="a")
+        journal.append("done", "job-1", verdict="ok")
+        jobs = journal.replay()
+        jobs["job-1"]["owner"] = DEAD_PID
+        assert journal.orphans(jobs) == []
+
+    def test_claim_transfers_ownership_exactly_once(self, tmp_path):
+        # the recovery protocol: replay -> claim under one lock; a
+        # second recoverer's replay then sees a live owner and backs off
+        journal = journal_for(tmp_path)
+        journal.append("submitted", "job-1", tenant="a")
+        with journal.lock():
+            orphans = journal.orphans()
+            assert orphans == ["job-1"]
+            for job_id in orphans:
+                journal.append_locked("claimed", job_id)
+        record = journal.replay()["job-1"]
+        assert record["owner"] == os.getpid()
+        assert record["state"] == "queued"
+        assert len(record["claims"]) == 1
+        # we own it and we are alive-and-equal: still claimable by us,
+        # but a *different* live process would see owner alive and skip
+        assert pid_alive(record["owner"])
+
+    def test_pid_alive(self):
+        assert pid_alive(os.getpid())
+        assert not pid_alive(DEAD_PID)
+        assert not pid_alive(None)
+        assert not pid_alive(0)
+
+
+class TestCompaction:
+    def test_compact_truncates_log_preserving_state(self, tmp_path):
+        journal = journal_for(tmp_path)
+        for n in range(20):
+            journal.append("submitted", f"job-{n}", tenant="a",
+                           request={"n": n})
+        journal.append("done", "job-0", verdict="ok")
+        size_before = journal.log_size()
+        retained = journal.compact()
+        assert retained == 20
+        assert journal.log_size() == 0
+        assert size_before > 0
+        jobs = journal.replay()
+        assert jobs["job-0"]["state"] == "done"
+        assert jobs["job-5"]["state"] == "queued"
+        assert jobs["job-5"]["request"] == {"n": 5}
+
+    def test_appends_after_compaction_layer_on_snapshot(self, tmp_path):
+        journal = journal_for(tmp_path)
+        journal.append("submitted", "job-1", tenant="a")
+        journal.compact()
+        journal.append("started", "job-1")
+        journal.append("done", "job-1", verdict="ok")
+        assert journal.replay()["job-1"]["state"] == "done"
+
+    def test_extra_blob_is_persisted(self, tmp_path):
+        journal = journal_for(tmp_path)
+        journal.append("submitted", "job-1", tenant="a")
+        journal.compact(extra={"metrics": {"families": {}}})
+        with open(journal.snapshot_path) as handle:
+            snapshot = json.load(handle)
+        assert snapshot["extra"] == {"metrics": {"families": {}}}
+
+    def test_terminal_records_age_out(self, tmp_path):
+        journal = journal_for(tmp_path)
+        journal.append("submitted", "old", tenant="a")
+        journal.append("done", "old", verdict="ok")
+        journal.append("submitted", "young", tenant="a")
+        # everything terminal older than -1s from now, i.e. all of it
+        retained = journal.compact(drop_terminal_older_than=-1.0)
+        jobs = journal.replay()
+        assert "old" not in jobs          # terminal and aged out
+        assert jobs["young"]["state"] == "queued"  # non-terminal kept
+        assert retained == 1
