@@ -53,6 +53,7 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import re
 import time
 import uuid
 from dataclasses import dataclass
@@ -77,7 +78,7 @@ from ..checker.results import CheckResult
 from ..kernel import packed
 from ..parser import load_module
 from .cache import ShardedResultCache, canonical_fingerprint
-from .journal import JobJournal, pid_alive
+from .journal import JobJournal, owner_alive
 from .metrics import MetricsDir, MetricsRegistry
 from .scheduler import (
     DEFAULT_TENANT,
@@ -97,7 +98,30 @@ __all__ = [
     "JobCancelled",
     "run_check",
     "graph_digest",
+    "valid_job_id",
+    "MAX_MODULE_SOURCE",
 ]
+
+# job ids are uuid4().hex[:12]; anything else arriving over the wire is
+# at best a typo and at worst a path-traversal probe, since ids are
+# joined into jobs/<id>.json / .events.ndjson / .cancel paths
+_JOB_ID_RE = re.compile(r"[0-9a-f]{12}")
+
+# module_source travels in every journal `submitted` line and is parsed
+# synchronously at admission; bound it well below the HTTP body cap
+MAX_MODULE_SOURCE = 1024 * 1024
+
+# fold the journal once its log outgrows this: shutdown() compacts on a
+# graceful drain, but a SIGKILLed or long-lived process never gets
+# there, and the log must track the live job population, not uptime
+JOURNAL_COMPACT_BYTES = 256 * 1024
+
+
+def valid_job_id(job_id: object) -> bool:
+    """True iff *job_id* has the exact shape the manager generates --
+    the gate every disk path derived from a wire-supplied id goes
+    through."""
+    return isinstance(job_id, str) and _JOB_ID_RE.fullmatch(job_id) is not None
 
 # verdicts that are pure functions of the request and therefore cacheable;
 # "failed" (an exception) is deliberately not -- it may be environmental.
@@ -165,6 +189,10 @@ class CheckRequest:
         module_source = payload.get("module_source")
         if not isinstance(module_source, str) or not module_source.strip():
             raise ValueError("module_source must be a non-empty string")
+        if len(module_source) > MAX_MODULE_SOURCE:
+            raise ValueError(
+                f"module_source is {len(module_source)} characters; the "
+                f"service accepts at most {MAX_MODULE_SOURCE}")
         spec = payload.get("spec", "Spec")
         if not isinstance(spec, str) or not spec:
             raise ValueError("spec must be a non-empty string")
@@ -623,6 +651,7 @@ class JobManager:
         self._accepting = False
         self._interrupting = False
         self._stopping = False
+        self._compacting = False
         self._recent_runtimes: List[float] = []
         self.started_at = time.time()
 
@@ -702,7 +731,8 @@ class JobManager:
                 if entry is None:
                     return False
                 owner = entry.get("owner")
-                return owner != own and pid_alive(owner)
+                return owner != own and owner_alive(
+                    owner, entry.get("owner_start"))
 
             for name in sorted(os.listdir(self.jobs_dir)):
                 if not name.endswith(".json"):
@@ -728,7 +758,8 @@ class JobManager:
                     self._persist(job)
                     self.scheduler.push(job.tenant, job.id)
             for job_id, entry in sorted(folded.items()):
-                if (job_id in self._jobs
+                if (not valid_job_id(job_id)
+                        or job_id in self._jobs
                         or entry.get("state") not in ("queued", "running")
                         or foreign(entry)
                         or not isinstance(entry.get("request"), dict)):
@@ -800,8 +831,20 @@ class JobManager:
 
     # -- submission / querying ----------------------------------------------
 
+    def validate_request(self, request: CheckRequest) -> None:
+        """Eager validation: a module that cannot parse or a spec that
+        does not exist fails now (HTTP 400), not minutes later.  Pure
+        CPU on the request alone, so the HTTP layer runs it on an
+        executor thread -- a pathological module must not stall the
+        event loop every other connection shares."""
+        module = load_module(request.module_source)
+        module.spec(request.spec)
+        for name in tuple(request.invariants) + tuple(request.properties):
+            module.get(name)
+
     def submit(self, request: CheckRequest,
-               tenant: str = DEFAULT_TENANT) -> Tuple[Job, str]:
+               tenant: str = DEFAULT_TENANT,
+               prevalidated: bool = False) -> Tuple[Job, str]:
         """Admit one request for *tenant*.  Returns ``(job, disposition)``
         where disposition is ``"created"`` (fresh job queued),
         ``"cached"`` (verdict served from the result cache; the job is
@@ -811,19 +854,17 @@ class JobManager:
         :class:`TenantThrottled` past the tenant's own rate/bounds (cache
         hits and coalesced submissions are never charged -- they queue
         nothing), and ``ValueError`` for requests that cannot
-        parse/elaborate."""
+        parse/elaborate.  *prevalidated* skips the parse/elaborate pass
+        for callers that already ran :meth:`validate_request` (the HTTP
+        layer does, off the event loop)."""
         if not valid_tenant(tenant):
             raise ValueError(
                 "tenant must be 1-64 characters of [A-Za-z0-9._-]")
         if not self._accepting:
             self._m_rejected.labels(tenant=tenant, reason="draining").inc()
             raise QueueFull(retry_after=self._retry_after())
-        # eager validation: a module that cannot parse or a spec that
-        # does not exist fails now (HTTP 400), not minutes later
-        module = load_module(request.module_source)
-        module.spec(request.spec)
-        for name in tuple(request.invariants) + tuple(request.properties):
-            module.get(name)
+        if not prevalidated:
+            self.validate_request(request)
 
         fingerprint = request.fingerprint()
         live_id = self._inflight.get(fingerprint)
@@ -1014,6 +1055,10 @@ class JobManager:
         return record, False
 
     def _disk_record(self, job_id: str) -> Optional[Dict[str, object]]:
+        if not valid_job_id(job_id):
+            # ids are joined into paths below: reject anything that is
+            # not literally a generated id (e.g. "../../../etc/passwd")
+            return None
         path = os.path.join(self.jobs_dir, job_id + ".json")
         try:
             with open(path) as handle:
@@ -1220,8 +1265,31 @@ class JobManager:
                 pass
         self._set_gauges()
         self._flush_metrics()
+        self._maybe_compact_journal()
         if self._wake is not None:
             self._wake.set()
+
+    def _maybe_compact_journal(self) -> None:
+        """Fold the journal on an executor thread once its log passes
+        :data:`JOURNAL_COMPACT_BYTES`.  shutdown() compacts on graceful
+        drains, but a process that dies by SIGKILL -- the very scenario
+        the journal exists for -- or simply runs for weeks would
+        otherwise grow the log without bound."""
+        if (self._stopping or self._compacting
+                or self.journal.log_size() < JOURNAL_COMPACT_BYTES):
+            return
+        self._compacting = True
+
+        def work() -> None:
+            try:
+                self.journal.compact(
+                    extra={"metrics": self.registry.snapshot()})
+            except OSError:  # a full disk must not wedge the runner
+                pass
+
+        future = asyncio.get_running_loop().run_in_executor(None, work)
+        future.add_done_callback(
+            lambda _f: setattr(self, "_compacting", False))
 
     def _remove_checkpoint(self, job: Job) -> None:
         if not job.checkpoint_path:

@@ -45,7 +45,8 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
 
-__all__ = ["JobJournal", "pid_alive"]
+__all__ = ["JobJournal", "pid_alive", "process_start_time", "owner_alive",
+           "own_start"]
 
 # kinds that transfer ownership to the appending process
 _OWNING_KINDS = ("submitted", "claimed", "started")
@@ -65,6 +66,53 @@ def pid_alive(pid: Optional[int]) -> bool:
     except OSError:  # pragma: no cover
         return False
     return True
+
+
+def process_start_time(pid: Optional[int]) -> Optional[int]:
+    """The kernel start time (clock ticks since boot) of *pid*, read
+    from ``/proc/<pid>/stat``; ``None`` where /proc is unavailable
+    (non-Linux) or the process is gone.  (pid, start time) identifies a
+    process incarnation -- a recycled pid gets a different start."""
+    if not pid:
+        return None
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as handle:
+            data = handle.read()
+        # the comm field may itself contain spaces and ')'; everything
+        # after the LAST ')' is fixed-position -- index 0 is field 3
+        # (state), so starttime (field 22) is index 19
+        fields = data.rsplit(b")", 1)[1].split()
+        return int(fields[19])
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+_own_start_cache: Dict[int, Optional[int]] = {}
+
+
+def own_start() -> Optional[int]:
+    """This process's start-time token (cached per pid, so a fork gets
+    its own fresh value)."""
+    pid = os.getpid()
+    if pid not in _own_start_cache:
+        _own_start_cache[pid] = process_start_time(pid)
+    return _own_start_cache[pid]
+
+
+def owner_alive(pid: Optional[int],
+                start: Optional[int] = None) -> bool:
+    """Is the process that recorded ``(pid, start)`` still the one
+    running as *pid*?  A bare pid check would call a recycled pid alive
+    and strand its orphaned jobs forever; comparing the recorded start
+    time catches that wherever the platform exposes it (a record with
+    no start, or a platform with no /proc, degrades to the pid check).
+    """
+    if not pid_alive(pid):
+        return False
+    if start is None:
+        return True
+    current = process_start_time(pid)
+    return current is None or current == start
 
 
 class JobJournal:
@@ -103,7 +151,7 @@ class JobJournal:
         """Append while the caller already holds :meth:`lock`."""
         record: Dict[str, object] = {
             "kind": kind, "job": job_id, "pid": os.getpid(),
-            "t": round(time.time(), 4),
+            "pid_start": own_start(), "t": round(time.time(), 4),
         }
         record.update(fields)
         line = json.dumps(record, separators=(",", ":")) + "\n"
@@ -157,14 +205,16 @@ class JobJournal:
                 continue
             record = jobs.setdefault(job_id, {
                 "state": None, "tenant": None, "owner": None,
-                "request": None, "fingerprint": None, "verdict": None,
-                "counts": {}, "claims": [], "first_t": entry.get("t"),
+                "owner_start": None, "request": None, "fingerprint": None,
+                "verdict": None, "counts": {}, "claims": [],
+                "first_t": entry.get("t"),
             })
             counts = record.setdefault("counts", {})
             counts[kind] = counts.get(kind, 0) + 1
             record["last_t"] = entry.get("t")
             if kind in _OWNING_KINDS:
                 record["owner"] = entry.get("pid")
+                record["owner_start"] = entry.get("pid_start")
             if kind == "submitted":
                 record["state"] = "queued"
                 record["tenant"] = entry.get("tenant", record["tenant"])
@@ -195,7 +245,8 @@ class JobJournal:
         return [job_id for job_id, record in sorted(jobs.items())
                 if record.get("state") in ("queued", "running")
                 and (record.get("owner") == own
-                     or not pid_alive(record.get("owner")))]
+                     or not owner_alive(record.get("owner"),
+                                        record.get("owner_start")))]
 
     # -- compaction ----------------------------------------------------------
 

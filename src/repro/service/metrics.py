@@ -31,6 +31,7 @@ upper-bound read of the cumulative buckets.
 
 from __future__ import annotations
 
+import fcntl
 import json
 import math
 import os
@@ -39,6 +40,8 @@ import threading
 import time
 import uuid
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .journal import own_start, owner_alive
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "MetricsDir",
@@ -266,7 +269,8 @@ class MetricsRegistry:
                                 for key, child in
                                 sorted(family._children.items())],
                 }
-        return {"pid": os.getpid(), "t": time.time(), "families": families}
+        return {"pid": os.getpid(), "pid_start": own_start(),
+                "t": time.time(), "families": families}
 
     def render(self) -> str:
         return render_snapshot(self.snapshot())
@@ -344,16 +348,20 @@ def render_snapshot(snapshot: Dict[str, object]) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-def _pid_alive(pid: int) -> bool:
-    try:
-        os.kill(pid, 0)
-    except ProcessLookupError:
+# dead-process snapshot files fold into this single baseline so a
+# /metrics scrape re-reads O(live fleet) files, not O(every process
+# that ever ran); the name keeps the existing proc-*.json dir filter
+_BASELINE_NAME = "proc-dead-merged.json"
+
+
+def _snapshot_owner_alive(snapshot: Dict[str, object]) -> bool:
+    """Liveness of the process that wrote *snapshot*: pid plus, where
+    recorded, its start time -- a recycled pid must not resurrect a
+    dead sibling's gauges."""
+    pid = snapshot.get("pid")
+    if not isinstance(pid, int) or pid <= 0:
         return False
-    except PermissionError:  # pragma: no cover - exists, not ours
-        return True
-    except OSError:  # pragma: no cover
-        return False
-    return True
+    return owner_alive(pid, snapshot.get("pid_start"))
 
 
 class MetricsDir:
@@ -403,6 +411,78 @@ class MetricsDir:
                     os.unlink(stale_path)
                 except OSError:
                     pass
+        self.fold_dead()
+
+    def fold_dead(self) -> int:
+        """Merge every dead process's snapshot file (retired
+        ``proc-dead-*`` files and ``proc-<pid>-*`` files whose owner is
+        gone) into the single baseline file, dropping their gauges but
+        keeping counters/histograms counting.  This bounds both the
+        directory and the per-scrape read cost by the *live* fleet
+        rather than by every process that ever served.  Serialised
+        against sibling folds by a directory flock; returns the number
+        of files folded away."""
+        lock_path = os.path.join(self.directory, ".fold.lock")
+        try:
+            with open(lock_path, "a") as lockf:
+                fcntl.flock(lockf.fileno(), fcntl.LOCK_EX)
+                try:
+                    return self._fold_dead_locked()
+                finally:
+                    fcntl.flock(lockf.fileno(), fcntl.LOCK_UN)
+        except OSError:  # pragma: no cover - folding is an optimisation
+            return 0
+
+    def _fold_dead_locked(self) -> int:
+        dead_paths: List[str] = []
+        snapshots: List[Dict[str, object]] = []
+        try:
+            names = sorted(os.listdir(self.directory))
+        except OSError:
+            return 0
+        for name in names:
+            if not name.startswith("proc-") or not name.endswith(".json"):
+                continue
+            path = os.path.join(self.directory, name)
+            if name == os.path.basename(self.path):
+                continue  # our own live slice
+            try:
+                with open(path) as handle:
+                    snapshot = json.load(handle)
+            except (OSError, ValueError):
+                continue  # torn or vanished: leave it for its owner
+            if _snapshot_owner_alive(snapshot):
+                continue  # a live sibling's slice
+            dead_paths.append(path)
+            snapshots.append(snapshot)
+        if not any(os.path.basename(p) != _BASELINE_NAME
+                   for p in dead_paths):
+            return 0  # nothing beyond the existing baseline
+        merged = merge_snapshots(snapshots, live_pids=())
+        merged["pid"] = None
+        merged["t"] = time.time()
+        fd, tmp = tempfile.mkstemp(prefix=".fold-", suffix=".tmp",
+                                   dir=self.directory)
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(merged, handle, separators=(",", ":"))
+            os.replace(tmp, os.path.join(self.directory, _BASELINE_NAME))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        folded = 0
+        for path in dead_paths:
+            if os.path.basename(path) == _BASELINE_NAME:
+                continue  # just rewritten with the merge folded in
+            try:
+                os.unlink(path)
+                folded += 1
+            except OSError:
+                pass
+        return folded
 
     def flush(self) -> None:
         snapshot = self.registry.snapshot()
@@ -441,8 +521,7 @@ class MetricsDir:
     def aggregate(self) -> Dict[str, object]:
         snapshots = self._sibling_snapshots()
         mine = self.registry.snapshot()
-        pids = {s.get("pid") for s in snapshots if s.get("pid")}
-        live = {pid for pid in pids if _pid_alive(pid)}
+        live = {s["pid"] for s in snapshots if _snapshot_owner_alive(s)}
         live.add(mine["pid"])
         return merge_snapshots(snapshots + [mine], live_pids=live)
 

@@ -220,34 +220,45 @@ class FairScheduler:
 
     def pop(self) -> Optional[Tuple[str, str]]:
         """The next (tenant, job_id) under DRR, or None when every
-        queued tenant is at its in-flight cap (or nothing is queued)."""
+        queued tenant is at its in-flight cap (or nothing is queued).
+
+        Cycles the active list until someone's deficit reaches a whole
+        job: with ``quantum >= 1`` one pass suffices; a fractional
+        quantum just takes ``ceil(1/quantum)`` passes (each visit grows
+        a dispatchable tenant's deficit by ``quantum``, so progress is
+        guaranteed and a small quantum can never stall dispatch)."""
         skipped: List[str] = []
         result: Optional[Tuple[str, str]] = None
-        for _ in range(len(self._active)):
-            tenant = self._active.popleft()
-            state = self._tenants[tenant]
-            if not state.queue:
-                state.deficit = 0.0
-                continue
-            if self.policy.max_inflight is not None \
-                    and state.inflight >= self.policy.max_inflight:
-                # no deficit while capped: fairness is about offered
-                # service, and this tenant cannot accept any
-                skipped.append(tenant)
-                continue
-            state.deficit += self.quantum
-            if state.deficit >= 1.0:
-                state.deficit -= 1.0
-                job_id = state.queue.popleft()
-                state.inflight += 1
-                state.dispatched += 1
-                if state.queue:
-                    self._active.append(tenant)
-                else:
+        while result is None:
+            dispatchable = False
+            for _ in range(len(self._active)):
+                tenant = self._active.popleft()
+                state = self._tenants[tenant]
+                if not state.queue:
                     state.deficit = 0.0
-                result = (tenant, job_id)
+                    continue
+                if self.policy.max_inflight is not None \
+                        and state.inflight >= self.policy.max_inflight:
+                    # no deficit while capped: fairness is about offered
+                    # service, and this tenant cannot accept any
+                    skipped.append(tenant)
+                    continue
+                dispatchable = True
+                state.deficit += self.quantum
+                if state.deficit >= 1.0:
+                    state.deficit -= 1.0
+                    job_id = state.queue.popleft()
+                    state.inflight += 1
+                    state.dispatched += 1
+                    if state.queue:
+                        self._active.append(tenant)
+                    else:
+                        state.deficit = 0.0
+                    result = (tenant, job_id)
+                    break
+                self._active.append(tenant)
+            if not dispatchable:
                 break
-            self._active.append(tenant)
         # capped tenants stay active (behind whoever we just served) so
         # a release() can immediately dispatch them
         self._active.extend(skipped)

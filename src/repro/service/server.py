@@ -53,7 +53,13 @@ import threading
 from typing import Dict, List, Optional, Tuple
 
 from ..parser import ParseError
-from .jobs import CheckRequest, JobManager, QueueFull, TenantThrottled
+from .jobs import (
+    CheckRequest,
+    JobManager,
+    QueueFull,
+    TenantThrottled,
+    valid_job_id,
+)
 from .scheduler import DEFAULT_TENANT, TenantPolicy
 from .wire import HttpError, read_body, read_head, send_json, send_text
 
@@ -156,6 +162,11 @@ class CheckService:
                 job_id, tail = rest[:-len("/events")], "events"
             else:
                 job_id, tail = rest, ""
+            if not valid_job_id(job_id):
+                # ids become jobs/<id>.* paths downstream; anything that
+                # is not a literal generated id (traversal sequences,
+                # encoded slashes) is rejected before touching disk
+                raise HttpError(404, f"no such job {job_id!r}")
             record = self.manager.job_record(job_id)
             if record is None:
                 raise HttpError(404, f"no such job {job_id!r}")
@@ -186,7 +197,13 @@ class CheckService:
         except ValueError as exc:
             raise HttpError(400, str(exc)) from None
         try:
-            job, disposition = self.manager.submit(request, tenant=tenant)
+            # parse/elaborate on an executor thread: a pathological
+            # module_source must not block the event loop (and with it
+            # /healthz and /metrics) for every other connection
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.manager.validate_request, request)
+            job, disposition = self.manager.submit(request, tenant=tenant,
+                                                   prevalidated=True)
         except QueueFull as exc:
             payload = {"error": str(exc), "retry_after": exc.retry_after}
             if isinstance(exc, TenantThrottled):

@@ -119,6 +119,29 @@ class TestHttpSurface:
             client.job("nope")
         assert excinfo.value.status == 404
 
+    def test_traversal_job_ids_are_404_and_touch_nothing(self, server,
+                                                         tmp_path):
+        # jobs/<id>.* paths are derived from the URL; a traversal id
+        # must be rejected outright, for GET, GET /events, and DELETE
+        # (which used to be able to drop a ".cancel" file at an
+        # attacker-chosen path)
+        state_dir = tmp_path / "svc"
+        bait = state_dir / "bait.json"
+        bait.write_text(json.dumps({"id": "x", "state": "queued"}))
+        for method, path in (
+                ("GET", "/jobs/../bait"),
+                ("GET", "/jobs/../bait/events"),
+                ("DELETE", "/jobs/../bait"),
+                ("GET", "/jobs/..%2fbait"),
+                ("DELETE", "/jobs/../../../../home/user/secrets")):
+            conn = HTTPConnection(server.service.host, server.service.port,
+                                  timeout=10)
+            conn.request(method, path)
+            assert conn.getresponse().status == 404, (method, path)
+            conn.close()
+        assert not (state_dir / "bait.cancel").exists()
+        assert list(state_dir.glob("**/*.cancel")) == []
+
     def test_bad_module_is_400(self, client):
         with pytest.raises(Exception) as excinfo:
             client.submit("MODULE Bad\nInit == x =")

@@ -13,10 +13,12 @@ import pytest
 
 from repro.parser import ParseError
 from repro.service.jobs import (
+    MAX_MODULE_SOURCE,
     CheckRequest,
     JobManager,
     QueueFull,
     run_check,
+    valid_job_id,
 )
 
 COUNTER_TLA = """
@@ -169,6 +171,61 @@ class TestLifecycle:
 
         outcomes = asyncio.run(scenario())
         assert set(outcomes) == {"parse", "spec", "name"}
+
+    def test_validate_request_is_submit_precheck(self, tmp_path):
+        # the HTTP layer runs this on an executor thread, then submits
+        # with prevalidated=True -- both paths must agree
+        async def scenario():
+            manager = JobManager(str(tmp_path), pool_size=1)
+            await manager.start()
+            with pytest.raises(KeyError):
+                manager.validate_request(
+                    counter_request(invariants=("NoSuchInv",)))
+            manager.validate_request(counter_request())
+            job, disposition = manager.submit(counter_request(),
+                                              prevalidated=True)
+            assert disposition == "created"
+            await wait_terminal(job)
+            await manager.shutdown()
+            return job
+
+        assert asyncio.run(scenario()).state == "done"
+
+
+class TestJobIdValidation:
+    """Wire-supplied job ids are joined into jobs/<id>.* paths; anything
+    that is not literally a generated id must be refused before any
+    disk path is derived from it (the path-traversal regression)."""
+
+    def test_valid_job_id_shape(self):
+        assert valid_job_id("0123456789ab")
+        for bad in ("", "0123456789AB", "0123456789abc", "0123456789a",
+                    "../abcdef0123", "abcdef012345/../x", "0123456789a\n",
+                    None, 123456789012):
+            assert not valid_job_id(bad)
+
+    def test_traversal_ids_cannot_reach_outside_jobs_dir(self, tmp_path):
+        # a readable JSON file one level above jobs/ -- reachable via
+        # "../<name>" before ids were validated
+        outside = tmp_path / "outside.json"
+        outside.write_text(json.dumps({"id": "x", "state": "queued"}))
+
+        async def scenario():
+            manager = JobManager(str(tmp_path), pool_size=1)
+            await manager.start()
+            for evil in ("../outside", "../../../../etc/passwd",
+                         "..%2foutside"):
+                assert manager.job_record(evil) is None
+                assert manager.job_events(evil) is None
+                record, accepted = manager.cancel_any(evil)
+                assert record is None and accepted is False
+            await manager.shutdown()
+
+        asyncio.run(scenario())
+        # in particular no attacker-placed ".cancel" flag appeared next
+        # to the targeted file
+        assert not (tmp_path / "outside.cancel").exists()
+        assert sorted(p.name for p in tmp_path.glob("*.cancel")) == []
 
 
 class TestCacheAndCoalescing:
@@ -440,6 +497,30 @@ class TestShutdownAndResume:
         assert health["cache"]["hits"] == 1
         assert health["cache"]["entries"] == 1
 
+    def test_journal_compacts_when_log_outgrows_threshold(
+            self, tmp_path, monkeypatch):
+        # shutdown() compacts on graceful drains, but a long-lived (or
+        # later SIGKILLed) process must fold the log in flight too
+        monkeypatch.setattr("repro.service.jobs.JOURNAL_COMPACT_BYTES", 1)
+
+        async def scenario():
+            manager = JobManager(str(tmp_path), pool_size=1)
+            await manager.start()
+            job, _ = manager.submit(counter_request())
+            await wait_terminal(job)
+            # the fold runs on an executor thread after the job finishes
+            await wait_for(
+                lambda: not manager._compacting
+                and manager.journal.log_size() == 0,
+                message="in-flight journal compaction")
+            folded = manager.journal.replay()
+            await manager.shutdown()
+            return job, folded
+
+        job, folded = asyncio.run(scenario())
+        assert folded[job.id]["state"] == "done"
+        assert folded[job.id]["verdict"] == "ok"
+
 
 class TestRequestValidation:
     def test_from_dict_roundtrip(self):
@@ -466,6 +547,17 @@ class TestRequestValidation:
     def test_bad_payloads_rejected(self, payload, fragment):
         with pytest.raises(ValueError, match=fragment):
             CheckRequest.from_dict(payload)
+
+    def test_oversized_module_source_rejected(self):
+        # the cap keeps admission-time parsing and journal lines bounded
+        huge = "M" * (MAX_MODULE_SOURCE + 1)
+        with pytest.raises(ValueError, match="at most"):
+            CheckRequest.from_dict({"module_source": huge})
+        # exactly at the cap is still only a parse error, not a size one
+        with pytest.raises(ValueError) as excinfo:
+            CheckRequest.from_dict({"module_source": "M" * MAX_MODULE_SOURCE,
+                                    "spec": ""})
+        assert "at most" not in str(excinfo.value)
 
 
 class TestCompactRequests:

@@ -5,7 +5,14 @@ claim protocol, and snapshot compaction."""
 import json
 import os
 
-from repro.service.journal import JobJournal, pid_alive
+import pytest
+
+from repro.service.journal import (
+    JobJournal,
+    owner_alive,
+    pid_alive,
+    process_start_time,
+)
 
 DEAD_PID = 999999999  # beyond pid_max on any Linux
 
@@ -82,8 +89,25 @@ class TestOrphans:
         journal = journal_for(tmp_path)
         journal.append("submitted", "job-1", tenant="a")
         jobs = journal.replay()
-        jobs["job-1"]["owner"] = os.getppid() or 1  # alive, not us
+        owner = os.getppid() or 1  # alive, not us
+        jobs["job-1"]["owner"] = owner
+        jobs["job-1"]["owner_start"] = process_start_time(owner)
         assert journal.orphans(jobs) == []
+
+    @pytest.mark.skipif(process_start_time(os.getpid()) is None,
+                        reason="needs /proc start times")
+    def test_recycled_pid_owner_is_orphaned(self, tmp_path):
+        # the dead owner's pid was reused by an unrelated live process:
+        # a bare pid check would call it alive and strand the job, but
+        # the recorded start time no longer matches, so it is reclaimed
+        journal = journal_for(tmp_path)
+        journal.append("submitted", "job-1", tenant="a")
+        jobs = journal.replay()
+        owner = os.getppid() or 1  # alive -- but a different incarnation
+        jobs["job-1"]["owner"] = owner
+        jobs["job-1"]["owner_start"] = \
+            (process_start_time(owner) or 0) + 17
+        assert journal.orphans(jobs) == ["job-1"]
 
     def test_terminal_jobs_are_never_orphans(self, tmp_path):
         journal = journal_for(tmp_path)
@@ -116,6 +140,19 @@ class TestOrphans:
         assert not pid_alive(DEAD_PID)
         assert not pid_alive(None)
         assert not pid_alive(0)
+
+    def test_owner_alive_degrades_without_start(self):
+        # a record with no start time (old journal, non-Linux writer)
+        # falls back to the pid check
+        assert owner_alive(os.getpid(), None)
+        assert not owner_alive(DEAD_PID, None)
+        assert owner_alive(os.getpid(), process_start_time(os.getpid()))
+
+    @pytest.mark.skipif(process_start_time(os.getpid()) is None,
+                        reason="needs /proc start times")
+    def test_owner_alive_rejects_mismatched_start(self):
+        ours = process_start_time(os.getpid())
+        assert not owner_alive(os.getpid(), ours + 1)
 
 
 class TestCompaction:

@@ -8,6 +8,7 @@ import os
 
 import pytest
 
+from repro.service.journal import process_start_time
 from repro.service.metrics import (
     DEFAULT_BUCKETS,
     MetricsDir,
@@ -202,3 +203,49 @@ class TestMetricsDir:
         text = MetricsDir(str(tmp_path), second).render()
         assert "done_total 6" in text  # history kept
         assert "running 1" in text     # stale gauge retired
+
+    def test_dead_files_fold_into_one_baseline(self, tmp_path):
+        # three SIGKILLed siblings left snapshot files behind; a new
+        # MetricsDir folds them into one merged baseline instead of
+        # keeping (and re-reading, on every scrape) every dead process's
+        # file forever
+        for n in range(3):
+            dead = MetricsRegistry()
+            dead.counter("done_total").default.inc(2)
+            dead.gauge("running").default.set(1)
+            snapshot = dead.snapshot()
+            snapshot["pid"] = 999999900 + n  # certainly dead
+            (tmp_path / f"proc-{999999900 + n}-x{n}.json").write_text(
+                json.dumps(snapshot))
+        live = MetricsRegistry()
+        live.counter("done_total").default.inc(1)
+        metrics = MetricsDir(str(tmp_path), live)
+        names = sorted(os.listdir(str(tmp_path)))
+        assert "proc-dead-merged.json" in names
+        assert not any(name.startswith("proc-9999999") for name in names)
+        text = metrics.render()
+        assert "done_total 7" in text  # 3 x 2 dead + 1 live
+        assert "running" not in text   # dead gauges dropped in the fold
+        # a second fold with nothing new is a no-op
+        assert metrics.fold_dead() == 0
+
+    @pytest.mark.skipif(process_start_time(os.getpid()) is None,
+                        reason="needs /proc start times")
+    def test_recycled_pid_gauges_are_not_resurrected(self, tmp_path):
+        # a dead sibling's pid was reused by an unrelated live process:
+        # the snapshot's recorded start time no longer matches, so its
+        # gauges must NOT be counted as live
+        ghost = MetricsRegistry()
+        ghost.counter("done_total").default.inc(4)
+        ghost.gauge("running").default.set(9)
+        snapshot = ghost.snapshot()
+        owner = os.getppid() or 1  # alive -- but a different incarnation
+        snapshot["pid"] = owner
+        snapshot["pid_start"] = (process_start_time(owner) or 0) + 17
+        (tmp_path / f"proc-{owner}-ghost.json").write_text(
+            json.dumps(snapshot))
+        live = MetricsRegistry()
+        live.counter("done_total").default.inc(1)
+        text = MetricsDir(str(tmp_path), live).render()
+        assert "done_total 5" in text  # the work still happened
+        assert "running 9" not in text  # the ghost gauge stays dead

@@ -180,6 +180,33 @@ class TestFairDispatch:
         sched.release("alice")
         assert sched.pop() == ("alice", "a1")
 
+    def test_fractional_quantum_still_dispatches(self):
+        # quantum < 1 takes several DRR passes to accrue a whole job's
+        # deficit; pop() must cycle until someone crosses 1.0 rather
+        # than return None with work queued (which would stall dispatch
+        # forever: nothing re-sets the manager's wake event)
+        sched = FairScheduler(quantum=0.3)
+        sched.push("alice", "a0")
+        sched.push("bob", "b0")
+        order = []
+        while True:
+            item = sched.pop()
+            if item is None:
+                break
+            order.append(item)
+        assert sorted(order) == [("alice", "a0"), ("bob", "b0")]
+        # and with every queue drained it still terminates with None
+        assert sched.pop() is None
+
+    def test_fractional_quantum_respects_inflight_caps(self):
+        sched = FairScheduler(TenantPolicy(max_inflight=1), quantum=0.5)
+        sched.push("alice", "a0")
+        sched.push("alice", "a1")
+        assert sched.pop() == ("alice", "a0")
+        assert sched.pop() is None  # capped, must not spin forever
+        sched.release("alice")
+        assert sched.pop() == ("alice", "a1")
+
     def test_release_and_forget_bookkeeping(self):
         sched = FairScheduler()
         sched.push("alice", "a0")
